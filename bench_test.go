@@ -1,0 +1,330 @@
+package rex
+
+// Benchmarks mirroring every figure and table of the paper's evaluation
+// (Section 5), plus micro-benchmarks for the load-bearing primitives.
+// The experiment harness behind `cmd/rexbench` produces the full
+// tables; these testing.B benchmarks pin the same code paths into
+// `go test -bench` so regressions surface in ordinary development.
+//
+// Workloads are built once per process at a reduced scale so the whole
+// suite completes on a single core; rexbench regenerates the figures at
+// full workload size.
+
+import (
+	"sync"
+	"testing"
+
+	"rex/internal/enumerate"
+	"rex/internal/harness"
+	"rex/internal/kb"
+	"rex/internal/kbgen"
+	"rex/internal/match"
+	"rex/internal/measure"
+	"rex/internal/pattern"
+	"rex/internal/rank"
+	"rex/internal/relstore"
+	"rex/internal/study"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *harness.Env
+	benchRep  map[kb.ConnBucket]kbgen.Pair // one representative pair per bucket
+)
+
+func benchSetup(b *testing.B) (*harness.Env, map[kb.ConnBucket]kbgen.Pair) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv = harness.NewEnv(harness.EnvOptions{
+			Scale: 0.5, Seed: 42, PerBucket: 3, GlobalSamples: 10,
+		})
+		benchRep = map[kb.ConnBucket]kbgen.Pair{}
+		for _, bu := range harness.Buckets() {
+			ps := benchEnv.PairsIn(bu)
+			if len(ps) > 0 {
+				benchRep[bu] = ps[0]
+			}
+		}
+	})
+	return benchEnv, benchRep
+}
+
+var benchCfg = enumerate.Config{
+	MaxPatternSize: 5,
+	PathAlg:        enumerate.PathPrioritized,
+	UnionAlg:       enumerate.UnionPrune,
+}
+
+// BenchmarkFig7Enumeration covers Figure 7: the enumeration algorithm
+// combinations per connectedness bucket. The NaiveEnum baseline runs
+// only on the low bucket — on denser pairs a single iteration takes tens
+// of seconds, which is the paper's point but not a useful benchmark.
+func BenchmarkFig7Enumeration(b *testing.B) {
+	env, rep := benchSetup(b)
+	for _, combo := range harness.Fig7Combos() {
+		for _, bucket := range harness.Buckets() {
+			if combo.Naive && bucket != kb.ConnLow {
+				continue
+			}
+			p, ok := rep[bucket]
+			if !ok {
+				continue
+			}
+			b.Run(combo.Name+"/"+bucket.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if combo.Naive {
+						enumerate.NaiveEnum(env.G, p.Start, p.End, 5)
+					} else {
+						enumerate.Explanations(env.G, p.Start, p.End, enumerate.Config{
+							MaxPatternSize: 5, PathAlg: combo.Path, UnionAlg: combo.Union,
+						})
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Scaling covers Figure 8: enumeration cost on the densest
+// workload pair with the best algorithms (time per enumerated instance
+// is the figure's slope).
+func BenchmarkFig8Scaling(b *testing.B) {
+	env, rep := benchSetup(b)
+	p, ok := rep[kb.ConnHigh]
+	if !ok {
+		b.Skip("no high-connectedness pair at bench scale")
+	}
+	instances := 0
+	for _, ex := range enumerate.Explanations(env.G, p.Start, p.End, benchCfg) {
+		instances += len(ex.Instances)
+	}
+	b.ReportMetric(float64(instances), "instances")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enumerate.Explanations(env.G, p.Start, p.End, benchCfg)
+	}
+}
+
+// BenchmarkFig9TopK covers Figure 9: full enumerate-then-rank vs the
+// interleaved top-10 pruning for monocount.
+func BenchmarkFig9TopK(b *testing.B) {
+	env, rep := benchSetup(b)
+	p, ok := rep[kb.ConnMedium]
+	if !ok {
+		b.Skip("no medium pair at bench scale")
+	}
+	ctx := &measure.Context{G: env.G, Start: p.Start, End: p.End}
+	m := measure.Monocount{}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			es := enumerate.Explanations(env.G, p.Start, p.End, benchCfg)
+			rank.General(ctx, es, m, 10)
+		}
+	})
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rank.TopKAntiMonotone(env.G, p.Start, p.End, benchCfg, ctx, m, 10)
+		}
+	})
+}
+
+// BenchmarkFig10KSweep covers Figure 10: pruned ranking cost versus k.
+func BenchmarkFig10KSweep(b *testing.B) {
+	env, rep := benchSetup(b)
+	p, ok := rep[kb.ConnMedium]
+	if !ok {
+		b.Skip("no medium pair at bench scale")
+	}
+	ctx := &measure.Context{G: env.G, Start: p.Start, End: p.End}
+	m := measure.Monocount{}
+	for _, k := range []int{1, 10, 100} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rank.TopKAntiMonotone(env.G, p.Start, p.End, benchCfg, ctx, m, k)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Distributional covers Figure 11: the four distributional
+// ranking scenarios.
+func BenchmarkFig11Distributional(b *testing.B) {
+	env, rep := benchSetup(b)
+	p, ok := rep[kb.ConnMedium]
+	if !ok {
+		b.Skip("no medium pair at bench scale")
+	}
+	es := enumerate.Explanations(env.G, p.Start, p.End, benchCfg)
+	ctx := &measure.Context{
+		G: env.G, Start: p.Start, End: p.End,
+		SampleStarts: measure.SampleStartsOfType(
+			env.G, env.G.Node(p.Start).Type, env.Opt.GlobalSamples, env.Opt.Seed),
+	}
+	local := measure.LocalPosition{}
+	global := measure.GlobalPosition{}
+	b.Run("local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rank.General(ctx, es, local, 10)
+		}
+	})
+	b.Run("local-prune", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rank.TopKDistributional(ctx, es, local, 10)
+		}
+	})
+	b.Run("global", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rank.General(ctx, es, global, 10)
+		}
+	})
+	b.Run("global-prune", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rank.TopKDistributional(ctx, es, global, 10)
+		}
+	})
+}
+
+// BenchmarkTable1Effectiveness covers Table 1's inner loop: ranking and
+// judging one pair under one measure (size+local-dist, the winner).
+func BenchmarkTable1Effectiveness(b *testing.B) {
+	g := kbgen.Sample()
+	s := g.NodeByName("brad_pitt")
+	e := g.NodeByName("angelina_jolie")
+	es := enumerate.Explanations(g, s, e, benchCfg)
+	ctx := &measure.Context{G: g, Start: s, End: e}
+	panel := study.NewPanel(g, s, e, es, 10, 42)
+	m := measure.Combined{Primary: measure.Size{}, Secondary: measure.LocalPosition{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked := rank.General(ctx, es, m, 10)
+		judged := make([]study.Judged, len(ranked))
+		for j, r := range ranked {
+			judged[j] = panel.Judge(r.Ex)
+		}
+		study.DCG(judged, 10)
+	}
+}
+
+// --- Micro-benchmarks for the primitives behind the figures. ---
+
+func samplePatterns(b *testing.B) (*kb.Graph, []*pattern.Explanation, kb.NodeID, kb.NodeID) {
+	b.Helper()
+	g := kbgen.Sample()
+	s := g.NodeByName("brad_pitt")
+	e := g.NodeByName("angelina_jolie")
+	return g, enumerate.Explanations(g, s, e, benchCfg), s, e
+}
+
+func BenchmarkCanonicalKey(b *testing.B) {
+	g, es, _, _ := samplePatterns(b)
+	_ = g
+	// Rebuild patterns each round so the key cache cannot amortise.
+	edges := make([][]pattern.Edge, len(es))
+	ns := make([]int, len(es))
+	for i, ex := range es {
+		edges[i] = append([]pattern.Edge{}, ex.P.Edges()...)
+		ns[i] = ex.P.NumVars()
+	}
+	sch := es[0].P.Schema()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pattern.MustNew(sch, ns[i%len(ns)], edges[i%len(edges)])
+		_ = p.CanonicalKey()
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	_, es, _, _ := samplePatterns(b)
+	var re1, re2 *pattern.Explanation
+	for _, ex := range es {
+		if ex.P.IsPath() && ex.P.NumVars() == 3 {
+			if re1 == nil {
+				re1 = ex
+			} else if re2 == nil {
+				re2 = ex
+			}
+		}
+	}
+	if re1 == nil || re2 == nil {
+		b.Skip("need two 3-variable paths")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pattern.Merge(re1, re2, 5)
+	}
+}
+
+func BenchmarkMatcherFixedEnd(b *testing.B) {
+	g, es, s, e := samplePatterns(b)
+	p := es[len(es)-1].P // the largest pattern
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.Count(g, p, s, e)
+	}
+}
+
+func BenchmarkMatcherFreeEnd(b *testing.B) {
+	g, es, s, _ := samplePatterns(b)
+	p := es[0].P
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		match.CountByEnd(g, p, s)
+	}
+}
+
+func BenchmarkRelstoreGroupCounts(b *testing.B) {
+	g, es, s, _ := samplePatterns(b)
+	st := relstore.FromGraph(g)
+	q := relstore.Compile(g, es[0].P, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.GroupCounts(q)
+	}
+}
+
+func BenchmarkConnectedness(b *testing.B) {
+	env, rep := benchSetup(b)
+	p, ok := rep[kb.ConnHigh]
+	if !ok {
+		b.Skip("no high pair")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.G.Connectedness(p.Start, p.End, 4, -1)
+	}
+}
+
+func BenchmarkKBGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		kbgen.Generate(kbgen.Options{Scale: 0.25, Seed: int64(i)})
+	}
+}
+
+func BenchmarkExplainerEndToEnd(b *testing.B) {
+	kbv := SampleKB()
+	ex, err := NewExplainer(kbv, Options{Measure: "size+local-dist", TopK: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Explain("kate_winslet", "leonardo_dicaprio"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(prefix string, k int) string {
+	const digits = "0123456789"
+	if k == 0 {
+		return prefix + "=0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for k > 0 {
+		i--
+		buf[i] = digits[k%10]
+		k /= 10
+	}
+	return prefix + "=" + string(buf[i:])
+}

@@ -1,0 +1,124 @@
+// Command rex explains the relationship between a pair of entities in a
+// knowledge base:
+//
+//	rex -kb entertainment.tsv -start brad_pitt -end angelina_jolie
+//	rex -sample -start tom_cruise -end will_smith -measure local-dist -k 5
+//
+// With no -kb flag the built-in sample entertainment knowledge base is
+// used (equivalent to -sample).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rex"
+)
+
+func main() {
+	var (
+		kbPath    = flag.String("kb", "", "knowledge base TSV file (default: built-in sample)")
+		sample    = flag.Bool("sample", false, "use the built-in sample entertainment KB")
+		start     = flag.String("start", "", "start entity name (required)")
+		end       = flag.String("end", "", "end entity name (required)")
+		measureN  = flag.String("measure", "size+local-dist", "interestingness measure: "+strings.Join(rex.MeasureNames(), ", "))
+		topK      = flag.Int("k", 10, "number of explanations to return")
+		maxSize   = flag.Int("size", 5, "pattern size limit (nodes)")
+		pathAlg   = flag.String("path", "prioritized", "path enumeration: naive, basic, prioritized")
+		unionAlg  = flag.String("union", "prune", "path union: basic, prune")
+		maxInst   = flag.Int("instances", 3, "max instances to print per explanation (0 = all)")
+		showSQL   = flag.Bool("sql", false, "print the distributional SQL for each explanation")
+		noPruning = flag.Bool("no-pruning", false, "disable ranking-time pruning")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+		decorate  = flag.Bool("decorate", false, "attach non-essential context facts to each explanation")
+	)
+	flag.Parse()
+
+	if *start == "" || *end == "" {
+		fmt.Fprintln(os.Stderr, "rex: -start and -end are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		kb  *rex.KB
+		err error
+	)
+	switch {
+	case *kbPath != "":
+		kb, err = rex.LoadKB(*kbPath)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		_ = sample // the sample KB is also the default
+		kb = rex.SampleKB()
+	}
+
+	ex, err := rex.NewExplainer(kb, rex.Options{
+		MaxPatternSize:             *maxSize,
+		PathAlgorithm:              *pathAlg,
+		UnionAlgorithm:             *unionAlg,
+		Measure:                    *measureN,
+		TopK:                       *topK,
+		DisablePruning:             *noPruning,
+		MaxInstancesPerExplanation: *maxInst,
+		Decorate:                   *decorate,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := ex.Explain(*start, *end)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	st := kb.Stats()
+	fmt.Printf("knowledge base: %d entities, %d relationships, %d labels\n",
+		st.Nodes, st.Edges, st.Labels)
+	fmt.Printf("top %d explanations for (%s, %s) by %s:\n\n",
+		len(res.Explanations), res.Start, res.End, res.Measure)
+	for i, e := range res.Explanations {
+		kind := "pattern"
+		if e.IsPath {
+			kind = "path"
+		}
+		fmt.Printf("%2d. [%s, size %d, %d instance(s), monocount %d] score=%v\n",
+			i+1, kind, e.Size, e.NumInstances, e.Monocount, e.Score)
+		fmt.Printf("    %s\n", e.Pattern)
+		for _, in := range e.Instances {
+			fmt.Printf("      instance: %s\n", strings.Join(in.Bindings, ", "))
+		}
+		for _, d := range e.Decorations {
+			fmt.Printf("      also: %s\n", d)
+		}
+		if *showSQL {
+			fmt.Println("    distributional SQL:")
+			for _, line := range strings.Split(e.SQL, "\n") {
+				fmt.Printf("      %s\n", line)
+			}
+		}
+		fmt.Println()
+	}
+	if len(res.Explanations) == 0 {
+		fmt.Println("no explanations found within the pattern size limit")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rex:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command rexbench regenerates every table and figure of the REX paper's
+// evaluation (Section 5) on the synthetic workload:
+//
+//	rexbench -exp all            # everything (slow: includes NaiveEnum)
+//	rexbench -exp fig7 -quick    # Figure 7 without the NaiveEnum baseline
+//	rexbench -exp table1         # the user-study Table 1 (simulated raters)
+//
+// Experiments: fig7, fig8, fig9, fig10, fig11, table1, pathshare, all.
+// See EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rex/internal/harness"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, all")
+		scale     = flag.Float64("scale", 1, "synthetic KB scale factor")
+		seed      = flag.Int64("seed", 42, "workload seed")
+		perBucket = flag.Int("pairs", 10, "entity pairs per connectedness bucket")
+		quick     = flag.Bool("quick", false, "reduce work: skip NaiveEnum, fewer global samples, shorter k sweep")
+		samples   = flag.Int("global-samples", 100, "sampled starts estimating the global distribution")
+		raters    = flag.Int("raters", 10, "simulated raters for table1/pathshare")
+	)
+	flag.Parse()
+
+	gs := *samples
+	if *quick && gs > 25 {
+		gs = 25
+	}
+
+	wants := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		wants[strings.TrimSpace(e)] = true
+	}
+	want := func(name string) bool { return wants["all"] || wants[name] }
+
+	needsEnv := want("fig7") || want("fig8") || want("fig9") || want("fig10") ||
+		want("fig11") || want("ablation")
+	var env *harness.Env
+	if needsEnv {
+		start := time.Now()
+		env = harness.NewEnv(harness.EnvOptions{
+			Scale: *scale, Seed: *seed, PerBucket: *perBucket, GlobalSamples: gs,
+		})
+		st := env.G.Stats()
+		fmt.Printf("workload: %d entities, %d relationships, %d labels; %d pairs (built in %s)\n",
+			st.Nodes, st.Edges, st.Labels, len(env.Pairs), time.Since(start).Round(time.Millisecond))
+		for _, b := range harness.Buckets() {
+			fmt.Printf("  %s: %d pairs\n", b, len(env.PairsIn(b)))
+		}
+	}
+
+	if want("fig7") {
+		env.Fig7(*quick).Print(os.Stdout)
+	}
+	if want("fig8") {
+		env.Fig8().Print(os.Stdout)
+	}
+	if want("fig9") {
+		env.Fig9().Print(os.Stdout)
+	}
+	if want("fig10") {
+		ks := []int{1, 5, 10, 20, 50, 100, 200}
+		if *quick {
+			ks = []int{1, 10, 100}
+		}
+		env.Fig10(ks).Print(os.Stdout)
+	}
+	if want("fig11") {
+		env.Fig11().Print(os.Stdout)
+	}
+	if want("ablation") {
+		env.Ablation().Print(os.Stdout)
+	}
+	studyOpt := harness.StudyOptions{
+		Scale: *scale, Seed: *seed, NumRaters: *raters, GlobalSamples: gs,
+	}
+	if want("table1") {
+		harness.Table1(studyOpt).Print(os.Stdout)
+	}
+	if want("pathshare") {
+		harness.PathShare(studyOpt).Print(os.Stdout)
+	}
+	if want("learned") {
+		harness.Learned(studyOpt).Print(os.Stdout)
+	}
+}

@@ -1,0 +1,230 @@
+// Package decorate implements the post-processing stage the paper defers
+// in Section 2.3: once the most interesting *minimal* explanations are
+// chosen, non-essential nodes and edges can be re-attached to make them
+// more informative — e.g. annotating the shared film of a co-starring
+// explanation with its director (the very structure Figure 5(a) shows
+// being excluded from enumeration).
+//
+// A decoration is a single extra fact about one pattern variable: a
+// relationship label, its orientation, and the entities observed across
+// the explanation's instances. Decorations are ranked by coverage (the
+// fraction of instances exhibiting the fact) and capped per variable, so
+// the output stays readable.
+package decorate
+
+import (
+	"sort"
+
+	"rex/internal/kb"
+	"rex/internal/pattern"
+)
+
+// Decoration is one non-essential fact attached to a pattern variable.
+type Decoration struct {
+	// Var is the decorated pattern variable.
+	Var pattern.VarID
+	// Label is the relationship connecting the variable to the fact.
+	Label kb.LabelID
+	// Outgoing reports the orientation: true when the edge points from
+	// the variable's entity to the fact entity (or the label is
+	// undirected).
+	Outgoing bool
+	// Coverage is the fraction of the explanation's instances whose
+	// binding of Var has at least one such fact, in (0, 1].
+	Coverage float64
+	// Values holds example fact entities, most frequent first (capped).
+	Values []kb.NodeID
+}
+
+// Options bounds the decoration search.
+type Options struct {
+	// MaxPerVar caps decorations per pattern variable (default 3).
+	MaxPerVar int
+	// MaxValues caps example entities per decoration (default 3).
+	MaxValues int
+	// MinCoverage drops facts observed on fewer than this fraction of
+	// instances (default 0.5).
+	MinCoverage float64
+	// IncludeTargets also decorates the two target variables; off by
+	// default since the user already knows the queried entities.
+	IncludeTargets bool
+}
+
+func (o Options) normalized() Options {
+	if o.MaxPerVar <= 0 {
+		o.MaxPerVar = 3
+	}
+	if o.MaxValues <= 0 {
+		o.MaxValues = 3
+	}
+	if o.MinCoverage <= 0 {
+		o.MinCoverage = 0.5
+	}
+	return o
+}
+
+// decoKey identifies a candidate decoration during aggregation.
+type decoKey struct {
+	v        pattern.VarID
+	label    kb.LabelID
+	outgoing bool
+}
+
+// Explanation decorates a minimal explanation against the knowledge
+// base: for every (non-target) pattern variable it finds the
+// relationship facts shared by most instances that are not already part
+// of the pattern, and returns them ranked by coverage (ties: smaller
+// variable, then label order). The explanation itself is not modified —
+// decorations deliberately stay outside the minimal pattern, preserving
+// the enumeration semantics.
+func Explanation(g *kb.Graph, ex *pattern.Explanation, opt Options) []Decoration {
+	opt = opt.normalized()
+	p := ex.P
+	if len(ex.Instances) == 0 {
+		return nil
+	}
+
+	// Edges already in the pattern must not resurface as decorations:
+	// index the (var, label, orientation) triples the pattern uses, and
+	// also track, per instance, which concrete neighbor entities are
+	// bound by pattern edges so multi-edges to pattern co-variables are
+	// skipped entirely.
+	inPattern := make(map[decoKey]bool)
+	for _, e := range p.Edges() {
+		directed := g.LabelDirected(e.Label)
+		inPattern[decoKey{e.U, e.Label, true}] = true
+		inPattern[decoKey{e.V, e.Label, !directed}] = true
+	}
+
+	type agg struct {
+		instancesWith map[string]struct{} // instance keys having ≥1 fact
+		valueCounts   map[kb.NodeID]int
+	}
+	aggs := make(map[decoKey]*agg)
+
+	for _, in := range ex.Instances {
+		instKey := in.Key()
+		// Entities bound by this instance (any variable): facts pointing
+		// back into the instance are part of the connection structure,
+		// not decoration.
+		bound := make(map[kb.NodeID]bool, len(in))
+		for _, id := range in {
+			bound[id] = true
+		}
+		for v := 0; v < p.NumVars(); v++ {
+			if !opt.IncludeTargets && (v == int(pattern.Start) || v == int(pattern.End)) {
+				continue
+			}
+			entity := in[v]
+			for _, he := range g.Neighbors(entity) {
+				if bound[he.To] {
+					continue
+				}
+				outgoing := he.Dir == kb.Out || he.Dir == kb.Undirected
+				key := decoKey{pattern.VarID(v), he.Label, outgoing}
+				if inPattern[key] {
+					continue
+				}
+				a, ok := aggs[key]
+				if !ok {
+					a = &agg{
+						instancesWith: make(map[string]struct{}),
+						valueCounts:   make(map[kb.NodeID]int),
+					}
+					aggs[key] = a
+				}
+				a.instancesWith[instKey] = struct{}{}
+				a.valueCounts[he.To]++
+			}
+		}
+	}
+
+	total := float64(len(ex.Instances))
+	var out []Decoration
+	perVar := make(map[pattern.VarID]int)
+	// Deterministic candidate order: by coverage desc, then var, label,
+	// orientation.
+	keys := make([]decoKey, 0, len(aggs))
+	for k := range aggs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ci := float64(len(aggs[keys[i]].instancesWith)) / total
+		cj := float64(len(aggs[keys[j]].instancesWith)) / total
+		if ci != cj {
+			return ci > cj
+		}
+		if keys[i].v != keys[j].v {
+			return keys[i].v < keys[j].v
+		}
+		if keys[i].label != keys[j].label {
+			return keys[i].label < keys[j].label
+		}
+		return keys[i].outgoing && !keys[j].outgoing
+	})
+	for _, k := range keys {
+		a := aggs[k]
+		coverage := float64(len(a.instancesWith)) / total
+		if coverage < opt.MinCoverage || perVar[k.v] >= opt.MaxPerVar {
+			continue
+		}
+		perVar[k.v]++
+		out = append(out, Decoration{
+			Var:      k.v,
+			Label:    k.label,
+			Outgoing: k.outgoing,
+			Coverage: coverage,
+			Values:   topValues(a.valueCounts, opt.MaxValues),
+		})
+	}
+	return out
+}
+
+// topValues returns the most frequent fact entities, ties by ID.
+func topValues(counts map[kb.NodeID]int, max int) []kb.NodeID {
+	ids := make([]kb.NodeID, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if counts[ids[i]] != counts[ids[j]] {
+			return counts[ids[i]] > counts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > max {
+		ids = ids[:max]
+	}
+	return ids
+}
+
+// Describe renders a decoration for display, e.g.
+// "v2 --directed_by--> sam_mendes (coverage 100%)".
+func (d Decoration) Describe(g *kb.Graph) string {
+	arrow := "--" + g.LabelName(d.Label) + "--"
+	if g.LabelDirected(d.Label) {
+		if d.Outgoing {
+			arrow += ">"
+		} else {
+			arrow = "<" + arrow
+		}
+	}
+	names := ""
+	for i, v := range d.Values {
+		if i > 0 {
+			names += ", "
+		}
+		names += g.NodeName(v)
+	}
+	return varName(d.Var) + " " + arrow + " " + names
+}
+
+func varName(v pattern.VarID) string {
+	switch v {
+	case pattern.Start:
+		return "start"
+	case pattern.End:
+		return "end"
+	}
+	return "v" + string(rune('0'+int(v)))
+}

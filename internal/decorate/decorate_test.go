@@ -1,0 +1,163 @@
+package decorate
+
+import (
+	"strings"
+	"testing"
+
+	"rex/internal/kb"
+	"rex/internal/kbgen"
+	"rex/internal/match"
+	"rex/internal/pattern"
+)
+
+// costarExplanation builds the co-starring explanation for a pair with
+// complete instances from the matcher.
+func costarExplanation(t *testing.T, g *kb.Graph, start, end string) (*pattern.Explanation, kb.NodeID, kb.NodeID) {
+	t.Helper()
+	star := g.LabelByName(kbgen.RelStarring)
+	p := pattern.MustNew(g, 3, []pattern.Edge{
+		{U: 2, V: pattern.Start, Label: star}, {U: 2, V: pattern.End, Label: star},
+	})
+	s := g.NodeByName(start)
+	e := g.NodeByName(end)
+	insts := match.Find(g, p, s, e, match.Options{})
+	if len(insts) == 0 {
+		t.Fatalf("no co-star instances for (%s, %s)", start, end)
+	}
+	return pattern.NewExplanation(p, insts), s, e
+}
+
+func TestDecorateCostarFilm(t *testing.T) {
+	g := kbgen.Sample()
+	ex, _, _ := costarExplanation(t, g, "brad_pitt", "angelina_jolie")
+	decos := Explanation(g, ex, Options{})
+	if len(decos) == 0 {
+		t.Fatal("no decorations for the co-starred film")
+	}
+	dir := g.LabelByName(kbgen.RelDirectedBy)
+	var sawDirector bool
+	for _, d := range decos {
+		if d.Var != 2 {
+			t.Errorf("decoration on unexpected variable %d", d.Var)
+		}
+		if d.Coverage <= 0 || d.Coverage > 1 {
+			t.Errorf("coverage out of range: %v", d.Coverage)
+		}
+		if len(d.Values) == 0 {
+			t.Error("decoration without example values")
+		}
+		if d.Label == dir {
+			sawDirector = true
+			// The one shared film is mr_and_mrs_smith, directed by
+			// doug_liman: this is exactly Figure 5(a)'s non-essential
+			// director fact, now re-attached post hoc.
+			if g.NodeName(d.Values[0]) != "doug_liman" {
+				t.Errorf("director decoration = %s", g.NodeName(d.Values[0]))
+			}
+		}
+	}
+	if !sawDirector {
+		t.Error("expected the directed_by decoration of Figure 5(a)")
+	}
+}
+
+func TestDecorationsExcludePatternEdges(t *testing.T) {
+	g := kbgen.Sample()
+	ex, _, _ := costarExplanation(t, g, "brad_pitt", "angelina_jolie")
+	star := g.LabelByName(kbgen.RelStarring)
+	for _, d := range Explanation(g, ex, Options{}) {
+		if d.Label == star && d.Var == 2 && d.Outgoing {
+			t.Errorf("pattern edge resurfaced as decoration: %s", d.Describe(g))
+		}
+	}
+}
+
+func TestDecorationCoverageFilter(t *testing.T) {
+	g := kbgen.Sample()
+	// Brad + Julia share three films; facts present on only one of the
+	// three instances (coverage 1/3) must be dropped at MinCoverage 0.5.
+	ex, _, _ := costarExplanation(t, g, "brad_pitt", "julia_roberts")
+	if len(ex.Instances) != 3 {
+		t.Fatalf("expected 3 co-star instances, got %d", len(ex.Instances))
+	}
+	for _, d := range Explanation(g, ex, Options{MinCoverage: 0.5}) {
+		if d.Coverage < 0.5 {
+			t.Errorf("low-coverage decoration kept: %v", d)
+		}
+	}
+	// With the filter lowered, the sequel_of fact (only oceans_twelve)
+	// can appear.
+	low := Explanation(g, ex, Options{MinCoverage: 0.1, MaxPerVar: 10})
+	if len(low) == 0 {
+		t.Fatal("no decorations at low coverage")
+	}
+	anyPartial := false
+	for _, d := range low {
+		if d.Coverage < 0.5 {
+			anyPartial = true
+		}
+	}
+	if !anyPartial {
+		t.Error("lowering MinCoverage surfaced no partial-coverage facts")
+	}
+}
+
+func TestMaxPerVarCap(t *testing.T) {
+	g := kbgen.Sample()
+	ex, _, _ := costarExplanation(t, g, "brad_pitt", "julia_roberts")
+	counts := map[pattern.VarID]int{}
+	for _, d := range Explanation(g, ex, Options{MaxPerVar: 1, MinCoverage: 0.1}) {
+		counts[d.Var]++
+	}
+	for v, c := range counts {
+		if c > 1 {
+			t.Errorf("variable %d has %d decorations with MaxPerVar=1", v, c)
+		}
+	}
+}
+
+func TestIncludeTargets(t *testing.T) {
+	g := kbgen.Sample()
+	ex, _, _ := costarExplanation(t, g, "brad_pitt", "angelina_jolie")
+	without := Explanation(g, ex, Options{})
+	for _, d := range without {
+		if d.Var == pattern.Start || d.Var == pattern.End {
+			t.Error("target decorated without IncludeTargets")
+		}
+	}
+	with := Explanation(g, ex, Options{IncludeTargets: true, MinCoverage: 0.1, MaxPerVar: 10})
+	sawTarget := false
+	for _, d := range with {
+		if d.Var == pattern.Start || d.Var == pattern.End {
+			sawTarget = true
+		}
+	}
+	if !sawTarget {
+		t.Error("IncludeTargets produced no target decorations")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := kbgen.Sample()
+	ex, _, _ := costarExplanation(t, g, "brad_pitt", "angelina_jolie")
+	decos := Explanation(g, ex, Options{})
+	if len(decos) == 0 {
+		t.Fatal("no decorations")
+	}
+	s := decos[0].Describe(g)
+	if !strings.Contains(s, "v2") {
+		t.Errorf("Describe missing variable name: %s", s)
+	}
+}
+
+func TestEmptyExplanation(t *testing.T) {
+	g := kbgen.Sample()
+	star := g.LabelByName(kbgen.RelStarring)
+	p := pattern.MustNew(g, 3, []pattern.Edge{
+		{U: 2, V: pattern.Start, Label: star}, {U: 2, V: pattern.End, Label: star},
+	})
+	ex := &pattern.Explanation{P: p}
+	if got := Explanation(g, ex, Options{}); got != nil {
+		t.Errorf("decorating an instance-less explanation returned %v", got)
+	}
+}

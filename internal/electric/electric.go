@@ -1,0 +1,114 @@
+// Package electric computes the random-walk structural interestingness
+// measure of Section 4.1: the explanation pattern is viewed as an
+// electrical network in which every edge is a unit resistor (following
+// the connection-subgraph work of Faloutsos, McCurley and Tomkins that
+// the paper extends), and the interestingness of the pattern is the
+// current delivered from the start variable to the end variable under a
+// unit voltage — i.e. the effective conductance between the targets.
+// Parallel explanation paths add conductance; long chains reduce it.
+package electric
+
+import "math"
+
+// Conductance returns the effective electrical conductance between node
+// s and node t of an undirected multigraph with n nodes, where weight[i][j]
+// counts the unit resistors (edges) between i and j. It returns 0 when s
+// and t are disconnected.
+//
+// The computation solves the grounded Laplacian system L'·v = e_s with
+// v[t] = 0 by Gaussian elimination; the conductance is 1/v[s]. REX
+// patterns have at most a dozen nodes, so cubic elimination is ideal.
+func Conductance(n int, weight [][]float64, s, t int) float64 {
+	if s == t || n < 2 || s < 0 || t < 0 || s >= n || t >= n {
+		return 0
+	}
+	// Laplacian: L[i][i] = Σ_j w(i,j); L[i][j] = -w(i,j).
+	lap := make([][]float64, n)
+	for i := range lap {
+		lap[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			w := weight[i][j]
+			lap[i][i] += w
+			lap[i][j] -= w
+		}
+	}
+	// Ground node t: remove its row and column.
+	idx := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != t {
+			idx = append(idx, i)
+		}
+	}
+	m := len(idx)
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i, ri := range idx {
+		a[i] = make([]float64, m)
+		for j, cj := range idx {
+			a[i][j] = lap[ri][cj]
+		}
+		if ri == s {
+			b[i] = 1 // inject unit current at s, extract at t
+		}
+	}
+	v, ok := solve(a, b)
+	if !ok {
+		return 0
+	}
+	for i, ri := range idx {
+		if ri == s {
+			if v[i] <= 0 || math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+				return 0
+			}
+			return 1 / v[i]
+		}
+	}
+	return 0
+}
+
+// solve performs Gaussian elimination with partial pivoting on a·x = b,
+// mutating its inputs. It reports false for (near-)singular systems,
+// which for a grounded Laplacian means s and t are disconnected.
+func solve(a [][]float64, b []float64) ([]float64, bool) {
+	const eps = 1e-12
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < eps {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * x[j]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, true
+}

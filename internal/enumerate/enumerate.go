@@ -1,0 +1,316 @@
+// Package enumerate implements REX's explanation-enumeration algorithms
+// (Section 3 of the paper):
+//
+//   - NaiveEnum: the gSpan-style graph-expansion baseline (Algorithm 1),
+//     which generates non-minimal intermediates and filters.
+//   - PathEnum{Naive,Basic,Prioritized}: simple-path explanation
+//     enumeration between the targets (Section 3.2). Basic is the
+//     bidirectional BANKS-style strategy, Prioritized the BANKS2-style
+//     activation-score strategy.
+//   - PathUnion{Basic,Prune}: combination of path explanations into all
+//     minimal explanations (Algorithms 3 and 4).
+//
+// The general framework (Algorithm 2) is PathEnum followed by PathUnion;
+// it generates all and only the minimal explanations with at least one
+// instance, with pattern size (node count) bounded by the configured
+// limit.
+package enumerate
+
+import (
+	"fmt"
+	"sort"
+
+	"rex/internal/kb"
+	"rex/internal/pattern"
+)
+
+// PathAlgorithm selects the simple-path enumeration strategy.
+type PathAlgorithm int
+
+// Path enumeration strategies, in increasing order of sophistication.
+const (
+	// PathNaive enumerates every length-limited simple path from the
+	// start entity and keeps those ending at the end entity. It is the
+	// paper's PathEnumNaive strawman.
+	PathNaive PathAlgorithm = iota
+	// PathBasic runs the bidirectional enumeration adapted from BANKS:
+	// partial paths grow from both targets and join at a meeting node.
+	PathBasic
+	// PathPrioritized is the BANKS2 adaptation: bidirectional expansion
+	// ordered by activation scores that postpone high-degree nodes.
+	PathPrioritized
+)
+
+// String names the algorithm as in the paper's figures.
+func (a PathAlgorithm) String() string {
+	switch a {
+	case PathNaive:
+		return "PathEnumNaive"
+	case PathBasic:
+		return "PathEnumBasic"
+	case PathPrioritized:
+		return "PathEnumPrioritized"
+	}
+	return fmt.Sprintf("PathAlgorithm(%d)", int(a))
+}
+
+// UnionAlgorithm selects the path-combination strategy.
+type UnionAlgorithm int
+
+// Path union strategies.
+const (
+	// UnionBasic is Algorithm 3: every ring explanation merges with
+	// every path explanation.
+	UnionBasic UnionAlgorithm = iota
+	// UnionPrune is Algorithm 4: composition histories restrict merge
+	// partners per Theorem 3.
+	UnionPrune
+)
+
+// String names the algorithm as in the paper's figures.
+func (a UnionAlgorithm) String() string {
+	switch a {
+	case UnionBasic:
+		return "PathUnionBasic"
+	case UnionPrune:
+		return "PathUnionPrune"
+	}
+	return fmt.Sprintf("UnionAlgorithm(%d)", int(a))
+}
+
+// Config parameterises enumeration. The zero value enumerates patterns of
+// up to DefaultMaxPatternSize nodes with the best algorithms.
+type Config struct {
+	// MaxPatternSize bounds the number of nodes (variables) in a
+	// pattern; the paper's n. Defaults to DefaultMaxPatternSize.
+	MaxPatternSize int
+	// PathAlg selects the path enumeration strategy. Defaults to
+	// PathPrioritized (zero value is PathNaive; use Normalize or the
+	// framework helpers to apply defaults).
+	PathAlg PathAlgorithm
+	// UnionAlg selects the combination strategy.
+	UnionAlg UnionAlgorithm
+}
+
+// DefaultMaxPatternSize matches the paper's experimental pattern size
+// limit of 5 nodes.
+const DefaultMaxPatternSize = 5
+
+// normalized returns cfg with defaults applied.
+func (cfg Config) normalized() Config {
+	if cfg.MaxPatternSize <= 0 {
+		cfg.MaxPatternSize = DefaultMaxPatternSize
+	}
+	if cfg.MaxPatternSize > pattern.MaxVars {
+		cfg.MaxPatternSize = pattern.MaxVars
+	}
+	return cfg
+}
+
+// Explanations runs the general enumeration framework (Algorithm 2):
+// enumerate path explanations with length limit MaxPatternSize-1, then
+// combine them into all minimal explanations of bounded size. The result
+// is sorted deterministically by (pattern size, canonical key).
+func Explanations(g *kb.Graph, start, end kb.NodeID, cfg Config) []*pattern.Explanation {
+	cfg = cfg.normalized()
+	paths := Paths(g, start, end, cfg)
+	var out []*pattern.Explanation
+	switch cfg.UnionAlg {
+	case UnionPrune:
+		out = PathUnionPrune(paths, cfg.MaxPatternSize)
+	default:
+		out = PathUnionBasic(paths, cfg.MaxPatternSize)
+	}
+	sortExplanations(out)
+	return out
+}
+
+// Paths enumerates all simple-path explanations between the targets with
+// path length up to MaxPatternSize-1 (Section 3.2), grouped into
+// explanations (pattern + instance set) and deterministically sorted.
+func Paths(g *kb.Graph, start, end kb.NodeID, cfg Config) []*pattern.Explanation {
+	cfg = cfg.normalized()
+	maxLen := cfg.MaxPatternSize - 1
+	var insts []pathInst
+	switch cfg.PathAlg {
+	case PathBasic:
+		insts = pathEnumBasic(g, start, end, maxLen)
+	case PathPrioritized:
+		insts = pathEnumPrioritized(g, start, end, maxLen)
+	default:
+		insts = pathEnumNaive(g, start, end, maxLen)
+	}
+	return groupPaths(g, insts)
+}
+
+// pathInst is a simple path at the instance level: the node sequence and
+// the half-edges taken between consecutive nodes.
+type pathInst struct {
+	nodes []kb.NodeID
+	steps []kb.HalfEdge
+}
+
+// key renders the path uniquely: node sequence plus per-step label and
+// orientation.
+func (p pathInst) key() string {
+	buf := make([]byte, 0, len(p.nodes)*9)
+	for i, n := range p.nodes {
+		buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		if i < len(p.steps) {
+			s := p.steps[i]
+			buf = append(buf, byte(s.Label), byte(s.Label>>8), byte(s.Label>>16), byte(s.Label>>24), byte(s.Dir))
+		}
+	}
+	return string(buf)
+}
+
+// groupPaths converts path instances into path explanations: instances
+// sharing an isomorphic pattern are grouped under one explanation.
+func groupPaths(g *kb.Graph, insts []pathInst) []*pattern.Explanation {
+	byCanon := make(map[string]*pattern.Explanation)
+	seen := make(map[string]struct{}, len(insts))
+	for _, pi := range insts {
+		k := pi.key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		p, inst, err := pattern.FromPathInstance(g, pi.nodes, pi.steps)
+		if err != nil {
+			// Unreachable by construction; fail loudly in development.
+			panic(err)
+		}
+		ck := p.CanonicalKey()
+		if ex, ok := byCanon[ck]; ok {
+			ex.Instances = append(ex.Instances, remapInstance(ex.P, p, inst))
+		} else {
+			byCanon[ck] = &pattern.Explanation{P: p, Instances: []pattern.Instance{inst}}
+		}
+	}
+	out := make([]*pattern.Explanation, 0, len(byCanon))
+	for _, ex := range byCanon {
+		dedupInstances(ex)
+		out = append(out, ex)
+	}
+	sortExplanations(out)
+	return out
+}
+
+// remapInstance translates an instance of pattern q into the variable
+// numbering of the isomorphic representative p. For path patterns built
+// by FromPathInstance the numbering is positional, but two isomorphic
+// paths can traverse their labels in mirrored variable orders, so a
+// mapping search is required. Patterns are tiny; brute force suffices.
+func remapInstance(p, q *pattern.Pattern, inst pattern.Instance) pattern.Instance {
+	m := findIsomorphism(q, p)
+	if m == nil {
+		panic("enumerate: isomorphic patterns with no variable mapping")
+	}
+	out := make(pattern.Instance, p.NumVars())
+	for qv, pv := range m {
+		out[pv] = inst[qv]
+	}
+	return out
+}
+
+// findIsomorphism returns a mapping m with m[qVar] = pVar such that q's
+// edges rename exactly onto p's edges (targets pinned), or nil.
+func findIsomorphism(q, p *pattern.Pattern) []pattern.VarID {
+	if q.NumVars() != p.NumVars() || q.NumEdges() != p.NumEdges() {
+		return nil
+	}
+	n := q.NumVars()
+	m := make([]pattern.VarID, n)
+	m[pattern.Start], m[pattern.End] = pattern.Start, pattern.End
+	used := make([]bool, n)
+	used[pattern.Start], used[pattern.End] = true, true
+
+	// Index p's edges for O(1) membership under a candidate mapping.
+	type ekey struct {
+		u, v pattern.VarID
+		l    kb.LabelID
+	}
+	pEdges := make(map[ekey]int, p.NumEdges())
+	for _, e := range p.Edges() {
+		pEdges[ekey{e.U, e.V, e.Label}]++
+	}
+	sch := p.Schema()
+	checkFull := func() bool {
+		seen := make(map[ekey]int, q.NumEdges())
+		for _, e := range q.Edges() {
+			u, v := m[e.U], m[e.V]
+			if !sch.LabelDirected(e.Label) && u > v {
+				u, v = v, u
+			}
+			seen[ekey{u, v, e.Label}]++
+		}
+		if len(seen) != len(pEdges) {
+			return false
+		}
+		for k, c := range seen {
+			if pEdges[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	var rec func(qv int) bool
+	rec = func(qv int) bool {
+		if qv == n {
+			return checkFull()
+		}
+		if qv == int(pattern.Start) || qv == int(pattern.End) {
+			return rec(qv + 1)
+		}
+		for pv := 2; pv < n; pv++ {
+			if used[pv] {
+				continue
+			}
+			used[pv] = true
+			m[qv] = pattern.VarID(pv)
+			if rec(qv + 1) {
+				return true
+			}
+			used[pv] = false
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil
+	}
+	return m
+}
+
+// dedupInstances removes duplicate instances in place and sorts them.
+func dedupInstances(ex *pattern.Explanation) {
+	seen := make(map[string]struct{}, len(ex.Instances))
+	out := ex.Instances[:0]
+	for _, in := range ex.Instances {
+		k := in.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	ex.Instances = out
+}
+
+// sortExplanations orders explanations by (pattern size, edge count,
+// canonical key) for reproducible output, and sorts each instance list.
+func sortExplanations(es []*pattern.Explanation) {
+	for _, ex := range es {
+		dedupInstances(ex)
+	}
+	sort.Slice(es, func(i, j int) bool {
+		pi, pj := es[i].P, es[j].P
+		if pi.NumVars() != pj.NumVars() {
+			return pi.NumVars() < pj.NumVars()
+		}
+		if pi.NumEdges() != pj.NumEdges() {
+			return pi.NumEdges() < pj.NumEdges()
+		}
+		return pi.CanonicalKey() < pj.CanonicalKey()
+	})
+}

@@ -1,0 +1,225 @@
+package enumerate
+
+import (
+	"testing"
+
+	"rex/internal/kb"
+	"rex/internal/kbgen"
+	"rex/internal/match"
+	"rex/internal/pattern"
+)
+
+// pairNames are entity pairs from the sample KB exercising different
+// connection structures: married co-stars, pure co-stars, multi-film
+// collaborators, director-actor, and a sparse pair.
+var pairNames = [][2]string{
+	{"brad_pitt", "angelina_jolie"},
+	{"brad_pitt", "tom_cruise"},
+	{"kate_winslet", "leonardo_dicaprio"},
+	{"james_cameron", "kate_winslet"},
+	{"mel_gibson", "helen_hunt"},
+	{"will_smith", "jada_pinkett_smith"},
+	{"brad_pitt", "julia_roberts"},
+}
+
+func samplePair(t *testing.T, g *kb.Graph, names [2]string) (kb.NodeID, kb.NodeID) {
+	t.Helper()
+	s := g.NodeByName(names[0])
+	e := g.NodeByName(names[1])
+	if s == kb.InvalidNode || e == kb.InvalidNode {
+		t.Fatalf("sample KB is missing %v", names)
+	}
+	return s, e
+}
+
+// resultSignature flattens an explanation list into a canonical
+// comparable form: pattern canonical key → sorted instance keys.
+func resultSignature(t *testing.T, es []*pattern.Explanation) map[string][]string {
+	t.Helper()
+	sig := make(map[string][]string, len(es))
+	for _, ex := range es {
+		key := ex.P.CanonicalKey()
+		if _, dup := sig[key]; dup {
+			t.Fatalf("duplicate pattern in result: %v", ex.P)
+		}
+		sig[key] = ex.CanonicalInstanceKeys()
+	}
+	return sig
+}
+
+func diffSignatures(t *testing.T, name string, want, got map[string][]string) {
+	t.Helper()
+	for k, wi := range want {
+		gi, ok := got[k]
+		if !ok {
+			t.Errorf("%s: missing pattern %q", name, k)
+			continue
+		}
+		if len(wi) != len(gi) {
+			t.Errorf("%s: pattern %q has %d instances, want %d", name, k, len(gi), len(wi))
+			continue
+		}
+		for i := range wi {
+			if wi[i] != gi[i] {
+				t.Errorf("%s: pattern %q instance %d differs", name, k, i)
+				break
+			}
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: extra pattern %q", name, k)
+		}
+	}
+}
+
+// TestFrameworkMatchesNaiveEnum is the central correctness test of the
+// enumeration subsystem: every path-enumeration × path-union combination
+// must produce exactly the explanations the brute-force NaiveEnum
+// baseline finds (same minimal patterns, same instance sets).
+func TestFrameworkMatchesNaiveEnum(t *testing.T) {
+	g := kbgen.Sample()
+	for _, names := range pairNames {
+		start, end := samplePair(t, g, names)
+		want := resultSignature(t, NaiveEnum(g, start, end, DefaultMaxPatternSize))
+		for _, pa := range []PathAlgorithm{PathNaive, PathBasic, PathPrioritized} {
+			for _, ua := range []UnionAlgorithm{UnionBasic, UnionPrune} {
+				cfg := Config{PathAlg: pa, UnionAlg: ua}
+				got := resultSignature(t, Explanations(g, start, end, cfg))
+				name := names[0] + "/" + names[1] + " " + pa.String() + "+" + ua.String()
+				diffSignatures(t, name, want, got)
+			}
+		}
+	}
+}
+
+// TestAllResultsMinimalWithInstances checks the framework's core
+// guarantee: only minimal patterns, each with at least one valid
+// instance.
+func TestAllResultsMinimalWithInstances(t *testing.T) {
+	g := kbgen.Sample()
+	for _, names := range pairNames {
+		start, end := samplePair(t, g, names)
+		for _, ex := range Explanations(g, start, end, Config{PathAlg: PathPrioritized, UnionAlg: UnionPrune}) {
+			if !ex.P.Minimal() {
+				t.Errorf("%v: non-minimal pattern %v", names, ex.P)
+			}
+			if len(ex.Instances) == 0 {
+				t.Errorf("%v: pattern %v has no instances", names, ex.P)
+			}
+			if err := ex.Validate(g, start, end); err != nil {
+				t.Errorf("%v: pattern %v: %v", names, ex.P, err)
+			}
+			if ex.P.NumVars() > DefaultMaxPatternSize {
+				t.Errorf("%v: pattern %v exceeds size limit", names, ex.P)
+			}
+		}
+	}
+}
+
+// TestInstancesMatchOracle verifies that instance sets propagated through
+// path joins equal what the independent subgraph matcher computes from
+// scratch.
+func TestInstancesMatchOracle(t *testing.T) {
+	g := kbgen.Sample()
+	for _, names := range pairNames {
+		start, end := samplePair(t, g, names)
+		for _, ex := range Explanations(g, start, end, Config{PathAlg: PathBasic, UnionAlg: UnionBasic}) {
+			oracle := match.Find(g, ex.P, start, end, match.Options{})
+			if len(oracle) != len(ex.Instances) {
+				t.Errorf("%v: pattern %v: enumerated %d instances, matcher finds %d",
+					names, ex.P, len(ex.Instances), len(oracle))
+				continue
+			}
+			want := make(map[string]struct{}, len(oracle))
+			for _, in := range oracle {
+				want[in.Key()] = struct{}{}
+			}
+			for _, in := range ex.Instances {
+				if _, ok := want[in.Key()]; !ok {
+					t.Errorf("%v: pattern %v: instance %v not found by matcher", names, ex.P, in)
+				}
+			}
+		}
+	}
+}
+
+// TestPathAlgorithmsAgree compares the three path enumerators directly.
+func TestPathAlgorithmsAgree(t *testing.T) {
+	g := kbgen.Sample()
+	for _, names := range pairNames {
+		start, end := samplePair(t, g, names)
+		want := resultSignature(t, Paths(g, start, end, Config{PathAlg: PathNaive}))
+		for _, pa := range []PathAlgorithm{PathBasic, PathPrioritized} {
+			got := resultSignature(t, Paths(g, start, end, Config{PathAlg: pa}))
+			diffSignatures(t, names[0]+"/"+names[1]+" "+pa.String(), want, got)
+		}
+	}
+}
+
+// TestKnownExplanations asserts the presence of the paper's flagship
+// explanation shapes for Brad Pitt / Angelina Jolie: the spouse edge
+// (Figure 4(a)), co-starring (4(b)) and starring+producing (4(c)).
+func TestKnownExplanations(t *testing.T) {
+	g := kbgen.Sample()
+	start, end := samplePair(t, g, [2]string{"brad_pitt", "angelina_jolie"})
+	es := Explanations(g, start, end, Config{PathAlg: PathPrioritized, UnionAlg: UnionPrune})
+
+	spouse := g.LabelByName(kbgen.RelSpouse)
+	starring := g.LabelByName(kbgen.RelStarring)
+	producedBy := g.LabelByName(kbgen.RelProducedBy)
+
+	wantKeys := map[string]string{
+		"spouse": pattern.MustNew(g, 2, []pattern.Edge{
+			{U: pattern.Start, V: pattern.End, Label: spouse},
+		}).CanonicalKey(),
+		"costar": pattern.MustNew(g, 3, []pattern.Edge{
+			{U: 2, V: pattern.Start, Label: starring},
+			{U: 2, V: pattern.End, Label: starring},
+		}).CanonicalKey(),
+		"costar+produce": pattern.MustNew(g, 3, []pattern.Edge{
+			{U: 2, V: pattern.Start, Label: starring},
+			{U: 2, V: pattern.End, Label: starring},
+			{U: 2, V: pattern.Start, Label: producedBy},
+		}).CanonicalKey(),
+	}
+	found := map[string]*pattern.Explanation{}
+	for _, ex := range es {
+		found[ex.P.CanonicalKey()] = ex
+	}
+	for name, key := range wantKeys {
+		ex, ok := found[key]
+		if !ok {
+			t.Errorf("expected %s explanation, not found", name)
+			continue
+		}
+		if len(ex.Instances) == 0 {
+			t.Errorf("%s explanation has no instances", name)
+		}
+	}
+	// Brad and Angelina co-star in exactly one sample film.
+	if ex := found[wantKeys["costar"]]; ex != nil && len(ex.Instances) != 1 {
+		t.Errorf("costar explanation has %d instances, want 1 (mr_and_mrs_smith)", len(ex.Instances))
+	}
+}
+
+// TestPathsAreSimple checks every path explanation instance really is a
+// simple path at the instance level.
+func TestPathsAreSimple(t *testing.T) {
+	g := kbgen.Sample()
+	start, end := samplePair(t, g, [2]string{"brad_pitt", "tom_cruise"})
+	for _, ex := range Paths(g, start, end, Config{PathAlg: PathBasic}) {
+		if !ex.P.IsPath() {
+			t.Errorf("non-path pattern from Paths: %v", ex.P)
+		}
+		for _, in := range ex.Instances {
+			seen := map[kb.NodeID]bool{}
+			for _, id := range in {
+				if seen[id] {
+					t.Errorf("instance %v repeats node %v", in, id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package enumerate
+
+import (
+	"container/heap"
+
+	"rex/internal/kb"
+)
+
+// Path enumeration at the instance level (Section 3.2). All three
+// algorithms return exactly the set of simple paths between the targets
+// with length ≤ maxLen; they differ in how much of the graph they touch
+// and in what order, which is what Figure 7 measures.
+
+// pathEnumNaive enumerates every length-limited simple path starting at
+// start by depth-first search and keeps the ones that end at end. This is
+// the strawman PathEnumNaive of Section 5.2: it explores the full
+// neighborhood of the start entity regardless of the end entity.
+func pathEnumNaive(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathInst {
+	if maxLen <= 0 || start == end {
+		return nil
+	}
+	var out []pathInst
+	nodes := []kb.NodeID{start}
+	var steps []kb.HalfEdge
+	onPath := make(map[kb.NodeID]bool, maxLen+1)
+	onPath[start] = true
+	var dfs func(at kb.NodeID)
+	dfs = func(at kb.NodeID) {
+		for _, he := range g.Neighbors(at) {
+			if he.To == end {
+				full := pathInst{
+					nodes: append(append([]kb.NodeID{}, nodes...), end),
+					steps: append(append([]kb.HalfEdge{}, steps...), he),
+				}
+				out = append(out, full)
+				continue
+			}
+			if onPath[he.To] || len(steps)+1 >= maxLen {
+				continue
+			}
+			onPath[he.To] = true
+			nodes = append(nodes, he.To)
+			steps = append(steps, he)
+			dfs(he.To)
+			nodes = nodes[:len(nodes)-1]
+			steps = steps[:len(steps)-1]
+			onPath[he.To] = false
+		}
+	}
+	dfs(start)
+	return out
+}
+
+// partialPath is a simple path grown from one target during bidirectional
+// enumeration.
+type partialPath struct {
+	nodes []kb.NodeID // nodes[0] is the owning target
+	steps []kb.HalfEdge
+}
+
+func (p partialPath) last() kb.NodeID { return p.nodes[len(p.nodes)-1] }
+func (p partialPath) length() int     { return len(p.steps) }
+
+func (p partialPath) contains(id kb.NodeID) bool {
+	for _, n := range p.nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// extend returns a copy of p grown by one half-edge.
+func (p partialPath) extend(he kb.HalfEdge) partialPath {
+	nodes := make([]kb.NodeID, len(p.nodes)+1)
+	copy(nodes, p.nodes)
+	nodes[len(p.nodes)] = he.To
+	steps := make([]kb.HalfEdge, len(p.steps)+1)
+	copy(steps, p.steps)
+	steps[len(p.steps)] = he
+	return partialPath{nodes: nodes, steps: steps}
+}
+
+// joinPaths stitches a forward partial path (from start) and a backward
+// partial path (from end) meeting at the same terminal node into a full
+// path instance, or returns false when the two sides share an interior
+// node. The backward path is reversed; each reversed step flips the
+// half-edge perspective (Out becomes In and vice versa).
+func joinPaths(fwd, bwd partialPath) (pathInst, bool) {
+	// Disjointness except at the meeting node. Both sides are short, so
+	// the quadratic scan beats allocating a set.
+	for i, n := range fwd.nodes {
+		for j, m := range bwd.nodes {
+			if n != m {
+				continue
+			}
+			if i == len(fwd.nodes)-1 && j == len(bwd.nodes)-1 {
+				continue // the meeting node itself
+			}
+			return pathInst{}, false
+		}
+	}
+	total := fwd.length() + bwd.length()
+	nodes := make([]kb.NodeID, 0, total+1)
+	steps := make([]kb.HalfEdge, 0, total)
+	nodes = append(nodes, fwd.nodes...)
+	steps = append(steps, fwd.steps...)
+	// Walk the backward path from its terminal (== meet) toward end.
+	for i := len(bwd.steps) - 1; i >= 0; i-- {
+		// bwd.steps[i] goes bwd.nodes[i] → bwd.nodes[i+1]; the full path
+		// traverses it from bwd.nodes[i+1] to bwd.nodes[i].
+		he := bwd.steps[i]
+		flipped := kb.HalfEdge{To: bwd.nodes[i], Label: he.Label, Dir: flipDir(he.Dir)}
+		nodes = append(nodes, bwd.nodes[i])
+		steps = append(steps, flipped)
+	}
+	return pathInst{nodes: nodes, steps: steps}, true
+}
+
+func flipDir(d kb.Dir) kb.Dir {
+	switch d {
+	case kb.Out:
+		return kb.In
+	case kb.In:
+		return kb.Out
+	}
+	return kb.Undirected
+}
+
+// canonicalSplit reports whether a forward length a and backward length b
+// form the canonical split of a path of length a+b: a == ⌈(a+b)/2⌉.
+// Joining only at the canonical split yields each full path exactly once.
+func canonicalSplit(a, b int) bool { return a == b || a == b+1 }
+
+// pathEnumBasic is the bidirectional enumeration adapted from BANKS
+// (Section 3.2): all simple partial paths of length ≤ ⌈l/2⌉ grow from the
+// start and ≤ ⌊l/2⌋ from the end, shorter first; opposite partial paths
+// ending at a common node join into full paths.
+func pathEnumBasic(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathInst {
+	if maxLen <= 0 || start == end {
+		return nil
+	}
+	capFwd := (maxLen + 1) / 2
+	capBwd := maxLen / 2
+
+	fwd := collectPartials(g, start, end, capFwd, forwardSide)
+	bwd := collectPartials(g, end, start, capBwd, backwardSide)
+
+	byMeetBwd := make(map[kb.NodeID][]partialPath)
+	for _, p := range bwd {
+		byMeetBwd[p.last()] = append(byMeetBwd[p.last()], p)
+	}
+	var out []pathInst
+	for _, f := range fwd {
+		for _, b := range byMeetBwd[f.last()] {
+			if !canonicalSplit(f.length(), b.length()) {
+				continue
+			}
+			if f.length()+b.length() == 0 {
+				continue
+			}
+			if full, ok := joinPaths(f, b); ok {
+				out = append(out, full)
+			}
+		}
+	}
+	return out
+}
+
+// side distinguishes expansion rules for the two targets.
+type side int
+
+const (
+	forwardSide  side = 0 // grows from start; may terminate at end but not pass through it
+	backwardSide side = 1 // grows from end; never touches start
+)
+
+// collectPartials breadth-first enumerates the simple partial paths of
+// length ≤ cap from origin. other is the opposite target: the forward
+// side records paths that reach it but never expands beyond; the backward
+// side skips it entirely (a path suffix never contains the start).
+func collectPartials(g *kb.Graph, origin, other kb.NodeID, cap int, s side) []partialPath {
+	seed := partialPath{nodes: []kb.NodeID{origin}}
+	out := []partialPath{seed}
+	frontier := []partialPath{seed}
+	for depth := 0; depth < cap && len(frontier) > 0; depth++ {
+		var next []partialPath
+		for _, p := range frontier {
+			if p.last() == other {
+				continue // terminal: never expand beyond the opposite target
+			}
+			for _, he := range g.Neighbors(p.last()) {
+				if he.To == origin || p.contains(he.To) {
+					continue
+				}
+				if s == backwardSide && he.To == other {
+					continue
+				}
+				np := p.extend(he)
+				out = append(out, np)
+				next = append(next, np)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// pathEnumPrioritized is the BANKS2 adaptation: bidirectional expansion
+// where the next node to expand is chosen by activation score. A target's
+// initial activation is 1/degree; expanding a node zeroes its activation
+// and spreads it to each neighbor divided by the neighbor's degree, so
+// expansion through high-degree hubs is postponed — ideally until the
+// opposite side has met the frontier more cheaply.
+func pathEnumPrioritized(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathInst {
+	if maxLen <= 0 || start == end {
+		return nil
+	}
+	caps := [2]int{(maxLen + 1) / 2, maxLen / 2}
+	targets := [2]kb.NodeID{start, end}
+
+	type nodeState struct {
+		partial  [2][]partialPath
+		expanded [2]int // partial[s][:expanded[s]] have been expanded
+		act      [2]float64
+	}
+	states := make(map[kb.NodeID]*nodeState)
+	get := func(id kb.NodeID) *nodeState {
+		st, ok := states[id]
+		if !ok {
+			st = &nodeState{}
+			states[id] = st
+		}
+		return st
+	}
+
+	pq := &actQueue{}
+	heap.Init(pq)
+
+	var out []pathInst
+	seen := make(map[string]struct{})
+
+	// join merges a freshly added partial path on side s at node x with
+	// every opposite-side partial already at x, using the canonical split
+	// so each full path is produced once.
+	join := func(x kb.NodeID, s side, p partialPath) {
+		st := get(x)
+		for _, q := range st.partial[1-s] {
+			var f, b partialPath
+			if s == forwardSide {
+				f, b = p, q
+			} else {
+				f, b = q, p
+			}
+			if !canonicalSplit(f.length(), b.length()) || f.length()+b.length() == 0 {
+				continue
+			}
+			if full, ok := joinPaths(f, b); ok {
+				k := full.key()
+				if _, dup := seen[k]; !dup {
+					seen[k] = struct{}{}
+					out = append(out, full)
+				}
+			}
+		}
+	}
+
+	// add registers a new partial path at its terminal node, joins it
+	// against the opposite side, and makes the terminal expandable.
+	add := func(s side, p partialPath, activation float64) {
+		x := p.last()
+		st := get(x)
+		st.partial[s] = append(st.partial[s], p)
+		join(x, s, p)
+		if activation > 0 {
+			st.act[s] += activation
+			heap.Push(pq, actEntry{node: x, s: s, act: st.act[s]})
+		}
+	}
+
+	for s := forwardSide; s <= backwardSide; s++ {
+		deg := g.Degree(targets[s])
+		a := 1.0
+		if deg > 0 {
+			a = 1.0 / float64(deg)
+		}
+		add(s, partialPath{nodes: []kb.NodeID{targets[s]}}, a)
+	}
+
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(actEntry)
+		st := get(e.node)
+		if st.act[e.s] == 0 {
+			continue // already expanded since this entry was pushed
+		}
+		spread := st.act[e.s]
+		st.act[e.s] = 0
+
+		// The forward side never expands beyond the end entity; the
+		// backward side never sits on the start entity at all.
+		if e.s == forwardSide && e.node == end {
+			continue
+		}
+		pending := st.partial[e.s][st.expanded[e.s]:]
+		st.expanded[e.s] = len(st.partial[e.s])
+		for _, p := range pending {
+			if p.length() >= caps[e.s] {
+				continue
+			}
+			for _, he := range g.Neighbors(e.node) {
+				if he.To == targets[e.s] || p.contains(he.To) {
+					continue
+				}
+				if e.s == backwardSide && he.To == targets[forwardSide] {
+					continue
+				}
+				add(e.s, p.extend(he), 0)
+			}
+		}
+		// Spread activation to neighbors (including nodes that just
+		// received new partial paths) so they get expanded in turn.
+		for _, he := range g.Neighbors(e.node) {
+			if he.To == start || he.To == end {
+				continue
+			}
+			nst := get(he.To)
+			if len(nst.partial[e.s]) == nst.expanded[e.s] {
+				continue // nothing pending on this side
+			}
+			d := g.Degree(he.To)
+			inc := spread
+			if d > 0 {
+				inc = spread / float64(d)
+			}
+			nst.act[e.s] += inc
+			heap.Push(pq, actEntry{node: he.To, s: e.s, act: nst.act[e.s]})
+		}
+		// Partial paths terminating at the opposite target still need to
+		// be joinable (they were, at add time) but never expand; nothing
+		// further to do for them.
+	}
+	return out
+}
+
+// actEntry is a priority-queue element for activation-driven expansion.
+type actEntry struct {
+	node kb.NodeID
+	s    side
+	act  float64
+}
+
+// actQueue is a max-heap over activation scores with deterministic
+// tie-breaking by (node, side).
+type actQueue []actEntry
+
+func (q actQueue) Len() int { return len(q) }
+func (q actQueue) Less(i, j int) bool {
+	if q[i].act != q[j].act {
+		return q[i].act > q[j].act
+	}
+	if q[i].node != q[j].node {
+		return q[i].node < q[j].node
+	}
+	return q[i].s < q[j].s
+}
+func (q actQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *actQueue) Push(x any)   { *q = append(*q, x.(actEntry)) }
+func (q *actQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}

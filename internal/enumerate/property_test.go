@@ -1,0 +1,138 @@
+package enumerate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rex/internal/kb"
+	"rex/internal/match"
+	"rex/internal/pattern"
+)
+
+// randomKB builds a small random knowledge base with mixed directed and
+// undirected labels.
+func randomKB(seed int64) (*kb.Graph, kb.NodeID, kb.NodeID) {
+	rng := rand.New(rand.NewSource(seed))
+	g := kb.New()
+	n := 6 + rng.Intn(7)
+	for i := 0; i < n; i++ {
+		g.AddNode(string(rune('a'+i%26))+string(rune('0'+i/26)), "t")
+	}
+	labels := []kb.LabelID{
+		g.MustLabel("d1", true),
+		g.MustLabel("d2", true),
+		g.MustLabel("u1", false),
+	}
+	edges := 2*n + rng.Intn(2*n)
+	for i := 0; i < edges; i++ {
+		a, b := kb.NodeID(rng.Intn(n)), kb.NodeID(rng.Intn(n))
+		if a != b {
+			g.AddEdge(a, b, labels[rng.Intn(len(labels))])
+		}
+	}
+	g.Freeze()
+	return g, 0, 1
+}
+
+// TestQuickFrameworkEqualsNaiveOnRandomGraphs is the randomized
+// counterpart of TestFrameworkMatchesNaiveEnum: on arbitrary small
+// graphs, the path-union framework and the brute-force baseline must
+// produce identical explanation sets (patterns and canonicalised
+// instance sets), with pattern size limit 4 to keep NaiveEnum tractable
+// inside a property test.
+func TestQuickFrameworkEqualsNaiveOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		g, start, end := randomKB(seed)
+		const maxVars = 4
+		want := NaiveEnum(g, start, end, maxVars)
+		got := Explanations(g, start, end, Config{
+			MaxPatternSize: maxVars,
+			PathAlg:        PathPrioritized,
+			UnionAlg:       UnionPrune,
+		})
+		if len(want) != len(got) {
+			return false
+		}
+		type entry struct{ insts []string }
+		sig := func(es []*pattern.Explanation) map[string]entry {
+			m := make(map[string]entry, len(es))
+			for _, ex := range es {
+				m[ex.P.CanonicalKey()] = entry{insts: ex.CanonicalInstanceKeys()}
+			}
+			return m
+		}
+		ws, gs := sig(want), sig(got)
+		for k, we := range ws {
+			ge, ok := gs[k]
+			if !ok || len(we.insts) != len(ge.insts) {
+				return false
+			}
+			for i := range we.insts {
+				if we.insts[i] != ge.insts[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEnumerationInvariants property-checks the framework's output
+// invariants on random graphs at the full size limit: minimality,
+// instance validity, and agreement of every instance set with the
+// independent matcher.
+func TestQuickEnumerationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g, start, end := randomKB(seed)
+		es := Explanations(g, start, end, Config{
+			PathAlg: PathBasic, UnionAlg: UnionBasic,
+		})
+		for _, ex := range es {
+			if !ex.P.Minimal() || len(ex.Instances) == 0 {
+				return false
+			}
+			if ex.Validate(g, start, end) != nil {
+				return false
+			}
+			if match.Count(g, ex.P, start, end) != len(ex.Instances) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPathAlgorithmsAgreeOnRandomGraphs checks all three path
+// enumerators produce identical path sets on random graphs.
+func TestQuickPathAlgorithmsAgreeOnRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		g, start, end := randomKB(seed)
+		sig := func(pa PathAlgorithm) map[string]int {
+			m := map[string]int{}
+			for _, ex := range Paths(g, start, end, Config{PathAlg: pa}) {
+				m[ex.P.CanonicalKey()] = len(ex.Instances)
+			}
+			return m
+		}
+		a, b, c := sig(PathNaive), sig(PathBasic), sig(PathPrioritized)
+		if len(a) != len(b) || len(a) != len(c) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v || c[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

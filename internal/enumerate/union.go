@@ -1,0 +1,141 @@
+package enumerate
+
+import (
+	"rex/internal/pattern"
+)
+
+// Path explanation combination (Section 3.3): grow the set of minimal
+// explanations ring by ring. Ring 0 is the path explanations (MinP(1));
+// ring k is obtained by merging ring k-1 explanations with path
+// explanations (Theorem 2 guarantees completeness). Duplicates are
+// detected by canonical pattern keys, globally across rings, so each
+// minimal pattern surfaces exactly once — at the ring equal to its
+// minimal covering cardinality minus one.
+
+// PathUnionBasic is Algorithm 3: every explanation of the previous ring
+// merges with every path explanation.
+func PathUnionBasic(qpath []*pattern.Explanation, maxVars int) []*pattern.Explanation {
+	q := append([]*pattern.Explanation{}, qpath...)
+	seen := make(map[string]struct{}, len(qpath))
+	for _, re := range qpath {
+		seen[re.P.CanonicalKey()] = struct{}{}
+	}
+	expand := qpath
+	for len(expand) > 0 {
+		var qnew []*pattern.Explanation
+		for _, re1 := range expand {
+			for _, re2 := range qpath {
+				for _, re := range pattern.Merge(re1, re2, maxVars) {
+					key := re.P.CanonicalKey()
+					if _, dup := seen[key]; dup {
+						continue
+					}
+					seen[key] = struct{}{}
+					qnew = append(qnew, re)
+				}
+			}
+		}
+		q = append(q, qnew...)
+		expand = qnew
+	}
+	return q
+}
+
+// PathUnionPrune is Algorithm 4: composition histories restrict which
+// paths each explanation needs to merge with. Per Theorem 3, a pattern in
+// MinP(k) (k > 2) has a covering pair {p0, p1} ⊂ MinP(k-1) sharing a
+// MinP(k-2) sub-component; so when expanding an explanation of the
+// current ring it suffices to try the paths that built its ring-siblings
+// sharing a parent (plus, on the first ring, all paths).
+func PathUnionPrune(qpath []*pattern.Explanation, maxVars int) []*pattern.Explanation {
+	q := append([]*pattern.Explanation{}, qpath...)
+	seen := make(map[string]struct{}, len(qpath))
+	for _, re := range qpath {
+		seen[re.P.CanonicalKey()] = struct{}{}
+	}
+
+	type histPair struct{ parent, path int }
+	expand := qpath
+	var hExpand [][]histPair // composition history per expand entry; nil on ring 0
+	for len(expand) > 0 {
+		var (
+			qnew     []*pattern.Explanation
+			hNew     [][]histPair
+			newIndex = make(map[string]int) // canonical key → index in qnew
+		)
+		// parentPaths[x] is the set of path indexes that, merged with
+		// parent x, produced some explanation of the current ring.
+		var parentPaths map[int]map[int]struct{}
+		if hExpand != nil {
+			parentPaths = make(map[int]map[int]struct{})
+			for _, h := range hExpand {
+				for _, pr := range h {
+					set, ok := parentPaths[pr.parent]
+					if !ok {
+						set = make(map[int]struct{})
+						parentPaths[pr.parent] = set
+					}
+					set[pr.path] = struct{}{}
+				}
+			}
+		}
+
+		for i1, re1 := range expand {
+			// Candidate paths to merge with re1 (the set S_path of
+			// Algorithm 4).
+			var candidates []int
+			if hExpand == nil {
+				candidates = make([]int, len(qpath))
+				for j := range qpath {
+					candidates[j] = j
+				}
+			} else {
+				set := make(map[int]struct{})
+				for _, pr := range hExpand[i1] {
+					for j2 := range parentPaths[pr.parent] {
+						set[j2] = struct{}{}
+					}
+				}
+				candidates = make([]int, 0, len(set))
+				for j2 := range set {
+					candidates = append(candidates, j2)
+				}
+				// Deterministic merge order.
+				sortInts(candidates)
+			}
+			for _, i2 := range candidates {
+				for _, re := range pattern.Merge(re1, qpath[i2], maxVars) {
+					key := re.P.CanonicalKey()
+					if _, dup := seen[key]; dup {
+						continue // duplicated against Q (older rings)
+					}
+					idx, ok := newIndex[key]
+					if !ok {
+						idx = len(qnew)
+						newIndex[key] = idx
+						qnew = append(qnew, re)
+						hNew = append(hNew, nil)
+					}
+					hNew[idx] = append(hNew[idx], histPair{parent: i1, path: i2})
+				}
+			}
+		}
+		for _, re := range qnew {
+			seen[re.P.CanonicalKey()] = struct{}{}
+		}
+		q = append(q, qnew...)
+		expand, hExpand = qnew, hNew
+	}
+	return q
+}
+
+// sortInts insertion-sorts the (small) candidate index sets so merge
+// order, and therefore instance ordering inside merged explanations, is
+// deterministic.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package kb
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, _, _, _, _, _ := buildTiny(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+	if !g2.Frozen() {
+		t.Error("binary load must return a frozen graph")
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	g := randomGraph(3, 15)
+	path := filepath.Join(t.TempDir(), "kb.bin")
+	if err := g.SaveBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestBinaryPreservesIDs(t *testing.T) {
+	g := randomGraph(9, 12)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declaration order is preserved, so IDs are stable — important for
+	// tools that persist node IDs alongside the KB.
+	for id := NodeID(0); int(id) < g.NumNodes(); id++ {
+		if g.Node(id).Name != g2.Node(id).Name {
+			t.Fatalf("node %d renamed: %q vs %q", id, g.Node(id).Name, g2.Node(id).Name)
+		}
+	}
+	for _, l := range g.Labels() {
+		if g.LabelName(l) != g2.LabelName(l) || g.LabelDirected(l) != g2.LabelDirected(l) {
+			t.Fatalf("label %d changed", l)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad magic", "NOTKB\x01"},
+		{"truncated header", "REX"},
+		{"truncated body", "REXKB\x01\x05"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadBinary(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestBinaryRejectsWrongVersion(t *testing.T) {
+	g, _, _, _, _, _ := buildTiny(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(binaryMagic)] = 99 // version byte
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+// TestQuickBinaryRoundTrip property-checks binary serialisation against
+// random graphs, and that TSV and binary loads agree with each other.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		nodes := int(sz%20) + 2
+		g := randomGraph(seed, nodes)
+		var bin, tsv bytes.Buffer
+		if g.WriteBinary(&bin) != nil || g.WriteTSV(&tsv) != nil {
+			return false
+		}
+		gb, err := ReadBinary(&bin)
+		if err != nil {
+			return false
+		}
+		gt, err := ReadTSV(&tsv)
+		if err != nil {
+			return false
+		}
+		if gb.NumNodes() != gt.NumNodes() || gb.NumEdges() != gt.NumEdges() {
+			return false
+		}
+		for _, e := range gb.Edges() {
+			f2 := gt.NodeByName(gb.NodeName(e.From))
+			t2 := gt.NodeByName(gb.NodeName(e.To))
+			l2 := gt.LabelByName(gb.LabelName(e.Label))
+			if !gt.HasEdge(f2, t2, l2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

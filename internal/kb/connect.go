@@ -1,0 +1,112 @@
+package kb
+
+// Connectedness metrics. The paper buckets entity pairs by their
+// "connectedness": the number of simple paths between the two entities
+// within a length limit (Section 5.1, limit 4). Connectedness drives the
+// cost of explanation enumeration, so the experiment harness uses it to
+// build low / medium / high workloads.
+
+// Connectedness counts the simple paths (no repeated nodes, edges treated
+// as undirected) of length ≤ maxLen between start and end. Parallel edges
+// with different labels count as distinct paths, matching the
+// explanation-instance semantics. The count is capped at cap (pass a
+// negative cap for no limit) so that dense pairs do not stall bucketing.
+func (g *Graph) Connectedness(start, end NodeID, maxLen int, cap int) int {
+	if start == end || maxLen <= 0 || cap == 0 {
+		return 0
+	}
+	onPath := make([]bool, g.NumNodes())
+	onPath[start] = true
+	count := 0
+	var dfs func(at NodeID, depth int) bool // returns false when capped
+	dfs = func(at NodeID, depth int) bool {
+		for _, he := range g.adj[at] {
+			if he.To == end {
+				count++
+				if cap >= 0 && count >= cap {
+					return false
+				}
+				continue
+			}
+			if depth+1 >= maxLen || onPath[he.To] {
+				continue
+			}
+			onPath[he.To] = true
+			ok := dfs(he.To, depth+1)
+			onPath[he.To] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(start, 0)
+	return count
+}
+
+// ConnBucket names a connectedness workload group from the paper.
+type ConnBucket int
+
+// Connectedness buckets with the paper's thresholds (Section 5.1):
+// low 0–30, medium 30–100, high > 100 simple paths of length ≤ 4.
+const (
+	ConnLow ConnBucket = iota
+	ConnMedium
+	ConnHigh
+)
+
+// String returns the bucket name used in figures.
+func (b ConnBucket) String() string {
+	switch b {
+	case ConnLow:
+		return "low"
+	case ConnMedium:
+		return "medium"
+	case ConnHigh:
+		return "high"
+	}
+	return "unknown"
+}
+
+// Bucket classifies a connectedness count with the paper's thresholds.
+func Bucket(connectedness int) ConnBucket {
+	switch {
+	case connectedness <= 30:
+		return ConnLow
+	case connectedness <= 100:
+		return ConnMedium
+	default:
+		return ConnHigh
+	}
+}
+
+// Reachable reports whether end can be reached from start within maxLen
+// hops, ignoring edge direction. It is a cheap pre-filter before the more
+// expensive Connectedness count.
+func (g *Graph) Reachable(start, end NodeID, maxLen int) bool {
+	if start == end {
+		return true
+	}
+	if maxLen <= 0 {
+		return false
+	}
+	seen := make([]bool, g.NumNodes())
+	seen[start] = true
+	frontier := []NodeID{start}
+	for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, he := range g.adj[u] {
+				if he.To == end {
+					return true
+				}
+				if !seen[he.To] {
+					seen[he.To] = true
+					next = append(next, he.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return false
+}

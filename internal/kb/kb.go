@@ -1,0 +1,389 @@
+// Package kb implements the knowledge-base graph that REX explains
+// relationships over.
+//
+// A knowledge base is the three-tuple G = (V, E, λ) of Section 2.1 of the
+// paper: entities are nodes, primary relationships are labeled edges, and
+// λ maps every edge to its relationship label. Edges are either directed
+// (e.g. "starring") or undirected (e.g. "spouse"); whether a relationship
+// is directed is a property of its label, fixed when the label is first
+// registered.
+//
+// The graph is an in-memory multigraph optimised for the access patterns
+// of explanation enumeration: O(1) edge-existence checks, label-interned
+// adjacency lists, and deterministic iteration order once the graph is
+// frozen.
+package kb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies an entity in the knowledge base. IDs are dense and
+// assigned in insertion order starting from 0.
+type NodeID int32
+
+// InvalidNode is returned by lookups that find no entity.
+const InvalidNode NodeID = -1
+
+// LabelID identifies an interned relationship label.
+type LabelID int32
+
+// InvalidLabel is returned by label lookups that find no label.
+const InvalidLabel LabelID = -1
+
+// Dir describes the orientation of an edge as seen from one endpoint.
+type Dir int8
+
+// Edge orientations relative to the owning node of a HalfEdge.
+const (
+	// Out means the edge points away from the owning node.
+	Out Dir = iota
+	// In means the edge points toward the owning node.
+	In
+	// Undirected means the edge has no orientation.
+	Undirected
+)
+
+// String returns a short human-readable orientation name.
+func (d Dir) String() string {
+	switch d {
+	case Out:
+		return "out"
+	case In:
+		return "in"
+	case Undirected:
+		return "undirected"
+	}
+	return fmt.Sprintf("Dir(%d)", int8(d))
+}
+
+// Node is an entity: a stable ID, a unique human-readable name and an
+// entity type (e.g. "person", "film").
+type Node struct {
+	ID   NodeID
+	Name string
+	Type string
+}
+
+// HalfEdge is one endpoint's view of an edge. A directed edge u→v is
+// stored as {To: v, Dir: Out} on u and {To: u, Dir: In} on v; an
+// undirected edge is stored with Dir Undirected on both endpoints.
+type HalfEdge struct {
+	To    NodeID
+	Label LabelID
+	Dir   Dir
+}
+
+// Edge is a full edge record as returned by Graph.Edges.
+type Edge struct {
+	From  NodeID
+	To    NodeID
+	Label LabelID
+}
+
+// Graph is a labeled multigraph knowledge base. The zero value is an
+// empty graph ready to use.
+//
+// Graphs are built with AddNode/AddEdge and then (optionally) frozen with
+// Freeze, which sorts adjacency lists so that all iteration is
+// deterministic. Mutating a frozen graph unfreezes it. Graph is not safe
+// for concurrent mutation; concurrent reads are safe.
+type Graph struct {
+	nodes  []Node
+	byName map[string]NodeID
+
+	labels        []string
+	labelIDs      map[string]LabelID
+	labelDirected []bool
+
+	adj      [][]HalfEdge
+	edgeSet  map[edgeKey]struct{}
+	numEdges int
+	frozen   bool
+}
+
+// edgeKey packs (from, to, label) into a comparable map key. Direction is
+// implied by the label's directedness; undirected edges are inserted in
+// both orientations.
+type edgeKey struct {
+	from, to NodeID
+	label    LabelID
+}
+
+// New returns an empty graph. Equivalent to new(Graph) but reads better
+// at call sites.
+func New() *Graph { return &Graph{} }
+
+// NumNodes reports the number of entities.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of edges (undirected edges count once).
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumLabels reports the number of distinct relationship labels.
+func (g *Graph) NumLabels() int { return len(g.labels) }
+
+// AddNode inserts an entity and returns its ID. If an entity with the
+// same name already exists its ID is returned and the type is left
+// unchanged.
+func (g *Graph) AddNode(name, typ string) NodeID {
+	if g.byName == nil {
+		g.byName = make(map[string]NodeID)
+	}
+	if id, ok := g.byName[name]; ok {
+		return id
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, Type: typ})
+	g.adj = append(g.adj, nil)
+	g.byName[name] = id
+	g.frozen = false
+	return id
+}
+
+// Label interns a relationship label, registering whether relationships
+// with that label are directed. It returns an error if the label was
+// previously registered with the opposite directedness.
+func (g *Graph) Label(name string, directed bool) (LabelID, error) {
+	if g.labelIDs == nil {
+		g.labelIDs = make(map[string]LabelID)
+	}
+	if id, ok := g.labelIDs[name]; ok {
+		if g.labelDirected[id] != directed {
+			return InvalidLabel, fmt.Errorf("kb: label %q registered as directed=%v, got directed=%v",
+				name, g.labelDirected[id], directed)
+		}
+		return id, nil
+	}
+	id := LabelID(len(g.labels))
+	g.labels = append(g.labels, name)
+	g.labelDirected = append(g.labelDirected, directed)
+	g.labelIDs[name] = id
+	return id, nil
+}
+
+// MustLabel is Label but panics on directedness conflicts. Intended for
+// graph construction in tests and generators where labels are static.
+func (g *Graph) MustLabel(name string, directed bool) LabelID {
+	id, err := g.Label(name, directed)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// LabelName returns the interned name for a label ID.
+func (g *Graph) LabelName(id LabelID) string {
+	if id < 0 || int(id) >= len(g.labels) {
+		return fmt.Sprintf("label(%d)", id)
+	}
+	return g.labels[id]
+}
+
+// LabelByName looks up a label ID by name, returning InvalidLabel if the
+// label is unknown.
+func (g *Graph) LabelByName(name string) LabelID {
+	if id, ok := g.labelIDs[name]; ok {
+		return id
+	}
+	return InvalidLabel
+}
+
+// LabelDirected reports whether edges with the given label are directed.
+func (g *Graph) LabelDirected(id LabelID) bool {
+	return int(id) < len(g.labelDirected) && g.labelDirected[id]
+}
+
+// Labels returns all label IDs in registration order.
+func (g *Graph) Labels() []LabelID {
+	out := make([]LabelID, len(g.labels))
+	for i := range out {
+		out[i] = LabelID(i)
+	}
+	return out
+}
+
+// Node returns the entity record for an ID. It panics if the ID is out of
+// range, matching slice semantics.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// NodeByName looks an entity up by its unique name, returning InvalidNode
+// when absent.
+func (g *Graph) NodeByName(name string) NodeID {
+	if id, ok := g.byName[name]; ok {
+		return id
+	}
+	return InvalidNode
+}
+
+// NodeName returns the name of an entity, or a placeholder for an
+// out-of-range ID.
+func (g *Graph) NodeName(id NodeID) string {
+	if id < 0 || int(id) >= len(g.nodes) {
+		return fmt.Sprintf("node(%d)", id)
+	}
+	return g.nodes[id].Name
+}
+
+// AddEdge inserts an edge between two existing entities. The label's
+// directedness decides whether the edge is directed (from→to) or
+// undirected. Duplicate edges (same endpoints and label, respecting
+// orientation) are ignored, making the graph a set-multigraph: multiple
+// labels may connect the same pair but each (pair, label) occurs once.
+// It reports whether the edge was newly inserted.
+func (g *Graph) AddEdge(from, to NodeID, label LabelID) (bool, error) {
+	if int(from) >= len(g.nodes) || from < 0 {
+		return false, fmt.Errorf("kb: AddEdge: from node %d out of range", from)
+	}
+	if int(to) >= len(g.nodes) || to < 0 {
+		return false, fmt.Errorf("kb: AddEdge: to node %d out of range", to)
+	}
+	if int(label) >= len(g.labels) || label < 0 {
+		return false, fmt.Errorf("kb: AddEdge: label %d out of range", label)
+	}
+	if from == to {
+		return false, fmt.Errorf("kb: AddEdge: self-loop on node %d (%s) not supported", from, g.NodeName(from))
+	}
+	if g.edgeSet == nil {
+		g.edgeSet = make(map[edgeKey]struct{})
+	}
+	directed := g.labelDirected[label]
+	key := edgeKey{from, to, label}
+	if !directed && from > to {
+		key = edgeKey{to, from, label}
+	}
+	if _, dup := g.edgeSet[key]; dup {
+		return false, nil
+	}
+	g.edgeSet[key] = struct{}{}
+	if directed {
+		g.adj[from] = append(g.adj[from], HalfEdge{To: to, Label: label, Dir: Out})
+		g.adj[to] = append(g.adj[to], HalfEdge{To: from, Label: label, Dir: In})
+	} else {
+		g.adj[from] = append(g.adj[from], HalfEdge{To: to, Label: label, Dir: Undirected})
+		g.adj[to] = append(g.adj[to], HalfEdge{To: from, Label: label, Dir: Undirected})
+	}
+	g.numEdges++
+	g.frozen = false
+	return true, nil
+}
+
+// MustAddEdge is AddEdge but panics on error. Intended for static graph
+// construction.
+func (g *Graph) MustAddEdge(from, to NodeID, label LabelID) {
+	if _, err := g.AddEdge(from, to, label); err != nil {
+		panic(err)
+	}
+}
+
+// HasEdge reports whether an edge with the given label connects from and
+// to. For directed labels the orientation from→to is required; for
+// undirected labels either orientation matches.
+func (g *Graph) HasEdge(from, to NodeID, label LabelID) bool {
+	if g.edgeSet == nil {
+		return false
+	}
+	if int(label) < len(g.labelDirected) && !g.labelDirected[label] && from > to {
+		from, to = to, from
+	}
+	_, ok := g.edgeSet[edgeKey{from, to, label}]
+	return ok
+}
+
+// Degree reports the number of half-edges at a node (each undirected or
+// directed incident edge counts once).
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// Neighbors returns the half-edges at a node. The returned slice is owned
+// by the graph and must not be modified. Order is deterministic after
+// Freeze.
+func (g *Graph) Neighbors(id NodeID) []HalfEdge { return g.adj[id] }
+
+// Edges returns every edge once, ordered by (From, To, Label). Undirected
+// edges are reported with From ≤ To.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.numEdges)
+	for k := range g.edgeSet {
+		out = append(out, Edge{From: k.from, To: k.to, Label: k.label})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Freeze sorts all adjacency lists so iteration order is deterministic
+// across runs. Freeze is idempotent and cheap when already frozen.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	for i := range g.adj {
+		a := g.adj[i]
+		sort.Slice(a, func(x, y int) bool {
+			if a[x].To != a[y].To {
+				return a[x].To < a[y].To
+			}
+			if a[x].Label != a[y].Label {
+				return a[x].Label < a[y].Label
+			}
+			return a[x].Dir < a[y].Dir
+		})
+	}
+	g.frozen = true
+}
+
+// Frozen reports whether adjacency iteration order is deterministic.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// Nodes returns all entity records in ID order. The slice is a copy.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// NodesOfType returns the IDs of all entities with the given type, in ID
+// order.
+func (g *Graph) NodesOfType(typ string) []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Type == typ {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Stats summarises the graph for logging and experiment reports.
+type Stats struct {
+	Nodes     int
+	Edges     int
+	Labels    int
+	MaxDegree int
+	AvgDegree float64
+}
+
+// Stats computes summary statistics over the graph.
+func (g *Graph) Stats() Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), Labels: g.NumLabels()}
+	total := 0
+	for i := range g.adj {
+		d := len(g.adj[i])
+		total += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if s.Nodes > 0 {
+		s.AvgDegree = float64(total) / float64(s.Nodes)
+	}
+	return s
+}

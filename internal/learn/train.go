@@ -1,0 +1,117 @@
+package learn
+
+import (
+	"math"
+	"sort"
+
+	"rex/internal/measure"
+	"rex/internal/pattern"
+)
+
+// Example is one training pair: its candidate explanations with feature
+// vectors and the (simulated) rater relevance of each candidate.
+type Example struct {
+	// Features[i] is the feature vector of candidate i.
+	Features [][]float64
+	// Relevance[i] is the mean rater label of candidate i (0..2).
+	Relevance []float64
+	// Keys[i] identifies candidate i for deterministic tie-breaks.
+	Keys []string
+}
+
+// NewExample extracts features and relevance for one pair's candidates.
+// relevance maps an explanation's canonical key to its mean rater label.
+func NewExample(ctx *measure.Context, candidates []*pattern.Explanation, relevance map[string]float64) Example {
+	ex := Example{
+		Features:  make([][]float64, len(candidates)),
+		Relevance: make([]float64, len(candidates)),
+		Keys:      make([]string, len(candidates)),
+	}
+	for i, c := range candidates {
+		key := c.P.CanonicalKey()
+		ex.Features[i] = Vector(ctx, c)
+		ex.Relevance[i] = relevance[key]
+		ex.Keys[i] = key
+	}
+	return ex
+}
+
+// dcgAt10 evaluates the model's ranking quality on one example with the
+// paper's DCG formula, normalised so a perfect ranking of all-2 labels
+// scores 100.
+func dcgAt10(m *Model, ex Example) float64 {
+	type scored struct {
+		s   float64
+		rel float64
+		key string
+	}
+	items := make([]scored, len(ex.Features))
+	for i := range ex.Features {
+		items[i] = scored{s: m.Score(ex.Features[i]), rel: ex.Relevance[i], key: ex.Keys[i]}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].s != items[j].s {
+			return items[i].s > items[j].s
+		}
+		return items[i].key < items[j].key
+	})
+	wsum := 0.0
+	for i := 1; i <= 10; i++ {
+		wsum += 1 / math.Log2(float64(i)+1)
+	}
+	norm := 100.0 / (2.0 * wsum)
+	total := 0.0
+	for i := 0; i < 10 && i < len(items); i++ {
+		total += items[i].rel / math.Log2(float64(i)+2)
+	}
+	return norm * total
+}
+
+// Objective is the mean DCG@10 across examples.
+func Objective(m *Model, examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, ex := range examples {
+		total += dcgAt10(m, ex)
+	}
+	return total / float64(len(examples))
+}
+
+// Train fits weights by cyclic coordinate ascent over a fixed grid:
+// each pass tries a set of candidate values for one weight while holding
+// the others, keeping any strict improvement of the mean DCG. The grid
+// includes negative values so the model can learn to penalise a feature.
+// Training is deterministic and typically converges in 2–4 passes.
+func Train(examples []Example, passes int) *Model {
+	if passes <= 0 {
+		passes = 4
+	}
+	m := NewModel()
+	grid := []float64{-0.5, -0.25, -0.1, 0, 0.1, 0.25, 0.5, 0.75, 1.0}
+	best := Objective(m, examples)
+	for p := 0; p < passes; p++ {
+		improved := false
+		for d := 0; d < len(m.Weights); d++ {
+			orig := m.Weights[d]
+			bestW := orig
+			for _, w := range grid {
+				if w == orig {
+					continue
+				}
+				m.Weights[d] = w
+				if obj := Objective(m, examples); obj > best+1e-9 {
+					best = obj
+					bestW = w
+					improved = true
+				}
+			}
+			m.Weights[d] = bestW
+		}
+		if !improved {
+			break
+		}
+	}
+	return m
+}

@@ -1,0 +1,300 @@
+// Package match evaluates explanation patterns against a knowledge base:
+// a backtracking subgraph matcher specialised for REX patterns, where the
+// start variable is always bound, the end variable may be bound or free,
+// and instances are injective embeddings — distinct variables bind
+// distinct entities. (Definition 2 of the paper literally allows
+// non-injective mappings, but the enumeration framework of Section 3 only
+// produces instances assembled from simple paths, and Theorems 1–2 are
+// only sound under the injective reading; REX therefore adopts it
+// system-wide. See DESIGN.md.)
+//
+// The matcher powers the distributional interestingness measures (which
+// evaluate a pattern with the end — or both targets — varied) and serves
+// as an independent oracle in tests: instances produced incrementally by
+// the enumeration algorithms must equal the matcher's results.
+package match
+
+import (
+	"rex/internal/kb"
+	"rex/internal/pattern"
+)
+
+// Options configures a match run.
+type Options struct {
+	// Limit stops enumeration after this many instances when positive.
+	Limit int
+}
+
+// ForEach enumerates the instances of p in g with the start variable
+// bound to start and, if end != kb.InvalidNode, the end variable bound to
+// end. The callback receives each instance (the slice is reused across
+// calls; clone to retain) and returns false to stop early.
+//
+// Per Definition 2, non-target variables never bind to the start entity
+// or to the (chosen) end entity; variable bindings are otherwise free to
+// repeat.
+func ForEach(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID, f func(pattern.Instance) bool) {
+	m := newMatcher(g, p, start, end)
+	m.run(f)
+}
+
+// Find collects the instances of p with the given target bindings. Pass
+// end = kb.InvalidNode to leave the end variable free. The zero Options
+// value enumerates everything.
+func Find(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID, opt Options) []pattern.Instance {
+	var out []pattern.Instance
+	ForEach(g, p, start, end, func(in pattern.Instance) bool {
+		out = append(out, in.Clone())
+		return opt.Limit <= 0 || len(out) < opt.Limit
+	})
+	return out
+}
+
+// Count reports the number of instances of p between start and end; this
+// is Mcount evaluated from scratch.
+func Count(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) int {
+	n := 0
+	ForEach(g, p, start, end, func(pattern.Instance) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// CountByEnd evaluates p with a free end variable and returns the number
+// of instances per end entity: the raw material of the paper's local
+// distribution D_l. The start entity itself is excluded as an end.
+func CountByEnd(g *kb.Graph, p *pattern.Pattern, start kb.NodeID) map[kb.NodeID]int {
+	counts := make(map[kb.NodeID]int)
+	ForEach(g, p, start, kb.InvalidNode, func(in pattern.Instance) bool {
+		counts[in[pattern.End]]++
+		return true
+	})
+	return counts
+}
+
+// matcher holds the per-run state of the backtracking search.
+type matcher struct {
+	g     *kb.Graph
+	p     *pattern.Pattern
+	start kb.NodeID
+	end   kb.NodeID // InvalidNode when free
+
+	order    []pattern.VarID // assignment order, excluding pre-bound vars
+	inst     pattern.Instance
+	assigned []bool
+	// edgesAt[v] lists the pattern edges whose both endpoints are
+	// assigned once v is assigned (checked at assignment time).
+	checkAt  [][]pattern.Edge
+	anchorAt []anchor
+}
+
+// anchor tells the matcher how to generate candidates for a variable:
+// follow one incident pattern edge from an already-assigned neighbor.
+type anchor struct {
+	from  pattern.VarID // assigned neighbor variable
+	label kb.LabelID
+	// wantDir is the orientation candidates must satisfy as half-edges of
+	// the anchor's value: Out when the pattern edge leaves from, In when
+	// it enters from, Undirected for undirected labels.
+	wantDir kb.Dir
+}
+
+func newMatcher(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) *matcher {
+	m := &matcher{
+		g:        g,
+		p:        p,
+		start:    start,
+		end:      end,
+		inst:     make(pattern.Instance, p.NumVars()),
+		assigned: make([]bool, p.NumVars()),
+	}
+	m.inst[pattern.Start] = start
+	m.assigned[pattern.Start] = true
+	if end != kb.InvalidNode {
+		m.inst[pattern.End] = end
+		m.assigned[pattern.End] = true
+	}
+	m.plan()
+	return m
+}
+
+// plan picks a static assignment order: repeatedly the unassigned
+// variable with the most edges into the assigned set (ties by lowest ID),
+// requiring at least one such edge so candidates always come from
+// adjacency rather than a full node scan. Patterns are connected to the
+// start, so the greedy order always completes.
+func (m *matcher) plan() {
+	n := m.p.NumVars()
+	done := make([]bool, n)
+	copy(done, m.assigned)
+	remaining := 0
+	for v := 0; v < n; v++ {
+		if !done[v] {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		best := pattern.VarID(-1)
+		bestEdges := 0
+		for v := 0; v < n; v++ {
+			if done[v] {
+				continue
+			}
+			cnt := 0
+			for _, e := range m.p.Edges() {
+				if (e.U == pattern.VarID(v) && done[e.V]) || (e.V == pattern.VarID(v) && done[e.U]) {
+					cnt++
+				}
+			}
+			if cnt > bestEdges {
+				best, bestEdges = pattern.VarID(v), cnt
+			}
+		}
+		if best < 0 {
+			// No unassigned variable touches the assigned set: the
+			// pattern has a component disconnected from the start (an
+			// isolated end, or NaiveEnum's intermediate shapes). Seed the
+			// component with a full-scan binding and resume the greedy
+			// anchored order from there.
+			for v := 0; v < n; v++ {
+				if !done[v] {
+					done[v] = true
+					remaining--
+					m.order = append(m.order, pattern.VarID(v))
+					m.checkAt = append(m.checkAt, nil)
+					m.anchorAt = append(m.anchorAt, anchor{from: -1})
+					break
+				}
+			}
+			continue
+		}
+		done[best] = true
+		remaining--
+		m.order = append(m.order, best)
+
+		// Candidate anchor: the incident edge whose other endpoint is
+		// assigned; remaining incident-to-assigned edges become checks.
+		var anc anchor
+		anc.from = -1
+		var checks []pattern.Edge
+		for _, e := range m.p.Edges() {
+			var other pattern.VarID
+			var outward bool // edge leaves the anchor toward best
+			switch {
+			case e.U == best && done[e.V] && e.V != best:
+				other, outward = e.V, true // directed edge best→other
+			case e.V == best && done[e.U] && e.U != best:
+				other, outward = e.U, false // directed edge other→best
+			default:
+				continue
+			}
+			// Candidates for best are enumerated from the half-edges at
+			// the anchor's bound node value(other). For a directed label,
+			// the edge best→other appears at other as a half-edge with
+			// Dir==In, and other→best as Dir==Out.
+			dir := kb.Undirected
+			if m.g.LabelDirected(e.Label) {
+				if outward {
+					dir = kb.In
+				} else {
+					dir = kb.Out
+				}
+			}
+			if anc.from < 0 {
+				anc = anchor{from: other, label: e.Label, wantDir: dir}
+			} else {
+				checks = append(checks, e)
+			}
+		}
+		m.anchorAt = append(m.anchorAt, anc)
+		m.checkAt = append(m.checkAt, checks)
+	}
+}
+
+// run performs the backtracking search, invoking f for each complete
+// instance until f returns false.
+func (m *matcher) run(f func(pattern.Instance) bool) {
+	// Quick reject: when both targets are bound and the pattern has
+	// direct start–end edges, verify them once up front.
+	for _, e := range m.p.Edges() {
+		if m.assigned[e.U] && m.assigned[e.V] {
+			if !m.g.HasEdge(m.inst[e.U], m.inst[e.V], e.Label) {
+				return
+			}
+		}
+	}
+	m.search(0, f)
+}
+
+// search assigns m.order[depth] and recurses.
+func (m *matcher) search(depth int, f func(pattern.Instance) bool) bool {
+	if depth == len(m.order) {
+		return f(m.inst)
+	}
+	v := m.order[depth]
+	anc := m.anchorAt[depth]
+	try := func(cand kb.NodeID) bool {
+		if !m.admissible(v, cand) {
+			return true
+		}
+		m.inst[v] = cand
+		m.assigned[v] = true
+		ok := true
+		if m.checkEdges(depth) {
+			ok = m.search(depth+1, f)
+		}
+		m.assigned[v] = false
+		return ok
+	}
+	if anc.from < 0 {
+		// Variable in a component disconnected from anything assigned
+		// (e.g. a free, isolated end): bind by full scan.
+		for id := kb.NodeID(0); int(id) < m.g.NumNodes(); id++ {
+			if !try(id) {
+				return false
+			}
+		}
+		return true
+	}
+	from := m.inst[anc.from]
+	for _, he := range m.g.Neighbors(from) {
+		if he.Label != anc.label {
+			continue
+		}
+		if anc.wantDir != kb.Undirected && he.Dir != anc.wantDir {
+			continue
+		}
+		if anc.wantDir == kb.Undirected && he.Dir != kb.Undirected {
+			continue
+		}
+		if !try(he.To) {
+			return false
+		}
+	}
+	return true
+}
+
+// admissible enforces the instance side conditions for a candidate
+// binding of variable v: REX instances are injective (distinct variables
+// bind distinct entities), which subsumes Definition 2's requirement that
+// non-target variables avoid the target entities.
+func (m *matcher) admissible(v pattern.VarID, cand kb.NodeID) bool {
+	for u := 0; u < len(m.inst); u++ {
+		if pattern.VarID(u) != v && m.assigned[u] && m.inst[u] == cand {
+			return false
+		}
+	}
+	return true
+}
+
+// checkEdges verifies the non-anchor edges that became fully bound at
+// this depth.
+func (m *matcher) checkEdges(depth int) bool {
+	for _, e := range m.checkAt[depth] {
+		if !m.g.HasEdge(m.inst[e.U], m.inst[e.V], e.Label) {
+			return false
+		}
+	}
+	return true
+}

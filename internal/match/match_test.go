@@ -1,0 +1,227 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rex/internal/kb"
+	"rex/internal/kbgen"
+	"rex/internal/pattern"
+)
+
+// bruteForce enumerates instances by trying every assignment of nodes to
+// variables — the trivially correct oracle for small graphs.
+func bruteForce(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) []pattern.Instance {
+	n := p.NumVars()
+	inst := make(pattern.Instance, n)
+	inst[pattern.Start] = start
+	var out []pattern.Instance
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			for _, e := range p.Edges() {
+				if !g.HasEdge(inst[e.U], inst[e.V], e.Label) {
+					return
+				}
+			}
+			out = append(out, inst.Clone())
+			return
+		}
+		if v == int(pattern.Start) {
+			rec(v + 1)
+			return
+		}
+		if v == int(pattern.End) && end != kb.InvalidNode {
+			inst[v] = end
+			rec(v + 1)
+			return
+		}
+		// Injectivity: variables are assigned in index order, so a
+		// candidate only needs to differ from the earlier assignments
+		// (which include both targets, at indexes 0 and 1).
+		for id := kb.NodeID(0); int(id) < g.NumNodes(); id++ {
+			conflict := false
+			for u := 0; u < v; u++ {
+				if inst[u] == id {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			inst[v] = id
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func asKeySet(ins []pattern.Instance) map[string]struct{} {
+	out := make(map[string]struct{}, len(ins))
+	for _, in := range ins {
+		out[in.Key()] = struct{}{}
+	}
+	return out
+}
+
+func TestMatcherAgainstBruteForce(t *testing.T) {
+	g := kbgen.Sample()
+	star := g.LabelByName(kbgen.RelStarring)
+	spouse := g.LabelByName(kbgen.RelSpouse)
+	dir := g.LabelByName(kbgen.RelDirectedBy)
+	brad := g.NodeByName("brad_pitt")
+	angelina := g.NodeByName("angelina_jolie")
+
+	patterns := []*pattern.Pattern{
+		pattern.MustNew(g, 2, []pattern.Edge{{U: pattern.Start, V: pattern.End, Label: spouse}}),
+		pattern.MustNew(g, 3, []pattern.Edge{
+			{U: 2, V: pattern.Start, Label: star}, {U: 2, V: pattern.End, Label: star},
+		}),
+		pattern.MustNew(g, 4, []pattern.Edge{
+			{U: 2, V: pattern.Start, Label: star},
+			{U: 2, V: 3, Label: dir},
+			{U: 2, V: pattern.End, Label: star},
+		}),
+	}
+	for i, p := range patterns {
+		got := asKeySet(Find(g, p, brad, angelina, Options{}))
+		want := asKeySet(bruteForce(g, p, brad, angelina))
+		if len(got) != len(want) {
+			t.Errorf("pattern %d: matcher %d vs brute force %d instances", i, len(got), len(want))
+			continue
+		}
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				t.Errorf("pattern %d: missing instance", i)
+			}
+		}
+	}
+}
+
+func TestFreeEndEnumeration(t *testing.T) {
+	g := kbgen.Sample()
+	star := g.LabelByName(kbgen.RelStarring)
+	brad := g.NodeByName("brad_pitt")
+	costar := pattern.MustNew(g, 3, []pattern.Edge{
+		{U: 2, V: pattern.Start, Label: star}, {U: 2, V: pattern.End, Label: star},
+	})
+	counts := CountByEnd(g, costar, brad)
+	// Brad's direct co-stars in the sample KB (from the film casts).
+	julia := g.NodeByName("julia_roberts")
+	if counts[julia] != 3 { // oceans 11, oceans 12, the mexican
+		t.Errorf("julia_roberts co-star count = %d, want 3", counts[julia])
+	}
+	angelina := g.NodeByName("angelina_jolie")
+	if counts[angelina] != 1 { // mr & mrs smith
+		t.Errorf("angelina co-star count = %d, want 1", counts[angelina])
+	}
+	if _, ok := counts[brad]; ok {
+		t.Error("the start entity must not appear as an end")
+	}
+	// Count with a fixed end agrees with the grouped count.
+	if got := Count(g, costar, brad, julia); got != 3 {
+		t.Errorf("Count(brad, julia) = %d, want 3", got)
+	}
+}
+
+func TestFindLimit(t *testing.T) {
+	g := kbgen.Sample()
+	star := g.LabelByName(kbgen.RelStarring)
+	brad := g.NodeByName("brad_pitt")
+	costar := pattern.MustNew(g, 3, []pattern.Edge{
+		{U: 2, V: pattern.Start, Label: star}, {U: 2, V: pattern.End, Label: star},
+	})
+	all := Find(g, costar, brad, kb.InvalidNode, Options{})
+	if len(all) < 3 {
+		t.Fatalf("expected several free-end instances, got %d", len(all))
+	}
+	two := Find(g, costar, brad, kb.InvalidNode, Options{Limit: 2})
+	if len(two) != 2 {
+		t.Fatalf("Limit=2 returned %d", len(two))
+	}
+}
+
+func TestNoMatchWhenEdgeAbsent(t *testing.T) {
+	g := kbgen.Sample()
+	spouse := g.LabelByName(kbgen.RelSpouse)
+	p := pattern.MustNew(g, 2, []pattern.Edge{{U: pattern.Start, V: pattern.End, Label: spouse}})
+	brad := g.NodeByName("brad_pitt")
+	tom := g.NodeByName("tom_cruise")
+	if got := Count(g, p, brad, tom); got != 0 {
+		t.Errorf("brad and tom are not married; count = %d", got)
+	}
+}
+
+func TestDirectedOrientationRespected(t *testing.T) {
+	g := kbgen.Sample()
+	star := g.LabelByName(kbgen.RelStarring)
+	brad := g.NodeByName("brad_pitt")
+	troy := g.NodeByName("troy")
+	// starring goes film→actor: pattern start→end matches (troy, brad)
+	// but not (brad, troy).
+	p := pattern.MustNew(g, 2, []pattern.Edge{{U: pattern.Start, V: pattern.End, Label: star}})
+	if got := Count(g, p, troy, brad); got != 1 {
+		t.Errorf("film→actor orientation: count = %d, want 1", got)
+	}
+	if got := Count(g, p, brad, troy); got != 0 {
+		t.Errorf("reverse orientation: count = %d, want 0", got)
+	}
+}
+
+// TestQuickMatcherMatchesBruteForce property-checks the matcher against
+// the brute-force oracle on random small graphs and random path-or-wedge
+// patterns.
+func TestQuickMatcherMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := kb.New()
+		n := 5 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			g.AddNode(string(rune('a'+i)), "t")
+		}
+		labels := []kb.LabelID{
+			g.MustLabel("d", true), g.MustLabel("u", false),
+		}
+		for i := 0; i < 3*n; i++ {
+			a, b := kb.NodeID(rng.Intn(n)), kb.NodeID(rng.Intn(n))
+			if a != b {
+				g.AddEdge(a, b, labels[rng.Intn(2)])
+			}
+		}
+		g.Freeze()
+		start, end := kb.NodeID(0), kb.NodeID(1)
+
+		// Random small connected pattern.
+		nv := 2 + rng.Intn(3)
+		var edges []pattern.Edge
+		for i := 1; i < nv; i++ {
+			u := pattern.VarID(rng.Intn(i))
+			v := pattern.VarID(i)
+			if rng.Intn(2) == 0 {
+				u, v = v, u
+			}
+			edges = append(edges, pattern.Edge{U: u, V: v, Label: labels[rng.Intn(2)]})
+		}
+		p, err := pattern.New(g, nv, edges)
+		if err != nil {
+			return true
+		}
+		got := asKeySet(Find(g, p, start, end, Options{}))
+		want := asKeySet(bruteForce(g, p, start, end))
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

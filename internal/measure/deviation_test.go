@@ -1,0 +1,107 @@
+package measure
+
+import (
+	"testing"
+
+	"rex/internal/kb"
+	"rex/internal/kbgen"
+	"rex/internal/match"
+	"rex/internal/pattern"
+)
+
+func TestDeviationArithmetic(t *testing.T) {
+	counts := map[kb.NodeID]int{1: 1, 2: 1, 3: 1, 4: 5}
+	// mean = 2, variance = (1+1+1+9)/4 = 3, sd = sqrt(3).
+	got := deviation(counts, 5)
+	want := (5.0 - 2.0) / 1.7320508075688772
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("deviation = %v, want %v", got, want)
+	}
+}
+
+func TestDeviationDegenerate(t *testing.T) {
+	if deviation(map[kb.NodeID]int{1: 3}, 3) != 0 {
+		t.Error("single-point distribution must score 0")
+	}
+	if deviation(map[kb.NodeID]int{1: 2, 2: 2, 3: 2}, 2) != 0 {
+		t.Error("zero-variance distribution must score 0")
+	}
+	if deviation(nil, 1) != 0 {
+		t.Error("empty distribution must score 0")
+	}
+}
+
+// TestLocalDeviationOrdering: for Brad Pitt's co-star pattern, Julia
+// Roberts (3 shared films) must deviate upward from the co-star count
+// distribution while Angelina Jolie (1 shared film) must not.
+func TestLocalDeviationOrdering(t *testing.T) {
+	g := kbgen.Sample()
+	star := g.LabelByName(kbgen.RelStarring)
+	brad := g.NodeByName("brad_pitt")
+	costar := pattern.MustNew(g, 3, []pattern.Edge{
+		{U: 2, V: pattern.Start, Label: star}, {U: 2, V: pattern.End, Label: star},
+	})
+	julia := g.NodeByName("julia_roberts")
+	angelina := g.NodeByName("angelina_jolie")
+
+	scoreFor := func(end kb.NodeID, count int) float64 {
+		ctx := &Context{G: g, Start: brad, End: end}
+		insts := make([]pattern.Instance, count)
+		for i := range insts {
+			insts[i] = pattern.Instance{brad, end, kb.NodeID(1000 + i)}
+		}
+		ex := &pattern.Explanation{P: costar, Instances: insts}
+		return LocalDeviation{}.Score(ctx, ex)[0]
+	}
+	sJulia := scoreFor(julia, 3)
+	sAngelina := scoreFor(angelina, 1)
+	if !(sJulia > sAngelina) {
+		t.Errorf("julia (%v) must out-deviate angelina (%v)", sJulia, sAngelina)
+	}
+	if sJulia <= 0 {
+		t.Errorf("julia's 3 co-starred films should sit above the mean, got %v", sJulia)
+	}
+}
+
+func TestGlobalDeviationAveragesLocals(t *testing.T) {
+	g := kbgen.Sample()
+	brad := g.NodeByName("brad_pitt")
+	angelina := g.NodeByName("angelina_jolie")
+	star := g.LabelByName(kbgen.RelStarring)
+	costar := pattern.MustNew(g, 3, []pattern.Edge{
+		{U: 2, V: pattern.Start, Label: star}, {U: 2, V: pattern.End, Label: star},
+	})
+	ex := &pattern.Explanation{P: costar, Instances: []pattern.Instance{{brad, angelina, 0}}}
+	starts := SampleStartsOfType(g, "actor", 6, 5)
+	ctx := &Context{G: g, Start: brad, End: angelina, SampleStarts: starts}
+	got := GlobalDeviation{}.Score(ctx, ex)[0]
+	want := 0.0
+	for _, s := range starts {
+		want += deviation(match.CountByEnd(g, costar, s), 1)
+	}
+	want /= float64(len(starts))
+	if d := got - want; d > 1e-9 || d < -1e-9 {
+		t.Errorf("global deviation %v, want %v", got, want)
+	}
+	// Fallback without samples equals the local deviation.
+	ctx2 := &Context{G: g, Start: brad, End: angelina}
+	if (GlobalDeviation{}).Score(ctx2, ex)[0] != (LocalDeviation{}).Score(ctx2, ex)[0] {
+		t.Error("no-sample global deviation must equal local")
+	}
+}
+
+func TestSampleStartsOfType(t *testing.T) {
+	g := kbgen.Sample()
+	starts := SampleStartsOfType(g, "actor", 10, 3)
+	if len(starts) == 0 {
+		t.Fatal("no typed starts sampled")
+	}
+	for _, s := range starts {
+		if g.Node(s).Type != "actor" {
+			t.Fatalf("sampled %s of type %s", g.NodeName(s), g.Node(s).Type)
+		}
+	}
+	if got := SampleStartsOfType(g, "no-such-type", 5, 3); len(got) != 0 {
+		t.Errorf("unknown type sampled %d starts", len(got))
+	}
+}

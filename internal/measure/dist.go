@@ -1,0 +1,181 @@
+package measure
+
+import (
+	"rex/internal/kb"
+	"rex/internal/match"
+	"rex/internal/pattern"
+)
+
+// Distribution-based measures (Section 4.3). For an explanation with
+// aggregate value A (we use M_count, as in the paper's SQL example), the
+// position measure counts how many competing entity pairs achieve an
+// aggregate strictly greater than A: position 0 means no pair beats the
+// explanation — maximally rare, maximally interesting. Scores negate the
+// position so that greater remains more interesting.
+//
+// The local distribution varies only the end entity; the global
+// distribution varies both and is estimated from the local distributions
+// of sampled start entities (100 in the paper, Section 5.3.2).
+
+// LocalPosition is M_position over the local distribution D_l.
+type LocalPosition struct{}
+
+// Name implements Measure.
+func (LocalPosition) Name() string { return "local-dist" }
+
+// AntiMonotonic implements Measure: position is not anti-monotonic (the
+// paper notes distribution-based measures are not subject to the
+// Theorem 4 pruning).
+func (LocalPosition) AntiMonotonic() bool { return false }
+
+// Score implements Measure.
+func (m LocalPosition) Score(ctx *Context, ex *pattern.Explanation) Score {
+	s, _ := m.ScoreWithLimit(ctx, ex, nil)
+	return s
+}
+
+// ScoreWithLimit implements Limited: computation aborts once the position
+// provably exceeds the threshold's implied limit — the SQL "LIMIT p"
+// optimisation of Section 5.3.2.
+func (LocalPosition) ScoreWithLimit(ctx *Context, ex *pattern.Explanation, threshold Score) (Score, bool) {
+	limit := -1
+	if len(threshold) > 0 {
+		// score = -position, so the score drops strictly below the
+		// threshold exactly when position > -threshold[0]; positions
+		// reaching the limit itself (a tie) are computed in full. A
+		// positive threshold is unreachable (positions are ≥ 0):
+		// prune immediately.
+		if threshold[0] > 0 {
+			return nil, false
+		}
+		limit = int(-threshold[0])
+	}
+	a := ex.Count()
+	pos, ok := localPosition(ctx.G, ex.P, ctx.Start, a, limit)
+	if !ok {
+		return nil, false
+	}
+	return Score{-float64(pos)}, true
+}
+
+// localPosition counts the end entities whose instance count with the
+// given start strictly exceeds a. When limit ≥ 0 and the count of such
+// entities exceeds limit, enumeration stops and ok=false is returned.
+func localPosition(g *kb.Graph, p *pattern.Pattern, start kb.NodeID, a, limit int) (pos int, ok bool) {
+	counts := make(map[kb.NodeID]int)
+	exceeded := 0
+	aborted := false
+	match.ForEach(g, p, start, kb.InvalidNode, func(in pattern.Instance) bool {
+		endv := in[pattern.End]
+		counts[endv]++
+		if counts[endv] == a+1 { // just crossed the bar
+			exceeded++
+			if limit >= 0 && exceeded > limit {
+				aborted = true
+				return false
+			}
+		}
+		return true
+	})
+	if aborted {
+		return 0, false
+	}
+	return exceeded, true
+}
+
+// GlobalPosition is M_position over the (estimated) global distribution
+// D_g: the sum of local positions over the sampled start entities in
+// Context.SampleStarts. With no samples configured it degrades to the
+// local measure.
+type GlobalPosition struct{}
+
+// Name implements Measure.
+func (GlobalPosition) Name() string { return "global-dist" }
+
+// AntiMonotonic implements Measure.
+func (GlobalPosition) AntiMonotonic() bool { return false }
+
+// Score implements Measure.
+func (m GlobalPosition) Score(ctx *Context, ex *pattern.Explanation) Score {
+	s, _ := m.ScoreWithLimit(ctx, ex, nil)
+	return s
+}
+
+// ScoreWithLimit implements Limited: the running sum of per-sample
+// positions stops as soon as it exceeds the threshold's implied limit.
+func (GlobalPosition) ScoreWithLimit(ctx *Context, ex *pattern.Explanation, threshold Score) (Score, bool) {
+	limit := -1
+	if len(threshold) > 0 {
+		if threshold[0] > 0 {
+			return nil, false // positions are ≥ 0; score cannot reach
+		}
+		limit = int(-threshold[0])
+	}
+	a := ex.Count()
+	starts := ctx.SampleStarts
+	if len(starts) == 0 {
+		starts = []kb.NodeID{ctx.Start}
+	}
+	total := 0
+	for _, s := range starts {
+		rem := -1
+		if limit >= 0 {
+			rem = limit - total
+			if rem < 0 {
+				return nil, false
+			}
+		}
+		pos, ok := localPosition(ctx.G, ex.P, s, a, rem)
+		if !ok {
+			return nil, false
+		}
+		total += pos
+	}
+	if limit >= 0 && total > limit {
+		return nil, false
+	}
+	return Score{-float64(total)}, true
+}
+
+// SampleStarts picks n deterministic start entities for global
+// distribution estimation: entities with non-zero degree, chosen by a
+// fixed stride over the node space seeded by the query pair so repeated
+// runs agree. The paper samples 100 random start entities.
+func SampleStarts(g *kb.Graph, n int, seed int64) []kb.NodeID {
+	return sampleStarts(g, "", n, seed)
+}
+
+// SampleStartsOfType is SampleStarts restricted to entities of one type.
+// Comparing a pattern's aggregate against starts of the query entity's
+// own type concentrates the sample where the pattern can match at all —
+// with a typed knowledge base, a "starring" pattern rooted at a genre
+// contributes nothing but noise to the estimate.
+func SampleStartsOfType(g *kb.Graph, typ string, n int, seed int64) []kb.NodeID {
+	return sampleStarts(g, typ, n, seed)
+}
+
+func sampleStarts(g *kb.Graph, typ string, n int, seed int64) []kb.NodeID {
+	if n <= 0 {
+		n = 100
+	}
+	total := g.NumNodes()
+	if total == 0 {
+		return nil
+	}
+	out := make([]kb.NodeID, 0, n)
+	// Deterministic linear-congruential walk over node IDs; cheap and
+	// seedable without pulling math/rand into the measure layer.
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for attempts := 0; len(out) < n && attempts < 200*n; attempts++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		id := kb.NodeID(x % uint64(total))
+		if g.Degree(id) == 0 {
+			continue
+		}
+		if typ != "" && g.Node(id).Type != typ {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package measure
+
+import (
+	"testing"
+
+	"rex/internal/kbgen"
+	"rex/internal/pattern"
+)
+
+// TestLocalPositionExample7 recreates the shape of the paper's Example 7:
+// for Brad Pitt, the spousal explanation with count 1 has a better (lower)
+// local position than the co-starring explanation with count 1, because
+// other actors co-star with him more often while nobody out-marries a
+// spouse edge.
+func TestLocalPositionExample7(t *testing.T) {
+	ctx, es := sampleCtx(t, "brad_pitt", "angelina_jolie")
+	g := ctx.G
+	star := g.LabelByName(kbgen.RelStarring)
+	spouse := g.LabelByName(kbgen.RelSpouse)
+	costarKey := pattern.MustNew(g, 3, []pattern.Edge{
+		{U: 2, V: pattern.Start, Label: star}, {U: 2, V: pattern.End, Label: star},
+	}).CanonicalKey()
+	spouseKey := pattern.MustNew(g, 2, []pattern.Edge{
+		{U: pattern.Start, V: pattern.End, Label: spouse},
+	}).CanonicalKey()
+
+	var costarPos, spousePos float64 = -1, -1
+	local := LocalPosition{}
+	for _, ex := range es {
+		switch ex.P.CanonicalKey() {
+		case costarKey:
+			costarPos = -local.Score(ctx, ex)[0]
+		case spouseKey:
+			spousePos = -local.Score(ctx, ex)[0]
+		}
+	}
+	if costarPos < 0 || spousePos < 0 {
+		t.Fatal("costar or spouse explanation not enumerated")
+	}
+	if spousePos != 0 {
+		t.Errorf("spouse position = %v, want 0 (no one beats a spouse edge)", spousePos)
+	}
+	// Brad co-stars once with Angelina; julia (3), clooney (2), damon
+	// (2), and several Troy/Vampire/Oceans co-stars beat or match — the
+	// ones strictly above count 1 produce a positive position.
+	if costarPos <= 0 {
+		t.Errorf("costar position = %v, want > 0", costarPos)
+	}
+	if !(spousePos < costarPos) {
+		t.Errorf("spouse (%v) must rank rarer than costar (%v)", spousePos, costarPos)
+	}
+}
+
+// TestLocalPositionLimitSemantics verifies the LIMIT pruning contract:
+// full computation when the true score ties or beats the threshold,
+// ok=false only when strictly below.
+func TestLocalPositionLimitSemantics(t *testing.T) {
+	ctx, es := sampleCtx(t, "brad_pitt", "angelina_jolie")
+	local := LocalPosition{}
+	for _, ex := range es {
+		full := local.Score(ctx, ex)
+		// Threshold exactly at the score: must not be pruned.
+		s, ok := local.ScoreWithLimit(ctx, ex, full)
+		if !ok || s.Cmp(full) != 0 {
+			t.Fatalf("tie with threshold pruned: %v ok=%v want %v", s, ok, full)
+		}
+		// Threshold strictly above: must be pruned.
+		above := Score{full[0] + 1}
+		if _, ok := local.ScoreWithLimit(ctx, ex, above); ok {
+			t.Fatalf("score %v not pruned under threshold %v", full, above)
+		}
+		// Threshold strictly below: full score.
+		belowT := Score{full[0] - 1}
+		s, ok = local.ScoreWithLimit(ctx, ex, belowT)
+		if !ok || s.Cmp(full) != 0 {
+			t.Fatalf("low threshold distorted score: %v ok=%v", s, ok)
+		}
+	}
+}
+
+// TestGlobalPositionSumsLocals verifies that the global estimate equals
+// the sum of local positions over the sampled starts.
+func TestGlobalPositionSumsLocals(t *testing.T) {
+	ctx, es := sampleCtx(t, "brad_pitt", "angelina_jolie")
+	ctx.SampleStarts = SampleStarts(ctx.G, 12, 3)
+	global := GlobalPosition{}
+	for _, ex := range es[:min(len(es), 6)] {
+		want := 0.0
+		a := ex.Count()
+		for _, s := range ctx.SampleStarts {
+			pos, ok := localPosition(ctx.G, ex.P, s, a, -1)
+			if !ok {
+				t.Fatal("unlimited localPosition aborted")
+			}
+			want += float64(pos)
+		}
+		got := -global.Score(ctx, ex)[0]
+		if got != want {
+			t.Errorf("global position = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestGlobalPositionFallsBackToQueryStart checks the no-samples fallback.
+func TestGlobalPositionFallback(t *testing.T) {
+	ctx, es := sampleCtx(t, "brad_pitt", "angelina_jolie")
+	local := LocalPosition{}
+	global := GlobalPosition{}
+	for _, ex := range es[:min(len(es), 4)] {
+		if got, want := global.Score(ctx, ex)[0], local.Score(ctx, ex)[0]; got != want {
+			t.Errorf("no-sample global %v != local %v", got, want)
+		}
+	}
+}
+
+// TestGlobalPositionLimit checks pruning semantics for the global
+// measure.
+func TestGlobalPositionLimit(t *testing.T) {
+	ctx, es := sampleCtx(t, "brad_pitt", "angelina_jolie")
+	ctx.SampleStarts = SampleStarts(ctx.G, 10, 3)
+	global := GlobalPosition{}
+	for _, ex := range es[:min(len(es), 6)] {
+		full := global.Score(ctx, ex)
+		if s, ok := global.ScoreWithLimit(ctx, ex, full); !ok || s.Cmp(full) != 0 {
+			t.Fatalf("tie pruned: %v ok=%v", s, ok)
+		}
+		if _, ok := global.ScoreWithLimit(ctx, ex, Score{full[0] + 1}); ok {
+			t.Fatalf("strictly-worse score not pruned")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonicalisation and isomorphism.
+//
+// The paper's duplication check (Algorithm 3, lines 16–23) discards a
+// newly generated explanation whenever its pattern is isomorphic to an
+// already-kept pattern, where isomorphism must respect the two target
+// variables (start maps to start, end to end). Patterns are bounded by
+// the size limit (5 in the paper's experiments), so exact isomorphism is
+// affordable: we canonicalise by trying every permutation of the
+// non-target variables and keeping the lexicographically smallest edge
+// encoding. Two patterns are isomorphic iff their canonical keys are
+// equal, which turns the queue scan of the pseudocode into a hash-map
+// lookup.
+
+// CanonicalKey returns a string that is identical for exactly the
+// patterns isomorphic to p (with targets pinned). The key is cached on
+// first use; computing it is O((n-2)! · |E| log |E|), trivial for the
+// pattern sizes REX enumerates.
+func (p *Pattern) CanonicalKey() string {
+	if p.canon == "" {
+		p.canon = p.computeCanon()
+	}
+	return p.canon
+}
+
+func (p *Pattern) computeCanon() string {
+	enc, _ := p.canonWithPerm()
+	return enc
+}
+
+// canonWithPerm computes the canonical encoding together with a
+// permutation achieving it.
+func (p *Pattern) canonWithPerm() (string, []VarID) {
+	free := p.n - 2 // variables 2..n-1 may be permuted
+	if free <= 0 {
+		return p.encodeEdges(nil), nil
+	}
+	perm := make([]VarID, free) // perm[i] = image of variable i+2
+	for i := range perm {
+		perm[i] = VarID(i + 2)
+	}
+	best := ""
+	var bestPerm []VarID
+	permute(perm, 0, func() {
+		enc := p.encodeEdges(perm)
+		if best == "" || enc < best {
+			best = enc
+			bestPerm = append(bestPerm[:0], perm...)
+		}
+	})
+	return best, bestPerm
+}
+
+// CanonicalPerm returns a full variable renaming into the canonical
+// numbering: result[v] is the canonical name of variable v (targets map
+// to themselves). Two isomorphic patterns renamed by their respective
+// CanonicalPerms have identical edge lists, and their instance sets —
+// remapped the same way — become directly comparable (equal up to
+// automorphisms of the canonical pattern, which permute the instance set
+// onto itself).
+func (p *Pattern) CanonicalPerm() []VarID {
+	_, perm := p.canonWithPerm()
+	out := make([]VarID, p.n)
+	out[Start], out[End] = Start, End
+	for i := 2; i < p.n; i++ {
+		if perm == nil {
+			out[i] = VarID(i)
+		} else {
+			out[i] = perm[i-2]
+		}
+	}
+	return out
+}
+
+// CanonicalInstanceKeys remaps every instance into the canonical variable
+// numbering and returns the sorted key list. Two explanations with
+// isomorphic patterns have equal canonical instance keys iff their
+// instance sets are equal.
+func (e *Explanation) CanonicalInstanceKeys() []string {
+	perm := e.P.CanonicalPerm()
+	keys := make([]string, len(e.Instances))
+	for i, in := range e.Instances {
+		remapped := make(Instance, len(in))
+		for v, id := range in {
+			remapped[perm[v]] = id
+		}
+		keys[i] = remapped.Key()
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings(a []string) {
+	sort.Strings(a)
+}
+
+// permute generates all permutations of perm[k:] in place, invoking f for
+// each complete permutation.
+func permute(perm []VarID, k int, f func()) {
+	if k == len(perm) {
+		f()
+		return
+	}
+	for i := k; i < len(perm); i++ {
+		perm[k], perm[i] = perm[i], perm[k]
+		permute(perm, k+1, f)
+		perm[k], perm[i] = perm[i], perm[k]
+	}
+}
+
+// encodeEdges renders the edge multiset under a relabeling of the free
+// variables. perm[i] is the new name of variable i+2; a nil perm is the
+// identity. Directed edges keep their orientation; undirected edges are
+// re-normalised to U ≤ V after renaming so that equal patterns encode
+// equally.
+func (p *Pattern) encodeEdges(perm []VarID) string {
+	mapped := make([]Edge, len(p.edges))
+	rename := func(v VarID) VarID {
+		if v < 2 || perm == nil {
+			return v
+		}
+		return perm[v-2]
+	}
+	for i, e := range p.edges {
+		u, v := rename(e.U), rename(e.V)
+		if !p.schema.LabelDirected(e.Label) && u > v {
+			u, v = v, u
+		}
+		mapped[i] = Edge{U: u, V: v, Label: e.Label}
+	}
+	sortEdges(mapped)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", p.n)
+	for _, e := range mapped {
+		fmt.Fprintf(&b, "%d,%d,%d;", e.U, e.V, e.Label)
+	}
+	return b.String()
+}
+
+// Isomorphic reports whether p and q are isomorphic with targets pinned.
+func (p *Pattern) Isomorphic(q *Pattern) bool {
+	if p.n != q.n || len(p.edges) != len(q.edges) {
+		return false
+	}
+	return p.CanonicalKey() == q.CanonicalKey()
+}

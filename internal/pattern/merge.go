@@ -1,0 +1,225 @@
+package pattern
+
+import (
+	"strings"
+
+	"rex/internal/kb"
+)
+
+// Explanation merging: the ∪f operator of Algorithm 3 (lines 24–41).
+//
+// Two explanations for the same entity pair are merged under a partial
+// one-to-one mapping f between their non-target variables. The paper's
+// requirements on f:
+//
+//	(1) start maps to start, end to end (implicit: both explanations
+//	    target the same pair);
+//	(2) a non-target variable maps to a non-target variable or nothing;
+//	(3) the mapping is injective where defined;
+//	(4) at least one non-target pair is matched.
+//
+// Requirement (4) is what makes every merge result non-decomposable, and
+// the covering-path argument (Theorem 1) makes it essential, so every
+// result is minimal by construction. Instances are combined pairwise,
+// keeping combinations that agree on every matched variable.
+
+// Merge implements merge(re1, re2, n): it returns all minimal
+// explanations obtainable by merging re1 with re2 under some valid
+// partial mapping, keeping only results with at most maxVars variables
+// and at least one instance. Results are not de-duplicated against each
+// other; the caller's duplication check handles that (as in the paper).
+func Merge(re1, re2 *Explanation, maxVars int) []*Explanation {
+	p1, p2 := re1.P, re2.P
+	free1 := p1.NumVars() - 2
+	free2 := p2.NumVars() - 2
+	if free1 == 0 || free2 == 0 {
+		// Requirement (4) cannot be met: nothing to match.
+		return nil
+	}
+	var out []*Explanation
+	// mapping[j] is the p1 variable matched to p2 variable j+2, or -1.
+	mapping := make([]VarID, free2)
+	used := make([]bool, free1)
+	var rec func(j, matched int)
+	rec = func(j, matched int) {
+		if j == free2 {
+			if matched == 0 {
+				return
+			}
+			if merged := applyMapping(re1, re2, mapping, maxVars); merged != nil {
+				out = append(out, merged)
+			}
+			return
+		}
+		mapping[j] = -1
+		rec(j+1, matched)
+		for i := 0; i < free1; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			mapping[j] = VarID(i + 2)
+			rec(j+1, matched+1)
+			used[i] = false
+		}
+		mapping[j] = -1
+	}
+	rec(0, 0)
+	return out
+}
+
+// applyMapping builds the merged explanation for one mapping, or nil when
+// the result exceeds maxVars or has no instance.
+func applyMapping(re1, re2 *Explanation, mapping []VarID, maxVars int) *Explanation {
+	p1, p2 := re1.P, re2.P
+	// Assign variable IDs in the merged pattern: p1 variables keep their
+	// IDs; unmatched p2 variables get fresh IDs.
+	rename2 := make([]VarID, p2.NumVars())
+	rename2[Start], rename2[End] = Start, End
+	next := VarID(p1.NumVars())
+	for j := 0; j < p2.NumVars()-2; j++ {
+		if mapping[j] >= 0 {
+			rename2[j+2] = mapping[j]
+		} else {
+			rename2[j+2] = next
+			next++
+		}
+	}
+	total := int(next)
+	if total > maxVars {
+		return nil
+	}
+
+	edges := make([]Edge, 0, p1.NumEdges()+p2.NumEdges())
+	edges = append(edges, p1.Edges()...)
+	for _, e := range p2.Edges() {
+		edges = append(edges, Edge{U: rename2[e.U], V: rename2[e.V], Label: e.Label})
+	}
+	merged, err := New(p1.Schema(), total, edges)
+	if err != nil {
+		return nil
+	}
+
+	instances := mergeInstances(re1, re2, mapping, rename2, total)
+	if len(instances) == 0 {
+		return nil
+	}
+	return &Explanation{P: merged, Instances: instances}
+}
+
+// mergeInstances joins the two instance sets on the matched variables.
+// To avoid the |I1|×|I2| scan of the pseudocode, re2's instances are
+// indexed by their matched-variable values first; the join then probes
+// that index, which is the standard hash-join the paper's SQL evaluation
+// would perform.
+func mergeInstances(re1, re2 *Explanation, mapping []VarID, rename2 []VarID, total int) []Instance {
+	matchedVars2 := make([]VarID, 0, len(mapping))
+	matchedVars1 := make([]VarID, 0, len(mapping))
+	for j, m := range mapping {
+		if m >= 0 {
+			matchedVars2 = append(matchedVars2, VarID(j+2))
+			matchedVars1 = append(matchedVars1, m)
+		}
+	}
+	joinKey := func(in Instance, vars []VarID) string {
+		var b strings.Builder
+		b.Grow(len(vars) * 4)
+		for _, v := range vars {
+			id := in[v]
+			b.WriteByte(byte(id))
+			b.WriteByte(byte(id >> 8))
+			b.WriteByte(byte(id >> 16))
+			b.WriteByte(byte(id >> 24))
+		}
+		return b.String()
+	}
+	index2 := make(map[string][]Instance, len(re2.Instances))
+	for _, i2 := range re2.Instances {
+		k := joinKey(i2, matchedVars2)
+		index2[k] = append(index2[k], i2)
+	}
+
+	var out []Instance
+	seen := make(map[string]struct{})
+	for _, i1 := range re1.Instances {
+		k := joinKey(i1, matchedVars1)
+		for _, i2 := range index2[k] {
+			merged := make(Instance, total)
+			copy(merged, i1)
+			for v2 := 2; v2 < len(i2); v2++ {
+				merged[rename2[v2]] = i2[v2]
+			}
+			if !injective(merged) {
+				continue
+			}
+			ik := merged.Key()
+			if _, dup := seen[ik]; dup {
+				continue
+			}
+			seen[ik] = struct{}{}
+			out = append(out, merged)
+		}
+	}
+	return out
+}
+
+// injective reports whether all variable bindings are distinct. REX
+// instances are injective embeddings; both joined instances already are,
+// so only collisions between one side's private variables and the other
+// side's bindings can occur, but the full quadratic check is trivial at
+// these sizes.
+func injective(in Instance) bool {
+	for i := 1; i < len(in); i++ {
+		for j := 0; j < i; j++ {
+			if in[i] == in[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FromPathInstance builds the (pattern, instance) pair for one simple
+// path in the knowledge base. nodes is the full node sequence from start
+// to end; steps[i] is the half-edge taken from nodes[i] to nodes[i+1].
+// Internal path nodes become variables 2,3,... in path order; the
+// canonical key makes the numbering immaterial for de-duplication.
+func FromPathInstance(g *kb.Graph, nodes []kb.NodeID, steps []kb.HalfEdge) (*Pattern, Instance, error) {
+	L := len(steps)
+	if len(nodes) != L+1 {
+		return nil, nil, errPathShape
+	}
+	varOf := make([]VarID, L+1)
+	varOf[0] = Start
+	varOf[L] = End
+	for i := 1; i < L; i++ {
+		varOf[i] = VarID(i + 1) // nodes[1] -> v2, nodes[2] -> v3, ...
+	}
+	edges := make([]Edge, L)
+	for i, he := range steps {
+		u, v := varOf[i], varOf[i+1]
+		if g.LabelDirected(he.Label) && he.Dir == kb.In {
+			u, v = v, u // the underlying edge points nodes[i+1] → nodes[i]
+		}
+		edges[i] = Edge{U: u, V: v, Label: he.Label}
+	}
+	p, err := New(g, L+1, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	inst := make(Instance, L+1)
+	inst[Start] = nodes[0]
+	inst[End] = nodes[L]
+	for i := 1; i < L; i++ {
+		inst[varOf[i]] = nodes[i]
+	}
+	return p, inst, nil
+}
+
+var errPathShape = &pathShapeError{}
+
+type pathShapeError struct{}
+
+func (*pathShapeError) Error() string {
+	return "pattern: node sequence and step list lengths disagree"
+}

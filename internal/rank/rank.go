@@ -1,0 +1,166 @@
+// Package rank turns enumerated explanations into ranked explanation
+// lists (Section 4.4):
+//
+//   - General: Algorithm 5 — enumerate everything, score everything,
+//     sort, cut at k.
+//   - TopKAntiMonotone: the interleaved algorithm for anti-monotonic
+//     measures — only explanations currently in the top-k list are
+//     expanded further, justified by Theorem 4 (any expansion can only
+//     lower an anti-monotonic score).
+//   - TopKDistributional: full enumeration, but the per-explanation
+//     distributional position computation is bounded by the current
+//     k-th best position (the SQL "LIMIT p" trick of Section 5.3.2).
+package rank
+
+import (
+	"sort"
+
+	"rex/internal/enumerate"
+	"rex/internal/kb"
+	"rex/internal/measure"
+	"rex/internal/pattern"
+)
+
+// Ranked pairs an explanation with its interestingness score.
+type Ranked struct {
+	Ex    *pattern.Explanation
+	Score measure.Score
+}
+
+// sortRanked orders by score descending. Ties break by (pattern size,
+// edge count, key hash): deterministic, and — crucially for the
+// Theorem 4 pruning — ancestor-consistent: a merge result always has
+// more nodes, or equal nodes and more edges, than the explanations it
+// was merged from, so on tied scores every ancestor of a top-k
+// explanation is itself top-k and the interleaved expansion cannot miss
+// it. (This also mirrors the paper's emission order: the ring-by-ring
+// union produces small patterns first.)
+func sortRanked(rs []Ranked) {
+	sort.Slice(rs, func(i, j int) bool {
+		if c := rs[i].Score.Cmp(rs[j].Score); c != 0 {
+			return c > 0
+		}
+		pi, pj := rs[i].Ex.P, rs[j].Ex.P
+		if pi.NumVars() != pj.NumVars() {
+			return pi.NumVars() < pj.NumVars()
+		}
+		if pi.NumEdges() != pj.NumEdges() {
+			return pi.NumEdges() < pj.NumEdges()
+		}
+		ki, kj := pi.CanonicalKey(), pj.CanonicalKey()
+		hi, hj := fnv64(ki), fnv64(kj)
+		if hi != hj {
+			return hi < hj
+		}
+		return ki < kj
+	})
+}
+
+// fnv64 is the FNV-1a hash, inlined to keep the package dependency-free.
+func fnv64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// General implements Algorithm 5 over an already-enumerated explanation
+// list: score, sort, return the top k (all, when k ≤ 0).
+func General(ctx *measure.Context, es []*pattern.Explanation, m measure.Measure, k int) []Ranked {
+	rs := make([]Ranked, len(es))
+	for i, ex := range es {
+		rs[i] = Ranked{Ex: ex, Score: m.Score(ctx, ex)}
+	}
+	sortRanked(rs)
+	if k > 0 && len(rs) > k {
+		rs = rs[:k]
+	}
+	return rs
+}
+
+// TopKAntiMonotone interleaves enumeration, scoring and ranking for an
+// anti-monotonic measure: path explanations seed a candidate pool, and
+// expansion (merging with path explanations) proceeds only from
+// explanations currently in the top-k list, per Theorem 4. The final list
+// equals General's on the full enumeration, usually at a fraction of the
+// cost.
+func TopKAntiMonotone(g *kb.Graph, start, end kb.NodeID, cfg enumerate.Config, ctx *measure.Context, m measure.Measure, k int) []Ranked {
+	if k <= 0 {
+		k = 10
+	}
+	paths := enumerate.Paths(g, start, end, cfg)
+	maxVars := cfg.MaxPatternSize
+	if maxVars <= 0 {
+		maxVars = enumerate.DefaultMaxPatternSize
+	}
+
+	pool := make([]Ranked, 0, len(paths))
+	seen := make(map[string]struct{}, len(paths))
+	expanded := make(map[string]struct{})
+	for _, ex := range paths {
+		pool = append(pool, Ranked{Ex: ex, Score: m.Score(ctx, ex)})
+		seen[ex.P.CanonicalKey()] = struct{}{}
+	}
+
+	for {
+		sortRanked(pool)
+		top := pool
+		if len(top) > k {
+			top = top[:k]
+		}
+		var frontier []*pattern.Explanation
+		for _, r := range top {
+			key := r.Ex.P.CanonicalKey()
+			if _, done := expanded[key]; !done {
+				expanded[key] = struct{}{}
+				frontier = append(frontier, r.Ex)
+			}
+		}
+		if len(frontier) == 0 {
+			out := make([]Ranked, len(top))
+			copy(out, top)
+			return out
+		}
+		for _, re1 := range frontier {
+			for _, re2 := range paths {
+				for _, re := range pattern.Merge(re1, re2, maxVars) {
+					key := re.P.CanonicalKey()
+					if _, dup := seen[key]; dup {
+						continue
+					}
+					seen[key] = struct{}{}
+					pool = append(pool, Ranked{Ex: re, Score: m.Score(ctx, re)})
+				}
+			}
+		}
+	}
+}
+
+// TopKDistributional ranks with a prunable (Limited) measure: the current
+// k-th best score bounds each subsequent evaluation, so hopeless
+// position computations abort early. The result equals General's ranking
+// under the same measure.
+func TopKDistributional(ctx *measure.Context, es []*pattern.Explanation, m measure.Limited, k int) []Ranked {
+	if k <= 0 {
+		k = 10
+	}
+	var top []Ranked
+	for _, ex := range es {
+		var threshold measure.Score
+		if len(top) >= k {
+			threshold = top[len(top)-1].Score
+		}
+		s, ok := m.ScoreWithLimit(ctx, ex, threshold)
+		if !ok {
+			continue // cannot beat the current k-th best
+		}
+		top = append(top, Ranked{Ex: ex, Score: s})
+		sortRanked(top)
+		if len(top) > k {
+			top = top[:k]
+		}
+	}
+	return top
+}

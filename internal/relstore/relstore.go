@@ -1,0 +1,339 @@
+// Package relstore is the relational substrate of Section 5.3.2: the
+// knowledge base's primary relationships stored as a relation
+// R(eid1, eid2, rel), over which distributional interestingness measures
+// are computed as self-join aggregation queries —
+//
+//	SELECT v_start, R2.eid1, count(*) AS count
+//	FROM R AS R1, R AS R2
+//	WHERE v_start = R1.eid1 AND R1.eid2 = R2.eid2
+//	  AND R1.rel = 'starring' AND R2.rel = 'starring'
+//	GROUP BY v_start, R2.eid1
+//	HAVING count > c
+//	LIMIT p
+//
+// The package implements exactly the evaluation such queries need: hash
+// indexes on (eid1, rel) and (eid2, rel), backtracking self-joins, GROUP
+// BY the free end entity, HAVING count > c, and early termination after
+// LIMIT p groups. REX uses it both as an alternative engine for the
+// distributional measures (cross-checked against the graph matcher in
+// tests) and to render the paper's SQL for display.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rex/internal/kb"
+	"rex/internal/pattern"
+)
+
+// Row is one tuple of R: a primary relationship instance. Undirected
+// relationships appear in both orientations so that a single join
+// pattern matches either.
+type Row struct {
+	EID1, EID2 kb.NodeID
+	Rel        kb.LabelID
+}
+
+// Store holds R with the hash indexes the self-joins probe.
+type Store struct {
+	rows []Row
+	// by1[key(eid1,rel)] lists eid2 values; by2 the reverse.
+	by1 map[idxKey][]kb.NodeID
+	by2 map[idxKey][]kb.NodeID
+}
+
+type idxKey struct {
+	eid kb.NodeID
+	rel kb.LabelID
+}
+
+// FromGraph materialises R from a knowledge base. Directed edges store
+// one row (from, to); undirected edges store both orientations, which is
+// how an RDBMS encoding of an undirected relationship behaves under
+// symmetric query loads.
+func FromGraph(g *kb.Graph) *Store {
+	st := &Store{
+		by1: make(map[idxKey][]kb.NodeID),
+		by2: make(map[idxKey][]kb.NodeID),
+	}
+	add := func(a, b kb.NodeID, rel kb.LabelID) {
+		st.rows = append(st.rows, Row{EID1: a, EID2: b, Rel: rel})
+		st.by1[idxKey{a, rel}] = append(st.by1[idxKey{a, rel}], b)
+		st.by2[idxKey{b, rel}] = append(st.by2[idxKey{b, rel}], a)
+	}
+	for _, e := range g.Edges() {
+		add(e.From, e.To, e.Label)
+		if !g.LabelDirected(e.Label) {
+			add(e.To, e.From, e.Label)
+		}
+	}
+	for _, lst := range st.by1 {
+		sortNodeIDs(lst)
+	}
+	for _, lst := range st.by2 {
+		sortNodeIDs(lst)
+	}
+	return st
+}
+
+func sortNodeIDs(a []kb.NodeID) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// NumRows reports the cardinality of R.
+func (st *Store) NumRows() int { return len(st.rows) }
+
+// Lookup1 returns the eid2 values of rows with the given eid1 and rel.
+func (st *Store) Lookup1(eid1 kb.NodeID, rel kb.LabelID) []kb.NodeID {
+	return st.by1[idxKey{eid1, rel}]
+}
+
+// Lookup2 returns the eid1 values of rows with the given eid2 and rel.
+func (st *Store) Lookup2(eid2 kb.NodeID, rel kb.LabelID) []kb.NodeID {
+	return st.by2[idxKey{eid2, rel}]
+}
+
+// Has reports whether R contains the exact row.
+func (st *Store) Has(eid1, eid2 kb.NodeID, rel kb.LabelID) bool {
+	for _, x := range st.by1[idxKey{eid1, rel}] {
+		if x == eid2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Atom is one R alias in the FROM clause: a join constraint
+// R(term1, term2, rel) where terms are pattern variables.
+type Atom struct {
+	V1, V2 pattern.VarID
+	Rel    kb.LabelID
+}
+
+// Query is the compiled form of an explanation pattern as a self-join
+// over R, with the start variable bound to a constant and the end
+// variable as the GROUP BY column.
+type Query struct {
+	Atoms   []Atom
+	NumVars int
+	Start   kb.NodeID
+}
+
+// Compile translates a pattern into a Query: each pattern edge becomes an
+// atom; directed labels map (U, V) onto (eid1, eid2), and undirected
+// labels rely on the doubled rows.
+func Compile(g *kb.Graph, p *pattern.Pattern, start kb.NodeID) Query {
+	atoms := make([]Atom, 0, p.NumEdges())
+	for _, e := range p.Edges() {
+		atoms = append(atoms, Atom{V1: e.U, V2: e.V, Rel: e.Label})
+	}
+	return Query{Atoms: atoms, NumVars: p.NumVars(), Start: start}
+}
+
+// GroupCounts evaluates the query, returning the instance count per end
+// entity: the relational form of the local distribution. Variable
+// bindings are injective (REX instance semantics — in SQL these are the
+// v_i <> v_j inequality predicates).
+func (st *Store) GroupCounts(q Query) map[kb.NodeID]int {
+	counts := make(map[kb.NodeID]int)
+	st.run(q, func(endv kb.NodeID) bool {
+		counts[endv]++
+		return true
+	})
+	return counts
+}
+
+// PositionHaving evaluates the paper's full query shape: the number of
+// GROUP BY groups whose count strictly exceeds c — the position of the
+// explanation in the local distribution. When limit ≥ 0 the evaluation
+// stops (ok=false) as soon as more than limit groups qualify, which is
+// the LIMIT clause the pruned ranking adds.
+func (st *Store) PositionHaving(q Query, c, limit int) (pos int, ok bool) {
+	counts := make(map[kb.NodeID]int)
+	exceeded := 0
+	aborted := false
+	st.run(q, func(endv kb.NodeID) bool {
+		counts[endv]++
+		if counts[endv] == c+1 {
+			exceeded++
+			if limit >= 0 && exceeded > limit {
+				aborted = true
+				return false
+			}
+		}
+		return true
+	})
+	if aborted {
+		return 0, false
+	}
+	return exceeded, true
+}
+
+// run enumerates all satisfying assignments, invoking emit with the end
+// binding of each; emit returns false to stop. The join order is greedy:
+// always the atom with the most bound variables, seeded by the start
+// constant.
+func (st *Store) run(q Query, emit func(end kb.NodeID) bool) {
+	binding := make([]kb.NodeID, q.NumVars)
+	bound := make([]bool, q.NumVars)
+	binding[pattern.Start] = q.Start
+	bound[pattern.Start] = true
+
+	order := planAtoms(q, bound)
+	st.join(q, order, 0, binding, bound, emit)
+}
+
+// planAtoms orders atoms so each has at least one bound variable when
+// evaluated (patterns are connected to the start).
+func planAtoms(q Query, boundInit []bool) []Atom {
+	bound := make([]bool, len(boundInit))
+	copy(bound, boundInit)
+	remaining := append([]Atom{}, q.Atoms...)
+	var order []Atom
+	for len(remaining) > 0 {
+		best := -1
+		bestScore := -1
+		for i, a := range remaining {
+			score := 0
+			if bound[a.V1] {
+				score++
+			}
+			if bound[a.V2] {
+				score++
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		order = append(order, a)
+		bound[a.V1], bound[a.V2] = true, true
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return order
+}
+
+// join recursively evaluates order[i:]. Injectivity is enforced at each
+// fresh binding.
+func (st *Store) join(q Query, order []Atom, i int, binding []kb.NodeID, bound []bool, emit func(kb.NodeID) bool) bool {
+	if i == len(order) {
+		if !bound[pattern.End] {
+			// Pattern without edges at the end variable cannot occur for
+			// minimal patterns; guard anyway.
+			return true
+		}
+		return emit(binding[pattern.End])
+	}
+	a := order[i]
+	switch {
+	case bound[a.V1] && bound[a.V2]:
+		if st.Has(binding[a.V1], binding[a.V2], a.Rel) {
+			return st.join(q, order, i+1, binding, bound, emit)
+		}
+		return true
+	case bound[a.V1]:
+		for _, cand := range st.Lookup1(binding[a.V1], a.Rel) {
+			if !bindOK(binding, bound, cand) {
+				continue
+			}
+			binding[a.V2] = cand
+			bound[a.V2] = true
+			ok := st.join(q, order, i+1, binding, bound, emit)
+			bound[a.V2] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	case bound[a.V2]:
+		for _, cand := range st.Lookup2(binding[a.V2], a.Rel) {
+			if !bindOK(binding, bound, cand) {
+				continue
+			}
+			binding[a.V1] = cand
+			bound[a.V1] = true
+			ok := st.join(q, order, i+1, binding, bound, emit)
+			bound[a.V1] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	default:
+		// Disconnected atom: scan R filtered by rel. Minimal patterns
+		// never need this; kept for completeness.
+		for _, r := range st.rows {
+			if r.Rel != a.Rel {
+				continue
+			}
+			if !bindOK(binding, bound, r.EID1) {
+				continue
+			}
+			binding[a.V1] = r.EID1
+			bound[a.V1] = true
+			if !bindOK(binding, bound, r.EID2) {
+				bound[a.V1] = false
+				continue
+			}
+			binding[a.V2] = r.EID2
+			bound[a.V2] = true
+			ok := st.join(q, order, i+1, binding, bound, emit)
+			bound[a.V1], bound[a.V2] = false, false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// bindOK enforces injectivity: the candidate must differ from every
+// currently bound value.
+func bindOK(binding []kb.NodeID, bound []bool, cand kb.NodeID) bool {
+	for v, ok := range bound {
+		if ok && binding[v] == cand {
+			return false
+		}
+	}
+	return true
+}
+
+// SQL renders the query in the paper's SQL dialect for display: one R
+// alias per atom, join predicates in WHERE, GROUP BY the end variable,
+// HAVING count > c, and LIMIT p when limit ≥ 0.
+func SQL(g *kb.Graph, p *pattern.Pattern, c, limit int) string {
+	var b strings.Builder
+	b.WriteString("SELECT v_start, v_end, count(*) AS count\nFROM ")
+	for i := range p.Edges() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "R AS R%d", i+1)
+	}
+	b.WriteString("\nWHERE ")
+	terms := make([]string, 0, 3*p.NumEdges())
+	varTerm := func(v pattern.VarID) string {
+		switch v {
+		case pattern.Start:
+			return "v_start"
+		case pattern.End:
+			return "v_end"
+		default:
+			return fmt.Sprintf("v%d", v)
+		}
+	}
+	for i, e := range p.Edges() {
+		terms = append(terms,
+			fmt.Sprintf("R%d.eid1 = %s", i+1, varTerm(e.U)),
+			fmt.Sprintf("R%d.eid2 = %s", i+1, varTerm(e.V)),
+			fmt.Sprintf("R%d.rel = '%s'", i+1, g.LabelName(e.Label)))
+	}
+	b.WriteString(strings.Join(terms, "\n  AND "))
+	fmt.Fprintf(&b, "\nGROUP BY v_start, v_end\nHAVING count > %d", c)
+	if limit >= 0 {
+		fmt.Fprintf(&b, "\nLIMIT %d", limit+1)
+	}
+	return b.String()
+}

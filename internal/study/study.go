@@ -1,0 +1,221 @@
+// Package study reproduces the paper's user-study methodology
+// (Section 5.4) with simulated raters — the substitution for the 10
+// human judges we do not have (see DESIGN.md).
+//
+// The rater model encodes the paper's central empirical finding as
+// ground truth: an explanation's perceived interestingness is driven
+// mostly by its rarity (how few competing entity pairs exhibit the same
+// pattern at least as strongly), moderated by its structural simplicity,
+// plus idiosyncratic per-rater taste. Each simulated rater labels an
+// explanation very relevant (2), somewhat relevant (1) or not relevant
+// (0), and rankings are compared with the paper's DCG-style score
+// normalised to [0, 100].
+package study
+
+import (
+	"math"
+
+	"rex/internal/kb"
+	"rex/internal/match"
+	"rex/internal/measure"
+	"rex/internal/pattern"
+)
+
+// Judged is an explanation with its simulated relevance labels.
+type Judged struct {
+	Ex     *pattern.Explanation
+	Labels []int // one 0/1/2 label per rater
+}
+
+// AvgLabel is the mean rater label.
+func (j Judged) AvgLabel() float64 {
+	if len(j.Labels) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, l := range j.Labels {
+		sum += l
+	}
+	return float64(sum) / float64(len(j.Labels))
+}
+
+// Panel is a deterministic pool of simulated raters over one entity
+// pair's candidate explanations.
+type Panel struct {
+	NumRaters int
+	Seed      int64
+
+	quality map[string]float64 // canonical key → ground-truth quality in [0,1]
+}
+
+// Ground-truth component weights. The mix encodes what the paper's user
+// study concluded humans respond to: rarity of the pattern (the
+// distributional signal) and structural simplicity matter most,
+// explanation strength (instance volume) helps, and an idiosyncratic
+// taste component stands in for everything no measure captures. No
+// single REX measure coincides with the blend, which is what lets
+// Table 1 separate them.
+const (
+	wRarity     = 0.32
+	wSimplicity = 0.26
+	wStrength   = 0.10
+	wFacets     = 0.12
+	wTaste      = 0.20
+)
+
+// NewPanel builds the ground-truth quality for every candidate
+// explanation of a pair:
+//
+//	quality = wRarity·rarity + wSimplicity·simplicity +
+//	          wStrength·strength + wFacets·facets + wTaste·taste
+//
+// rarity blends the pair-local and (sampled) global positions of the
+// explanation, both computed independently with the subgraph matcher;
+// simplicity = 1/(size-1); strength saturates with the instance count;
+// facets rewards edges beyond a spanning tree (the paper's observed
+// preference for non-path explanations); taste is a stable
+// pseudo-random per-pattern component. globalStarts may be nil, in
+// which case rarity is purely local.
+func NewPanel(g *kb.Graph, start, end kb.NodeID, candidates []*pattern.Explanation, numRaters int, seed int64, globalStarts ...kb.NodeID) *Panel {
+	if numRaters <= 0 {
+		numRaters = 10
+	}
+	p := &Panel{NumRaters: numRaters, Seed: seed, quality: make(map[string]float64, len(candidates))}
+	localCtx := &measure.Context{G: g, Start: start, End: end}
+	globalCtx := &measure.Context{G: g, Start: start, End: end, SampleStarts: globalStarts}
+	var local measure.LocalPosition
+	var global measure.GlobalPosition
+	for _, ex := range candidates {
+		key := ex.P.CanonicalKey()
+		rarity := 1.0 / (1.0 - local.Score(localCtx, ex)[0])
+		if len(globalStarts) > 0 {
+			gpos := -global.Score(globalCtx, ex)[0] / float64(len(globalStarts))
+			rarity = 0.5*rarity + 0.5/(1.0+gpos)
+		}
+		simplicity := 1.0 / float64(ex.P.NumVars()-1)
+		// Raters discount the rarity of convoluted patterns: a rare but
+		// complicated explanation reads as puzzling rather than
+		// interesting, so the rarity payoff shrinks with pattern size.
+		// This interaction is the behavioural reason the paper's
+		// size-primary combination measures beat pure rarity ranking.
+		rarity *= math.Pow(simplicity, 0.7)
+		count := float64(ex.Count())
+		strength := count / (count + 2)
+		// Facets: edges beyond a spanning tree of the pattern. The
+		// paper's Section 5.4.2 finding is that raters prefer
+		// explanations whose connection is confirmed along several
+		// interlocking relationships (non-paths) over bare chains; this
+		// component encodes that documented behaviour.
+		extra := float64(ex.P.NumEdges() - (ex.P.NumVars() - 1))
+		if extra > 2 {
+			extra = 2
+		}
+		if extra < 0 {
+			extra = 0
+		}
+		facets := extra / 2
+		taste := hash01(key, seed)
+		p.quality[key] = wRarity*rarity + wSimplicity*simplicity +
+			wStrength*strength + wFacets*facets + wTaste*taste
+	}
+	return p
+}
+
+// Judge labels an explanation by every rater: the rater perturbs the
+// ground-truth quality with personal noise and quantises to {0,1,2}.
+func (p *Panel) Judge(ex *pattern.Explanation) Judged {
+	key := ex.P.CanonicalKey()
+	q := p.quality[key]
+	labels := make([]int, p.NumRaters)
+	for r := range labels {
+		noise := (hash01(key, p.Seed^(int64(r+1)*0x9e3779b9)) - 0.5) * 0.30
+		v := q + noise
+		switch {
+		case v >= 0.50:
+			labels[r] = 2
+		case v >= 0.30:
+			labels[r] = 1
+		default:
+			labels[r] = 0
+		}
+	}
+	return Judged{Ex: ex, Labels: labels}
+}
+
+// DCG computes the paper's ranking score (Section 5.4.1):
+//
+//	score(M) = m · Σ_i w_i · s_i,  w_i = 1/log2(i+1),  i ∈ [1, k]
+//
+// where s_i is the mean rater label of the explanation at rank i and m
+// normalises a perfect ranking (all labels 2) to 100.
+func DCG(ranked []Judged, k int) float64 {
+	if k <= 0 {
+		k = 10
+	}
+	wsum := 0.0
+	for i := 1; i <= k; i++ {
+		wsum += 1 / math.Log2(float64(i)+1)
+	}
+	m := 100.0 / (2.0 * wsum)
+	total := 0.0
+	for i := 0; i < k && i < len(ranked); i++ {
+		w := 1 / math.Log2(float64(i)+2)
+		total += w * ranked[i].AvgLabel()
+	}
+	return m * total
+}
+
+// hash01 maps a string and seed to a deterministic float in [0, 1).
+func hash01(s string, seed int64) float64 {
+	h := uint64(seed) ^ 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(h>>11) / float64(1<<53)
+}
+
+// PathShare reports the fraction of path-shaped explanations among the
+// top-k explanations by rater judgment, counting only explanations whose
+// average label is at least 1 (the paper's Section 5.4.2 filter). The
+// second return is the number of explanations that qualified.
+func PathShare(judged []Judged, k int) (share float64, considered int) {
+	// Sort by average label descending, canonical key as tie-break.
+	ordered := append([]Judged{}, judged...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ordered[j-1], ordered[j]
+			if a.AvgLabel() > b.AvgLabel() {
+				break
+			}
+			if a.AvgLabel() == b.AvgLabel() &&
+				a.Ex.P.CanonicalKey() <= b.Ex.P.CanonicalKey() {
+				break
+			}
+			ordered[j-1], ordered[j] = b, a
+		}
+	}
+	paths := 0
+	for _, j := range ordered {
+		if considered >= k || j.AvgLabel() < 1 {
+			break
+		}
+		considered++
+		if j.Ex.P.IsPath() {
+			paths++
+		}
+	}
+	if considered == 0 {
+		return 0, 0
+	}
+	return float64(paths) / float64(considered), considered
+}
+
+// Oracle re-exports the matcher count so experiment code can sanity-check
+// enumerated counts without importing match directly.
+func Oracle(g *kb.Graph, ex *pattern.Explanation, start, end kb.NodeID) int {
+	return match.Count(g, ex.P, start, end)
+}

@@ -1,0 +1,430 @@
+// Package rex explains relationships between entity pairs over a
+// knowledge base, reproducing the REX system of Fang, Das Sarma, Yu and
+// Bohannon (PVLDB 5(3), 2011).
+//
+// Given two entities, REX enumerates all minimal relationship
+// explanations — constrained graph patterns connecting the pair,
+// together with their instances in the knowledge base — and ranks them
+// by configurable interestingness measures:
+//
+//	kb, _ := rex.LoadKB("entertainment.tsv")
+//	ex, _ := rex.NewExplainer(kb, rex.Options{Measure: "size+local-dist", TopK: 5})
+//	res, _ := ex.Explain("brad_pitt", "angelina_jolie")
+//	for _, e := range res.Explanations {
+//	    fmt.Println(e.Description)
+//	}
+//
+// The package is a facade over the internal engine; see DESIGN.md for
+// the architecture and the mapping to the paper's algorithms.
+package rex
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"rex/internal/decorate"
+	"rex/internal/enumerate"
+	"rex/internal/kb"
+	"rex/internal/kbgen"
+	"rex/internal/match"
+	"rex/internal/measure"
+	"rex/internal/pattern"
+	"rex/internal/rank"
+	"rex/internal/relstore"
+)
+
+// KB is a knowledge base: a graph of entities connected by labeled,
+// directed or undirected primary relationships.
+type KB struct {
+	g *kb.Graph
+}
+
+// LoadKB reads a knowledge base from a file, auto-detecting the format:
+// the fast binary format (see KB.SaveBinary) by its magic header,
+// otherwise the TSV interchange format (node/label/edge records).
+func LoadKB(path string) (*KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(5)
+	if err == nil && string(head) == "REXKB" {
+		g, err := kb.ReadBinary(br)
+		if err != nil {
+			return nil, err
+		}
+		return &KB{g: g}, nil
+	}
+	g, err := kb.ReadTSV(br)
+	if err != nil {
+		return nil, err
+	}
+	return &KB{g: g}, nil
+}
+
+// SaveBinary writes the knowledge base in the fast binary format, which
+// loads an order of magnitude faster than TSV at paper scale.
+func (k *KB) SaveBinary(path string) error { return k.g.SaveBinary(path) }
+
+// ReadKB parses a knowledge base from TSV input.
+func ReadKB(r io.Reader) (*KB, error) {
+	g, err := kb.ReadTSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return &KB{g: g}, nil
+}
+
+// WriteTSV serialises the knowledge base.
+func (k *KB) WriteTSV(w io.Writer) error { return k.g.WriteTSV(w) }
+
+// SaveTSV writes the knowledge base to a file.
+func (k *KB) SaveTSV(path string) error { return k.g.SaveTSV(path) }
+
+// SampleKB returns the curated entertainment knowledge base used by the
+// examples and the paper's running example (Brad Pitt, Angelina Jolie,
+// Tom Cruise, Kate Winslet, ...).
+func SampleKB() *KB { return &KB{g: kbgen.Sample()} }
+
+// GenOptions configures synthetic knowledge-base generation.
+type GenOptions struct {
+	// Scale multiplies the entity populations; 1.0 ≈ 2,700 entities,
+	// 75 ≈ the paper's 200K-entity DBpedia extraction.
+	Scale float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateKB builds a synthetic entertainment knowledge base with the
+// schema of the paper's DBpedia extraction.
+func GenerateKB(opt GenOptions) *KB {
+	return &KB{g: kbgen.Generate(kbgen.Options{Scale: opt.Scale, Seed: opt.Seed})}
+}
+
+// Stats summarises a knowledge base.
+type Stats struct {
+	Nodes, Edges, Labels int
+	MaxDegree            int
+	AvgDegree            float64
+}
+
+// Stats reports knowledge-base summary statistics.
+func (k *KB) Stats() Stats {
+	s := k.g.Stats()
+	return Stats{Nodes: s.Nodes, Edges: s.Edges, Labels: s.Labels,
+		MaxDegree: s.MaxDegree, AvgDegree: s.AvgDegree}
+}
+
+// HasEntity reports whether the knowledge base contains the named entity.
+func (k *KB) HasEntity(name string) bool { return k.g.NodeByName(name) != kb.InvalidNode }
+
+// Entities returns all entity names of a given type ("" for all), in
+// insertion order.
+func (k *KB) Entities(typ string) []string {
+	var out []string
+	for _, n := range k.g.Nodes() {
+		if typ == "" || n.Type == typ {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// Connectedness counts the simple paths of length ≤ maxLen between two
+// named entities — the workload-bucketing metric of the paper's
+// evaluation. It returns an error for unknown entities.
+func (k *KB) Connectedness(start, end string, maxLen int) (int, error) {
+	s := k.g.NodeByName(start)
+	if s == kb.InvalidNode {
+		return 0, fmt.Errorf("rex: unknown entity %q", start)
+	}
+	e := k.g.NodeByName(end)
+	if e == kb.InvalidNode {
+		return 0, fmt.Errorf("rex: unknown entity %q", end)
+	}
+	return k.g.Connectedness(s, e, maxLen, -1), nil
+}
+
+// Options configures an Explainer. The zero value uses the paper's
+// experimental defaults: pattern size limit 5, prioritized path
+// enumeration, pruned path union, the size+local-dist combined measure
+// that won the paper's user study, top-10 results, and pruned ranking.
+type Options struct {
+	// MaxPatternSize bounds explanation pattern size in nodes (paper: 5).
+	MaxPatternSize int
+	// PathAlgorithm is one of "naive", "basic", "prioritized".
+	PathAlgorithm string
+	// UnionAlgorithm is one of "basic", "prune".
+	UnionAlgorithm string
+	// Measure names the interestingness measure: size, random-walk,
+	// count, monocount, local-dist, global-dist, size+monocount,
+	// size+local-dist.
+	Measure string
+	// TopK bounds the number of returned explanations (paper: 10).
+	TopK int
+	// GlobalSamples is the number of sampled start entities estimating
+	// the global distribution (paper: 100). Only used by global-dist.
+	GlobalSamples int
+	// Seed drives the deterministic sampling used by global-dist.
+	Seed int64
+	// DisablePruning forces the general enumerate-then-rank pipeline
+	// even when measure-specific pruning is available; used by the
+	// benchmarks to quantify pruning gains.
+	DisablePruning bool
+	// MaxInstancesPerExplanation truncates the instance lists included
+	// in results (0 keeps everything). Enumeration itself is unaffected.
+	MaxInstancesPerExplanation int
+	// Decorate re-attaches non-essential context facts (e.g. the
+	// director of a co-starred film) to each returned explanation — the
+	// post-processing stage Section 2.3 of the paper defers.
+	Decorate bool
+}
+
+func (o Options) normalized() Options {
+	if o.MaxPatternSize <= 0 {
+		o.MaxPatternSize = 5
+	}
+	if o.PathAlgorithm == "" {
+		o.PathAlgorithm = "prioritized"
+	}
+	if o.UnionAlgorithm == "" {
+		o.UnionAlgorithm = "prune"
+	}
+	if o.Measure == "" {
+		o.Measure = "size+local-dist"
+	}
+	if o.TopK <= 0 {
+		o.TopK = 10
+	}
+	if o.GlobalSamples <= 0 {
+		o.GlobalSamples = 100
+	}
+	return o
+}
+
+// Explainer answers relationship-explanation queries over one knowledge
+// base. It is safe for concurrent use.
+type Explainer struct {
+	kb  *KB
+	opt Options
+	m   measure.Measure
+	cfg enumerate.Config
+}
+
+// NewExplainer validates the options and builds an explainer.
+func NewExplainer(k *KB, opt Options) (*Explainer, error) {
+	opt = opt.normalized()
+	cfg := enumerate.Config{MaxPatternSize: opt.MaxPatternSize}
+	switch opt.PathAlgorithm {
+	case "naive":
+		cfg.PathAlg = enumerate.PathNaive
+	case "basic":
+		cfg.PathAlg = enumerate.PathBasic
+	case "prioritized":
+		cfg.PathAlg = enumerate.PathPrioritized
+	default:
+		return nil, fmt.Errorf("rex: unknown path algorithm %q", opt.PathAlgorithm)
+	}
+	switch opt.UnionAlgorithm {
+	case "basic":
+		cfg.UnionAlg = enumerate.UnionBasic
+	case "prune":
+		cfg.UnionAlg = enumerate.UnionPrune
+	default:
+		return nil, fmt.Errorf("rex: unknown union algorithm %q", opt.UnionAlgorithm)
+	}
+	m, err := MeasureByName(opt.Measure)
+	if err != nil {
+		return nil, err
+	}
+	return &Explainer{kb: k, opt: opt, m: m, cfg: cfg}, nil
+}
+
+// MeasureNames lists the supported interestingness measures. The first
+// eight are the paper's Table 1 rows; local-dev and global-dev are the
+// standard-deviation distributional variant the paper sketches in
+// Section 4.3.
+func MeasureNames() []string {
+	return []string{"size", "random-walk", "count", "monocount",
+		"local-dist", "global-dist", "size+monocount", "size+local-dist",
+		"local-dev", "global-dev"}
+}
+
+// MeasureByName resolves a measure name.
+func MeasureByName(name string) (measure.Measure, error) {
+	switch name {
+	case "size":
+		return measure.Size{}, nil
+	case "random-walk":
+		return measure.RandomWalk{}, nil
+	case "count":
+		return measure.Count{}, nil
+	case "monocount":
+		return measure.Monocount{}, nil
+	case "local-dist":
+		return measure.LocalPosition{}, nil
+	case "global-dist":
+		return measure.GlobalPosition{}, nil
+	case "size+monocount":
+		return measure.Combined{Primary: measure.Size{}, Secondary: measure.Monocount{}}, nil
+	case "size+local-dist":
+		return measure.Combined{Primary: measure.Size{}, Secondary: measure.LocalPosition{}}, nil
+	case "local-dev":
+		return measure.LocalDeviation{}, nil
+	case "global-dev":
+		return measure.GlobalDeviation{}, nil
+	}
+	return nil, fmt.Errorf("rex: unknown measure %q (supported: %v)", name, MeasureNames())
+}
+
+// Instance is one concrete realisation of an explanation pattern: entity
+// names bound to the pattern's variables. Bindings[0] is the start
+// entity, Bindings[1] the end entity; the rest follow variable order.
+type Instance struct {
+	Bindings []string
+}
+
+// Explanation is a ranked relationship explanation.
+type Explanation struct {
+	// Pattern is the compact pattern rendering with variables.
+	Pattern string
+	// Description substitutes the first instance's entities into the
+	// pattern for display ("brad_pitt --spouse-- angelina_jolie; ...").
+	Description string
+	// SQL is the paper-style SQL query whose groups compute the local
+	// count distribution of this pattern (Section 5.3.2).
+	SQL string
+	// IsPath reports whether the pattern is a simple path.
+	IsPath bool
+	// Size is the number of pattern nodes including the targets.
+	Size int
+	// NumInstances is the count of distinct instances (M_count).
+	NumInstances int
+	// Monocount is the anti-monotonic aggregate (M_monocount).
+	Monocount int
+	// Score is the measure's lexicographic score (greater = more
+	// interesting).
+	Score []float64
+	// Instances lists (possibly truncated) concrete instances.
+	Instances []Instance
+	// Decorations lists rendered non-essential context facts when
+	// Options.Decorate is set ("v2 --directed_by--> doug_liman").
+	Decorations []string
+}
+
+// Result is a ranked explanation list for one entity pair.
+type Result struct {
+	Start, End   string
+	Measure      string
+	Explanations []Explanation
+}
+
+// Explain enumerates and ranks relationship explanations between two
+// named entities.
+func (e *Explainer) Explain(start, end string) (*Result, error) {
+	g := e.kb.g
+	s := g.NodeByName(start)
+	if s == kb.InvalidNode {
+		return nil, fmt.Errorf("rex: unknown entity %q", start)
+	}
+	t := g.NodeByName(end)
+	if t == kb.InvalidNode {
+		return nil, fmt.Errorf("rex: unknown entity %q", end)
+	}
+	if s == t {
+		return nil, fmt.Errorf("rex: start and end entity are both %q", start)
+	}
+	ctx := &measure.Context{G: g, Start: s, End: t}
+	if needsGlobalSamples(e.m) {
+		ctx.SampleStarts = measure.SampleStartsOfType(g, g.Node(s).Type, e.opt.GlobalSamples, e.opt.Seed)
+	}
+
+	var ranked []rank.Ranked
+	switch {
+	case !e.opt.DisablePruning && e.m.AntiMonotonic():
+		ranked = rank.TopKAntiMonotone(g, s, t, e.cfg, ctx, e.m, e.opt.TopK)
+	case !e.opt.DisablePruning && isLimited(e.m):
+		es := enumerate.Explanations(g, s, t, e.cfg)
+		ranked = rank.TopKDistributional(ctx, es, e.m.(measure.Limited), e.opt.TopK)
+	default:
+		es := enumerate.Explanations(g, s, t, e.cfg)
+		ranked = rank.General(ctx, es, e.m, e.opt.TopK)
+	}
+
+	res := &Result{Start: start, End: end, Measure: e.m.Name()}
+	for _, r := range ranked {
+		res.Explanations = append(res.Explanations, e.render(r))
+	}
+	return res, nil
+}
+
+func isLimited(m measure.Measure) bool {
+	_, ok := m.(measure.Limited)
+	return ok
+}
+
+// needsGlobalSamples reports whether a measure (or either half of a
+// combination) evaluates a global distribution and therefore needs the
+// sampled start entities in its context.
+func needsGlobalSamples(m measure.Measure) bool {
+	switch v := m.(type) {
+	case measure.GlobalPosition, measure.GlobalDeviation:
+		return true
+	case measure.Combined:
+		return needsGlobalSamples(v.Primary) || needsGlobalSamples(v.Secondary)
+	}
+	return false
+}
+
+// render converts an internal ranked explanation to the public shape.
+func (e *Explainer) render(r rank.Ranked) Explanation {
+	g := e.kb.g
+	ex := r.Ex
+	out := Explanation{
+		Pattern:      ex.P.String(),
+		IsPath:       ex.P.IsPath(),
+		Size:         ex.P.NumVars(),
+		NumInstances: ex.Count(),
+		Monocount:    ex.Monocount(),
+		Score:        append([]float64{}, r.Score...),
+		SQL:          relstore.SQL(g, ex.P, ex.Count(), -1),
+	}
+	if len(ex.Instances) > 0 {
+		out.Description = ex.P.Describe(g, ex.Instances[0])
+	} else {
+		out.Description = ex.P.Describe(g, nil)
+	}
+	limit := e.opt.MaxInstancesPerExplanation
+	for i, in := range ex.Instances {
+		if limit > 0 && i >= limit {
+			break
+		}
+		names := make([]string, len(in))
+		for v, id := range in {
+			names[v] = g.NodeName(id)
+		}
+		out.Instances = append(out.Instances, Instance{Bindings: names})
+	}
+	if e.opt.Decorate {
+		for _, d := range decorate.Explanation(g, ex, decorate.Options{}) {
+			out.Decorations = append(out.Decorations, d.Describe(g))
+		}
+	}
+	return out
+}
+
+// CountInstances recounts an explanation pattern's instances with the
+// independent subgraph matcher — exposed for verification tooling.
+func (e *Explainer) CountInstances(p *pattern.Pattern, start, end string) (int, error) {
+	g := e.kb.g
+	s := g.NodeByName(start)
+	t := g.NodeByName(end)
+	if s == kb.InvalidNode || t == kb.InvalidNode {
+		return 0, fmt.Errorf("rex: unknown entity in pair (%q, %q)", start, end)
+	}
+	return match.Count(g, p, s, t), nil
+}

@@ -1,0 +1,235 @@
+package rex
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSampleKBStats(t *testing.T) {
+	kb := SampleKB()
+	st := kb.Stats()
+	if st.Nodes == 0 || st.Edges == 0 || st.Labels == 0 {
+		t.Fatalf("empty sample KB: %+v", st)
+	}
+	if !kb.HasEntity("brad_pitt") || kb.HasEntity("ghost_entity") {
+		t.Error("HasEntity broken")
+	}
+	actors := kb.Entities("actor")
+	if len(actors) == 0 {
+		t.Error("no actors listed")
+	}
+	all := kb.Entities("")
+	if len(all) != st.Nodes {
+		t.Errorf("Entities(\"\") = %d, want %d", len(all), st.Nodes)
+	}
+}
+
+func TestTSVRoundTripPublic(t *testing.T) {
+	kb := SampleKB()
+	path := filepath.Join(t.TempDir(), "kb.tsv")
+	if err := kb.SaveTSV(path); err != nil {
+		t.Fatal(err)
+	}
+	kb2, err := LoadKB(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb2.Stats() != kb.Stats() {
+		t.Errorf("stats changed: %+v vs %+v", kb2.Stats(), kb.Stats())
+	}
+	var buf bytes.Buffer
+	if err := kb.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	kb3, err := ReadKB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb3.Stats() != kb.Stats() {
+		t.Error("ReadKB stats differ")
+	}
+}
+
+func TestLoadKBMissingFile(t *testing.T) {
+	if _, err := LoadKB(filepath.Join(t.TempDir(), "nope.tsv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestGenerateKBPublic(t *testing.T) {
+	kb := GenerateKB(GenOptions{Scale: 0.3, Seed: 5})
+	if kb.Stats().Nodes == 0 {
+		t.Fatal("generated KB empty")
+	}
+	kb2 := GenerateKB(GenOptions{Scale: 0.3, Seed: 5})
+	if kb.Stats() != kb2.Stats() {
+		t.Error("generation not deterministic through the public API")
+	}
+}
+
+func TestNewExplainerValidation(t *testing.T) {
+	kb := SampleKB()
+	cases := []Options{
+		{PathAlgorithm: "bogus"},
+		{UnionAlgorithm: "bogus"},
+		{Measure: "bogus"},
+	}
+	for i, opt := range cases {
+		if _, err := NewExplainer(kb, opt); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	if _, err := NewExplainer(kb, Options{}); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}
+
+func TestMeasureNamesResolve(t *testing.T) {
+	for _, name := range MeasureNames() {
+		m, err := MeasureByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if m.Name() != name {
+			t.Errorf("measure %q reports name %q", name, m.Name())
+		}
+	}
+	if _, err := MeasureByName("nope"); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Explain("ghost", "brad_pitt"); err == nil {
+		t.Error("unknown start accepted")
+	}
+	if _, err := ex.Explain("brad_pitt", "ghost"); err == nil {
+		t.Error("unknown end accepted")
+	}
+	if _, err := ex.Explain("brad_pitt", "brad_pitt"); err == nil {
+		t.Error("identical pair accepted")
+	}
+}
+
+func TestExplainBasics(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{Measure: "size", TopK: 5, MaxInstancesPerExplanation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Explain("brad_pitt", "angelina_jolie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Explanations) == 0 || len(res.Explanations) > 5 {
+		t.Fatalf("got %d explanations", len(res.Explanations))
+	}
+	top := res.Explanations[0]
+	if !strings.Contains(top.Pattern, "spouse") {
+		t.Errorf("smallest explanation should be the spouse edge, got %s", top.Pattern)
+	}
+	if !top.IsPath || top.Size != 2 || top.NumInstances != 1 || top.Monocount != 1 {
+		t.Errorf("spouse explanation fields: %+v", top)
+	}
+	if len(top.Instances) != 1 || top.Instances[0].Bindings[0] != "brad_pitt" {
+		t.Errorf("instances rendered wrong: %+v", top.Instances)
+	}
+	if !strings.Contains(top.SQL, "spouse") {
+		t.Errorf("SQL rendering missing label: %s", top.SQL)
+	}
+	if top.Description == "" {
+		t.Error("empty description")
+	}
+	for _, e := range res.Explanations {
+		if len(e.Instances) > 2 {
+			t.Errorf("instance truncation ignored: %d", len(e.Instances))
+		}
+	}
+}
+
+// TestExplainPruningEquivalence checks that pruned and unpruned ranking
+// return the same explanations for every measure on a real pair.
+func TestExplainPruningEquivalence(t *testing.T) {
+	kb := SampleKB()
+	for _, name := range MeasureNames() {
+		if name == "global-dist" {
+			continue // exercised separately; slow with 100 samples
+		}
+		pruned, err := NewExplainer(kb, Options{Measure: name, TopK: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := NewExplainer(kb, Options{Measure: name, TopK: 5, DisablePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := pruned.Explain("kate_winslet", "leonardo_dicaprio")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := full.Explain("kate_winslet", "leonardo_dicaprio")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Explanations) != len(b.Explanations) {
+			t.Errorf("%s: pruned %d vs full %d", name, len(a.Explanations), len(b.Explanations))
+			continue
+		}
+		for i := range a.Explanations {
+			if a.Explanations[i].Pattern != b.Explanations[i].Pattern {
+				t.Errorf("%s: rank %d differs: %s vs %s",
+					name, i, a.Explanations[i].Pattern, b.Explanations[i].Pattern)
+				break
+			}
+		}
+	}
+}
+
+func TestExplainGlobalDist(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{Measure: "global-dist", TopK: 3, GlobalSamples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Explain("brad_pitt", "angelina_jolie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Explanations) == 0 {
+		t.Fatal("no explanations under global-dist")
+	}
+}
+
+func TestConnectednessPublic(t *testing.T) {
+	kb := SampleKB()
+	c, err := kb.Connectedness("brad_pitt", "angelina_jolie", 4)
+	if err != nil || c == 0 {
+		t.Fatalf("connectedness = %d, err %v", c, err)
+	}
+	if _, err := kb.Connectedness("ghost", "brad_pitt", 4); err == nil {
+		t.Error("unknown entity accepted")
+	}
+	if _, err := kb.Connectedness("brad_pitt", "ghost", 4); err == nil {
+		t.Error("unknown entity accepted")
+	}
+}
+
+func TestResultMetadata(t *testing.T) {
+	kb := SampleKB()
+	ex, _ := NewExplainer(kb, Options{Measure: "monocount", TopK: 3})
+	res, err := ex.Explain("tom_cruise", "nicole_kidman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Start != "tom_cruise" || res.End != "nicole_kidman" || res.Measure != "monocount" {
+		t.Errorf("result metadata: %+v", res)
+	}
+}
