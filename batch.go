@@ -1,0 +1,106 @@
+package rex
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Pair names one entity pair to explain.
+type Pair struct {
+	Start string `json:"start"`
+	End   string `json:"end"`
+}
+
+// BatchOptions configures a BatchExplain fan-out.
+type BatchOptions struct {
+	// Concurrency is the number of worker goroutines explaining pairs;
+	// 0 uses GOMAXPROCS. It is additionally capped at the pair count.
+	Concurrency int
+	// PerPairTimeout, when positive, bounds each pair's query with its
+	// own deadline (derived from the batch context), so one pathological
+	// pair cannot consume the whole batch budget.
+	PerPairTimeout time.Duration
+}
+
+// BatchResult is the outcome for one pair of a batch: either a result or
+// that pair's error, never both. Errors are isolated per pair — one
+// failing pair does not affect the others.
+type BatchResult struct {
+	Pair   Pair
+	Result *Result
+	Err    error
+}
+
+// BatchExplain explains many pairs concurrently over a worker pool,
+// returning one BatchResult per input pair in input order. Per-pair
+// errors (unknown entities, per-pair timeouts) are recorded in the
+// corresponding slot; cancelling ctx aborts in-flight queries and marks
+// every unfinished pair with ctx.Err(). The explainer's result cache,
+// when enabled, is consulted and populated as usual.
+func (e *Explainer) BatchExplain(ctx context.Context, pairs []Pair, opts BatchOptions) []BatchResult {
+	out := make([]BatchResult, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+
+	// When the batch itself fans out, split the core budget between the
+	// two levels instead of nesting a full GOMAXPROCS enumeration pool
+	// inside every batch worker (which would run ~P² CPU-bound
+	// goroutines and multiply scheduler contention): each query gets
+	// GOMAXPROCS/workers enumeration workers, at least one. Only the
+	// auto setting (Workers == 0) is rebudgeted — an explicit
+	// Options.Parallelism is respected. Results are identical either way
+	// (the engine's worker count never changes output), so the shallow
+	// copy can share the result cache.
+	eng := e
+	if workers > 1 && e.cfg.Workers == 0 {
+		per := runtime.GOMAXPROCS(0) / workers
+		if per < 1 {
+			per = 1
+		}
+		budgeted := *e
+		budgeted.cfg.Workers = per
+		eng = &budgeted
+	}
+
+	var next sync.Mutex
+	idx := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				i := idx
+				idx++
+				next.Unlock()
+				if i >= len(pairs) {
+					return
+				}
+				p := pairs[i]
+				pctx := ctx
+				var cancel context.CancelFunc
+				if opts.PerPairTimeout > 0 {
+					pctx, cancel = context.WithTimeout(ctx, opts.PerPairTimeout)
+				}
+				res, err := eng.ExplainContext(pctx, p.Start, p.End)
+				if cancel != nil {
+					cancel()
+				}
+				out[i] = BatchResult{Pair: p, Result: res, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -11,6 +11,7 @@ package rex
 // full workload size.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -297,6 +298,116 @@ func BenchmarkConnectedness(b *testing.B) {
 func BenchmarkKBGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		kbgen.Generate(kbgen.Options{Scale: 0.25, Seed: int64(i)})
+	}
+}
+
+// --- Concurrency and caching benchmarks for the serving-layer path. ---
+
+// benchBatchPairs draws the bucketed workload as name pairs for the
+// batch benchmarks.
+func benchBatchPairs(b *testing.B, env *harness.Env) []Pair {
+	b.Helper()
+	var pairs []Pair
+	for _, bu := range harness.Buckets() {
+		for _, p := range env.PairsIn(bu) {
+			pairs = append(pairs, Pair{
+				Start: env.G.NodeName(p.Start),
+				End:   env.G.NodeName(p.End),
+			})
+		}
+	}
+	if len(pairs) == 0 {
+		b.Skip("no workload pairs at bench scale")
+	}
+	return pairs
+}
+
+// BenchmarkBatchExplain measures batch throughput serial vs fanned out
+// over the worker pool: the parallel/serial ratio is the speedup the
+// concurrent serving layer buys on multi-core hardware. Enumeration is
+// pinned serial (Parallelism: 1) so the ratio isolates the pair-level
+// fan-out, and caching is off so every pair pays full query cost.
+func BenchmarkBatchExplain(b *testing.B) {
+	env, _ := benchSetup(b)
+	kbv := &KB{g: env.G}
+	ex, err := NewExplainer(kbv, Options{Measure: "size+monocount", TopK: 10, Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := benchBatchPairs(b, env)
+	ctx := context.Background()
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := ex.BatchExplain(ctx, pairs, BatchOptions{Concurrency: bench.workers})
+				for _, br := range out {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(pairs))*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkExplainCache measures the cold query path against the LRU hit
+// path that the serving layer rides on repeated traffic.
+func BenchmarkExplainCache(b *testing.B) {
+	kbv := SampleKB()
+	cold, err := NewExplainer(kbv, Options{Measure: "size+local-dist", TopK: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot, err := NewExplainer(kbv, Options{Measure: "size+local-dist", TopK: 10, CacheSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := hot.Explain("kate_winslet", "leonardo_dicaprio"); err != nil {
+		b.Fatal(err) // prime the cache
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cold.Explain("kate_winslet", "leonardo_dicaprio"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hot.Explain("kate_winslet", "leonardo_dicaprio"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEnumerationWorkers measures the prioritized enumerator's
+// worker-pool scaling on the densest workload pair.
+func BenchmarkEnumerationWorkers(b *testing.B) {
+	env, rep := benchSetup(b)
+	p, ok := rep[kb.ConnHigh]
+	if !ok {
+		b.Skip("no high-connectedness pair at bench scale")
+	}
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "gomaxprocs"
+		}
+		cfg := benchCfg
+		cfg.Workers = workers
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				enumerate.Explanations(env.G, p.Start, p.End, cfg)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,107 @@
+package rex
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is a synchronised LRU cache of rendered explanation
+// results. Entries are keyed by (entity pair, normalized options); see
+// Explainer.cacheKey. Hit and miss counts are tracked for the /stats
+// endpoint of cmd/rexserve and for capacity tuning.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// cacheEntry is one LRU element: the key (needed for eviction) and the
+// shared, read-only result.
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used, and records the hit or miss. The element value is read under the
+// lock: put may rewrite el.Value when refreshing an existing key.
+func (c *resultCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	var res *Result
+	if ok {
+		c.ll.MoveToFront(el)
+		res = el.Value.(cacheEntry).res
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return res, true
+}
+
+// put stores a result, evicting the least recently used entry when the
+// cache is full. Storing an existing key refreshes its value and
+// recency.
+func (c *resultCache) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = cacheEntry{key: key, res: res}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats reports result-cache effectiveness counters.
+type CacheStats struct {
+	// Hits and Misses count cache lookups since construction. Misses
+	// includes lookups for results that were never stored (e.g. queries
+	// that errored).
+	Hits, Misses uint64
+	// Entries is the current entry count; Capacity the configured
+	// maximum. Both are 0 when caching is disabled.
+	Entries, Capacity int
+}
+
+// CacheStats returns a snapshot of the explainer's result-cache counters.
+// The zero value is returned when caching is disabled.
+func (e *Explainer) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:     e.cache.hits.Load(),
+		Misses:   e.cache.misses.Load(),
+		Entries:  e.cache.len(),
+		Capacity: e.cache.cap,
+	}
+}

@@ -5,13 +5,17 @@
 //	rex -sample -start tom_cruise -end will_smith -measure local-dist -k 5
 //
 // With no -kb flag the built-in sample entertainment knowledge base is
-// used (equivalent to -sample).
+// used (equivalent to -sample). A -timeout bounds the query; exceeding it
+// exits with an error.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,28 +23,43 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, executes one
+// explanation query, renders it to stdout, and returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rex", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		kbPath    = flag.String("kb", "", "knowledge base TSV file (default: built-in sample)")
-		sample    = flag.Bool("sample", false, "use the built-in sample entertainment KB")
-		start     = flag.String("start", "", "start entity name (required)")
-		end       = flag.String("end", "", "end entity name (required)")
-		measureN  = flag.String("measure", "size+local-dist", "interestingness measure: "+strings.Join(rex.MeasureNames(), ", "))
-		topK      = flag.Int("k", 10, "number of explanations to return")
-		maxSize   = flag.Int("size", 5, "pattern size limit (nodes)")
-		pathAlg   = flag.String("path", "prioritized", "path enumeration: naive, basic, prioritized")
-		unionAlg  = flag.String("union", "prune", "path union: basic, prune")
-		maxInst   = flag.Int("instances", 3, "max instances to print per explanation (0 = all)")
-		showSQL   = flag.Bool("sql", false, "print the distributional SQL for each explanation")
-		noPruning = flag.Bool("no-pruning", false, "disable ranking-time pruning")
-		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
-		decorate  = flag.Bool("decorate", false, "attach non-essential context facts to each explanation")
+		kbPath    = fs.String("kb", "", "knowledge base TSV file (default: built-in sample)")
+		sample    = fs.Bool("sample", false, "use the built-in sample entertainment KB")
+		start     = fs.String("start", "", "start entity name (required)")
+		end       = fs.String("end", "", "end entity name (required)")
+		measureN  = fs.String("measure", "size+local-dist", "interestingness measure: "+strings.Join(rex.MeasureNames(), ", "))
+		topK      = fs.Int("k", 10, "number of explanations to return")
+		maxSize   = fs.Int("size", 5, "pattern size limit (nodes)")
+		pathAlg   = fs.String("path", "prioritized", "path enumeration: naive, basic, prioritized")
+		unionAlg  = fs.String("union", "prune", "path union: basic, prune")
+		maxInst   = fs.Int("instances", 3, "max instances to print per explanation (0 = all)")
+		showSQL   = fs.Bool("sql", false, "print the distributional SQL for each explanation")
+		noPruning = fs.Bool("no-pruning", false, "disable ranking-time pruning")
+		jsonOut   = fs.Bool("json", false, "emit the result as JSON")
+		decorate  = fs.Bool("decorate", false, "attach non-essential context facts to each explanation")
+		workers   = fs.Int("parallelism", 0, "enumeration worker pool size (0 = GOMAXPROCS)")
+		timeout   = fs.Duration("timeout", 0, "query deadline (0 = none)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *start == "" || *end == "" {
-		fmt.Fprintln(os.Stderr, "rex: -start and -end are required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "rex: -start and -end are required")
+		fs.Usage()
+		return 2
 	}
 
 	var (
@@ -51,7 +70,8 @@ func main() {
 	case *kbPath != "":
 		kb, err = rex.LoadKB(*kbPath)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "rex:", err)
+			return 1
 		}
 	default:
 		_ = sample // the sample KB is also the default
@@ -67,58 +87,64 @@ func main() {
 		DisablePruning:             *noPruning,
 		MaxInstancesPerExplanation: *maxInst,
 		Decorate:                   *decorate,
+		Parallelism:                *workers,
 	})
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "rex:", err)
+		return 1
 	}
 
-	res, err := ex.Explain(*start, *end)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := ex.ExplainContext(ctx, *start, *end)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "rex:", err)
+		return 1
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "rex:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	st := kb.Stats()
-	fmt.Printf("knowledge base: %d entities, %d relationships, %d labels\n",
+	fmt.Fprintf(stdout, "knowledge base: %d entities, %d relationships, %d labels\n",
 		st.Nodes, st.Edges, st.Labels)
-	fmt.Printf("top %d explanations for (%s, %s) by %s:\n\n",
+	fmt.Fprintf(stdout, "top %d explanations for (%s, %s) by %s:\n\n",
 		len(res.Explanations), res.Start, res.End, res.Measure)
 	for i, e := range res.Explanations {
 		kind := "pattern"
 		if e.IsPath {
 			kind = "path"
 		}
-		fmt.Printf("%2d. [%s, size %d, %d instance(s), monocount %d] score=%v\n",
+		fmt.Fprintf(stdout, "%2d. [%s, size %d, %d instance(s), monocount %d] score=%v\n",
 			i+1, kind, e.Size, e.NumInstances, e.Monocount, e.Score)
-		fmt.Printf("    %s\n", e.Pattern)
+		fmt.Fprintf(stdout, "    %s\n", e.Pattern)
 		for _, in := range e.Instances {
-			fmt.Printf("      instance: %s\n", strings.Join(in.Bindings, ", "))
+			fmt.Fprintf(stdout, "      instance: %s\n", strings.Join(in.Bindings, ", "))
 		}
 		for _, d := range e.Decorations {
-			fmt.Printf("      also: %s\n", d)
+			fmt.Fprintf(stdout, "      also: %s\n", d)
 		}
 		if *showSQL {
-			fmt.Println("    distributional SQL:")
+			fmt.Fprintln(stdout, "    distributional SQL:")
 			for _, line := range strings.Split(e.SQL, "\n") {
-				fmt.Printf("      %s\n", line)
+				fmt.Fprintf(stdout, "      %s\n", line)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if len(res.Explanations) == 0 {
-		fmt.Println("no explanations found within the pattern size limit")
+		fmt.Fprintln(stdout, "no explanations found within the pattern size limit")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rex:", err)
-	os.Exit(1)
+	return 0
 }

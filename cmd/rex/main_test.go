@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rex"
+)
+
+// TestRunSmoke drives the CLI end to end on the built-in sample KB.
+func TestRunSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-start", "brad_pitt", "-end", "angelina_jolie", "-k", "3"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "spouse") {
+		t.Errorf("output missing the spouse explanation:\n%s", s)
+	}
+	if !strings.Contains(s, "knowledge base:") {
+		t.Errorf("output missing the KB header:\n%s", s)
+	}
+}
+
+// TestRunJSON checks that -json emits a decodable rex.Result.
+func TestRunJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-start", "kate_winslet", "-end", "leonardo_dicaprio", "-json"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut.String())
+	}
+	var res rex.Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if res.Start != "kate_winslet" || len(res.Explanations) == 0 {
+		t.Errorf("unexpected result: %+v", res)
+	}
+}
+
+// TestRunErrors checks flag validation and unknown-entity exit codes.
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h: exit code = %d, want 0", code)
+	}
+	if code := run([]string{"-start", "brad_pitt"}, &out, &errOut); code != 2 {
+		t.Errorf("missing -end: exit code = %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-start", "brad_pitt", "-end", "ghost"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown entity: exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown entity") {
+		t.Errorf("stderr = %q, want unknown entity", errOut.String())
+	}
+	if code := run([]string{"-start", "a", "-end", "b", "-measure", "bogus"}, &out, &errOut); code != 1 {
+		t.Errorf("bad measure: exit code = %d, want 1", code)
+	}
+}

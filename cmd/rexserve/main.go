@@ -1,0 +1,100 @@
+// Command rexserve serves relationship-explanation queries over HTTP:
+//
+//	rexserve -kb entertainment.tsv -addr :8080 -timeout 2s -cache 4096
+//	rexserve -sample   # serve the built-in sample knowledge base
+//
+// Endpoints (all JSON):
+//
+//	GET  /explain?start=a&end=b   one pair (also POST {"start","end"})
+//	POST /batch                   {"pairs":[{"start","end"},...]}
+//	GET  /stats                   uptime, KB size, cache and query counters
+//	GET  /healthz                 liveness probe
+//
+// Every request runs under the -timeout deadline: queries that exceed it
+// are aborted mid-enumeration and answered with 504. Results are cached
+// in an LRU keyed by (pair, options) sized by -cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"rex"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		kbPath   = flag.String("kb", "", "knowledge base file (default: built-in sample)")
+		sample   = flag.Bool("sample", false, "use the built-in sample entertainment KB")
+		measureN = flag.String("measure", "size+local-dist", "interestingness measure: "+strings.Join(rex.MeasureNames(), ", "))
+		topK     = flag.Int("k", 10, "number of explanations per query")
+		maxSize  = flag.Int("size", 5, "pattern size limit (nodes)")
+		maxInst  = flag.Int("instances", 3, "max instances per explanation (0 = all)")
+		workers  = flag.Int("parallelism", 0, "enumeration worker pool size (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
+		cacheSz  = flag.Int("cache", 1024, "result cache entries (0 = disable caching)")
+		maxBatch = flag.Int("max-batch", 1024, "largest accepted /batch pair count")
+	)
+	flag.Parse()
+
+	var (
+		kb  *rex.KB
+		err error
+	)
+	switch {
+	case *kbPath != "":
+		kb, err = rex.LoadKB(*kbPath)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		_ = sample // the sample KB is also the default
+		kb = rex.SampleKB()
+	}
+
+	ex, err := rex.NewExplainer(kb, rex.Options{
+		MaxPatternSize:             *maxSize,
+		Measure:                    *measureN,
+		TopK:                       *topK,
+		MaxInstancesPerExplanation: *maxInst,
+		Parallelism:                *workers,
+		CacheSize:                  *cacheSz,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	st := kb.Stats()
+	log.Printf("rexserve: %d entities, %d relationships, %d labels; measure=%s timeout=%v cache=%d",
+		st.Nodes, st.Edges, st.Labels, *measureN, *timeout, *cacheSz)
+	srv := newServer(ex, kb, *timeout, *maxBatch)
+	// Connection-level timeouts: the -timeout flag only bounds query
+	// execution, so slow-header, slow-body, slow-reading and idle
+	// connections need their own limits or they pin goroutines and
+	// descriptors indefinitely. WriteTimeout caps total response time;
+	// with -timeout 0 a very long query can hit it first, which is the
+	// safer failure mode for a public listener.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("rexserve: listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rexserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,236 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"rex"
+)
+
+// server is the HTTP serving layer over one Explainer. All handlers are
+// safe for concurrent use: the explainer is concurrency-safe and the
+// request counters are atomic.
+type server struct {
+	ex       *rex.Explainer
+	kb       *rex.KB
+	timeout  time.Duration // per-request deadline
+	maxBatch int           // largest accepted /batch pair count
+	started  time.Time
+
+	explains atomic.Uint64 // completed /explain queries (incl. batch pairs)
+	errors   atomic.Uint64 // queries that returned an error
+	timeouts atomic.Uint64 // queries aborted by deadline or cancellation
+}
+
+func newServer(ex *rex.Explainer, kb *rex.KB, timeout time.Duration, maxBatch int) *server {
+	if maxBatch <= 0 {
+		maxBatch = 1024
+	}
+	return &server{ex: ex, kb: kb, timeout: timeout, maxBatch: maxBatch, started: time.Now()}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// explainResponse wraps one query result for the wire.
+type explainResponse struct {
+	Result    *rex.Result `json:"result"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// errorResponse is the JSON error shape of every endpoint.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// batchRequest is the /batch input.
+type batchRequest struct {
+	Pairs []rex.Pair `json:"pairs"`
+}
+
+// batchResponse is the /batch output: one entry per requested pair, in
+// request order, each carrying either a result or that pair's error.
+type batchResponse struct {
+	Results   []batchEntry `json:"results"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+type batchEntry struct {
+	Start  string      `json:"start"`
+	End    string      `json:"end"`
+	Result *rex.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+// decodeStatus distinguishes an oversized request body (413) from
+// malformed JSON (400).
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// errStatus maps a query error to its HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, rex.ErrUnknownEntity):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// note updates the per-query counters.
+func (s *server) note(err error) {
+	s.explains.Add(1)
+	if err == nil {
+		return
+	}
+	s.errors.Add(1)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.timeouts.Add(1)
+	}
+}
+
+// requestCtx derives the per-request deadline context.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// handleExplain answers GET /explain?start=a&end=b and the equivalent
+// POST with a JSON {"start","end"} body.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var p rex.Pair
+	switch r.Method {
+	case http.MethodGet:
+		p.Start = r.URL.Query().Get("start")
+		p.End = r.URL.Query().Get("end")
+	case http.MethodPost:
+		body := http.MaxBytesReader(w, r.Body, 1<<20)
+		if err := json.NewDecoder(body).Decode(&p); err != nil {
+			writeJSON(w, decodeStatus(err), errorResponse{Error: "invalid JSON body: " + err.Error()})
+			return
+		}
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use GET or POST"})
+		return
+	}
+	if p.Start == "" || p.End == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "start and end are required"})
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	t0 := time.Now()
+	res, err := s.ex.ExplainContext(ctx, p.Start, p.End)
+	s.note(err)
+	if err != nil {
+		writeJSON(w, errStatus(err), errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{
+		Result:    res,
+		ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
+	})
+}
+
+// handleBatch answers POST /batch with {"pairs":[{"start","end"},...]},
+// fanning the pairs out over the explainer's worker pool with per-pair
+// error isolation.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	// Bound the body before decoding: the pair-count limit below cannot
+	// protect memory once an unbounded payload has been parsed. Entity
+	// names are short, so 1 KiB per allowed pair is generous.
+	body := http.MaxBytesReader(w, r.Body, 1<<20+int64(s.maxBatch)*1024)
+	var req batchRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, decodeStatus(err), errorResponse{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "pairs must be non-empty"})
+		return
+	}
+	if len(req.Pairs) > s.maxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Pairs), s.maxBatch)})
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	t0 := time.Now()
+	results := s.ex.BatchExplain(ctx, req.Pairs, rex.BatchOptions{})
+	resp := batchResponse{Results: make([]batchEntry, len(results))}
+	for i, br := range results {
+		s.note(br.Err)
+		entry := batchEntry{Start: br.Pair.Start, End: br.Pair.End, Result: br.Result}
+		if br.Err != nil {
+			entry.Error = br.Err.Error()
+		}
+		resp.Results[i] = entry
+	}
+	resp.ElapsedMS = float64(time.Since(t0).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the /stats snapshot.
+type statsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	KB            rex.Stats      `json:"kb"`
+	Cache         rex.CacheStats `json:"cache"`
+	Queries       queryStats     `json:"queries"`
+}
+
+type queryStats struct {
+	Explains uint64 `json:"explains"`
+	Errors   uint64 `json:"errors"`
+	Timeouts uint64 `json:"timeouts"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		KB:            s.kb.Stats(),
+		Cache:         s.ex.CacheStats(),
+		Queries: queryStats{
+			Explains: s.explains.Load(),
+			Errors:   s.errors.Load(),
+			Timeouts: s.timeouts.Load(),
+		},
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

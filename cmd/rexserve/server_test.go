@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rex"
+)
+
+func testServer(t *testing.T, timeout time.Duration) *server {
+	t.Helper()
+	kb := rex.SampleKB()
+	ex, err := rex.NewExplainer(kb, rex.Options{Measure: "size", TopK: 5, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(ex, kb, timeout, 8)
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	h := testServer(t, time.Minute).handler()
+	rec := get(t, h, "/explain?start=brad_pitt&end=angelina_jolie")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result == nil || len(resp.Result.Explanations) == 0 {
+		t.Fatalf("no explanations in %s", rec.Body)
+	}
+	if !strings.Contains(resp.Result.Explanations[0].Pattern, "spouse") {
+		t.Errorf("top pattern = %q, want the spouse edge", resp.Result.Explanations[0].Pattern)
+	}
+
+	// POST body form.
+	rec = post(t, h, "/explain", `{"start":"brad_pitt","end":"angelina_jolie"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST status = %d, body %s", rec.Code, rec.Body)
+	}
+}
+
+func TestExplainEndpointErrors(t *testing.T) {
+	h := testServer(t, time.Minute).handler()
+	if rec := get(t, h, "/explain?start=brad_pitt"); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing end: status = %d", rec.Code)
+	}
+	if rec := get(t, h, "/explain?start=brad_pitt&end=ghost"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown entity: status = %d", rec.Code)
+	}
+	if rec := post(t, h, "/explain", "{nope"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON: status = %d", rec.Code)
+	}
+}
+
+func TestExplainTimeout(t *testing.T) {
+	h := testServer(t, time.Nanosecond).handler()
+	rec := get(t, h, "/explain?start=brad_pitt&end=angelina_jolie")
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", rec.Code, rec.Body)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s := testServer(t, time.Minute)
+	h := s.handler()
+	body := `{"pairs":[
+		{"start":"brad_pitt","end":"angelina_jolie"},
+		{"start":"ghost","end":"brad_pitt"},
+		{"start":"kate_winslet","end":"leonardo_dicaprio"}]}`
+	rec := post(t, h, "/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	if resp.Results[0].Result == nil || resp.Results[0].Error != "" {
+		t.Errorf("pair 0 should succeed: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Result != nil || !strings.Contains(resp.Results[1].Error, "unknown entity") {
+		t.Errorf("pair 1 should fail with unknown entity: %+v", resp.Results[1])
+	}
+	if resp.Results[2].Result == nil {
+		t.Errorf("pair 2 should succeed despite pair 1 failing: %+v", resp.Results[2])
+	}
+}
+
+func TestBatchEndpointLimits(t *testing.T) {
+	h := testServer(t, time.Minute).handler() // maxBatch = 8
+	if rec := post(t, h, "/batch", `{"pairs":[]}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d", rec.Code)
+	}
+	pairs := make([]string, 9)
+	for i := range pairs {
+		pairs[i] = `{"start":"a","end":"b"}`
+	}
+	body := `{"pairs":[` + strings.Join(pairs, ",") + `]}`
+	if rec := post(t, h, "/batch", body); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status = %d", rec.Code)
+	}
+	if rec := get(t, h, "/batch"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /batch: status = %d", rec.Code)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	s := testServer(t, time.Minute)
+	h := s.handler()
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", rec.Code)
+	}
+
+	// Two identical queries: the second must be served by the cache.
+	get(t, h, "/explain?start=brad_pitt&end=angelina_jolie")
+	get(t, h, "/explain?start=brad_pitt&end=angelina_jolie")
+
+	rec := get(t, h, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.KB.Nodes == 0 {
+		t.Error("stats KB empty")
+	}
+	if st.Queries.Explains != 2 {
+		t.Errorf("explains = %d, want 2", st.Queries.Explains)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 1/1", st.Cache.Hits, st.Cache.Misses)
+	}
+}

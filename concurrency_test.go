@@ -1,0 +1,297 @@
+package rex
+
+// Tests for the concurrent query surface: many goroutines against one
+// knowledge base (run with -race), context cancellation aborting queries
+// mid-flight, batch fan-out with per-pair error isolation, and the LRU
+// result cache. See DESIGN.md for the concurrency model.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// samplePairs are well-connected pairs of the sample KB used across the
+// concurrency tests.
+var samplePairs = []Pair{
+	{Start: "brad_pitt", End: "angelina_jolie"},
+	{Start: "kate_winslet", End: "leonardo_dicaprio"},
+	{Start: "tom_cruise", End: "nicole_kidman"},
+	{Start: "brad_pitt", End: "george_clooney"},
+}
+
+// resultsEqual compares the rendered explanation lists of two results.
+func resultsEqual(a, b *Result) bool {
+	if len(a.Explanations) != len(b.Explanations) {
+		return false
+	}
+	for i := range a.Explanations {
+		ea, eb := a.Explanations[i], b.Explanations[i]
+		if ea.Pattern != eb.Pattern || ea.Description != eb.Description ||
+			ea.NumInstances != eb.NumInstances {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentExplainContext hammers one explainer (and its cache)
+// from many goroutines and checks every result against the serial
+// reference. Run with -race to verify the read-path concurrency safety
+// of the shared knowledge base.
+func TestConcurrentExplainContext(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{Measure: "size+local-dist", TopK: 5, CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*Result, len(samplePairs))
+	for i, p := range samplePairs {
+		if want[i], err = ex.Explain(p.Start, p.End); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 16
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gr := 0; gr < goroutines; gr++ {
+		wg.Add(1)
+		go func(gr int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (gr + r) % len(samplePairs)
+				p := samplePairs[i]
+				res, err := ex.ExplainContext(context.Background(), p.Start, p.End)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !resultsEqual(res, want[i]) {
+					errs <- errors.New("concurrent result differs from serial reference for " + p.Start + "/" + p.End)
+					return
+				}
+			}
+		}(gr)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestParallelMatchesSerial checks that the parallel enumeration engine
+// returns byte-identical rankings to the forced-serial engine.
+func TestParallelMatchesSerial(t *testing.T) {
+	kb := GenerateKB(GenOptions{Scale: 0.4, Seed: 11})
+	serial, err := NewExplainer(kb, Options{Measure: "size+monocount", TopK: 10, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewExplainer(kb, Options{Measure: "size+monocount", TopK: 10, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := kb.Entities("actor")
+	if len(names) < 8 {
+		t.Fatal("generated KB too small")
+	}
+	checked := 0
+	for i := 0; i+1 < len(names) && checked < 5; i += 2 {
+		a, errA := serial.Explain(names[i], names[i+1])
+		b, errB := parallel.Explain(names[i], names[i+1])
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("error mismatch for (%s, %s): %v vs %v", names[i], names[i+1], errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if len(a.Explanations) == 0 {
+			continue
+		}
+		if !resultsEqual(a, b) {
+			t.Errorf("parallel ranking differs from serial for (%s, %s)", names[i], names[i+1])
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no connected sampled pairs at this scale")
+	}
+}
+
+// TestExplainContextPreCancelled checks that an already-cancelled context
+// is rejected before any work happens.
+func TestExplainContextPreCancelled(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = ex.ExplainContext(ctx, "brad_pitt", "angelina_jolie")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExplainContextDeadline proves an expired deadline aborts a heavy
+// query mid-flight and promptly: the workload below takes far longer than
+// the 5ms deadline when run to completion (naive enumeration, pruning
+// disabled, global measure over 100 sampled starts).
+func TestExplainContextDeadline(t *testing.T) {
+	kb := GenerateKB(GenOptions{Scale: 1, Seed: 3})
+	ex, err := NewExplainer(kb, Options{
+		Measure:        "global-dist",
+		PathAlgorithm:  "naive",
+		UnionAlgorithm: "basic",
+		DisablePruning: true,
+		GlobalSamples:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A densely connected pair: two actors sharing films exist at every
+	// scale; pick the first pair that has any explanation at all using a
+	// quick connectedness probe.
+	names := kb.Entities("actor")
+	var start, end string
+	for i := 0; i < len(names) && start == ""; i++ {
+		for j := i + 1; j < len(names) && j < i+20; j++ {
+			if c, _ := kb.Connectedness(names[i], names[j], 4); c > 30 {
+				start, end = names[i], names[j]
+				break
+			}
+		}
+	}
+	if start == "" {
+		t.Skip("no connected actor pair found at this scale")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err = ex.ExplainContext(ctx, start, end)
+	elapsed := time.Since(t0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v after %v, want context.DeadlineExceeded", err, elapsed)
+	}
+	// The abort must be prompt: bounded-interval checks mean we allow a
+	// generous margin over the 5ms deadline, but nowhere near the
+	// multi-second full query.
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+	}
+}
+
+// TestBatchExplain checks input-order results, per-pair error isolation
+// and equality with serial queries.
+func TestBatchExplain(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{Measure: "size", TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []Pair{
+		samplePairs[0],
+		{Start: "ghost", End: "brad_pitt"}, // isolated failure
+		samplePairs[1],
+		{Start: "brad_pitt", End: "brad_pitt"}, // isolated failure
+		samplePairs[2],
+	}
+	out := ex.BatchExplain(context.Background(), pairs, BatchOptions{Concurrency: 3})
+	if len(out) != len(pairs) {
+		t.Fatalf("got %d results, want %d", len(out), len(pairs))
+	}
+	for i, br := range out {
+		if br.Pair != pairs[i] {
+			t.Errorf("slot %d holds pair %+v, want %+v", i, br.Pair, pairs[i])
+		}
+	}
+	if !errors.Is(out[1].Err, ErrUnknownEntity) {
+		t.Errorf("pair 1: err = %v, want ErrUnknownEntity", out[1].Err)
+	}
+	if out[3].Err == nil {
+		t.Error("pair 3: identical pair accepted")
+	}
+	for _, i := range []int{0, 2, 4} {
+		if out[i].Err != nil {
+			t.Errorf("pair %d: unexpected error %v", i, out[i].Err)
+			continue
+		}
+		want, err := ex.Explain(pairs[i].Start, pairs[i].End)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(out[i].Result, want) {
+			t.Errorf("pair %d: batch result differs from serial", i)
+		}
+	}
+
+	// A cancelled batch context marks every pair with the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out = ex.BatchExplain(ctx, pairs[:2], BatchOptions{})
+	for i, br := range out {
+		if !errors.Is(br.Err, context.Canceled) {
+			t.Errorf("cancelled batch pair %d: err = %v", i, br.Err)
+		}
+	}
+}
+
+// TestResultCache checks hit/miss accounting, eviction order and that
+// hits return the stored result.
+func TestResultCache(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{Measure: "size", TopK: 5, CacheSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ex.Explain(samplePairs[0].Start, samplePairs[0].End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1again, err := ex.Explain(samplePairs[0].Start, samplePairs[0].End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r1again {
+		t.Error("cache hit did not return the stored result")
+	}
+	st := ex.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Capacity != 2 {
+		t.Errorf("stats after hit = %+v", st)
+	}
+
+	// Fill past capacity: pair 0 was least recently used after querying
+	// pairs 1 and 2, so it must be evicted and miss again.
+	if _, err := ex.Explain(samplePairs[1].Start, samplePairs[1].End); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Explain(samplePairs[2].Start, samplePairs[2].End); err != nil {
+		t.Fatal(err)
+	}
+	if st := ex.CacheStats(); st.Entries != 2 {
+		t.Errorf("entries = %d, want capacity-bounded 2", st.Entries)
+	}
+	if _, err := ex.Explain(samplePairs[0].Start, samplePairs[0].End); err != nil {
+		t.Fatal(err)
+	}
+	st = ex.CacheStats()
+	if st.Hits != 1 || st.Misses != 4 {
+		t.Errorf("stats after eviction = %+v, want 1 hit / 4 misses", st)
+	}
+
+	// Uncached explainer reports zero stats.
+	plain, err := NewExplainer(kb, Options{Measure: "size"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := plain.CacheStats(); st != (CacheStats{}) {
+		t.Errorf("uncached stats = %+v, want zero", st)
+	}
+}

@@ -1,0 +1,3 @@
+module rex
+
+go 1.24

@@ -17,6 +17,7 @@
 package enumerate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -90,6 +91,11 @@ type Config struct {
 	PathAlg PathAlgorithm
 	// UnionAlg selects the combination strategy.
 	UnionAlg UnionAlgorithm
+	// Workers sizes the worker pool that the prioritized enumerator
+	// fans its expansion frontier over: 0 means GOMAXPROCS, 1 forces
+	// serial expansion. The enumerated explanation set and its ordering
+	// are identical for every worker count.
+	Workers int
 }
 
 // DefaultMaxPatternSize matches the paper's experimental pattern size
@@ -112,35 +118,62 @@ func (cfg Config) normalized() Config {
 // combine them into all minimal explanations of bounded size. The result
 // is sorted deterministically by (pattern size, canonical key).
 func Explanations(g *kb.Graph, start, end kb.NodeID, cfg Config) []*pattern.Explanation {
+	out, _ := ExplanationsContext(context.Background(), g, start, end, cfg)
+	return out
+}
+
+// ExplanationsContext is Explanations with cancellation: enumeration and
+// combination check ctx at bounded intervals and abort mid-flight,
+// returning ctx.Err() and no explanations.
+func ExplanationsContext(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, error) {
 	cfg = cfg.normalized()
-	paths := Paths(g, start, end, cfg)
+	paths, err := PathsContext(ctx, g, start, end, cfg)
+	if err != nil {
+		return nil, err
+	}
 	var out []*pattern.Explanation
 	switch cfg.UnionAlg {
 	case UnionPrune:
-		out = PathUnionPrune(paths, cfg.MaxPatternSize)
+		out, err = pathUnionPrune(ctx, paths, cfg.MaxPatternSize)
 	default:
-		out = PathUnionBasic(paths, cfg.MaxPatternSize)
+		out, err = pathUnionBasic(ctx, paths, cfg.MaxPatternSize)
+	}
+	if err != nil {
+		return nil, err
 	}
 	sortExplanations(out)
-	return out
+	return out, nil
 }
 
 // Paths enumerates all simple-path explanations between the targets with
 // path length up to MaxPatternSize-1 (Section 3.2), grouped into
 // explanations (pattern + instance set) and deterministically sorted.
 func Paths(g *kb.Graph, start, end kb.NodeID, cfg Config) []*pattern.Explanation {
+	out, _ := PathsContext(context.Background(), g, start, end, cfg)
+	return out
+}
+
+// PathsContext is Paths with cancellation, checked at bounded intervals
+// inside the enumeration loops.
+func PathsContext(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, error) {
 	cfg = cfg.normalized()
 	maxLen := cfg.MaxPatternSize - 1
-	var insts []pathInst
+	var (
+		insts []pathInst
+		err   error
+	)
 	switch cfg.PathAlg {
 	case PathBasic:
-		insts = pathEnumBasic(g, start, end, maxLen)
+		insts, err = pathEnumBasic(ctx, g, start, end, maxLen)
 	case PathPrioritized:
-		insts = pathEnumPrioritized(g, start, end, maxLen)
+		insts, err = pathEnumPrioritized(ctx, g, start, end, maxLen, cfg.Workers)
 	default:
-		insts = pathEnumNaive(g, start, end, maxLen)
+		insts, err = pathEnumNaive(ctx, g, start, end, maxLen)
 	}
-	return groupPaths(g, insts)
+	if err != nil {
+		return nil, err
+	}
+	return groupPaths(g, insts), nil
 }
 
 // pathInst is a simple path at the instance level: the node sequence and
@@ -148,11 +181,17 @@ func Paths(g *kb.Graph, start, end kb.NodeID, cfg Config) []*pattern.Explanation
 type pathInst struct {
 	nodes []kb.NodeID
 	steps []kb.HalfEdge
+	// k memoises key(): enumerators that already computed the key for
+	// deduplication store it here so grouping does not rebuild it.
+	k string
 }
 
 // key renders the path uniquely: node sequence plus per-step label and
 // orientation.
 func (p pathInst) key() string {
+	if p.k != "" {
+		return p.k
+	}
 	buf := make([]byte, 0, len(p.nodes)*9)
 	for i, n := range p.nodes {
 		buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
@@ -165,12 +204,27 @@ func (p pathInst) key() string {
 }
 
 // groupPaths converts path instances into path explanations: instances
-// sharing an isomorphic pattern are grouped under one explanation.
+// sharing an isomorphic pattern are grouped under one explanation. The
+// instances are sorted by key first so that each explanation's
+// representative pattern — the pattern of the smallest-keyed instance in
+// its isomorphism class — is independent of the traversal order that
+// discovered the paths; this is what lets the parallel enumerator return
+// byte-identical results for every worker count.
 func groupPaths(g *kb.Graph, insts []pathInst) []*pattern.Explanation {
+	type keyed struct {
+		key string
+		pi  pathInst
+	}
+	ks := make([]keyed, len(insts))
+	for i, pi := range insts {
+		ks[i] = keyed{key: pi.key(), pi: pi}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
 	byCanon := make(map[string]*pattern.Explanation)
 	seen := make(map[string]struct{}, len(insts))
-	for _, pi := range insts {
-		k := pi.key()
+	for _, kp := range ks {
+		pi := kp.pi
+		k := kp.key
 		if _, dup := seen[k]; dup {
 			continue
 		}

@@ -2,6 +2,9 @@ package enumerate
 
 import (
 	"container/heap"
+	"context"
+	"runtime"
+	"sync"
 
 	"rex/internal/kb"
 )
@@ -10,22 +13,60 @@ import (
 // algorithms return exactly the set of simple paths between the targets
 // with length ≤ maxLen; they differ in how much of the graph they touch
 // and in what order, which is what Figure 7 measures.
+//
+// Every enumerator checks its context at a bounded interval — every
+// ctxCheckInterval expansion steps, not per edge — so an expired deadline
+// aborts enumeration mid-flight at a cost that stays invisible on the
+// happy path.
+
+// ctxCheckInterval bounds the number of expansion steps between context
+// checks in the enumeration loops.
+const ctxCheckInterval = 256
+
+// cancelCheck counts expansion steps and polls the context once per
+// ctxCheckInterval steps. The zero value with a nil ctx never cancels.
+type cancelCheck struct {
+	ctx context.Context
+	n   int
+	err error
+}
+
+// step advances the counter and reports a sticky cancellation error on
+// interval boundaries.
+func (c *cancelCheck) step() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.ctx == nil {
+		return nil
+	}
+	c.n++
+	if c.n%ctxCheckInterval != 0 {
+		return nil
+	}
+	c.err = c.ctx.Err()
+	return c.err
+}
 
 // pathEnumNaive enumerates every length-limited simple path starting at
 // start by depth-first search and keeps the ones that end at end. This is
 // the strawman PathEnumNaive of Section 5.2: it explores the full
 // neighborhood of the start entity regardless of the end entity.
-func pathEnumNaive(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathInst {
+func pathEnumNaive(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen int) ([]pathInst, error) {
 	if maxLen <= 0 || start == end {
-		return nil
+		return nil, nil
 	}
 	var out []pathInst
 	nodes := []kb.NodeID{start}
 	var steps []kb.HalfEdge
 	onPath := make(map[kb.NodeID]bool, maxLen+1)
 	onPath[start] = true
-	var dfs func(at kb.NodeID)
-	dfs = func(at kb.NodeID) {
+	check := cancelCheck{ctx: ctx}
+	var dfs func(at kb.NodeID) bool
+	dfs = func(at kb.NodeID) bool {
+		if check.step() != nil {
+			return false
+		}
 		for _, he := range g.Neighbors(at) {
 			if he.To == end {
 				full := pathInst{
@@ -41,14 +82,21 @@ func pathEnumNaive(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathInst {
 			onPath[he.To] = true
 			nodes = append(nodes, he.To)
 			steps = append(steps, he)
-			dfs(he.To)
+			ok := dfs(he.To)
 			nodes = nodes[:len(nodes)-1]
 			steps = steps[:len(steps)-1]
 			onPath[he.To] = false
+			if !ok {
+				return false
+			}
 		}
+		return true
 	}
 	dfs(start)
-	return out
+	if check.err != nil {
+		return nil, check.err
+	}
+	return out, nil
 }
 
 // partialPath is a simple path grown from one target during bidirectional
@@ -136,15 +184,22 @@ func canonicalSplit(a, b int) bool { return a == b || a == b+1 }
 // (Section 3.2): all simple partial paths of length ≤ ⌈l/2⌉ grow from the
 // start and ≤ ⌊l/2⌋ from the end, shorter first; opposite partial paths
 // ending at a common node join into full paths.
-func pathEnumBasic(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathInst {
+func pathEnumBasic(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen int) ([]pathInst, error) {
 	if maxLen <= 0 || start == end {
-		return nil
+		return nil, nil
 	}
 	capFwd := (maxLen + 1) / 2
 	capBwd := maxLen / 2
 
-	fwd := collectPartials(g, start, end, capFwd, forwardSide)
-	bwd := collectPartials(g, end, start, capBwd, backwardSide)
+	check := &cancelCheck{ctx: ctx}
+	fwd, err := collectPartials(g, start, end, capFwd, forwardSide, check)
+	if err != nil {
+		return nil, err
+	}
+	bwd, err := collectPartials(g, end, start, capBwd, backwardSide, check)
+	if err != nil {
+		return nil, err
+	}
 
 	byMeetBwd := make(map[kb.NodeID][]partialPath)
 	for _, p := range bwd {
@@ -152,6 +207,9 @@ func pathEnumBasic(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathInst {
 	}
 	var out []pathInst
 	for _, f := range fwd {
+		if err := check.step(); err != nil {
+			return nil, err
+		}
 		for _, b := range byMeetBwd[f.last()] {
 			if !canonicalSplit(f.length(), b.length()) {
 				continue
@@ -164,7 +222,7 @@ func pathEnumBasic(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathInst {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // side distinguishes expansion rules for the two targets.
@@ -179,13 +237,16 @@ const (
 // length ≤ cap from origin. other is the opposite target: the forward
 // side records paths that reach it but never expands beyond; the backward
 // side skips it entirely (a path suffix never contains the start).
-func collectPartials(g *kb.Graph, origin, other kb.NodeID, cap int, s side) []partialPath {
+func collectPartials(g *kb.Graph, origin, other kb.NodeID, cap int, s side, check *cancelCheck) ([]partialPath, error) {
 	seed := partialPath{nodes: []kb.NodeID{origin}}
 	out := []partialPath{seed}
 	frontier := []partialPath{seed}
 	for depth := 0; depth < cap && len(frontier) > 0; depth++ {
 		var next []partialPath
 		for _, p := range frontier {
+			if err := check.step(); err != nil {
+				return nil, err
+			}
 			if p.last() == other {
 				continue // terminal: never expand beyond the opposite target
 			}
@@ -203,7 +264,7 @@ func collectPartials(g *kb.Graph, origin, other kb.NodeID, cap int, s side) []pa
 		}
 		frontier = next
 	}
-	return out
+	return out, nil
 }
 
 // pathEnumPrioritized is the BANKS2 adaptation: bidirectional expansion
@@ -212,9 +273,26 @@ func collectPartials(g *kb.Graph, origin, other kb.NodeID, cap int, s side) []pa
 // and spreads it to each neighbor divided by the neighbor's degree, so
 // expansion through high-degree hubs is postponed — ideally until the
 // opposite side has met the frontier more cheaply.
-func pathEnumPrioritized(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathInst {
+//
+// The frontier is processed in batches: up to `workers` queue entries are
+// popped together, each entry's path extensions — the allocation-heavy
+// part of expansion — are computed concurrently on a worker pool, and the
+// results are applied (joins, bookkeeping, activation spreading)
+// sequentially in pop order. Shared state is only read during the
+// concurrent phase and only mutated during the sequential phase, and pop
+// order is deterministic, so the enumerated path set and its grouping are
+// identical for every worker count; with workers == 1 the batch size is 1
+// and the algorithm is exactly the sequential original. Batching changes
+// the traversal order relative to one-at-a-time popping, never the
+// result set (every partial path's terminal is re-activated by the
+// expansion that created it, so every under-cap partial is eventually
+// expanded regardless of order).
+func pathEnumPrioritized(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen, workers int) ([]pathInst, error) {
 	if maxLen <= 0 || start == end {
-		return nil
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	caps := [2]int{(maxLen + 1) / 2, maxLen / 2}
 	targets := [2]kb.NodeID{start, end}
@@ -259,6 +337,7 @@ func pathEnumPrioritized(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathIn
 				k := full.key()
 				if _, dup := seen[k]; !dup {
 					seen[k] = struct{}{}
+					full.k = k // memoise for groupPaths
 					out = append(out, full)
 				}
 			}
@@ -266,7 +345,8 @@ func pathEnumPrioritized(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathIn
 	}
 
 	// add registers a new partial path at its terminal node, joins it
-	// against the opposite side, and makes the terminal expandable.
+	// against the opposite side, and makes the terminal expandable. Only
+	// the sequential phases call it.
 	add := func(s side, p partialPath, activation float64) {
 		x := p.last()
 		st := get(x)
@@ -287,59 +367,120 @@ func pathEnumPrioritized(g *kb.Graph, start, end kb.NodeID, maxLen int) []pathIn
 		add(s, partialPath{nodes: []kb.NodeID{targets[s]}}, a)
 	}
 
-	for pq.Len() > 0 {
-		e := heap.Pop(pq).(actEntry)
-		st := get(e.node)
-		if st.act[e.s] == 0 {
-			continue // already expanded since this entry was pushed
-		}
-		spread := st.act[e.s]
-		st.act[e.s] = 0
-
-		// The forward side never expands beyond the end entity; the
-		// backward side never sits on the start entity at all.
-		if e.s == forwardSide && e.node == end {
-			continue
-		}
-		pending := st.partial[e.s][st.expanded[e.s]:]
-		st.expanded[e.s] = len(st.partial[e.s])
-		for _, p := range pending {
-			if p.length() >= caps[e.s] {
-				continue
-			}
-			for _, he := range g.Neighbors(e.node) {
-				if he.To == targets[e.s] || p.contains(he.To) {
-					continue
-				}
-				if e.s == backwardSide && he.To == targets[forwardSide] {
-					continue
-				}
-				add(e.s, p.extend(he), 0)
-			}
-		}
-		// Spread activation to neighbors (including nodes that just
-		// received new partial paths) so they get expanded in turn.
-		for _, he := range g.Neighbors(e.node) {
-			if he.To == start || he.To == end {
-				continue
-			}
-			nst := get(he.To)
-			if len(nst.partial[e.s]) == nst.expanded[e.s] {
-				continue // nothing pending on this side
-			}
-			d := g.Degree(he.To)
-			inc := spread
-			if d > 0 {
-				inc = spread / float64(d)
-			}
-			nst.act[e.s] += inc
-			heap.Push(pq, actEntry{node: he.To, s: e.s, act: nst.act[e.s]})
-		}
-		// Partial paths terminating at the opposite target still need to
-		// be joinable (they were, at add time) but never expand; nothing
-		// further to do for them.
+	// expandJob is one popped frontier entry: the node to expand on one
+	// side, its pending partial paths (snapshotted sequentially before the
+	// concurrent phase), and the activation it will spread.
+	type expandJob struct {
+		node    kb.NodeID
+		s       side
+		spread  float64
+		pending []partialPath
 	}
-	return out
+	jobs := make([]expandJob, 0, workers)
+	results := make([][]partialPath, workers)
+
+	// extensions computes the new partial paths one job contributes. It
+	// only reads the graph and the job's snapshot, so jobs run in
+	// parallel.
+	extensions := func(j expandJob) []partialPath {
+		var exts []partialPath
+		for _, p := range j.pending {
+			if p.length() >= caps[j.s] {
+				continue
+			}
+			for _, he := range g.Neighbors(j.node) {
+				if he.To == targets[j.s] || p.contains(he.To) {
+					continue
+				}
+				if j.s == backwardSide && he.To == targets[forwardSide] {
+					continue
+				}
+				exts = append(exts, p.extend(he))
+			}
+		}
+		return exts
+	}
+
+	check := cancelCheck{ctx: ctx}
+	for pq.Len() > 0 {
+		// Sequential phase 1: pop a batch and snapshot each entry's
+		// pending work, marking it expanded. The cancellation check
+		// steps once per popped node — the same expansion-step
+		// granularity as the other enumerators.
+		jobs = jobs[:0]
+		pendingTotal := 0
+		for pq.Len() > 0 && len(jobs) < workers {
+			if err := check.step(); err != nil {
+				return nil, err
+			}
+			e := heap.Pop(pq).(actEntry)
+			st := get(e.node)
+			if st.act[e.s] == 0 {
+				continue // already expanded since this entry was pushed
+			}
+			spread := st.act[e.s]
+			st.act[e.s] = 0
+
+			// The forward side never expands beyond the end entity; the
+			// backward side never sits on the start entity at all.
+			if e.s == forwardSide && e.node == end {
+				continue
+			}
+			pending := st.partial[e.s][st.expanded[e.s]:]
+			st.expanded[e.s] = len(st.partial[e.s])
+			jobs = append(jobs, expandJob{node: e.node, s: e.s, spread: spread, pending: pending})
+			pendingTotal += len(pending)
+		}
+
+		// Concurrent phase: compute every job's extensions. Tiny batches
+		// run inline — goroutine fan-out only pays off once there is real
+		// expansion work to split.
+		if len(jobs) > 1 && pendingTotal >= 16 {
+			var wg sync.WaitGroup
+			for i := range jobs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i] = extensions(jobs[i])
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := range jobs {
+				results[i] = extensions(jobs[i])
+			}
+		}
+
+		// Sequential phase 2: apply in pop order — register extensions
+		// (joining against the opposite side) and spread activation to
+		// neighbors with pending work.
+		for i, j := range jobs {
+			for _, np := range results[i] {
+				add(j.s, np, 0)
+			}
+			results[i] = nil
+			for _, he := range g.Neighbors(j.node) {
+				if he.To == start || he.To == end {
+					continue
+				}
+				nst := get(he.To)
+				if len(nst.partial[j.s]) == nst.expanded[j.s] {
+					continue // nothing pending on this side
+				}
+				d := g.Degree(he.To)
+				inc := j.spread
+				if d > 0 {
+					inc = j.spread / float64(d)
+				}
+				nst.act[j.s] += inc
+				heap.Push(pq, actEntry{node: he.To, s: j.s, act: nst.act[j.s]})
+			}
+			// Partial paths terminating at the opposite target still need
+			// to be joinable (they were, at add time) but never expand;
+			// nothing further to do for them.
+		}
+	}
+	return out, nil
 }
 
 // actEntry is a priority-queue element for activation-driven expansion.

@@ -1,6 +1,8 @@
 package enumerate
 
 import (
+	"context"
+
 	"rex/internal/pattern"
 )
 
@@ -15,16 +17,27 @@ import (
 // PathUnionBasic is Algorithm 3: every explanation of the previous ring
 // merges with every path explanation.
 func PathUnionBasic(qpath []*pattern.Explanation, maxVars int) []*pattern.Explanation {
+	out, _ := pathUnionBasic(context.Background(), qpath, maxVars)
+	return out
+}
+
+// pathUnionBasic implements PathUnionBasic with cancellation, checked
+// once per merge pair.
+func pathUnionBasic(ctx context.Context, qpath []*pattern.Explanation, maxVars int) ([]*pattern.Explanation, error) {
 	q := append([]*pattern.Explanation{}, qpath...)
 	seen := make(map[string]struct{}, len(qpath))
 	for _, re := range qpath {
 		seen[re.P.CanonicalKey()] = struct{}{}
 	}
+	check := cancelCheck{ctx: ctx}
 	expand := qpath
 	for len(expand) > 0 {
 		var qnew []*pattern.Explanation
 		for _, re1 := range expand {
 			for _, re2 := range qpath {
+				if err := check.step(); err != nil {
+					return nil, err
+				}
 				for _, re := range pattern.Merge(re1, re2, maxVars) {
 					key := re.P.CanonicalKey()
 					if _, dup := seen[key]; dup {
@@ -38,7 +51,7 @@ func PathUnionBasic(qpath []*pattern.Explanation, maxVars int) []*pattern.Explan
 		q = append(q, qnew...)
 		expand = qnew
 	}
-	return q
+	return q, nil
 }
 
 // PathUnionPrune is Algorithm 4: composition histories restrict which
@@ -48,11 +61,19 @@ func PathUnionBasic(qpath []*pattern.Explanation, maxVars int) []*pattern.Explan
 // current ring it suffices to try the paths that built its ring-siblings
 // sharing a parent (plus, on the first ring, all paths).
 func PathUnionPrune(qpath []*pattern.Explanation, maxVars int) []*pattern.Explanation {
+	out, _ := pathUnionPrune(context.Background(), qpath, maxVars)
+	return out
+}
+
+// pathUnionPrune implements PathUnionPrune with cancellation, checked
+// once per merge pair.
+func pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars int) ([]*pattern.Explanation, error) {
 	q := append([]*pattern.Explanation{}, qpath...)
 	seen := make(map[string]struct{}, len(qpath))
 	for _, re := range qpath {
 		seen[re.P.CanonicalKey()] = struct{}{}
 	}
+	check := cancelCheck{ctx: ctx}
 
 	type histPair struct{ parent, path int }
 	expand := qpath
@@ -104,6 +125,9 @@ func PathUnionPrune(qpath []*pattern.Explanation, maxVars int) []*pattern.Explan
 				sortInts(candidates)
 			}
 			for _, i2 := range candidates {
+				if err := check.step(); err != nil {
+					return nil, err
+				}
 				for _, re := range pattern.Merge(re1, qpath[i2], maxVars) {
 					key := re.P.CanonicalKey()
 					if _, dup := seen[key]; dup {
@@ -126,7 +150,7 @@ func PathUnionPrune(qpath []*pattern.Explanation, maxVars int) []*pattern.Explan
 		q = append(q, qnew...)
 		expand, hExpand = qnew, hNew
 	}
-	return q
+	return q, nil
 }
 
 // sortInts insertion-sorts the (small) candidate index sets so merge

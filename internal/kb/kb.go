@@ -12,6 +12,16 @@
 // of explanation enumeration: O(1) edge-existence checks, label-interned
 // adjacency lists, and deterministic iteration order once the graph is
 // frozen.
+//
+// # Concurrency
+//
+// Construction (AddNode, Label, AddEdge, Freeze) is single-threaded. Once
+// frozen, every read accessor — Neighbors, NeighborsLabeled, Degree,
+// HasEdge, NodeByName, NodesOfType, Connectedness, Reachable, Stats and
+// friends — is a pure read with no lazy initialisation, so any number of
+// goroutines may query one loaded graph concurrently. Freeze also builds
+// the per-label adjacency index behind the matcher's candidate
+// generation and the entity-type index behind NodesOfType.
 package kb
 
 import (
@@ -101,6 +111,20 @@ type Graph struct {
 	edgeSet  map[edgeKey]struct{}
 	numEdges int
 	frozen   bool
+
+	// Read-path indexes, precomputed by Freeze so concurrent queries
+	// never mutate shared state.
+	labelAdj   [][]HalfEdge  // per-node adjacency re-sorted by (Label, To, Dir)
+	labelSpans [][]labelSpan // per-node spans into labelAdj, ascending by label
+	byType     map[string][]NodeID
+}
+
+// labelSpan locates the half-edges with one label inside a node's
+// label-sorted adjacency list.
+type labelSpan struct {
+	label LabelID
+	off   int32
+	n     int32
 }
 
 // edgeKey packs (from, to, label) into a comparable map key. Direction is
@@ -320,7 +344,9 @@ func (g *Graph) Edges() []Edge {
 }
 
 // Freeze sorts all adjacency lists so iteration order is deterministic
-// across runs. Freeze is idempotent and cheap when already frozen.
+// across runs, and precomputes the read-path indexes (per-label adjacency
+// and entity-type lists) that make the graph safe and fast to query from
+// many goroutines. Freeze is idempotent and cheap when already frozen.
 func (g *Graph) Freeze() {
 	if g.frozen {
 		return
@@ -337,7 +363,84 @@ func (g *Graph) Freeze() {
 			return a[x].Dir < a[y].Dir
 		})
 	}
+	g.buildLabelIndex()
+	g.buildTypeIndex()
 	g.frozen = true
+}
+
+// buildLabelIndex materialises, for every node, its adjacency list
+// re-sorted by (Label, To, Dir) together with per-label spans, so that
+// NeighborsLabeled answers in O(log L) with no allocation. Within one
+// label the half-edge order equals the frozen Neighbors order filtered to
+// that label, keeping enumeration deterministic either way.
+func (g *Graph) buildLabelIndex() {
+	g.labelAdj = make([][]HalfEdge, len(g.adj))
+	g.labelSpans = make([][]labelSpan, len(g.adj))
+	for i := range g.adj {
+		a := append([]HalfEdge(nil), g.adj[i]...)
+		sort.Slice(a, func(x, y int) bool {
+			if a[x].Label != a[y].Label {
+				return a[x].Label < a[y].Label
+			}
+			if a[x].To != a[y].To {
+				return a[x].To < a[y].To
+			}
+			return a[x].Dir < a[y].Dir
+		})
+		g.labelAdj[i] = a
+		var spans []labelSpan
+		for j := 0; j < len(a); {
+			k := j
+			for k < len(a) && a[k].Label == a[j].Label {
+				k++
+			}
+			spans = append(spans, labelSpan{label: a[j].Label, off: int32(j), n: int32(k - j)})
+			j = k
+		}
+		g.labelSpans[i] = spans
+	}
+}
+
+// buildTypeIndex materialises the entity-type → node-ID lists behind
+// NodesOfType.
+func (g *Graph) buildTypeIndex() {
+	g.byType = make(map[string][]NodeID)
+	for _, n := range g.nodes {
+		g.byType[n.Type] = append(g.byType[n.Type], n.ID)
+	}
+}
+
+// NeighborsLabeled returns the half-edges at a node carrying the given
+// label. On a frozen graph this is an allocation-free slice of the
+// precomputed label index, ordered by (To, Dir) — the same relative order
+// as Neighbors filtered to the label. On an unfrozen graph it falls back
+// to a filtered copy. The returned slice is owned by the graph and must
+// not be modified.
+func (g *Graph) NeighborsLabeled(id NodeID, label LabelID) []HalfEdge {
+	if g.frozen && int(id) < len(g.labelSpans) {
+		spans := g.labelSpans[id]
+		lo, hi := 0, len(spans)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if spans[mid].label < label {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(spans) && spans[lo].label == label {
+			sp := spans[lo]
+			return g.labelAdj[id][sp.off : sp.off+sp.n]
+		}
+		return nil
+	}
+	var out []HalfEdge
+	for _, he := range g.adj[id] {
+		if he.Label == label {
+			out = append(out, he)
+		}
+	}
+	return out
 }
 
 // Frozen reports whether adjacency iteration order is deterministic.
@@ -351,8 +454,12 @@ func (g *Graph) Nodes() []Node {
 }
 
 // NodesOfType returns the IDs of all entities with the given type, in ID
-// order.
+// order. On a frozen graph the result is copied from the precomputed
+// type index instead of scanning every node. The slice is always a copy.
 func (g *Graph) NodesOfType(typ string) []NodeID {
+	if g.frozen {
+		return append([]NodeID(nil), g.byType[typ]...)
+	}
 	var out []NodeID
 	for _, n := range g.nodes {
 		if n.Type == typ {

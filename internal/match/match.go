@@ -15,6 +15,8 @@
 package match
 
 import (
+	"context"
+
 	"rex/internal/kb"
 	"rex/internal/pattern"
 )
@@ -24,6 +26,11 @@ type Options struct {
 	// Limit stops enumeration after this many instances when positive.
 	Limit int
 }
+
+// ctxCheckInterval bounds how many candidate bindings the backtracking
+// search tries between context checks, so cancellation is noticed at a
+// bounded interval without paying a per-candidate atomic load.
+const ctxCheckInterval = 1024
 
 // ForEach enumerates the instances of p in g with the start variable
 // bound to start and, if end != kb.InvalidNode, the end variable bound to
@@ -36,6 +43,39 @@ type Options struct {
 func ForEach(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID, f func(pattern.Instance) bool) {
 	m := newMatcher(g, p, start, end)
 	m.run(f)
+}
+
+// ForEachContext is ForEach with cancellation: the search checks ctx
+// every ctxCheckInterval candidate bindings and unwinds early when the
+// context is done, returning ctx.Err(). A nil error means the enumeration
+// ran to completion (or the callback stopped it).
+func ForEachContext(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID, f func(pattern.Instance) bool) error {
+	m := newMatcher(g, p, start, end)
+	m.ctx = ctx
+	m.run(f)
+	return m.err
+}
+
+// CountContext is Count with cancellation; the count is partial when an
+// error is returned.
+func CountContext(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) (int, error) {
+	n := 0
+	err := ForEachContext(ctx, g, p, start, end, func(pattern.Instance) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// CountByEndContext is CountByEnd with cancellation; the map is partial
+// when an error is returned.
+func CountByEndContext(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start kb.NodeID) (map[kb.NodeID]int, error) {
+	counts := make(map[kb.NodeID]int)
+	err := ForEachContext(ctx, g, p, start, kb.InvalidNode, func(in pattern.Instance) bool {
+		counts[in[pattern.End]]++
+		return true
+	})
+	return counts, err
 }
 
 // Find collects the instances of p with the given target bindings. Pass
@@ -87,6 +127,32 @@ type matcher struct {
 	// assigned once v is assigned (checked at assignment time).
 	checkAt  [][]pattern.Edge
 	anchorAt []anchor
+
+	// Cancellation: ctx is checked every ctxCheckInterval candidate
+	// tries; when done, err records ctx.Err() and the search unwinds.
+	ctx   context.Context
+	err   error
+	tries int
+}
+
+// cancelled reports whether the search should abort, checking the context
+// at a bounded interval.
+func (m *matcher) cancelled() bool {
+	if m.err != nil {
+		return true
+	}
+	if m.ctx == nil {
+		return false
+	}
+	m.tries++
+	if m.tries%ctxCheckInterval != 0 {
+		return false
+	}
+	if err := m.ctx.Err(); err != nil {
+		m.err = err
+		return true
+	}
+	return false
 }
 
 // anchor tells the matcher how to generate candidates for a variable:
@@ -235,6 +301,9 @@ func (m *matcher) search(depth int, f func(pattern.Instance) bool) bool {
 	v := m.order[depth]
 	anc := m.anchorAt[depth]
 	try := func(cand kb.NodeID) bool {
+		if m.cancelled() {
+			return false
+		}
 		if !m.admissible(v, cand) {
 			return true
 		}
@@ -258,10 +327,10 @@ func (m *matcher) search(depth int, f func(pattern.Instance) bool) bool {
 		return true
 	}
 	from := m.inst[anc.from]
-	for _, he := range m.g.Neighbors(from) {
-		if he.Label != anc.label {
-			continue
-		}
+	// The label index narrows candidates to the anchor's label up front;
+	// on a frozen graph the order equals Neighbors filtered to the label,
+	// so enumeration stays deterministic.
+	for _, he := range m.g.NeighborsLabeled(from, anc.label) {
 		if anc.wantDir != kb.Undirected && he.Dir != anc.wantDir {
 			continue
 		}

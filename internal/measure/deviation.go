@@ -36,7 +36,7 @@ func (LocalDeviation) AntiMonotonic() bool { return false }
 
 // Score implements Measure.
 func (LocalDeviation) Score(ctx *Context, ex *pattern.Explanation) Score {
-	counts := match.CountByEnd(ctx.G, ex.P, ctx.Start)
+	counts, _ := match.CountByEndContext(ctx.Context(), ctx.G, ex.P, ctx.Start)
 	a := float64(ex.Count())
 	return Score{deviation(counts, a)}
 }
@@ -59,8 +59,12 @@ func (GlobalDeviation) Score(ctx *Context, ex *pattern.Explanation) Score {
 	}
 	a := float64(ex.Count())
 	total := 0.0
+	cctx := ctx.Context()
 	for _, s := range starts {
-		counts := match.CountByEnd(ctx.G, ex.P, s)
+		if cctx.Err() != nil {
+			break // partial score; the caller checks the context
+		}
+		counts, _ := match.CountByEndContext(cctx, ctx.G, ex.P, s)
 		total += deviation(counts, a)
 	}
 	return Score{total / float64(len(starts))}

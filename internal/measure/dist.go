@@ -1,6 +1,8 @@
 package measure
 
 import (
+	"context"
+
 	"rex/internal/kb"
 	"rex/internal/match"
 	"rex/internal/pattern"
@@ -51,7 +53,7 @@ func (LocalPosition) ScoreWithLimit(ctx *Context, ex *pattern.Explanation, thres
 		limit = int(-threshold[0])
 	}
 	a := ex.Count()
-	pos, ok := localPosition(ctx.G, ex.P, ctx.Start, a, limit)
+	pos, ok := localPosition(ctx.Context(), ctx.G, ex.P, ctx.Start, a, limit)
 	if !ok {
 		return nil, false
 	}
@@ -61,11 +63,13 @@ func (LocalPosition) ScoreWithLimit(ctx *Context, ex *pattern.Explanation, thres
 // localPosition counts the end entities whose instance count with the
 // given start strictly exceeds a. When limit ≥ 0 and the count of such
 // entities exceeds limit, enumeration stops and ok=false is returned.
-func localPosition(g *kb.Graph, p *pattern.Pattern, start kb.NodeID, a, limit int) (pos int, ok bool) {
+// Cancellation of cctx also aborts with ok=false; the caller is expected
+// to notice the done context and discard the result.
+func localPosition(cctx context.Context, g *kb.Graph, p *pattern.Pattern, start kb.NodeID, a, limit int) (pos int, ok bool) {
 	counts := make(map[kb.NodeID]int)
 	exceeded := 0
 	aborted := false
-	match.ForEach(g, p, start, kb.InvalidNode, func(in pattern.Instance) bool {
+	err := match.ForEachContext(cctx, g, p, start, kb.InvalidNode, func(in pattern.Instance) bool {
 		endv := in[pattern.End]
 		counts[endv]++
 		if counts[endv] == a+1 { // just crossed the bar
@@ -77,7 +81,7 @@ func localPosition(g *kb.Graph, p *pattern.Pattern, start kb.NodeID, a, limit in
 		}
 		return true
 	})
-	if aborted {
+	if aborted || err != nil {
 		return 0, false
 	}
 	return exceeded, true
@@ -117,7 +121,11 @@ func (GlobalPosition) ScoreWithLimit(ctx *Context, ex *pattern.Explanation, thre
 		starts = []kb.NodeID{ctx.Start}
 	}
 	total := 0
+	cctx := ctx.Context()
 	for _, s := range starts {
+		if cctx.Err() != nil {
+			return nil, false
+		}
 		rem := -1
 		if limit >= 0 {
 			rem = limit - total
@@ -125,7 +133,7 @@ func (GlobalPosition) ScoreWithLimit(ctx *Context, ex *pattern.Explanation, thre
 				return nil, false
 			}
 		}
-		pos, ok := localPosition(ctx.G, ex.P, s, a, rem)
+		pos, ok := localPosition(cctx, ctx.G, ex.P, s, a, rem)
 		if !ok {
 			return nil, false
 		}

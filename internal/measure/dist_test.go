@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"testing"
 
 	"rex/internal/kbgen"
@@ -88,7 +89,7 @@ func TestGlobalPositionSumsLocals(t *testing.T) {
 		want := 0.0
 		a := ex.Count()
 		for _, s := range ctx.SampleStarts {
-			pos, ok := localPosition(ctx.G, ex.P, s, a, -1)
+			pos, ok := localPosition(context.Background(), ctx.G, ex.P, s, a, -1)
 			if !ok {
 				t.Fatal("unlimited localPosition aborted")
 			}

@@ -14,6 +14,8 @@
 package measure
 
 import (
+	"context"
+
 	"rex/internal/electric"
 	"rex/internal/kb"
 	"rex/internal/match"
@@ -64,6 +66,22 @@ type Context struct {
 	// SampleStarts are the start entities used to estimate the global
 	// distribution. Leave nil unless a global measure is evaluated.
 	SampleStarts []kb.NodeID
+	// Ctx carries the query's cancellation signal into long-running
+	// measure evaluations (the distributional measures walk large
+	// neighbourhoods). Nil means no cancellation. When the context is
+	// cancelled mid-evaluation a measure returns an incomplete score;
+	// callers observing a done context must discard results and surface
+	// ctx.Err() — the rank layer does exactly that.
+	Ctx context.Context
+}
+
+// Context returns the cancellation context, defaulting to Background so
+// measures never nil-check.
+func (c *Context) Context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // Measure scores explanations. Implementations must be pure functions of

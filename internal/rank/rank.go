@@ -13,6 +13,7 @@
 package rank
 
 import (
+	"context"
 	"sort"
 
 	"rex/internal/enumerate"
@@ -69,15 +70,33 @@ func fnv64(s string) uint64 {
 // General implements Algorithm 5 over an already-enumerated explanation
 // list: score, sort, return the top k (all, when k ≤ 0).
 func General(ctx *measure.Context, es []*pattern.Explanation, m measure.Measure, k int) []Ranked {
+	rs, _ := GeneralContext(context.Background(), ctx, es, m, k)
+	return rs
+}
+
+// GeneralContext is General with cancellation: the context is checked
+// before each (potentially expensive) measure evaluation, and a done
+// context aborts ranking mid-flight with ctx.Err(). Scores computed while
+// the context expires are discarded, never partially returned.
+func GeneralContext(cctx context.Context, ctx *measure.Context, es []*pattern.Explanation, m measure.Measure, k int) ([]Ranked, error) {
 	rs := make([]Ranked, len(es))
 	for i, ex := range es {
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
 		rs[i] = Ranked{Ex: ex, Score: m.Score(ctx, ex)}
+	}
+	// A context that expired during the final Score call would otherwise
+	// slip a partial score into the result: measures abort with
+	// incomplete values on cancellation and rely on this post-loop check.
+	if err := cctx.Err(); err != nil {
+		return nil, err
 	}
 	sortRanked(rs)
 	if k > 0 && len(rs) > k {
 		rs = rs[:k]
 	}
-	return rs
+	return rs, nil
 }
 
 // TopKAntiMonotone interleaves enumeration, scoring and ranking for an
@@ -87,10 +106,21 @@ func General(ctx *measure.Context, es []*pattern.Explanation, m measure.Measure,
 // equals General's on the full enumeration, usually at a fraction of the
 // cost.
 func TopKAntiMonotone(g *kb.Graph, start, end kb.NodeID, cfg enumerate.Config, ctx *measure.Context, m measure.Measure, k int) []Ranked {
+	rs, _ := TopKAntiMonotoneContext(context.Background(), g, start, end, cfg, ctx, m, k)
+	return rs
+}
+
+// TopKAntiMonotoneContext is TopKAntiMonotone with cancellation: path
+// enumeration aborts via the enumerate layer, and the interleaved
+// expansion checks the context once per frontier explanation.
+func TopKAntiMonotoneContext(cctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg enumerate.Config, ctx *measure.Context, m measure.Measure, k int) ([]Ranked, error) {
 	if k <= 0 {
 		k = 10
 	}
-	paths := enumerate.Paths(g, start, end, cfg)
+	paths, err := enumerate.PathsContext(cctx, g, start, end, cfg)
+	if err != nil {
+		return nil, err
+	}
 	maxVars := cfg.MaxPatternSize
 	if maxVars <= 0 {
 		maxVars = enumerate.DefaultMaxPatternSize
@@ -105,6 +135,9 @@ func TopKAntiMonotone(g *kb.Graph, start, end kb.NodeID, cfg enumerate.Config, c
 	}
 
 	for {
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
 		sortRanked(pool)
 		top := pool
 		if len(top) > k {
@@ -119,11 +152,20 @@ func TopKAntiMonotone(g *kb.Graph, start, end kb.NodeID, cfg enumerate.Config, c
 			}
 		}
 		if len(frontier) == 0 {
+			// Guard against a context that expired during the last
+			// Score call of the previous expansion round (see
+			// GeneralContext).
+			if err := cctx.Err(); err != nil {
+				return nil, err
+			}
 			out := make([]Ranked, len(top))
 			copy(out, top)
-			return out
+			return out, nil
 		}
 		for _, re1 := range frontier {
+			if err := cctx.Err(); err != nil {
+				return nil, err
+			}
 			for _, re2 := range paths {
 				for _, re := range pattern.Merge(re1, re2, maxVars) {
 					key := re.P.CanonicalKey()
@@ -143,11 +185,21 @@ func TopKAntiMonotone(g *kb.Graph, start, end kb.NodeID, cfg enumerate.Config, c
 // position computations abort early. The result equals General's ranking
 // under the same measure.
 func TopKDistributional(ctx *measure.Context, es []*pattern.Explanation, m measure.Limited, k int) []Ranked {
+	rs, _ := TopKDistributionalContext(context.Background(), ctx, es, m, k)
+	return rs
+}
+
+// TopKDistributionalContext is TopKDistributional with cancellation,
+// checked before each bounded evaluation.
+func TopKDistributionalContext(cctx context.Context, ctx *measure.Context, es []*pattern.Explanation, m measure.Limited, k int) ([]Ranked, error) {
 	if k <= 0 {
 		k = 10
 	}
 	var top []Ranked
 	for _, ex := range es {
+		if err := cctx.Err(); err != nil {
+			return nil, err
+		}
 		var threshold measure.Score
 		if len(top) >= k {
 			threshold = top[len(top)-1].Score
@@ -162,5 +214,12 @@ func TopKDistributional(ctx *measure.Context, es []*pattern.Explanation, m measu
 			top = top[:k]
 		}
 	}
-	return top
+	// Cancellation mid-evaluation surfaces as ok=false (indistinguishable
+	// from "cannot beat the k-th best"), so a context that expired during
+	// the final ScoreWithLimit call must fail the ranking here rather
+	// than return a silently truncated top-k.
+	if err := cctx.Err(); err != nil {
+		return nil, err
+	}
+	return top, nil
 }

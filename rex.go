@@ -20,6 +20,8 @@ package rex
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -34,6 +36,10 @@ import (
 	"rex/internal/rank"
 	"rex/internal/relstore"
 )
+
+// ErrUnknownEntity is wrapped by errors returned for entity names absent
+// from the knowledge base; match with errors.Is.
+var ErrUnknownEntity = errors.New("unknown entity")
 
 // KB is a knowledge base: a graph of entities connected by labeled,
 // directed or undirected primary relationships.
@@ -140,11 +146,11 @@ func (k *KB) Entities(typ string) []string {
 func (k *KB) Connectedness(start, end string, maxLen int) (int, error) {
 	s := k.g.NodeByName(start)
 	if s == kb.InvalidNode {
-		return 0, fmt.Errorf("rex: unknown entity %q", start)
+		return 0, fmt.Errorf("rex: %w %q", ErrUnknownEntity, start)
 	}
 	e := k.g.NodeByName(end)
 	if e == kb.InvalidNode {
-		return 0, fmt.Errorf("rex: unknown entity %q", end)
+		return 0, fmt.Errorf("rex: %w %q", ErrUnknownEntity, end)
 	}
 	return k.g.Connectedness(s, e, maxLen, -1), nil
 }
@@ -182,6 +188,15 @@ type Options struct {
 	// director of a co-starred film) to each returned explanation — the
 	// post-processing stage Section 2.3 of the paper defers.
 	Decorate bool
+	// Parallelism sizes the worker pool the engine fans the prioritized
+	// enumeration frontier over: 0 uses GOMAXPROCS, 1 forces serial
+	// enumeration. Results are identical either way.
+	Parallelism int
+	// CacheSize enables an LRU cache of rendered results keyed by
+	// (entity pair, normalized options) when positive; 0 disables
+	// caching. Cached results are shared between callers and must be
+	// treated as read-only.
+	CacheSize int
 }
 
 func (o Options) normalized() Options {
@@ -207,18 +222,22 @@ func (o Options) normalized() Options {
 }
 
 // Explainer answers relationship-explanation queries over one knowledge
-// base. It is safe for concurrent use.
+// base. It is safe for concurrent use: the knowledge base is frozen at
+// construction so every query path is a pure read, and the optional
+// result cache is internally synchronised.
 type Explainer struct {
-	kb  *KB
-	opt Options
-	m   measure.Measure
-	cfg enumerate.Config
+	kb     *KB
+	opt    Options
+	m      measure.Measure
+	cfg    enumerate.Config
+	cache  *resultCache
+	optKey string // normalized-options fingerprint, part of every cache key
 }
 
 // NewExplainer validates the options and builds an explainer.
 func NewExplainer(k *KB, opt Options) (*Explainer, error) {
 	opt = opt.normalized()
-	cfg := enumerate.Config{MaxPatternSize: opt.MaxPatternSize}
+	cfg := enumerate.Config{MaxPatternSize: opt.MaxPatternSize, Workers: opt.Parallelism}
 	switch opt.PathAlgorithm {
 	case "naive":
 		cfg.PathAlg = enumerate.PathNaive
@@ -241,7 +260,16 @@ func NewExplainer(k *KB, opt Options) (*Explainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Explainer{kb: k, opt: opt, m: m, cfg: cfg}, nil
+	// Freezing here (idempotent for the loaders, which already freeze)
+	// guarantees the graph's read indexes exist before the first query
+	// and that concurrent queries never mutate shared state.
+	k.g.Freeze()
+	e := &Explainer{kb: k, opt: opt, m: m, cfg: cfg,
+		optKey: fmt.Sprintf("%+v", opt)}
+	if opt.CacheSize > 0 {
+		e.cache = newResultCache(opt.CacheSize)
+	}
+	return e, nil
 }
 
 // MeasureNames lists the supported interestingness measures. The first
@@ -324,42 +352,90 @@ type Result struct {
 }
 
 // Explain enumerates and ranks relationship explanations between two
-// named entities.
+// named entities. It is ExplainContext without a deadline.
 func (e *Explainer) Explain(start, end string) (*Result, error) {
+	return e.ExplainContext(context.Background(), start, end)
+}
+
+// ExplainContext enumerates and ranks relationship explanations between
+// two named entities under a context: cancellation or an expired deadline
+// aborts enumeration, matching and ranking mid-flight (checked at bounded
+// intervals) and returns ctx.Err(). When the explainer was built with a
+// positive Options.CacheSize, results are served from and stored into the
+// LRU cache; cached results are shared and must be treated as read-only.
+func (e *Explainer) ExplainContext(ctx context.Context, start, end string) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g := e.kb.g
 	s := g.NodeByName(start)
 	if s == kb.InvalidNode {
-		return nil, fmt.Errorf("rex: unknown entity %q", start)
+		return nil, fmt.Errorf("rex: %w %q", ErrUnknownEntity, start)
 	}
 	t := g.NodeByName(end)
 	if t == kb.InvalidNode {
-		return nil, fmt.Errorf("rex: unknown entity %q", end)
+		return nil, fmt.Errorf("rex: %w %q", ErrUnknownEntity, end)
 	}
 	if s == t {
 		return nil, fmt.Errorf("rex: start and end entity are both %q", start)
 	}
-	ctx := &measure.Context{G: g, Start: s, End: t}
+	var key string
+	if e.cache != nil {
+		key = e.cacheKey(start, end)
+		if res, ok := e.cache.get(key); ok {
+			return res, nil
+		}
+	}
+	mctx := &measure.Context{G: g, Start: s, End: t, Ctx: ctx}
 	if needsGlobalSamples(e.m) {
-		ctx.SampleStarts = measure.SampleStartsOfType(g, g.Node(s).Type, e.opt.GlobalSamples, e.opt.Seed)
+		mctx.SampleStarts = measure.SampleStartsOfType(g, g.Node(s).Type, e.opt.GlobalSamples, e.opt.Seed)
 	}
 
-	var ranked []rank.Ranked
+	var (
+		ranked []rank.Ranked
+		err    error
+	)
 	switch {
 	case !e.opt.DisablePruning && e.m.AntiMonotonic():
-		ranked = rank.TopKAntiMonotone(g, s, t, e.cfg, ctx, e.m, e.opt.TopK)
+		ranked, err = rank.TopKAntiMonotoneContext(ctx, g, s, t, e.cfg, mctx, e.m, e.opt.TopK)
 	case !e.opt.DisablePruning && isLimited(e.m):
-		es := enumerate.Explanations(g, s, t, e.cfg)
-		ranked = rank.TopKDistributional(ctx, es, e.m.(measure.Limited), e.opt.TopK)
+		var es []*pattern.Explanation
+		es, err = enumerate.ExplanationsContext(ctx, g, s, t, e.cfg)
+		if err == nil {
+			ranked, err = rank.TopKDistributionalContext(ctx, mctx, es, e.m.(measure.Limited), e.opt.TopK)
+		}
 	default:
-		es := enumerate.Explanations(g, s, t, e.cfg)
-		ranked = rank.General(ctx, es, e.m, e.opt.TopK)
+		var es []*pattern.Explanation
+		es, err = enumerate.ExplanationsContext(ctx, g, s, t, e.cfg)
+		if err == nil {
+			ranked, err = rank.GeneralContext(ctx, mctx, es, e.m, e.opt.TopK)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Final guard: a context that expired at the very end of ranking must
+	// never let a possibly-partial result be returned — or worse, cached
+	// and served to callers that had no deadline at all.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	res := &Result{Start: start, End: end, Measure: e.m.Name()}
 	for _, r := range ranked {
 		res.Explanations = append(res.Explanations, e.render(r))
 	}
+	if e.cache != nil {
+		e.cache.put(key, res)
+	}
 	return res, nil
+}
+
+// cacheKey builds the cache key for a pair under this explainer's
+// normalized options. Length-prefixing makes the key unambiguous for
+// arbitrary entity names — no separator byte needs to be excluded.
+func (e *Explainer) cacheKey(start, end string) string {
+	return fmt.Sprintf("%d:%s%d:%s%s", len(start), start, len(end), end, e.optKey)
 }
 
 func isLimited(m measure.Measure) bool {
@@ -424,7 +500,7 @@ func (e *Explainer) CountInstances(p *pattern.Pattern, start, end string) (int, 
 	s := g.NodeByName(start)
 	t := g.NodeByName(end)
 	if s == kb.InvalidNode || t == kb.InvalidNode {
-		return 0, fmt.Errorf("rex: unknown entity in pair (%q, %q)", start, end)
+		return 0, fmt.Errorf("rex: %w in pair (%q, %q)", ErrUnknownEntity, start, end)
 	}
 	return match.Count(g, p, s, t), nil
 }
