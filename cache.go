@@ -7,17 +7,20 @@ import (
 )
 
 // resultCache is a synchronised LRU cache of rendered explanation
-// results. Entries are keyed by (entity pair, normalized options); see
-// Explainer.cacheKey. Hit and miss counts are tracked for the /stats
-// endpoint of cmd/rexserve and for capacity tuning.
+// results. Each cache belongs to exactly one Explainer, so entries are
+// keyed by entity pair alone (see Explainer.cacheKey); the options
+// dimension is the cache identity itself. Hit, miss and eviction
+// counts are tracked for the /stats endpoint of cmd/rexserve and for
+// capacity tuning.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // cacheEntry is one LRU element: the key (needed for eviction) and the
@@ -71,6 +74,7 @@ func (c *resultCache) put(key string, res *Result) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(cacheEntry).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -87,6 +91,10 @@ type CacheStats struct {
 	// includes lookups for results that were never stored (e.g. queries
 	// that errored).
 	Hits, Misses uint64
+	// Evictions counts entries displaced by the LRU capacity bound — the
+	// signal that Options.CacheSize is too small for the working set.
+	// Refreshing an existing key is not an eviction.
+	Evictions uint64
 	// Entries is the current entry count; Capacity the configured
 	// maximum. Both are 0 when caching is disabled.
 	Entries, Capacity int
@@ -99,9 +107,10 @@ func (e *Explainer) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	return CacheStats{
-		Hits:     e.cache.hits.Load(),
-		Misses:   e.cache.misses.Load(),
-		Entries:  e.cache.len(),
-		Capacity: e.cache.cap,
+		Hits:      e.cache.hits.Load(),
+		Misses:    e.cache.misses.Load(),
+		Evictions: e.cache.evictions.Load(),
+		Entries:   e.cache.len(),
+		Capacity:  e.cache.cap,
 	}
 }

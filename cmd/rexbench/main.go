@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,16 +22,30 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: it parses args, runs the
+// selected experiments, prints their tables to stdout, and returns the
+// exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rexbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, all")
-		scale     = flag.Float64("scale", 1, "synthetic KB scale factor")
-		seed      = flag.Int64("seed", 42, "workload seed")
-		perBucket = flag.Int("pairs", 10, "entity pairs per connectedness bucket")
-		quick     = flag.Bool("quick", false, "reduce work: skip NaiveEnum, fewer global samples, shorter k sweep")
-		samples   = flag.Int("global-samples", 100, "sampled starts estimating the global distribution")
-		raters    = flag.Int("raters", 10, "simulated raters for table1/pathshare")
+		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, all")
+		scale     = fs.Float64("scale", 1, "synthetic KB scale factor")
+		seed      = fs.Int64("seed", 42, "workload seed")
+		perBucket = fs.Int("pairs", 10, "entity pairs per connectedness bucket")
+		quick     = fs.Bool("quick", false, "reduce work: skip NaiveEnum, fewer global samples, shorter k sweep")
+		samples   = fs.Int("global-samples", 100, "sampled starts estimating the global distribution")
+		raters    = fs.Int("raters", 10, "simulated raters for table1/pathshare")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	gs := *samples
 	if *quick && gs > 25 {
@@ -51,45 +67,46 @@ func main() {
 			Scale: *scale, Seed: *seed, PerBucket: *perBucket, GlobalSamples: gs,
 		})
 		st := env.G.Stats()
-		fmt.Printf("workload: %d entities, %d relationships, %d labels; %d pairs (built in %s)\n",
+		fmt.Fprintf(stdout, "workload: %d entities, %d relationships, %d labels; %d pairs (built in %s)\n",
 			st.Nodes, st.Edges, st.Labels, len(env.Pairs), time.Since(start).Round(time.Millisecond))
 		for _, b := range harness.Buckets() {
-			fmt.Printf("  %s: %d pairs\n", b, len(env.PairsIn(b)))
+			fmt.Fprintf(stdout, "  %s: %d pairs\n", b, len(env.PairsIn(b)))
 		}
 	}
 
 	if want("fig7") {
-		env.Fig7(*quick).Print(os.Stdout)
+		env.Fig7(*quick).Print(stdout)
 	}
 	if want("fig8") {
-		env.Fig8().Print(os.Stdout)
+		env.Fig8().Print(stdout)
 	}
 	if want("fig9") {
-		env.Fig9().Print(os.Stdout)
+		env.Fig9().Print(stdout)
 	}
 	if want("fig10") {
 		ks := []int{1, 5, 10, 20, 50, 100, 200}
 		if *quick {
 			ks = []int{1, 10, 100}
 		}
-		env.Fig10(ks).Print(os.Stdout)
+		env.Fig10(ks).Print(stdout)
 	}
 	if want("fig11") {
-		env.Fig11().Print(os.Stdout)
+		env.Fig11().Print(stdout)
 	}
 	if want("ablation") {
-		env.Ablation().Print(os.Stdout)
+		env.Ablation().Print(stdout)
 	}
 	studyOpt := harness.StudyOptions{
 		Scale: *scale, Seed: *seed, NumRaters: *raters, GlobalSamples: gs,
 	}
 	if want("table1") {
-		harness.Table1(studyOpt).Print(os.Stdout)
+		harness.Table1(studyOpt).Print(stdout)
 	}
 	if want("pathshare") {
-		harness.PathShare(studyOpt).Print(os.Stdout)
+		harness.PathShare(studyOpt).Print(stdout)
 	}
 	if want("learned") {
-		harness.Learned(studyOpt).Print(os.Stdout)
+		harness.Learned(studyOpt).Print(stdout)
 	}
+	return 0
 }

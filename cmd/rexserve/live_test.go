@@ -1,0 +1,376 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rex"
+)
+
+// liveBaseTSV connects a—b directly; c and d exist but share no
+// connection, so (c, d) is only explainable after a delta ingests the
+// missing edge.
+const liveBaseTSV = `node	a	person
+node	b	person
+node	c	person
+node	d	person
+label	knows	U
+edge	a	b	knows
+`
+
+func liveServer(t *testing.T, kbPath string) *server {
+	t.Helper()
+	k, err := rex.ReadKB(strings.NewReader(liveBaseTSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rex.NewStore(k, rex.Options{
+		Measure: "size", TopK: 100, MaxPatternSize: 3, CacheSize: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(store, kbPath, time.Minute, 8)
+}
+
+func postBody(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)))
+	return rec
+}
+
+func explain(t *testing.T, h http.Handler, start, end string) (explainResponse, int) {
+	t.Helper()
+	rec := get(t, h, "/explain?start="+start+"&end="+end)
+	var resp explainResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad /explain body: %v: %s", err, rec.Body)
+		}
+	}
+	return resp, rec.Code
+}
+
+func stats(t *testing.T, h http.Handler) statsResponse {
+	t.Helper()
+	rec := get(t, h, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestAdminDeltaEndpoint(t *testing.T) {
+	s := liveServer(t, "")
+	h := s.handler()
+
+	// Method and error handling.
+	if rec := get(t, h, "/admin/delta"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /admin/delta: status = %d", rec.Code)
+	}
+	if rec := postBody(t, h, "/admin/delta", ""); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("empty delta: status = %d, body %s", rec.Code, rec.Body)
+	}
+	if rec := postBody(t, h, "/admin/delta", "edge\tghost\tb\tknows\n"); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown node: status = %d", rec.Code)
+	}
+	if rec := postBody(t, h, "/admin/delta", "bogus\trecord\n"); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("parse error: status = %d", rec.Code)
+	}
+	if st := stats(t, h); st.Version.Generation != 1 || st.Version.Deltas != 0 {
+		t.Fatalf("failed deltas moved version info: %+v", st.Version)
+	}
+
+	// A real delta: add node e, connect c—d and c—e, retype d, drop a—b.
+	delta := strings.Join([]string{
+		"# incremental update",
+		"node\te\tperson",
+		"edge\tc\td\tknows",
+		"edge\tc\te\tknows",
+		"settype\td\trobot",
+		"deledge\ta\tb\tknows",
+	}, "\n")
+	rec := postBody(t, h, "/admin/delta", delta)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delta status = %d, body %s", rec.Code, rec.Body)
+	}
+	var sw swapResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Generation != 2 || sw.NodesAdded != 1 || sw.EdgesAdded != 2 || sw.EdgesRemoved != 1 || sw.TypesSet != 1 {
+		t.Errorf("swap response = %+v", sw)
+	}
+	if sw.Nodes != 5 || sw.Edges != 2 {
+		t.Errorf("swap KB size = %d nodes, %d edges, want 5, 2", sw.Nodes, sw.Edges)
+	}
+
+	// The swap is visible everywhere and the mutations took effect.
+	if st := stats(t, h); st.Version.Generation != 2 || st.Version.Swaps != 1 || st.Version.Deltas != 1 {
+		t.Errorf("version after delta = %+v", st.Version)
+	}
+	if resp, code := explain(t, h, "c", "d"); code != http.StatusOK || len(resp.Result.Explanations) == 0 {
+		t.Errorf("(c, d) post-swap: code %d, %d explanations", code, len(resp.Result.Explanations))
+	}
+	if resp, code := explain(t, h, "a", "b"); code != http.StatusOK || len(resp.Result.Explanations) != 0 {
+		t.Errorf("(a, b) after deledge: code %d, %d explanations, want 0", code, len(resp.Result.Explanations))
+	}
+}
+
+func TestAdminTokenGate(t *testing.T) {
+	s := liveServer(t, "")
+	s.adminToken = "sekrit"
+	h := s.handler()
+	delta := "edge\tc\td\tknows\n"
+
+	if rec := postBody(t, h, "/admin/delta", delta); rec.Code != http.StatusUnauthorized {
+		t.Errorf("missing token: status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/admin/delta", strings.NewReader(delta))
+	req.Header.Set("Authorization", "Bearer wrong")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusUnauthorized {
+		t.Errorf("wrong token: status = %d", rec.Code)
+	}
+	if rec := postBody(t, h, "/admin/reload", ""); rec.Code != http.StatusUnauthorized {
+		t.Errorf("reload without token: status = %d", rec.Code)
+	}
+	if st := stats(t, h); st.Version.Generation != 1 {
+		t.Fatalf("unauthorized request swapped: %+v", st.Version)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/admin/delta", strings.NewReader(delta))
+	req.Header.Set("Authorization", "Bearer sekrit")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("valid token: status = %d, body %s", rec.Code, rec.Body)
+	}
+	// Query endpoints stay open regardless of the token.
+	if _, code := explain(t, h, "c", "d"); code != http.StatusOK {
+		t.Errorf("explain with admin token set: status = %d", code)
+	}
+}
+
+// TestAdminDeltaNoop checks that a redelivered delta reports success
+// without swapping, so at-least-once delivery keeps the warm cache.
+func TestAdminDeltaNoop(t *testing.T) {
+	s := liveServer(t, "")
+	h := s.handler()
+	if rec := postBody(t, h, "/admin/delta", "edge\tc\td\tknows\n"); rec.Code != http.StatusOK {
+		t.Fatalf("first delta: %s", rec.Body)
+	}
+	explain(t, h, "c", "d") // warm the generation-2 cache
+	rec := postBody(t, h, "/admin/delta", "edge\tc\td\tknows\n")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("redelivered delta: status %d, body %s", rec.Code, rec.Body)
+	}
+	var sw swapResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Generation != 2 || sw.EdgesAdded != 0 {
+		t.Errorf("no-op delta swapped: %+v", sw)
+	}
+	st := stats(t, h)
+	if st.Version.Generation != 2 || st.Version.Swaps != 1 {
+		t.Errorf("version after no-op = %+v", st.Version)
+	}
+	if st.Cache.Hits+st.Cache.Misses == 0 || st.Cache.Entries == 0 {
+		t.Errorf("warm cache lost after no-op delta: %+v", st.Cache)
+	}
+}
+
+func TestAdminReloadEndpoint(t *testing.T) {
+	// Without -kb, reload is refused.
+	s := liveServer(t, "")
+	if rec := postBody(t, s.handler(), "/admin/reload", ""); rec.Code != http.StatusConflict {
+		t.Errorf("reload without -kb: status = %d", rec.Code)
+	}
+
+	// With a file: delta away from the file's content, then reload back.
+	path := filepath.Join(t.TempDir(), "kb.tsv")
+	if err := os.WriteFile(path, []byte(liveBaseTSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s = liveServer(t, path)
+	h := s.handler()
+	fp1 := stats(t, h).Version.Fingerprint
+	if rec := postBody(t, h, "/admin/delta", "edge\tc\td\tknows\n"); rec.Code != http.StatusOK {
+		t.Fatalf("delta failed: %s", rec.Body)
+	}
+	if rec := get(t, h, "/admin/reload"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /admin/reload: status = %d", rec.Code)
+	}
+	rec := postBody(t, h, "/admin/reload", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload status = %d, body %s", rec.Code, rec.Body)
+	}
+	var sw swapResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Generation != 3 || sw.Fingerprint != fp1 {
+		t.Errorf("reload swap = %+v, want generation 3 with the file's fingerprint %s", sw, fp1)
+	}
+	if st := stats(t, h); st.Version.Reloads != 1 || st.Version.Swaps != 2 {
+		t.Errorf("version after reload = %+v", st.Version)
+	}
+
+	// A vanished file fails the reload and keeps the current snapshot.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if rec := postBody(t, h, "/admin/reload", ""); rec.Code != http.StatusInternalServerError {
+		t.Errorf("reload of missing file: status = %d", rec.Code)
+	}
+	if st := stats(t, h); st.Version.Generation != 3 {
+		t.Errorf("failed reload moved generation to %d", st.Version.Generation)
+	}
+}
+
+// TestLiveSwapUnderTraffic is the subsystem's acceptance test: readers
+// hammer /explain while deltas stream in through /admin/delta. Run
+// under -race it checks the lock-free snapshot discipline; its own
+// assertions check that no request errors, no response mixes
+// generations, version info lands on /stats, a query answerable only
+// via an ingested edge succeeds post-swap, and pre-swap cached results
+// are never served for a new snapshot.
+//
+// Generation-mixing is made observable by construction: delta i adds
+// the path a—m<i>—b under its own fresh label k<i>, so each ingested
+// path is a distinct pattern and a result computed wholly on
+// generation g has exactly g explanations for (a, b) — the direct edge
+// plus one per applied delta. A response whose explanation count
+// disagrees with its reported generation mixed snapshots.
+func TestLiveSwapUnderTraffic(t *testing.T) {
+	s := liveServer(t, "")
+	h := s.handler()
+	const (
+		numDeltas  = 8
+		numReaders = 4
+	)
+
+	// Pre-swap: (a, b) has its one direct explanation; (c, d) has none,
+	// and the empty result is now cached on generation 1.
+	resp, code := explain(t, h, "a", "b")
+	if code != http.StatusOK || len(resp.Result.Explanations) != 1 || resp.Generation != 1 {
+		t.Fatalf("pre-swap (a, b): code %d, %d explanations, generation %d",
+			code, len(resp.Result.Explanations), resp.Generation)
+	}
+	fp1 := resp.Fingerprint
+	if resp, code = explain(t, h, "c", "d"); code != http.StatusOK || len(resp.Result.Explanations) != 0 {
+		t.Fatalf("pre-swap (c, d): code %d, %d explanations, want 0", code, len(resp.Result.Explanations))
+	}
+	explain(t, h, "c", "d") // cache the empty result on the gen-1 snapshot
+
+	var (
+		wg         sync.WaitGroup
+		done       atomic.Bool
+		readErrs   = make([]error, numReaders)
+		maxGenSeen = make([]uint64, numReaders)
+	)
+	for r := 0; r < numReaders; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastGen uint64
+			for !done.Load() {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/explain?start=a&end=b", nil))
+				if rec.Code != http.StatusOK {
+					readErrs[r] = fmt.Errorf("status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				var resp explainResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					readErrs[r] = err
+					return
+				}
+				// Atomicity of the swap: the explanation count must match
+				// the generation the response claims it was computed on.
+				if got, want := len(resp.Result.Explanations), int(resp.Generation); got != want {
+					readErrs[r] = fmt.Errorf("generation mix: %d explanations on generation %d", got, want)
+					return
+				}
+				// Requests in one goroutine are sequential, so the pinned
+				// generation can never go backwards.
+				if resp.Generation < lastGen {
+					readErrs[r] = fmt.Errorf("generation went backwards: %d after %d", resp.Generation, lastGen)
+					return
+				}
+				lastGen = resp.Generation
+				maxGenSeen[r] = lastGen
+			}
+		}(r)
+	}
+
+	// Writer: stream deltas; delta i adds the path a—m<i>—b. The final
+	// delta also ingests the c—d edge the stale-cache check needs.
+	for i := 1; i <= numDeltas; i++ {
+		delta := fmt.Sprintf("label\tk%d\tU\nnode\tm%d\tperson\nedge\ta\tm%d\tk%d\nedge\tm%d\tb\tk%d\n",
+			i, i, i, i, i, i)
+		if i == numDeltas {
+			delta += "edge\tc\td\tknows\n"
+		}
+		rec := postBody(t, h, "/admin/delta", delta)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("delta %d: status %d, body %s", i, rec.Code, rec.Body)
+		}
+		var sw swapResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &sw); err != nil {
+			t.Fatal(err)
+		}
+		if sw.Generation != uint64(i+1) {
+			t.Fatalf("delta %d produced generation %d, want %d", i, sw.Generation, i+1)
+		}
+		time.Sleep(2 * time.Millisecond) // let readers overlap several generations
+	}
+	done.Store(true)
+	wg.Wait()
+	for r, err := range readErrs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", r, err)
+		}
+	}
+
+	// Post-swap: the final generation answers with all ingested paths.
+	resp, code = explain(t, h, "a", "b")
+	if code != http.StatusOK || resp.Generation != numDeltas+1 || len(resp.Result.Explanations) != numDeltas+1 {
+		t.Fatalf("post-swap (a, b): code %d, generation %d, %d explanations, want %d/%d",
+			code, resp.Generation, len(resp.Result.Explanations), numDeltas+1, numDeltas+1)
+	}
+	// The query answerable only via the newly ingested edge succeeds —
+	// the gen-1 cached empty result for (c, d) is not served.
+	if resp, code = explain(t, h, "c", "d"); code != http.StatusOK || len(resp.Result.Explanations) == 0 {
+		t.Fatalf("post-swap (c, d): code %d, %d explanations, want ≥1 via the ingested edge",
+			code, len(resp.Result.Explanations))
+	}
+
+	// /stats reports the bumped generation and a changed fingerprint.
+	st := stats(t, h)
+	if st.Version.Generation != numDeltas+1 || st.Version.Swaps != numDeltas || st.Version.Deltas != numDeltas {
+		t.Errorf("version after swaps = %+v", st.Version)
+	}
+	if st.Version.Fingerprint == fp1 || st.Version.Fingerprint == "" {
+		t.Errorf("fingerprint did not change across swaps: %q", st.Version.Fingerprint)
+	}
+	if st.Queries.Errors != 0 {
+		t.Errorf("%d query errors during swaps, want 0", st.Queries.Errors)
+	}
+}

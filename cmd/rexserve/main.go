@@ -1,18 +1,44 @@
-// Command rexserve serves relationship-explanation queries over HTTP:
+// Command rexserve serves relationship-explanation queries over HTTP,
+// with live knowledge-base updates under traffic:
 //
 //	rexserve -kb entertainment.tsv -addr :8080 -timeout 2s -cache 4096
 //	rexserve -sample   # serve the built-in sample knowledge base
 //
-// Endpoints (all JSON):
+// Query endpoints (all JSON):
 //
 //	GET  /explain?start=a&end=b   one pair (also POST {"start","end"})
 //	POST /batch                   {"pairs":[{"start","end"},...]}
-//	GET  /stats                   uptime, KB size, cache and query counters
-//	GET  /healthz                 liveness probe
+//	GET  /stats                   uptime, KB version + size, cache and query counters
+//	GET  /healthz                 liveness probe with the active KB generation
+//
+// Admin endpoints (JSON responses):
+//
+//	POST /admin/delta             stream TSV mutation records; on success the
+//	                              server atomically swaps to the new KB version
+//	POST /admin/reload            re-read the -kb file from disk and swap it in
+//
+// With -admin-token set, both require "Authorization: Bearer <token>";
+// without it they are open, which is only appropriate when the listener
+// itself is trusted (loopback or a private network).
+//
+// The delta body uses the knowledge-base TSV record syntax plus
+// mutation records, replayed in order and applied all-or-nothing:
+//
+//	node\t<name>\t<type>           add an entity
+//	label\t<name>\t<D|U>           register a relationship label
+//	edge\t<from>\t<to>\t<label>    add an edge
+//	settype\t<name>\t<type>        change an entity's type
+//	deledge\t<from>\t<to>\t<label> remove an edge
+//
+// Swaps are epoch-based: in-flight requests finish on the KB version
+// they started with, new requests see the new generation, and each
+// version has its own result cache, so stale answers are impossible.
+// Every query response carries the generation and content fingerprint
+// of the snapshot that computed it.
 //
 // Every request runs under the -timeout deadline: queries that exceed it
 // are aborted mid-enumeration and answered with 504. Results are cached
-// in an LRU keyed by (pair, options) sized by -cache.
+// in a per-snapshot LRU keyed by (pair, options) sized by -cache.
 package main
 
 import (
@@ -38,54 +64,56 @@ func main() {
 		maxInst  = flag.Int("instances", 3, "max instances per explanation (0 = all)")
 		workers  = flag.Int("parallelism", 0, "enumeration worker pool size (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
-		cacheSz  = flag.Int("cache", 1024, "result cache entries (0 = disable caching)")
+		cacheSz  = flag.Int("cache", 1024, "result cache entries per KB snapshot (0 = disable caching)")
 		maxBatch = flag.Int("max-batch", 1024, "largest accepted /batch pair count")
+		adminTok = flag.String("admin-token", "", "bearer token required by /admin/* (empty = open; only safe on a trusted listener)")
 	)
 	flag.Parse()
 
-	var (
-		kb  *rex.KB
-		err error
-	)
-	switch {
-	case *kbPath != "":
-		kb, err = rex.LoadKB(*kbPath)
-		if err != nil {
-			fatal(err)
-		}
-	default:
-		_ = sample // the sample KB is also the default
-		kb = rex.SampleKB()
-	}
-
-	ex, err := rex.NewExplainer(kb, rex.Options{
+	opt := rex.Options{
 		MaxPatternSize:             *maxSize,
 		Measure:                    *measureN,
 		TopK:                       *topK,
 		MaxInstancesPerExplanation: *maxInst,
 		Parallelism:                *workers,
 		CacheSize:                  *cacheSz,
-	})
+	}
+	var (
+		store *rex.Store
+		err   error
+	)
+	switch {
+	case *kbPath != "":
+		store, err = rex.OpenStore(*kbPath, opt)
+	default:
+		_ = sample // the sample KB is also the default
+		store, err = rex.NewStore(rex.SampleKB(), opt)
+	}
 	if err != nil {
 		fatal(err)
 	}
 
-	st := kb.Stats()
-	log.Printf("rexserve: %d entities, %d relationships, %d labels; measure=%s timeout=%v cache=%d",
-		st.Nodes, st.Edges, st.Labels, *measureN, *timeout, *cacheSz)
-	srv := newServer(ex, kb, *timeout, *maxBatch)
+	snap := store.Current()
+	st := snap.KB.Stats()
+	log.Printf("rexserve: %d entities, %d relationships, %d labels; generation %d fingerprint %s; measure=%s timeout=%v cache=%d",
+		st.Nodes, st.Edges, st.Labels, snap.Generation, snap.Fingerprint, *measureN, *timeout, *cacheSz)
+	srv := newServer(store, *kbPath, *timeout, *maxBatch)
+	srv.adminToken = *adminTok
 	// Connection-level timeouts: the -timeout flag only bounds query
 	// execution, so slow-header, slow-body, slow-reading and idle
 	// connections need their own limits or they pin goroutines and
 	// descriptors indefinitely. WriteTimeout caps total response time;
 	// with -timeout 0 a very long query can hit it first, which is the
-	// safer failure mode for a public listener.
+	// safer failure mode for a public listener. ReadTimeout must leave
+	// room for a large /admin/delta body to stream over a slow link —
+	// at five minutes a maxDeltaBytes body still fits above ~7 Mbps,
+	// while ReadHeaderTimeout keeps slow-loris protection tight.
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      2 * time.Minute,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("rexserve: listening on %s", *addr)

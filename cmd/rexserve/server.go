@@ -2,36 +2,67 @@ package main
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"rex"
 )
 
-// server is the HTTP serving layer over one Explainer. All handlers are
-// safe for concurrent use: the explainer is concurrency-safe and the
-// request counters are atomic.
+// server is the HTTP serving layer over one live rex.Store. All
+// handlers are safe for concurrent use: every query handler pins the
+// active snapshot once (a lock-free atomic load) and serves the whole
+// request from that pinned (KB, Explainer, cache) version, so a delta
+// swap mid-request can never mix generations. The admin endpoints
+// mutate only through the store, which serialises writers internally.
 type server struct {
-	ex       *rex.Explainer
-	kb       *rex.KB
-	timeout  time.Duration // per-request deadline
-	maxBatch int           // largest accepted /batch pair count
-	started  time.Time
+	store      *rex.Store
+	kbPath     string        // source file for /admin/reload; "" when serving a built-in KB
+	adminToken string        // bearer token required by /admin/*; "" leaves them open
+	timeout    time.Duration // per-request deadline
+	maxBatch   int           // largest accepted /batch pair count
+	started    time.Time
 
 	explains atomic.Uint64 // completed /explain queries (incl. batch pairs)
 	errors   atomic.Uint64 // queries that returned an error
 	timeouts atomic.Uint64 // queries aborted by deadline or cancellation
+	deltas   atomic.Uint64 // successfully applied /admin/delta requests
+	reloads  atomic.Uint64 // successful /admin/reload requests
 }
 
-func newServer(ex *rex.Explainer, kb *rex.KB, timeout time.Duration, maxBatch int) *server {
+// maxDeltaBytes bounds one streamed /admin/delta body. Deltas are
+// line-oriented, so even modest limits admit hundreds of thousands of
+// mutations; raise it here if an extraction pipeline batches bigger.
+const maxDeltaBytes = 256 << 20
+
+func newServer(store *rex.Store, kbPath string, timeout time.Duration, maxBatch int) *server {
 	if maxBatch <= 0 {
 		maxBatch = 1024
 	}
-	return &server{ex: ex, kb: kb, timeout: timeout, maxBatch: maxBatch, started: time.Now()}
+	return &server{store: store, kbPath: kbPath, timeout: timeout, maxBatch: maxBatch, started: time.Now()}
+}
+
+// authorizeAdmin gates the mutating admin endpoints: when the server
+// was started with -admin-token, requests must carry it as a bearer
+// token. Comparison is constant-time so the token cannot be guessed
+// byte by byte. With no token configured the endpoints are open —
+// suitable only when the listener itself is trusted (loopback, private
+// network); the flag docs say so.
+func (s *server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
+	if s.adminToken == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(s.adminToken)) != 1 {
+		writeJSON(w, http.StatusUnauthorized, errorResponse{Error: "missing or invalid admin token"})
+		return false
+	}
+	return true
 }
 
 // handler builds the route table.
@@ -41,13 +72,20 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/admin/delta", s.handleAdminDelta)
+	mux.HandleFunc("/admin/reload", s.handleAdminReload)
 	return mux
 }
 
-// explainResponse wraps one query result for the wire.
+// explainResponse wraps one query result for the wire. Generation and
+// Fingerprint identify the snapshot that computed the result, so
+// clients (and the swap-under-traffic tests) can correlate answers
+// with KB versions.
 type explainResponse struct {
-	Result    *rex.Result `json:"result"`
-	ElapsedMS float64     `json:"elapsed_ms"`
+	Result      *rex.Result `json:"result"`
+	Generation  uint64      `json:"generation"`
+	Fingerprint string      `json:"fingerprint"`
+	ElapsedMS   float64     `json:"elapsed_ms"`
 }
 
 // errorResponse is the JSON error shape of every endpoint.
@@ -62,9 +100,12 @@ type batchRequest struct {
 
 // batchResponse is the /batch output: one entry per requested pair, in
 // request order, each carrying either a result or that pair's error.
+// The whole batch runs on one pinned snapshot.
 type batchResponse struct {
-	Results   []batchEntry `json:"results"`
-	ElapsedMS float64      `json:"elapsed_ms"`
+	Results     []batchEntry `json:"results"`
+	Generation  uint64       `json:"generation"`
+	Fingerprint string       `json:"fingerprint"`
+	ElapsedMS   float64      `json:"elapsed_ms"`
 }
 
 type batchEntry struct {
@@ -72,6 +113,36 @@ type batchEntry struct {
 	End    string      `json:"end"`
 	Result *rex.Result `json:"result,omitempty"`
 	Error  string      `json:"error,omitempty"`
+}
+
+// swapResponse reports a completed snapshot swap from the admin
+// endpoints.
+type swapResponse struct {
+	Generation   uint64 `json:"generation"`
+	Fingerprint  string `json:"fingerprint"`
+	Nodes        int    `json:"nodes"`
+	Edges        int    `json:"edges"`
+	Labels       int    `json:"labels"`
+	NodesAdded   int    `json:"nodes_added,omitempty"`
+	LabelsAdded  int    `json:"labels_added,omitempty"`
+	EdgesAdded   int    `json:"edges_added,omitempty"`
+	EdgesRemoved int    `json:"edges_removed,omitempty"`
+	TypesSet     int    `json:"types_set,omitempty"`
+}
+
+func swapResponseOf(info rex.SwapInfo) swapResponse {
+	return swapResponse{
+		Generation:   info.Generation,
+		Fingerprint:  info.Fingerprint,
+		Nodes:        info.KB.Nodes,
+		Edges:        info.KB.Edges,
+		Labels:       info.KB.Labels,
+		NodesAdded:   info.NodesAdded,
+		LabelsAdded:  info.LabelsAdded,
+		EdgesAdded:   info.EdgesAdded,
+		EdgesRemoved: info.EdgesRemoved,
+		TypesSet:     info.TypesSet,
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -148,22 +219,25 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	snap := s.store.Current() // pin one KB version for the whole request
 	t0 := time.Now()
-	res, err := s.ex.ExplainContext(ctx, p.Start, p.End)
+	res, err := snap.Explainer.ExplainContext(ctx, p.Start, p.End)
 	s.note(err)
 	if err != nil {
 		writeJSON(w, errStatus(err), errorResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, explainResponse{
-		Result:    res,
-		ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
+		Result:      res,
+		Generation:  snap.Generation,
+		Fingerprint: snap.Fingerprint,
+		ElapsedMS:   float64(time.Since(t0).Microseconds()) / 1000,
 	})
 }
 
 // handleBatch answers POST /batch with {"pairs":[{"start","end"},...]},
 // fanning the pairs out over the explainer's worker pool with per-pair
-// error isolation.
+// error isolation. All pairs run on the same pinned snapshot.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
@@ -189,9 +263,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	snap := s.store.Current()
 	t0 := time.Now()
-	results := s.ex.BatchExplain(ctx, req.Pairs, rex.BatchOptions{})
-	resp := batchResponse{Results: make([]batchEntry, len(results))}
+	results := snap.Explainer.BatchExplain(ctx, req.Pairs, rex.BatchOptions{})
+	resp := batchResponse{
+		Results:     make([]batchEntry, len(results)),
+		Generation:  snap.Generation,
+		Fingerprint: snap.Fingerprint,
+	}
 	for i, br := range results {
 		s.note(br.Err)
 		entry := batchEntry{Start: br.Pair.Start, End: br.Pair.End, Result: br.Result}
@@ -204,12 +283,77 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleAdminDelta answers POST /admin/delta: the body is a streamed
+// mutation log in the delta wire format (node/label/edge records plus
+// settype/deledge). On success the store has atomically swapped to the
+// new generation and the response describes it; a delta of pure no-ops
+// publishes nothing and reports the unchanged generation. On any error
+// the active snapshot is unchanged (422 for parse/apply failures).
+func (s *server) handleAdminDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxDeltaBytes)
+	info, err := s.store.Apply(body)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	s.deltas.Add(1)
+	writeJSON(w, http.StatusOK, swapResponseOf(info))
+}
+
+// handleAdminReload answers POST /admin/reload: re-read the knowledge
+// base from the file the server was started with and swap it in
+// wholesale — the recovery path when the delta stream and the
+// authoritative file have diverged.
+func (s *server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	if s.kbPath == "" {
+		writeJSON(w, http.StatusConflict,
+			errorResponse{Error: "server is serving a built-in knowledge base; start with -kb to enable reload"})
+		return
+	}
+	info, err := s.store.ReloadFrom(s.kbPath)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	s.reloads.Add(1)
+	writeJSON(w, http.StatusOK, swapResponseOf(info))
+}
+
 // statsResponse is the /stats snapshot.
 type statsResponse struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
+	Version       versionInfo    `json:"version"`
 	KB            rex.Stats      `json:"kb"`
 	Cache         rex.CacheStats `json:"cache"`
 	Queries       queryStats     `json:"queries"`
+}
+
+// versionInfo identifies the active KB snapshot and the swap history.
+type versionInfo struct {
+	Generation  uint64 `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+	Swaps       uint64 `json:"swaps"`
+	Deltas      uint64 `json:"deltas_applied"`
+	Reloads     uint64 `json:"reloads"`
 }
 
 type queryStats struct {
@@ -219,10 +363,18 @@ type queryStats struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
-		KB:            s.kb.Stats(),
-		Cache:         s.ex.CacheStats(),
+		Version: versionInfo{
+			Generation:  snap.Generation,
+			Fingerprint: snap.Fingerprint,
+			Swaps:       s.store.Swaps(),
+			Deltas:      s.deltas.Load(),
+			Reloads:     s.reloads.Load(),
+		},
+		KB:    snap.KB.Stats(),
+		Cache: snap.Explainer.CacheStats(),
 		Queries: queryStats{
 			Explains: s.explains.Load(),
 			Errors:   s.errors.Load(),
@@ -231,6 +383,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// healthResponse is the /healthz liveness answer, carrying the active
+// KB version so probes can watch swaps land.
+type healthResponse struct {
+	Status      string `json:"status"`
+	Generation  uint64 `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	snap := s.store.Current()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:      "ok",
+		Generation:  snap.Generation,
+		Fingerprint: snap.Fingerprint,
+	})
 }

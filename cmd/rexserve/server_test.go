@@ -13,12 +13,11 @@ import (
 
 func testServer(t *testing.T, timeout time.Duration) *server {
 	t.Helper()
-	kb := rex.SampleKB()
-	ex, err := rex.NewExplainer(kb, rex.Options{Measure: "size", TopK: 5, CacheSize: 64})
+	store, err := rex.NewStore(rex.SampleKB(), rex.Options{Measure: "size", TopK: 5, CacheSize: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(ex, kb, timeout, 8)
+	return newServer(store, "", timeout, 8)
 }
 
 func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
@@ -132,15 +131,23 @@ func TestBatchEndpointLimits(t *testing.T) {
 func TestStatsAndHealthz(t *testing.T) {
 	s := testServer(t, time.Minute)
 	h := s.handler()
-	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz status = %d", rec.Code)
+	}
+	var hr healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Generation != 1 || hr.Fingerprint == "" {
+		t.Errorf("healthz = %+v, want ok/gen 1/non-empty fingerprint", hr)
 	}
 
 	// Two identical queries: the second must be served by the cache.
 	get(t, h, "/explain?start=brad_pitt&end=angelina_jolie")
 	get(t, h, "/explain?start=brad_pitt&end=angelina_jolie")
 
-	rec := get(t, h, "/stats")
+	rec = get(t, h, "/stats")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("stats status = %d", rec.Code)
 	}
@@ -150,6 +157,9 @@ func TestStatsAndHealthz(t *testing.T) {
 	}
 	if st.KB.Nodes == 0 {
 		t.Error("stats KB empty")
+	}
+	if st.Version.Generation != 1 || st.Version.Swaps != 0 || st.Version.Fingerprint != hr.Fingerprint {
+		t.Errorf("version = %+v, want generation 1, 0 swaps, healthz fingerprint", st.Version)
 	}
 	if st.Queries.Explains != 2 {
 		t.Errorf("explains = %d, want 2", st.Queries.Explains)

@@ -277,6 +277,8 @@ func TestResultCache(t *testing.T) {
 	}
 	if st := ex.CacheStats(); st.Entries != 2 {
 		t.Errorf("entries = %d, want capacity-bounded 2", st.Entries)
+	} else if st.Evictions != 1 {
+		t.Errorf("evictions = %d after one displacement, want 1", st.Evictions)
 	}
 	if _, err := ex.Explain(samplePairs[0].Start, samplePairs[0].End); err != nil {
 		t.Fatal(err)
@@ -284,6 +286,9 @@ func TestResultCache(t *testing.T) {
 	st = ex.CacheStats()
 	if st.Hits != 1 || st.Misses != 4 {
 		t.Errorf("stats after eviction = %+v, want 1 hit / 4 misses", st)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2 (pair 0 then pair 1 displaced)", st.Evictions)
 	}
 
 	// Uncached explainer reports zero stats.

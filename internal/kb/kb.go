@@ -117,6 +117,7 @@ type Graph struct {
 	labelAdj   [][]HalfEdge  // per-node adjacency re-sorted by (Label, To, Dir)
 	labelSpans [][]labelSpan // per-node spans into labelAdj, ascending by label
 	byType     map[string][]NodeID
+	fp         string // content fingerprint, computed by Freeze
 }
 
 // labelSpan locates the half-edges with one label inside a node's
@@ -184,6 +185,9 @@ func (g *Graph) Label(name string, directed bool) (LabelID, error) {
 	g.labels = append(g.labels, name)
 	g.labelDirected = append(g.labelDirected, directed)
 	g.labelIDs[name] = id
+	// Labels are part of the hashed content, so registering one must
+	// invalidate the frozen fingerprint like every other mutation.
+	g.frozen = false
 	return id, nil
 }
 
@@ -346,7 +350,8 @@ func (g *Graph) Edges() []Edge {
 // Freeze sorts all adjacency lists so iteration order is deterministic
 // across runs, and precomputes the read-path indexes (per-label adjacency
 // and entity-type lists) that make the graph safe and fast to query from
-// many goroutines. Freeze is idempotent and cheap when already frozen.
+// many goroutines, plus the content fingerprint served by Fingerprint.
+// Freeze is idempotent and cheap when already frozen.
 func (g *Graph) Freeze() {
 	if g.frozen {
 		return
@@ -365,6 +370,7 @@ func (g *Graph) Freeze() {
 	}
 	g.buildLabelIndex()
 	g.buildTypeIndex()
+	g.fp = g.fingerprint()
 	g.frozen = true
 }
 

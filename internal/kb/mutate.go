@@ -1,0 +1,129 @@
+package kb
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// This file holds the mutation and snapshot primitives behind the live
+// knowledge-base subsystem (internal/live): deep cloning, edge removal,
+// entity retyping and content fingerprinting. The copy-apply-swap
+// lifecycle never mutates a served graph — deltas are replayed onto a
+// Clone, which is then frozen and atomically swapped in.
+
+// Clone returns a deep, unfrozen copy of the graph sharing no mutable
+// state with the original. The original may keep serving reads while
+// the clone is mutated; call Freeze on the clone before querying it
+// concurrently.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:    append([]Node(nil), g.nodes...),
+		numEdges: g.numEdges,
+	}
+	c.byName = make(map[string]NodeID, len(g.byName))
+	for k, v := range g.byName {
+		c.byName[k] = v
+	}
+	c.labels = append([]string(nil), g.labels...)
+	c.labelDirected = append([]bool(nil), g.labelDirected...)
+	c.labelIDs = make(map[string]LabelID, len(g.labelIDs))
+	for k, v := range g.labelIDs {
+		c.labelIDs[k] = v
+	}
+	c.adj = make([][]HalfEdge, len(g.adj))
+	for i := range g.adj {
+		c.adj[i] = append([]HalfEdge(nil), g.adj[i]...)
+	}
+	c.edgeSet = make(map[edgeKey]struct{}, len(g.edgeSet))
+	for k := range g.edgeSet {
+		c.edgeSet[k] = struct{}{}
+	}
+	return c
+}
+
+// SetNodeType changes the entity type of an existing node. It unfreezes
+// the graph; the entity-type index is rebuilt on the next Freeze.
+func (g *Graph) SetNodeType(id NodeID, typ string) error {
+	if id < 0 || int(id) >= len(g.nodes) {
+		return fmt.Errorf("kb: SetNodeType: node %d out of range", id)
+	}
+	g.nodes[id].Type = typ
+	g.frozen = false
+	return nil
+}
+
+// RemoveEdge deletes the edge (from, to, label). For directed labels the
+// orientation from→to is required; for undirected labels either
+// orientation matches — mirroring HasEdge. It reports whether an edge
+// was actually removed and unfreezes the graph when it was.
+func (g *Graph) RemoveEdge(from, to NodeID, label LabelID) (bool, error) {
+	if int(from) >= len(g.nodes) || from < 0 {
+		return false, fmt.Errorf("kb: RemoveEdge: from node %d out of range", from)
+	}
+	if int(to) >= len(g.nodes) || to < 0 {
+		return false, fmt.Errorf("kb: RemoveEdge: to node %d out of range", to)
+	}
+	if int(label) >= len(g.labels) || label < 0 {
+		return false, fmt.Errorf("kb: RemoveEdge: label %d out of range", label)
+	}
+	directed := g.labelDirected[label]
+	key := edgeKey{from, to, label}
+	if !directed && from > to {
+		key = edgeKey{to, from, label}
+	}
+	if _, ok := g.edgeSet[key]; !ok {
+		return false, nil
+	}
+	delete(g.edgeSet, key)
+	if directed {
+		g.adj[from] = removeHalf(g.adj[from], HalfEdge{To: to, Label: label, Dir: Out})
+		g.adj[to] = removeHalf(g.adj[to], HalfEdge{To: from, Label: label, Dir: In})
+	} else {
+		g.adj[from] = removeHalf(g.adj[from], HalfEdge{To: to, Label: label, Dir: Undirected})
+		g.adj[to] = removeHalf(g.adj[to], HalfEdge{To: from, Label: label, Dir: Undirected})
+	}
+	g.numEdges--
+	g.frozen = false
+	return true, nil
+}
+
+// removeHalf deletes the first occurrence of he from list, preserving
+// the order of the remaining entries.
+func removeHalf(list []HalfEdge, he HalfEdge) []HalfEdge {
+	for i, x := range list {
+		if x == he {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// Fingerprint returns a 16-hex-digit FNV-1a content hash over the
+// graph's nodes (name, type), labels (name, directedness) and edges.
+// Two snapshots built through the same insertion history hash equal iff
+// their content is equal, so a swap that changed anything is observable
+// through /stats without diffing graphs. On a frozen graph the value is
+// precomputed by Freeze; on an unfrozen graph it is computed on the
+// spot.
+func (g *Graph) Fingerprint() string {
+	if g.frozen {
+		return g.fp
+	}
+	return g.fingerprint()
+}
+
+func (g *Graph) fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d\x00%d\x00%d\x00", g.NumNodes(), g.NumEdges(), g.NumLabels())
+	for _, n := range g.nodes {
+		fmt.Fprintf(h, "n\x00%s\x00%s\x00", n.Name, n.Type)
+	}
+	for i, name := range g.labels {
+		fmt.Fprintf(h, "l\x00%s\x00%v\x00", name, g.labelDirected[i])
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(h, "e\x00%s\x00%s\x00%s\x00",
+			g.NodeName(e.From), g.NodeName(e.To), g.LabelName(e.Label))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

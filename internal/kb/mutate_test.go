@@ -1,0 +1,178 @@
+package kb
+
+import (
+	"testing"
+)
+
+func TestCloneIsDeep(t *testing.T) {
+	g, a, b, c, star, spouse := buildTiny(t)
+	cl := g.Clone()
+	if cl.Frozen() {
+		t.Error("clone should start unfrozen")
+	}
+	if cl.NumNodes() != g.NumNodes() || cl.NumEdges() != g.NumEdges() || cl.NumLabels() != g.NumLabels() {
+		t.Fatalf("clone counts = (%d,%d,%d), want (%d,%d,%d)",
+			cl.NumNodes(), cl.NumEdges(), cl.NumLabels(),
+			g.NumNodes(), g.NumEdges(), g.NumLabels())
+	}
+
+	// Mutating the clone must leave the original untouched.
+	d := cl.AddNode("d", "person")
+	cl.MustAddEdge(a, d, spouse)
+	if _, err := cl.RemoveEdge(c, b, star); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetNodeType(b, "robot"); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Errorf("original mutated: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(c, b, star) {
+		t.Error("original lost edge removed from clone")
+	}
+	if g.Node(b).Type != "person" {
+		t.Errorf("original node type = %q, want person", g.Node(b).Type)
+	}
+	if g.NodeByName("d") != InvalidNode {
+		t.Error("original sees node added to clone")
+	}
+
+	cl.Freeze()
+	if !cl.HasEdge(a, d, spouse) || cl.HasEdge(c, b, star) {
+		t.Error("clone mutations lost")
+	}
+}
+
+func TestCloneFingerprintMatchesOriginal(t *testing.T) {
+	g, _, _, _, _, _ := buildTiny(t)
+	cl := g.Clone()
+	cl.Freeze()
+	if g.Fingerprint() == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if cl.Fingerprint() != g.Fingerprint() {
+		t.Errorf("unmutated clone fingerprint %s != original %s", cl.Fingerprint(), g.Fingerprint())
+	}
+}
+
+func TestRemoveEdgeDirected(t *testing.T) {
+	g, a, _, c, star, _ := buildTiny(t)
+	// Wrong orientation: directed c→a cannot be removed as a→c.
+	if ok, err := g.RemoveEdge(a, c, star); err != nil || ok {
+		t.Fatalf("reverse orientation: removed=%v err=%v, want false nil", ok, err)
+	}
+	ok, err := g.RemoveEdge(c, a, star)
+	if err != nil || !ok {
+		t.Fatalf("removed=%v err=%v, want true nil", ok, err)
+	}
+	g.Freeze()
+	if g.HasEdge(c, a, star) {
+		t.Error("edge still present after removal")
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if got := len(g.NeighborsLabeled(c, star)); got != 1 {
+		t.Errorf("c has %d starring half-edges, want 1", got)
+	}
+	// Removing again is a no-op.
+	if ok, err := g.RemoveEdge(c, a, star); err != nil || ok {
+		t.Errorf("second removal: removed=%v err=%v, want false nil", ok, err)
+	}
+}
+
+func TestRemoveEdgeUndirectedEitherOrientation(t *testing.T) {
+	g, a, b, _, _, spouse := buildTiny(t)
+	// The spouse edge was added as (a, b); removing as (b, a) must work.
+	ok, err := g.RemoveEdge(b, a, spouse)
+	if err != nil || !ok {
+		t.Fatalf("removed=%v err=%v, want true nil", ok, err)
+	}
+	g.Freeze()
+	if g.HasEdge(a, b, spouse) || g.HasEdge(b, a, spouse) {
+		t.Error("undirected edge still present after removal")
+	}
+	if g.Degree(a) != 1 || g.Degree(b) != 1 {
+		t.Errorf("degrees = %d/%d, want 1/1", g.Degree(a), g.Degree(b))
+	}
+}
+
+func TestRemoveEdgeValidation(t *testing.T) {
+	g, a, _, _, star, _ := buildTiny(t)
+	if _, err := g.RemoveEdge(99, a, star); err == nil {
+		t.Error("out-of-range from accepted")
+	}
+	if _, err := g.RemoveEdge(a, -1, star); err == nil {
+		t.Error("out-of-range to accepted")
+	}
+	if _, err := g.RemoveEdge(a, a, 99); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestSetNodeType(t *testing.T) {
+	g, a, _, _, _, _ := buildTiny(t)
+	if err := g.SetNodeType(a, "director"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Frozen() {
+		t.Error("SetNodeType must unfreeze")
+	}
+	g.Freeze()
+	if g.Node(a).Type != "director" {
+		t.Errorf("type = %q, want director", g.Node(a).Type)
+	}
+	persons := g.NodesOfType("person")
+	if len(persons) != 1 {
+		t.Errorf("NodesOfType(person) = %v after retype, want 1 node", persons)
+	}
+	if len(g.NodesOfType("director")) != 1 {
+		t.Error("type index missing retyped node")
+	}
+	if err := g.SetNodeType(99, "x"); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestFingerprintTracksContent(t *testing.T) {
+	g, a, b, _, _, spouse := buildTiny(t)
+	fp1 := g.Fingerprint()
+	if fp1 == "" {
+		t.Fatal("empty fingerprint")
+	}
+
+	// Identical build history hashes identically.
+	g2, _, _, _, _, _ := buildTiny(t)
+	if g2.Fingerprint() != fp1 {
+		t.Errorf("identical graphs hash %s vs %s", g2.Fingerprint(), fp1)
+	}
+
+	// Registering a label unfreezes and changes the hash: labels are
+	// hashed content even before any edge uses them.
+	g2.MustLabel("directed_by", true)
+	if g2.Frozen() {
+		t.Error("Label left the graph frozen")
+	}
+	g2.Freeze()
+	if g2.Fingerprint() == fp1 {
+		t.Error("fingerprint unchanged after label registration")
+	}
+
+	// Every mutation kind changes the hash.
+	if _, err := g.RemoveEdge(a, b, spouse); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	fp2 := g.Fingerprint()
+	if fp2 == fp1 {
+		t.Error("fingerprint unchanged after edge removal")
+	}
+	if err := g.SetNodeType(a, "director"); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	if g.Fingerprint() == fp2 {
+		t.Error("fingerprint unchanged after retype")
+	}
+}

@@ -1,0 +1,248 @@
+// Package live manages versioned knowledge-base snapshots: a delta log
+// of graph mutations parsed from the TSV record syntax, a builder that
+// replays a delta onto a frozen snapshot to produce the next one, and
+// an epoch-based Manager that atomically hot-swaps the active snapshot
+// while in-flight readers keep their pinned version lock-free.
+//
+// The lifecycle follows one rule: **served graphs are immutable**. A
+// delta is never applied in place — it is replayed onto a deep clone of
+// the current graph, the clone is frozen, and the (graph, payload) pair
+// is published with a single atomic pointer store. Readers that loaded
+// the previous snapshot finish on it undisturbed; the old version is
+// garbage-collected when the last pinned reader drops it.
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"rex/internal/kb"
+)
+
+// The delta wire format extends the knowledge-base TSV record syntax
+// (internal/kb/tsv.go) with mutation records, so an extraction pipeline
+// can stream both initial loads and incremental updates in one dialect:
+//
+//	# comment
+//	node\t<name>\t<type>           add an entity (existing: no-op)
+//	label\t<name>\t<D|U>           register a relationship label
+//	edge\t<from>\t<to>\t<label>    add an edge (duplicate: no-op)
+//	settype\t<name>\t<type>        change an entity's type
+//	deledge\t<from>\t<to>\t<label> remove an edge (absent: no-op)
+//
+// Records are replayed in order, so a delta may introduce a node and
+// connect it on the next line. Edge records may reference entities and
+// labels from the base snapshot or from earlier records of the same
+// delta; unknown references are errors that abort the whole delta —
+// application is all-or-nothing.
+
+// OpKind discriminates delta mutations.
+type OpKind uint8
+
+// The delta mutation kinds, in record-syntax order.
+const (
+	OpAddNode OpKind = iota
+	OpAddLabel
+	OpAddEdge
+	OpSetType
+	OpDelEdge
+)
+
+// String returns the record keyword for the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpAddNode:
+		return "node"
+	case OpAddLabel:
+		return "label"
+	case OpAddEdge:
+		return "edge"
+	case OpSetType:
+		return "settype"
+	case OpDelEdge:
+		return "deledge"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one parsed mutation. Field use depends on Kind: node and
+// settype records use Name+Type, label records use Name+Directed, edge
+// and deledge records use From+To+Label.
+type Op struct {
+	Kind     OpKind
+	Line     int // 1-based source line, for error reporting
+	Name     string
+	Type     string
+	Directed bool
+	From     string
+	To       string
+	Label    string
+}
+
+// Delta is an ordered log of graph mutations.
+type Delta struct {
+	Ops []Op
+}
+
+// ParseDelta reads a mutation log in the delta wire format. The input
+// is streamed line by line; one oversized or malformed record fails the
+// whole parse.
+func ParseDelta(r io.Reader) (*Delta, error) {
+	d := &Delta{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		op := Op{Line: lineNo}
+		switch fields[0] {
+		case "node", "settype":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("live: line %d: %s wants 2 fields, got %d", lineNo, fields[0], len(fields)-1)
+			}
+			op.Kind = OpAddNode
+			if fields[0] == "settype" {
+				op.Kind = OpSetType
+			}
+			op.Name, op.Type = fields[1], fields[2]
+		case "label":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("live: line %d: label wants 2 fields, got %d", lineNo, len(fields)-1)
+			}
+			op.Kind = OpAddLabel
+			op.Name = fields[1]
+			switch fields[2] {
+			case "D":
+				op.Directed = true
+			case "U":
+				op.Directed = false
+			default:
+				return nil, fmt.Errorf("live: line %d: label direction must be D or U, got %q", lineNo, fields[2])
+			}
+		case "edge", "deledge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("live: line %d: %s wants 3 fields, got %d", lineNo, fields[0], len(fields)-1)
+			}
+			op.Kind = OpAddEdge
+			if fields[0] == "deledge" {
+				op.Kind = OpDelEdge
+			}
+			op.From, op.To, op.Label = fields[1], fields[2], fields[3]
+		default:
+			return nil, fmt.Errorf("live: line %d: unknown record type %q", lineNo, fields[0])
+		}
+		d.Ops = append(d.Ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ApplyStats counts the effective mutations of one delta application.
+// No-op records (re-adding an existing node, label or edge, deleting an
+// absent edge, setting a type to its current value) parse and apply
+// cleanly but are not counted, so the stats report what actually
+// changed — and a delta that changes nothing publishes nothing (see
+// Manager.ApplyDelta).
+type ApplyStats struct {
+	NodesAdded   int
+	LabelsAdded  int
+	EdgesAdded   int
+	EdgesRemoved int
+	TypesSet     int
+}
+
+// Changed reports whether the application mutated anything.
+func (s ApplyStats) Changed() bool {
+	return s.NodesAdded+s.LabelsAdded+s.EdgesAdded+s.EdgesRemoved+s.TypesSet > 0
+}
+
+// Apply replays the delta onto a deep clone of base and returns the
+// resulting frozen graph. base is never mutated and keeps serving
+// concurrent reads throughout. Application is all-or-nothing: any
+// failing record (unknown entity or label, directedness conflict,
+// self-loop) aborts with an error identifying the source line, and no
+// new graph is produced.
+func (d *Delta) Apply(base *kb.Graph) (*kb.Graph, ApplyStats, error) {
+	g := base.Clone()
+	var st ApplyStats
+	for _, op := range d.Ops {
+		if err := applyOp(g, op, &st); err != nil {
+			return nil, ApplyStats{}, err
+		}
+	}
+	g.Freeze()
+	return g, st, nil
+}
+
+// applyOp replays one mutation onto the graph under construction.
+func applyOp(g *kb.Graph, op Op, st *ApplyStats) error {
+	switch op.Kind {
+	case OpAddNode:
+		if g.NodeByName(op.Name) == kb.InvalidNode {
+			st.NodesAdded++
+		}
+		g.AddNode(op.Name, op.Type)
+	case OpAddLabel:
+		known := g.LabelByName(op.Name) != kb.InvalidLabel
+		if _, err := g.Label(op.Name, op.Directed); err != nil {
+			return fmt.Errorf("live: line %d: %v", op.Line, err)
+		}
+		if !known {
+			st.LabelsAdded++
+		}
+	case OpSetType:
+		id := g.NodeByName(op.Name)
+		if id == kb.InvalidNode {
+			return fmt.Errorf("live: line %d: settype: unknown node %q", op.Line, op.Name)
+		}
+		if g.Node(id).Type == op.Type {
+			return nil // already that type: no-op, not counted
+		}
+		if err := g.SetNodeType(id, op.Type); err != nil {
+			return fmt.Errorf("live: line %d: %v", op.Line, err)
+		}
+		st.TypesSet++
+	case OpAddEdge, OpDelEdge:
+		from := g.NodeByName(op.From)
+		if from == kb.InvalidNode {
+			return fmt.Errorf("live: line %d: %s: unknown node %q", op.Line, op.Kind, op.From)
+		}
+		to := g.NodeByName(op.To)
+		if to == kb.InvalidNode {
+			return fmt.Errorf("live: line %d: %s: unknown node %q", op.Line, op.Kind, op.To)
+		}
+		label := g.LabelByName(op.Label)
+		if label == kb.InvalidLabel {
+			return fmt.Errorf("live: line %d: %s: unknown label %q", op.Line, op.Kind, op.Label)
+		}
+		if op.Kind == OpAddEdge {
+			added, err := g.AddEdge(from, to, label)
+			if err != nil {
+				return fmt.Errorf("live: line %d: %v", op.Line, err)
+			}
+			if added {
+				st.EdgesAdded++
+			}
+		} else {
+			removed, err := g.RemoveEdge(from, to, label)
+			if err != nil {
+				return fmt.Errorf("live: line %d: %v", op.Line, err)
+			}
+			if removed {
+				st.EdgesRemoved++
+			}
+		}
+	default:
+		return fmt.Errorf("live: line %d: unhandled op kind %v", op.Line, op.Kind)
+	}
+	return nil
+}

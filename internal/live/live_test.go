@@ -1,0 +1,329 @@
+package live
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"rex/internal/kb"
+)
+
+func baseGraph(t *testing.T) *kb.Graph {
+	t.Helper()
+	g := kb.New()
+	a := g.AddNode("a", "person")
+	b := g.AddNode("b", "person")
+	g.AddNode("c", "person")
+	knows := g.MustLabel("knows", false)
+	g.MustAddEdge(a, b, knows)
+	g.Freeze()
+	return g
+}
+
+func parse(t *testing.T, src string) *Delta {
+	t.Helper()
+	d, err := ParseDelta(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseDelta(t *testing.T) {
+	d := parse(t, strings.Join([]string{
+		"# a comment",
+		"",
+		"node\td\tfilm",
+		"label\tstarring\tD",
+		"edge\ta\td\tstarring",
+		"settype\ta\tdirector",
+		"deledge\ta\tb\tknows",
+	}, "\n"))
+	kinds := []OpKind{OpAddNode, OpAddLabel, OpAddEdge, OpSetType, OpDelEdge}
+	if len(d.Ops) != len(kinds) {
+		t.Fatalf("parsed %d ops, want %d", len(d.Ops), len(kinds))
+	}
+	for i, k := range kinds {
+		if d.Ops[i].Kind != k {
+			t.Errorf("op %d kind = %v, want %v", i, d.Ops[i].Kind, k)
+		}
+	}
+	if d.Ops[0].Line != 3 {
+		t.Errorf("first op line = %d, want 3 (comments and blanks counted)", d.Ops[0].Line)
+	}
+}
+
+func TestParseDeltaErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown record", "grow\ta\tb", "unknown record type"},
+		{"node fields", "node\ta", "node wants 2 fields"},
+		{"settype fields", "settype\ta\tb\tc", "settype wants 2 fields"},
+		{"label fields", "label\tx", "label wants 2 fields"},
+		{"label direction", "label\tx\tB", "direction must be D or U"},
+		{"edge fields", "edge\ta\tb", "edge wants 3 fields"},
+		{"deledge fields", "deledge\ta\tb\tc\td", "deledge wants 3 fields"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseDelta(strings.NewReader(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want mention of %q", err, c.want)
+			}
+			if !strings.Contains(fmt.Sprint(err), "line 1") {
+				t.Errorf("err %v does not name the line", err)
+			}
+		})
+	}
+}
+
+func TestDeltaApply(t *testing.T) {
+	g := baseGraph(t)
+	d := parse(t, strings.Join([]string{
+		"node\td\tfilm",
+		"node\ta\tperson", // exists: no-op, not counted
+		"label\tstarring\tD",
+		"label\tknows\tU", // exists: no-op
+		"edge\td\ta\tstarring",
+		"edge\ta\tb\tknows", // duplicate: no-op
+		"settype\tc\tdirector",
+		"deledge\ta\tb\tknows",
+		"deledge\ta\tc\tknows", // absent: no-op
+	}, "\n"))
+	g2, st, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ApplyStats{NodesAdded: 1, LabelsAdded: 1, EdgesAdded: 1, EdgesRemoved: 1, TypesSet: 1}
+	if st != want {
+		t.Errorf("stats = %+v, want %+v", st, want)
+	}
+	if !st.Changed() {
+		t.Error("Changed() = false")
+	}
+
+	// The base graph is untouched.
+	if g.NumNodes() != 3 || g.NumEdges() != 1 {
+		t.Errorf("base mutated: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !g.Frozen() {
+		t.Error("base unfrozen by Apply")
+	}
+
+	// The new graph reflects every mutation.
+	if !g2.Frozen() {
+		t.Error("applied graph not frozen")
+	}
+	if g2.NumNodes() != 4 || g2.NumEdges() != 1 {
+		t.Errorf("new graph: %d nodes, %d edges, want 4, 1", g2.NumNodes(), g2.NumEdges())
+	}
+	dID := g2.NodeByName("d")
+	aID := g2.NodeByName("a")
+	if !g2.HasEdge(dID, aID, g2.LabelByName("starring")) {
+		t.Error("new edge missing")
+	}
+	if g2.HasEdge(aID, g2.NodeByName("b"), g2.LabelByName("knows")) {
+		t.Error("deleted edge still present")
+	}
+	if g2.Node(g2.NodeByName("c")).Type != "director" {
+		t.Error("settype not applied")
+	}
+	if g2.Fingerprint() == g.Fingerprint() {
+		t.Error("fingerprint unchanged by a mutating delta")
+	}
+}
+
+func TestDeltaApplyErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"edge unknown from", "edge\tghost\tb\tknows", `unknown node "ghost"`},
+		{"edge unknown to", "edge\ta\tghost\tknows", `unknown node "ghost"`},
+		{"edge unknown label", "edge\ta\tb\tghost", `unknown label "ghost"`},
+		{"deledge unknown node", "deledge\tghost\tb\tknows", `unknown node "ghost"`},
+		{"settype unknown node", "settype\tghost\tx", `unknown node "ghost"`},
+		{"label conflict", "label\tknows\tD", "registered as directed=false"},
+		{"self loop", "edge\ta\ta\tknows", "self-loop"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := baseGraph(t)
+			fp := g.Fingerprint()
+			g2, _, err := parse(t, c.src).Apply(g)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want mention of %q", err, c.want)
+			}
+			if g2 != nil {
+				t.Error("graph returned alongside an error")
+			}
+			if g.Fingerprint() != fp {
+				t.Error("failed apply mutated the base graph")
+			}
+		})
+	}
+}
+
+func TestManagerLifecycle(t *testing.T) {
+	builds := 0
+	m, err := NewManager(baseGraph(t), func(g *kb.Graph) (any, error) {
+		builds++
+		return fmt.Sprintf("payload-%d", builds), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := m.Current()
+	if s1.Generation != 1 || m.Generation() != 1 || m.Swaps() != 0 {
+		t.Fatalf("initial gen/swaps = %d/%d, want 1/0", s1.Generation, m.Swaps())
+	}
+	if s1.Payload != "payload-1" {
+		t.Fatalf("payload = %v", s1.Payload)
+	}
+
+	s2, st, err := m.ApplyDelta(parse(t, "node\td\tperson\nedge\ta\td\tknows"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Generation != 2 || m.Swaps() != 1 {
+		t.Errorf("gen/swaps = %d/%d, want 2/1", s2.Generation, m.Swaps())
+	}
+	if st.NodesAdded != 1 || st.EdgesAdded != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s2.Fingerprint == s1.Fingerprint {
+		t.Error("fingerprint unchanged across swap")
+	}
+	if s2.Payload != "payload-2" {
+		t.Errorf("payload not rebuilt: %v", s2.Payload)
+	}
+
+	// The pinned old snapshot is still intact and immutable.
+	if s1.Graph.NumNodes() != 3 || s1.Generation != 1 || s1.Payload != "payload-1" {
+		t.Error("old snapshot disturbed by swap")
+	}
+	if m.Current() != s2 {
+		t.Error("Current is not the new snapshot")
+	}
+}
+
+// TestManagerNoopDeltaPublishesNothing checks delta idempotency: a
+// redelivered delta whose records are all no-ops must not bump the
+// generation or rebuild the payload (which would flush a warm cache).
+func TestManagerNoopDeltaPublishesNothing(t *testing.T) {
+	m, err := NewManager(baseGraph(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := "node\ta\tperson\nedge\ta\tb\tknows\ndeledge\ta\tc\tknows\nsettype\ta\tperson\nlabel\tknows\tU"
+	before := m.Current()
+	snap, st, err := m.ApplyDelta(parse(t, delta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Changed() {
+		t.Errorf("no-op delta reported changes: %+v", st)
+	}
+	if snap != before || m.Generation() != 1 || m.Swaps() != 0 {
+		t.Errorf("no-op delta published a new snapshot: generation %d, swaps %d", m.Generation(), m.Swaps())
+	}
+}
+
+func TestManagerApplyErrorKeepsSnapshot(t *testing.T) {
+	m, err := NewManager(baseGraph(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Current()
+	if _, _, err := m.ApplyDelta(parse(t, "edge\tghost\tb\tknows")); err == nil {
+		t.Fatal("bad delta accepted")
+	}
+	if _, _, err := m.ApplyDelta(&Delta{}); err == nil {
+		t.Fatal("empty delta accepted")
+	}
+	if m.Current() != before || m.Swaps() != 0 || m.Generation() != 1 {
+		t.Error("failed apply disturbed the active snapshot")
+	}
+}
+
+func TestManagerBuildErrorKeepsSnapshot(t *testing.T) {
+	builds := 0
+	m, err := NewManager(baseGraph(t), func(g *kb.Graph) (any, error) {
+		builds++
+		if builds > 1 {
+			return nil, fmt.Errorf("boom")
+		}
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Current()
+	if _, _, err := m.ApplyDelta(parse(t, "node\td\tperson")); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if m.Current() != before || m.Generation() != 1 {
+		t.Error("failed payload build disturbed the active snapshot")
+	}
+}
+
+func TestManagerInitialBuildError(t *testing.T) {
+	if _, err := NewManager(baseGraph(t), func(*kb.Graph) (any, error) {
+		return nil, fmt.Errorf("boom")
+	}); err == nil {
+		t.Fatal("NewManager swallowed build error")
+	}
+	if _, err := NewManager(nil, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// TestManagerConcurrentReadersAndWriters drives lock-free reads under
+// concurrent swaps; run with -race this checks the epoch discipline.
+func TestManagerConcurrentReadersAndWriters(t *testing.T) {
+	m, err := NewManager(baseGraph(t), func(g *kb.Graph) (any, error) {
+		return g.Fingerprint(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const swaps = 20
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Current()
+				// A pinned snapshot must be internally consistent: its
+				// payload (built from its graph) matches its fingerprint.
+				if s.Payload.(string) != s.Fingerprint {
+					t.Errorf("torn snapshot: payload %v, fingerprint %s", s.Payload, s.Fingerprint)
+					return
+				}
+				if got := s.Graph.Fingerprint(); got != s.Fingerprint {
+					t.Errorf("graph fingerprint %s != snapshot %s", got, s.Fingerprint)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < swaps; i++ {
+		d := parse(t, fmt.Sprintf("node\tn%d\tperson\nedge\ta\tn%d\tknows", i, i))
+		if _, _, err := m.ApplyDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if m.Generation() != swaps+1 || m.Swaps() != swaps {
+		t.Errorf("gen/swaps = %d/%d, want %d/%d", m.Generation(), m.Swaps(), swaps+1, swaps)
+	}
+}

@@ -1,0 +1,153 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rex/internal/kb"
+)
+
+// Snapshot is one immutable knowledge-base version: a frozen graph, the
+// serving payload built for it (e.g. an explainer plus its result
+// cache), a monotonic generation and the graph's content fingerprint.
+// Snapshots are never mutated after publication — readers pin one with
+// Manager.Current and may use it for the rest of their request even
+// after newer generations are swapped in.
+type Snapshot struct {
+	// Generation counts published versions, starting at 1 for the
+	// snapshot the Manager was constructed with. It increases by exactly
+	// one per swap.
+	Generation uint64
+	// Fingerprint is the graph's content hash (kb.Graph.Fingerprint).
+	Fingerprint string
+	// Graph is the frozen knowledge base of this version.
+	Graph *kb.Graph
+	// Payload is the per-snapshot serving state produced by the
+	// Manager's BuildFunc. Because every snapshot carries its own
+	// payload, result caches are invalidated by construction on swap:
+	// the new generation starts with a fresh cache and the old one is
+	// unreachable to new requests.
+	Payload any
+}
+
+// BuildFunc constructs the per-snapshot serving payload for a freshly
+// built frozen graph. It runs once per swap, before the snapshot is
+// published; an error aborts the swap and keeps the current snapshot
+// active.
+type BuildFunc func(*kb.Graph) (any, error)
+
+// Manager owns the active snapshot and serialises its replacement.
+//
+// Reads are epoch-style and lock-free: Current is a single
+// atomic.Pointer load, so request handlers pin a snapshot with no
+// contention and in-flight work never observes a torn (graph, payload)
+// pair. Writers (ApplyDelta, SwapGraph) serialise on a mutex, build the
+// complete next snapshot off to the side, and publish it with one
+// atomic store.
+type Manager struct {
+	build BuildFunc
+
+	mu  sync.Mutex // serialises writers; readers never take it
+	cur atomic.Pointer[Snapshot]
+
+	swaps atomic.Uint64 // completed swaps (generation - 1)
+}
+
+// NewManager freezes g, builds its payload and installs it as
+// generation 1.
+func NewManager(g *kb.Graph, build BuildFunc) (*Manager, error) {
+	if g == nil {
+		return nil, fmt.Errorf("live: NewManager: nil graph")
+	}
+	if build == nil {
+		build = func(*kb.Graph) (any, error) { return nil, nil }
+	}
+	g.Freeze()
+	payload, err := build(g)
+	if err != nil {
+		return nil, fmt.Errorf("live: building initial snapshot: %w", err)
+	}
+	m := &Manager{build: build}
+	m.cur.Store(&Snapshot{
+		Generation:  1,
+		Fingerprint: g.Fingerprint(),
+		Graph:       g,
+		Payload:     payload,
+	})
+	return m, nil
+}
+
+// Current returns the active snapshot. It is lock-free and safe to call
+// from any number of goroutines; the returned snapshot stays valid (and
+// immutable) even after later swaps.
+func (m *Manager) Current() *Snapshot { return m.cur.Load() }
+
+// Generation returns the active snapshot's generation.
+func (m *Manager) Generation() uint64 { return m.cur.Load().Generation }
+
+// Swaps returns the number of completed snapshot swaps since
+// construction.
+func (m *Manager) Swaps() uint64 { return m.swaps.Load() }
+
+// ApplyDelta replays a delta onto the current snapshot's graph and
+// atomically publishes the result as the next generation. The current
+// snapshot keeps serving until the new one — graph and payload — is
+// fully built; on any error nothing is published and the active
+// generation is unchanged.
+//
+// A delta whose every record is a no-op (duplicate nodes and edges,
+// deletions of absent edges) changes nothing, so nothing is published:
+// the active snapshot — generation, fingerprint and warm result cache —
+// stays in place. This makes at-least-once delta delivery idempotent
+// instead of a cache flush.
+func (m *Manager) ApplyDelta(d *Delta) (*Snapshot, ApplyStats, error) {
+	if d == nil || len(d.Ops) == 0 {
+		return nil, ApplyStats{}, fmt.Errorf("live: empty delta")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.cur.Load()
+	g, st, err := d.Apply(cur.Graph)
+	if err != nil {
+		return nil, ApplyStats{}, err
+	}
+	if !st.Changed() {
+		return cur, st, nil
+	}
+	snap, err := m.publishLocked(g)
+	if err != nil {
+		return nil, ApplyStats{}, err
+	}
+	return snap, st, nil
+}
+
+// SwapGraph publishes an independently built graph (e.g. re-read from
+// disk) as the next generation, freezing it first if needed.
+func (m *Manager) SwapGraph(g *kb.Graph) (*Snapshot, error) {
+	if g == nil {
+		return nil, fmt.Errorf("live: SwapGraph: nil graph")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g.Freeze()
+	return m.publishLocked(g)
+}
+
+// publishLocked builds the payload for g and stores the next-generation
+// snapshot. Callers hold m.mu.
+func (m *Manager) publishLocked(g *kb.Graph) (*Snapshot, error) {
+	payload, err := m.build(g)
+	if err != nil {
+		return nil, fmt.Errorf("live: building snapshot payload: %w", err)
+	}
+	snap := &Snapshot{
+		Generation:  m.cur.Load().Generation + 1,
+		Fingerprint: g.Fingerprint(),
+		Graph:       g,
+		Payload:     payload,
+	}
+	m.cur.Store(snap)
+	m.swaps.Add(1)
+	return snap, nil
+}

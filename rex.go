@@ -226,12 +226,11 @@ func (o Options) normalized() Options {
 // construction so every query path is a pure read, and the optional
 // result cache is internally synchronised.
 type Explainer struct {
-	kb     *KB
-	opt    Options
-	m      measure.Measure
-	cfg    enumerate.Config
-	cache  *resultCache
-	optKey string // normalized-options fingerprint, part of every cache key
+	kb    *KB
+	opt   Options
+	m     measure.Measure
+	cfg   enumerate.Config
+	cache *resultCache
 }
 
 // NewExplainer validates the options and builds an explainer.
@@ -264,8 +263,7 @@ func NewExplainer(k *KB, opt Options) (*Explainer, error) {
 	// guarantees the graph's read indexes exist before the first query
 	// and that concurrent queries never mutate shared state.
 	k.g.Freeze()
-	e := &Explainer{kb: k, opt: opt, m: m, cfg: cfg,
-		optKey: fmt.Sprintf("%+v", opt)}
+	e := &Explainer{kb: k, opt: opt, m: m, cfg: cfg}
 	if opt.CacheSize > 0 {
 		e.cache = newResultCache(opt.CacheSize)
 	}
@@ -431,11 +429,13 @@ func (e *Explainer) ExplainContext(ctx context.Context, start, end string) (*Res
 	return res, nil
 }
 
-// cacheKey builds the cache key for a pair under this explainer's
-// normalized options. Length-prefixing makes the key unambiguous for
-// arbitrary entity names — no separator byte needs to be excluded.
+// cacheKey builds the cache key for a pair. The cache belongs to
+// exactly one explainer (and therefore one normalized option set), so
+// the pair alone identifies the entry. Length-prefixing makes the key
+// unambiguous for arbitrary entity names — no separator byte needs to
+// be excluded.
 func (e *Explainer) cacheKey(start, end string) string {
-	return fmt.Sprintf("%d:%s%d:%s%s", len(start), start, len(end), end, e.optKey)
+	return fmt.Sprintf("%d:%s%d:%s", len(start), start, len(end), end)
 }
 
 func isLimited(m measure.Measure) bool {

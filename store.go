@@ -1,0 +1,166 @@
+package rex
+
+import (
+	"fmt"
+	"io"
+
+	"rex/internal/kb"
+	"rex/internal/live"
+)
+
+// Store is a live knowledge base: it owns a sequence of versioned,
+// immutable (KB, Explainer, result cache) snapshots and hot-swaps the
+// active one under traffic. Readers pin a snapshot with Current — a
+// single lock-free atomic load — and keep using it for the rest of
+// their request even while Apply or ReloadFrom publishes a newer
+// generation. Because every generation gets a freshly built Explainer
+// (and therefore a fresh result cache), swap-time cache invalidation is
+// automatic: a stale answer computed on an old graph can never be
+// served for a new one.
+//
+// Writers are serialised internally; Apply and ReloadFrom may be called
+// concurrently with any number of readers.
+type Store struct {
+	mgr *live.Manager
+	opt Options
+}
+
+// storePayload is the per-snapshot serving state the live manager
+// builds for every published graph.
+type storePayload struct {
+	kb *KB
+	ex *Explainer
+}
+
+// StoreSnapshot is one pinned knowledge-base version. The KB and
+// Explainer are immutable and safe for concurrent use; Generation and
+// Fingerprint identify the version for logging and response metadata.
+type StoreSnapshot struct {
+	KB          *KB
+	Explainer   *Explainer
+	Generation  uint64
+	Fingerprint string
+}
+
+// SwapInfo describes one completed snapshot swap.
+type SwapInfo struct {
+	// Generation and Fingerprint identify the newly active version.
+	Generation  uint64
+	Fingerprint string
+	// KB summarises the new graph.
+	KB Stats
+	// Effective mutation counts; all zero for ReloadFrom, which
+	// replaces the graph wholesale.
+	NodesAdded, LabelsAdded, EdgesAdded, EdgesRemoved, TypesSet int
+}
+
+// NewStore builds a live store serving k as generation 1. The options
+// configure the Explainer built for every snapshot (including the
+// per-snapshot result cache via Options.CacheSize) and are validated
+// here, so a store that constructs successfully can always swap. The
+// store takes ownership of k's graph: callers must not mutate k after
+// construction.
+func NewStore(k *KB, opt Options) (*Store, error) {
+	if k == nil {
+		return nil, fmt.Errorf("rex: NewStore: nil KB")
+	}
+	build := func(g *kb.Graph) (any, error) {
+		snapKB := &KB{g: g}
+		ex, err := NewExplainer(snapKB, opt)
+		if err != nil {
+			return nil, err
+		}
+		return &storePayload{kb: snapKB, ex: ex}, nil
+	}
+	mgr, err := live.NewManager(k.g, build)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{mgr: mgr, opt: opt}, nil
+}
+
+// OpenStore loads a knowledge base from a file (see LoadKB) and builds
+// a live store over it.
+func OpenStore(path string, opt Options) (*Store, error) {
+	k, err := LoadKB(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(k, opt)
+}
+
+// Current pins the active snapshot. The result stays valid and
+// immutable for as long as the caller holds it, regardless of later
+// swaps.
+func (s *Store) Current() StoreSnapshot {
+	return snapshotOf(s.mgr.Current())
+}
+
+func snapshotOf(sn *live.Snapshot) StoreSnapshot {
+	p := sn.Payload.(*storePayload)
+	return StoreSnapshot{
+		KB:          p.kb,
+		Explainer:   p.ex,
+		Generation:  sn.Generation,
+		Fingerprint: sn.Fingerprint,
+	}
+}
+
+// Generation returns the active snapshot's generation (1 at
+// construction, +1 per swap).
+func (s *Store) Generation() uint64 { return s.mgr.Generation() }
+
+// Swaps returns the number of completed snapshot swaps.
+func (s *Store) Swaps() uint64 { return s.mgr.Swaps() }
+
+// Apply streams a mutation log in the delta wire format (the TSV record
+// syntax plus settype/deledge records, see internal/live), replays it
+// onto the current graph and atomically publishes the result as the
+// next generation. Application is all-or-nothing: on any parse or
+// apply error the active snapshot is unchanged. A delta whose records
+// are all no-ops changes nothing and publishes nothing — the returned
+// SwapInfo then reports the unchanged current generation, keeping
+// at-least-once delta delivery idempotent instead of flushing the warm
+// cache. In-flight readers keep their pinned snapshot; only requests
+// that call Current after Apply returns see the new version.
+func (s *Store) Apply(r io.Reader) (SwapInfo, error) {
+	d, err := live.ParseDelta(r)
+	if err != nil {
+		return SwapInfo{}, err
+	}
+	snap, st, err := s.mgr.ApplyDelta(d)
+	if err != nil {
+		return SwapInfo{}, err
+	}
+	info := s.swapInfo(snap)
+	info.NodesAdded = st.NodesAdded
+	info.LabelsAdded = st.LabelsAdded
+	info.EdgesAdded = st.EdgesAdded
+	info.EdgesRemoved = st.EdgesRemoved
+	info.TypesSet = st.TypesSet
+	return info, nil
+}
+
+// ReloadFrom re-reads a knowledge base from disk (see LoadKB) and
+// publishes it wholesale as the next generation — the recovery path
+// when the delta stream and the authoritative file have diverged.
+func (s *Store) ReloadFrom(path string) (SwapInfo, error) {
+	k, err := LoadKB(path)
+	if err != nil {
+		return SwapInfo{}, err
+	}
+	snap, err := s.mgr.SwapGraph(k.g)
+	if err != nil {
+		return SwapInfo{}, err
+	}
+	return s.swapInfo(snap), nil
+}
+
+func (s *Store) swapInfo(sn *live.Snapshot) SwapInfo {
+	ss := snapshotOf(sn)
+	return SwapInfo{
+		Generation:  ss.Generation,
+		Fingerprint: ss.Fingerprint,
+		KB:          ss.KB.Stats(),
+	}
+}

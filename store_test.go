@@ -1,0 +1,180 @@
+package rex
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// storeBaseTSV connects alice—bob but leaves carol and dave isolated
+// from each other, so (carol, dave) only becomes explainable after a
+// delta ingests the missing edge.
+const storeBaseTSV = `node	alice	person
+node	bob	person
+node	carol	person
+node	dave	person
+label	knows	U
+edge	alice	bob	knows
+`
+
+func newTestStore(t *testing.T, opt Options) *Store {
+	t.Helper()
+	k, err := ReadKB(strings.NewReader(storeBaseTSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStore(k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStoreApplySwapsGeneration(t *testing.T) {
+	st := newTestStore(t, Options{Measure: "size", CacheSize: 16})
+	s1 := st.Current()
+	if s1.Generation != 1 || st.Generation() != 1 || st.Swaps() != 0 {
+		t.Fatalf("initial generation/swaps = %d/%d", s1.Generation, st.Swaps())
+	}
+	if s1.Fingerprint == "" {
+		t.Fatal("empty fingerprint")
+	}
+
+	// (carol, dave) has no explanation on generation 1; the empty result
+	// is cached on that snapshot.
+	res, err := s1.Explainer.Explain("carol", "dave")
+	if err != nil || len(res.Explanations) != 0 {
+		t.Fatalf("pre-swap (carol, dave): res=%v err=%v, want empty", res, err)
+	}
+	res, err = s1.Explainer.Explain("carol", "dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := s1.Explainer.CacheStats(); cs.Hits != 1 {
+		t.Fatalf("pre-swap cache hits = %d, want 1", cs.Hits)
+	}
+
+	info, err := st.Apply(strings.NewReader("edge\tcarol\tdave\tknows\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 2 || info.EdgesAdded != 1 || st.Swaps() != 1 {
+		t.Fatalf("swap info = %+v, swaps = %d", info, st.Swaps())
+	}
+	if info.Fingerprint == s1.Fingerprint {
+		t.Error("fingerprint unchanged by mutating delta")
+	}
+	if info.KB.Edges != 2 {
+		t.Errorf("new KB edges = %d, want 2", info.KB.Edges)
+	}
+
+	// The new snapshot answers via the ingested edge — and does NOT
+	// serve the old snapshot's cached empty result.
+	s2 := st.Current()
+	if s2.Generation != 2 {
+		t.Fatalf("generation = %d, want 2", s2.Generation)
+	}
+	res, err = s2.Explainer.Explain("carol", "dave")
+	if err != nil || len(res.Explanations) == 0 {
+		t.Fatalf("post-swap (carol, dave): res=%v err=%v, want an explanation", res, err)
+	}
+	if cs := s2.Explainer.CacheStats(); cs.Hits != 0 || cs.Misses != 1 {
+		t.Errorf("post-swap cache = %+v, want a fresh cache (0 hits, 1 miss)", cs)
+	}
+
+	// The pinned old snapshot still serves its own frozen view.
+	res, err = s1.Explainer.Explain("carol", "dave")
+	if err != nil || len(res.Explanations) != 0 {
+		t.Fatalf("pinned old snapshot: res=%v err=%v, want empty", res, err)
+	}
+}
+
+func TestStoreApplyErrorsLeaveStoreUntouched(t *testing.T) {
+	st := newTestStore(t, Options{Measure: "size"})
+	fp := st.Current().Fingerprint
+	cases := []string{
+		"",                             // empty delta
+		"edge\tghost\tbob\tknows\n",    // unknown node
+		"garbage\tline\n",              // parse error
+		"label\tknows\tD\n",            // directedness conflict
+		"node\tonly\tnode\nnosuch\t\n", // parse error after a valid record
+	}
+	for _, src := range cases {
+		if _, err := st.Apply(strings.NewReader(src)); err == nil {
+			t.Errorf("Apply(%q) succeeded, want error", src)
+		}
+	}
+	if st.Generation() != 1 || st.Swaps() != 0 || st.Current().Fingerprint != fp {
+		t.Error("failed applies disturbed the active snapshot")
+	}
+
+	// A redelivered no-op delta succeeds but publishes nothing: same
+	// generation, same snapshot, warm cache intact.
+	info, err := st.Apply(strings.NewReader("edge\talice\tbob\tknows\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 1 || info.EdgesAdded != 0 || st.Swaps() != 0 {
+		t.Errorf("no-op delta swapped: %+v, swaps %d", info, st.Swaps())
+	}
+}
+
+func TestStoreReloadFrom(t *testing.T) {
+	st := newTestStore(t, Options{Measure: "size"})
+
+	// Apply a delta, then reload from a file holding the original KB:
+	// the generation keeps rising, the content returns to the original.
+	fp1 := st.Current().Fingerprint
+	if _, err := st.Apply(strings.NewReader("edge\tcarol\tdave\tknows\n")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "kb.tsv")
+	if err := os.WriteFile(path, []byte(storeBaseTSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err := st.ReloadFrom(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 3 || st.Swaps() != 2 {
+		t.Fatalf("generation/swaps after reload = %d/%d, want 3/2", info.Generation, st.Swaps())
+	}
+	if info.Fingerprint != fp1 {
+		t.Errorf("reloaded fingerprint %s != original %s", info.Fingerprint, fp1)
+	}
+	if info.NodesAdded != 0 || info.EdgesAdded != 0 {
+		t.Errorf("reload reported delta counts: %+v", info)
+	}
+
+	if _, err := st.ReloadFrom(filepath.Join(t.TempDir(), "missing.tsv")); err == nil {
+		t.Error("reload from missing file succeeded")
+	}
+	if st.Generation() != 3 {
+		t.Error("failed reload bumped the generation")
+	}
+}
+
+func TestOpenStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kb.tsv")
+	if err := os.WriteFile(path, []byte(storeBaseTSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(path, Options{Measure: "size"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Current().KB.Stats().Nodes; got != 4 {
+		t.Errorf("nodes = %d, want 4", got)
+	}
+	if _, err := OpenStore(filepath.Join(t.TempDir(), "missing.tsv"), Options{}); err == nil {
+		t.Error("OpenStore of missing file succeeded")
+	}
+	if _, err := NewStore(nil, Options{}); err == nil {
+		t.Error("NewStore(nil) succeeded")
+	}
+	k, _ := ReadKB(strings.NewReader(storeBaseTSV))
+	if _, err := NewStore(k, Options{Measure: "nope"}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
