@@ -227,10 +227,31 @@ func BenchmarkCanonicalKey(b *testing.B) {
 		ns[i] = ex.P.NumVars()
 	}
 	sch := es[0].P.Schema()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := pattern.MustNew(sch, ns[i%len(ns)], edges[i%len(edges)])
 		_ = p.CanonicalKey()
+	}
+}
+
+// BenchmarkPatternKey measures the interned 64-bit key on fresh
+// patterns: the full dedup cost the union and rank layers now pay per
+// candidate pattern.
+func BenchmarkPatternKey(b *testing.B) {
+	_, es, _, _ := samplePatterns(b)
+	edges := make([][]pattern.Edge, len(es))
+	ns := make([]int, len(es))
+	for i, ex := range es {
+		edges[i] = append([]pattern.Edge{}, ex.P.Edges()...)
+		ns[i] = ex.P.NumVars()
+	}
+	sch := es[0].P.Schema()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pattern.MustNew(sch, ns[i%len(ns)], edges[i%len(edges)])
+		_ = p.Key()
 	}
 }
 
@@ -255,9 +276,16 @@ func BenchmarkMerge(b *testing.B) {
 	}
 }
 
-func BenchmarkMatcherFixedEnd(b *testing.B) {
+// BenchmarkMatchCount is the alloc-regression benchmark for the pooled
+// matcher's steady-state Count path (the hot operation behind every
+// aggregate and distributional measure). The committed BENCH_seed.json
+// baseline recorded 15 allocs/op before pooling; steady state is now
+// allocation-free.
+func BenchmarkMatchCount(b *testing.B) {
 	g, es, s, e := samplePatterns(b)
 	p := es[len(es)-1].P // the largest pattern
+	match.Count(g, p, s, e)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		match.Count(g, p, s, e)
@@ -267,6 +295,7 @@ func BenchmarkMatcherFixedEnd(b *testing.B) {
 func BenchmarkMatcherFreeEnd(b *testing.B) {
 	g, es, s, _ := samplePatterns(b)
 	p := es[0].P
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		match.CountByEnd(g, p, s)
@@ -411,12 +440,16 @@ func BenchmarkEnumerationWorkers(b *testing.B) {
 	}
 }
 
-func BenchmarkExplainerEndToEnd(b *testing.B) {
+// BenchmarkExplain is the end-to-end wall-time benchmark: one uncached
+// query under the paper's default measure, through enumeration, the
+// shared-computation evaluator and ranking.
+func BenchmarkExplain(b *testing.B) {
 	kbv := SampleKB()
 	ex, err := NewExplainer(kbv, Options{Measure: "size+local-dist", TopK: 10})
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ex.Explain("kate_winslet", "leonardo_dicaprio"); err != nil {

@@ -4,9 +4,13 @@
 //	rexbench -exp all            # everything (slow: includes NaiveEnum)
 //	rexbench -exp fig7 -quick    # Figure 7 without the NaiveEnum baseline
 //	rexbench -exp table1         # the user-study Table 1 (simulated raters)
+//	rexbench -exp micro -bench-out BENCH.json   # hot-path micro suite, JSON results
 //
-// Experiments: fig7, fig8, fig9, fig10, fig11, table1, pathshare, all.
-// See EXPERIMENTS.md for the paper-vs-measured record.
+// Experiments: fig7, fig8, fig9, fig10, fig11, table1, pathshare, all,
+// plus the opt-in micro suite that emits machine-readable ns/op, B/op
+// and allocs/op per workload (the perf trajectory tracked by
+// BENCH_seed.json / BENCH.json). See EXPERIMENTS.md for the
+// paper-vs-measured record.
 package main
 
 import (
@@ -32,7 +36,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, all")
+		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, all")
+		benchOut  = fs.String("bench-out", "", "write micro-benchmark results as JSON to this file (with -exp micro)")
 		scale     = fs.Float64("scale", 1, "synthetic KB scale factor")
 		seed      = fs.Int64("seed", 42, "workload seed")
 		perBucket = fs.Int("pairs", 10, "entity pairs per connectedness bucket")
@@ -107,6 +112,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if want("learned") {
 		harness.Learned(studyOpt).Print(stdout)
+	}
+	// The micro suite is opt-in: it is the hot-path benchmark harness
+	// behind BENCH.json, not one of the paper's figures, so "all" (the
+	// paper reproduction) does not imply it.
+	if wants["micro"] {
+		if err := runMicro(stdout, *benchOut); err != nil {
+			fmt.Fprintln(stderr, "rexbench:", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -41,5 +44,47 @@ func TestRunFlagHandling(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Errorf("unmatched -exp produced output: %s", out.String())
+	}
+}
+
+// TestRunMicroSmoke drives the machine-readable micro suite end to end
+// and validates the JSON report shape. Skipped under -short: the suite
+// runs each workload to statistical significance (~1s each).
+func TestRunMicroSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro suite runs full benchmarks; skipped under -short")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "micro", "-bench-out", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH.json does not parse: %v", err)
+	}
+	byName := map[string]benchResult{}
+	for _, w := range rep.Workloads {
+		if w.Iterations <= 0 || w.NsPerOp <= 0 {
+			t.Errorf("workload %s has empty measurements: %+v", w.Name, w)
+		}
+		byName[w.Name] = w
+	}
+	for _, want := range []string{"match_count", "canonical_key", "explain_end_to_end"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("report missing workload %q", want)
+		}
+	}
+	// The alloc-regression bar of the pooled matcher: the seed baseline
+	// recorded 15 allocs/op; steady state must stay essentially
+	// allocation-free (sync.Pool refills after a GC may contribute a
+	// fractional alloc/op, so allow a small slack rather than 0).
+	if mc := byName["match_count"]; mc.AllocsPerOp > 2 {
+		t.Errorf("match_count allocates %d/op; want ≤ 2 (seed baseline: 15)", mc.AllocsPerOp)
 	}
 }

@@ -21,6 +21,10 @@
 // without it they are open, which is only appropriate when the listener
 // itself is trusted (loopback or a private network).
 //
+// With -pprof, the standard net/http/pprof profiling endpoints are
+// served under /debug/pprof/ (CPU, heap, goroutine, trace, ...). They
+// are off by default and should only be enabled on a trusted listener.
+//
 // The delta body uses the knowledge-base TSV record syntax plus
 // mutation records, replayed in order and applied all-or-nothing:
 //
@@ -67,6 +71,7 @@ func main() {
 		cacheSz  = flag.Int("cache", 1024, "result cache entries per KB snapshot (0 = disable caching)")
 		maxBatch = flag.Int("max-batch", 1024, "largest accepted /batch pair count")
 		adminTok = flag.String("admin-token", "", "bearer token required by /admin/* (empty = open; only safe on a trusted listener)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (only safe on a trusted listener)")
 	)
 	flag.Parse()
 
@@ -99,6 +104,7 @@ func main() {
 		st.Nodes, st.Edges, st.Labels, snap.Generation, snap.Fingerprint, *measureN, *timeout, *cacheSz)
 	srv := newServer(store, *kbPath, *timeout, *maxBatch)
 	srv.adminToken = *adminTok
+	srv.pprof = *pprofOn
 	// Connection-level timeouts: the -timeout flag only bounds query
 	// execution, so slow-header, slow-body, slow-reading and idle
 	// connections need their own limits or they pin goroutines and

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,7 @@ type server struct {
 	adminToken string        // bearer token required by /admin/*; "" leaves them open
 	timeout    time.Duration // per-request deadline
 	maxBatch   int           // largest accepted /batch pair count
+	pprof      bool          // expose /debug/pprof/* (off by default)
 	started    time.Time
 
 	explains atomic.Uint64 // completed /explain queries (incl. batch pairs)
@@ -74,6 +76,18 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/admin/delta", s.handleAdminDelta)
 	mux.HandleFunc("/admin/reload", s.handleAdminReload)
+	if s.pprof {
+		// Runtime profiling for performance work, opt-in via -pprof.
+		// Registered explicitly rather than through the package's
+		// DefaultServeMux side effect, so the endpoints exist only when
+		// asked for; see DESIGN.md for usage. The profiles expose
+		// operational internals — enable only on a trusted listener.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

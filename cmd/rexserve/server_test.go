@@ -168,3 +168,26 @@ func TestStatsAndHealthz(t *testing.T) {
 		t.Errorf("cache hits/misses = %d/%d, want 1/1", st.Cache.Hits, st.Cache.Misses)
 	}
 }
+
+// TestPprofEndpointsGated checks that the profiling endpoints exist only
+// when -pprof is set: off by default (404), fully served when enabled.
+func TestPprofEndpointsGated(t *testing.T) {
+	srv := testServer(t, time.Second)
+	if rec := get(t, srv.handler(), "/debug/pprof/heap"); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof disabled: GET /debug/pprof/heap = %d, want 404", rec.Code)
+	}
+
+	srv.pprof = true
+	h := srv.handler()
+	if rec := get(t, h, "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Errorf("pprof index = %d, want 200", rec.Code)
+	}
+	rec := get(t, h, "/debug/pprof/heap")
+	if rec.Code != http.StatusOK {
+		t.Errorf("heap profile = %d, want 200", rec.Code)
+	}
+	// Enabling pprof must not shadow the query routes.
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz with pprof on = %d, want 200", rec.Code)
+	}
+}

@@ -97,7 +97,7 @@ func Explanation(g *kb.Graph, ex *pattern.Explanation, opt Options) []Decoration
 	}
 
 	type agg struct {
-		instancesWith map[string]struct{} // instance keys having ≥1 fact
+		instancesWith map[pattern.InstanceKey]struct{} // instance keys having ≥1 fact
 		valueCounts   map[kb.NodeID]int
 	}
 	aggs := make(map[decoKey]*agg)
@@ -128,7 +128,7 @@ func Explanation(g *kb.Graph, ex *pattern.Explanation, opt Options) []Decoration
 				a, ok := aggs[key]
 				if !ok {
 					a = &agg{
-						instancesWith: make(map[string]struct{}),
+						instancesWith: make(map[pattern.InstanceKey]struct{}),
 						valueCounts:   make(map[kb.NodeID]int),
 					}
 					aggs[key] = a

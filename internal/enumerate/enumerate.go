@@ -19,6 +19,7 @@ package enumerate
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"rex/internal/kb"
@@ -183,24 +184,68 @@ type pathInst struct {
 	steps []kb.HalfEdge
 	// k memoises key(): enumerators that already computed the key for
 	// deduplication store it here so grouping does not rebuild it.
-	k string
+	k      pathKey
+	hasKey bool
 }
 
-// key renders the path uniquely: node sequence plus per-step label and
-// orientation.
-func (p pathInst) key() string {
-	if p.k != "" {
+// pathKey is the comparable identity of a path instance: the node
+// sequence plus per-step label and orientation, packed into a fixed-size
+// struct so de-duplication maps hash it without allocating. Path length
+// is bounded by the pattern size limit, which New caps at
+// pattern.MaxVars nodes.
+type pathKey struct {
+	n     int8 // number of nodes; steps are n-1
+	nodes [pattern.MaxVars]kb.NodeID
+	steps [pattern.MaxVars - 1]pathStepKey
+}
+
+type pathStepKey struct {
+	label kb.LabelID
+	dir   kb.Dir
+}
+
+// key builds the path's comparable identity.
+func (p *pathInst) key() pathKey {
+	if p.hasKey {
 		return p.k
 	}
-	buf := make([]byte, 0, len(p.nodes)*9)
-	for i, n := range p.nodes {
-		buf = append(buf, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
-		if i < len(p.steps) {
-			s := p.steps[i]
-			buf = append(buf, byte(s.Label), byte(s.Label>>8), byte(s.Label>>16), byte(s.Label>>24), byte(s.Dir))
+	var k pathKey
+	k.n = int8(len(p.nodes))
+	copy(k.nodes[:], p.nodes)
+	for i, s := range p.steps {
+		k.steps[i] = pathStepKey{label: s.Label, dir: s.Dir}
+	}
+	return k
+}
+
+// less orders path keys exactly as the legacy byte-string keys did
+// (interleaved node/label little-endian bytes, prefix first), so the
+// representative-pattern choice in groupPaths — and with it the rendered
+// output — is unchanged from the string era.
+func (a pathKey) less(b pathKey) bool {
+	for i := 0; ; i++ {
+		if i >= int(a.n) || i >= int(b.n) {
+			return a.n < b.n
+		}
+		if a.nodes[i] != b.nodes[i] {
+			return leLess32(uint32(a.nodes[i]), uint32(b.nodes[i]))
+		}
+		if i >= int(a.n)-1 || i >= int(b.n)-1 {
+			return a.n < b.n
+		}
+		if a.steps[i] != b.steps[i] {
+			if a.steps[i].label != b.steps[i].label {
+				return leLess32(uint32(a.steps[i].label), uint32(b.steps[i].label))
+			}
+			return a.steps[i].dir < b.steps[i].dir
 		}
 	}
-	return string(buf)
+}
+
+// leLess32 compares two 32-bit values by their little-endian byte
+// encoding — the comparison the legacy string keys performed.
+func leLess32(a, b uint32) bool {
+	return bits.ReverseBytes32(a) < bits.ReverseBytes32(b)
 }
 
 // groupPaths converts path instances into path explanations: instances
@@ -212,16 +257,16 @@ func (p pathInst) key() string {
 // byte-identical results for every worker count.
 func groupPaths(g *kb.Graph, insts []pathInst) []*pattern.Explanation {
 	type keyed struct {
-		key string
+		key pathKey
 		pi  pathInst
 	}
 	ks := make([]keyed, len(insts))
 	for i, pi := range insts {
 		ks[i] = keyed{key: pi.key(), pi: pi}
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
-	byCanon := make(map[string]*pattern.Explanation)
-	seen := make(map[string]struct{}, len(insts))
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key.less(ks[j].key) })
+	byCanon := make(map[pattern.Key]*pattern.Explanation)
+	seen := make(map[pathKey]struct{}, len(insts))
 	for _, kp := range ks {
 		pi := kp.pi
 		k := kp.key
@@ -234,7 +279,7 @@ func groupPaths(g *kb.Graph, insts []pathInst) []*pattern.Explanation {
 			// Unreachable by construction; fail loudly in development.
 			panic(err)
 		}
-		ck := p.CanonicalKey()
+		ck := p.Key()
 		if ex, ok := byCanon[ck]; ok {
 			ex.Instances = append(ex.Instances, remapInstance(ex.P, p, inst))
 		} else {
@@ -337,7 +382,7 @@ func findIsomorphism(q, p *pattern.Pattern) []pattern.VarID {
 
 // dedupInstances removes duplicate instances in place and sorts them.
 func dedupInstances(ex *pattern.Explanation) {
-	seen := make(map[string]struct{}, len(ex.Instances))
+	seen := make(map[pattern.InstanceKey]struct{}, len(ex.Instances))
 	out := ex.Instances[:0]
 	for _, in := range ex.Instances {
 		k := in.Key()
@@ -347,7 +392,7 @@ func dedupInstances(ex *pattern.Explanation) {
 		seen[k] = struct{}{}
 		out = append(out, in)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	sort.Slice(out, func(i, j int) bool { return out[i].Key().Less(out[j].Key()) })
 	ex.Instances = out
 }
 

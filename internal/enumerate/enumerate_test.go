@@ -34,9 +34,9 @@ func samplePair(t *testing.T, g *kb.Graph, names [2]string) (kb.NodeID, kb.NodeI
 
 // resultSignature flattens an explanation list into a canonical
 // comparable form: pattern canonical key → sorted instance keys.
-func resultSignature(t *testing.T, es []*pattern.Explanation) map[string][]string {
+func resultSignature(t *testing.T, es []*pattern.Explanation) map[string][]pattern.InstanceKey {
 	t.Helper()
-	sig := make(map[string][]string, len(es))
+	sig := make(map[string][]pattern.InstanceKey, len(es))
 	for _, ex := range es {
 		key := ex.P.CanonicalKey()
 		if _, dup := sig[key]; dup {
@@ -47,7 +47,7 @@ func resultSignature(t *testing.T, es []*pattern.Explanation) map[string][]strin
 	return sig
 }
 
-func diffSignatures(t *testing.T, name string, want, got map[string][]string) {
+func diffSignatures(t *testing.T, name string, want, got map[string][]pattern.InstanceKey) {
 	t.Helper()
 	for k, wi := range want {
 		gi, ok := got[k]
@@ -131,7 +131,7 @@ func TestInstancesMatchOracle(t *testing.T) {
 					names, ex.P, len(ex.Instances), len(oracle))
 				continue
 			}
-			want := make(map[string]struct{}, len(oracle))
+			want := make(map[pattern.InstanceKey]struct{}, len(oracle))
 			for _, in := range oracle {
 				want[in.Key()] = struct{}{}
 			}

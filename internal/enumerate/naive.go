@@ -30,12 +30,12 @@ func NaiveEnum(g *kb.Graph, start, end kb.NodeID, maxVars int) []*pattern.Explan
 		Instances: []pattern.Instance{{start, end}},
 	}
 	queue := []*pattern.Explanation{seed}
-	seen := map[string]struct{}{seedP.CanonicalKey(): {}}
+	seen := map[pattern.Key]struct{}{seedP.Key(): {}}
 	var result []*pattern.Explanation
 
 	for i := 0; i < len(queue); i++ {
 		for _, cand := range expandNaive(g, queue[i], start, end, maxVars) {
-			key := cand.P.CanonicalKey()
+			key := cand.P.Key()
 			if _, dup := seen[key]; dup {
 				continue
 			}

@@ -316,7 +316,7 @@ func pathEnumPrioritized(ctx context.Context, g *kb.Graph, start, end kb.NodeID,
 	heap.Init(pq)
 
 	var out []pathInst
-	seen := make(map[string]struct{})
+	seen := make(map[pathKey]struct{})
 
 	// join merges a freshly added partial path on side s at node x with
 	// every opposite-side partial already at x, using the canonical split
@@ -337,7 +337,7 @@ func pathEnumPrioritized(ctx context.Context, g *kb.Graph, start, end kb.NodeID,
 				k := full.key()
 				if _, dup := seen[k]; !dup {
 					seen[k] = struct{}{}
-					full.k = k // memoise for groupPaths
+					full.k, full.hasKey = k, true // memoise for groupPaths
 					out = append(out, full)
 				}
 			}

@@ -55,7 +55,7 @@ func TestQuickFrameworkEqualsNaiveOnRandomGraphs(t *testing.T) {
 		if len(want) != len(got) {
 			return false
 		}
-		type entry struct{ insts []string }
+		type entry struct{ insts []pattern.InstanceKey }
 		sig := func(es []*pattern.Explanation) map[string]entry {
 			m := make(map[string]entry, len(es))
 			for _, ex := range es {

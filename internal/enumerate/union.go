@@ -25,9 +25,9 @@ func PathUnionBasic(qpath []*pattern.Explanation, maxVars int) []*pattern.Explan
 // once per merge pair.
 func pathUnionBasic(ctx context.Context, qpath []*pattern.Explanation, maxVars int) ([]*pattern.Explanation, error) {
 	q := append([]*pattern.Explanation{}, qpath...)
-	seen := make(map[string]struct{}, len(qpath))
+	seen := make(map[pattern.Key]struct{}, len(qpath))
 	for _, re := range qpath {
-		seen[re.P.CanonicalKey()] = struct{}{}
+		seen[re.P.Key()] = struct{}{}
 	}
 	check := cancelCheck{ctx: ctx}
 	expand := qpath
@@ -39,7 +39,7 @@ func pathUnionBasic(ctx context.Context, qpath []*pattern.Explanation, maxVars i
 					return nil, err
 				}
 				for _, re := range pattern.Merge(re1, re2, maxVars) {
-					key := re.P.CanonicalKey()
+					key := re.P.Key()
 					if _, dup := seen[key]; dup {
 						continue
 					}
@@ -69,9 +69,9 @@ func PathUnionPrune(qpath []*pattern.Explanation, maxVars int) []*pattern.Explan
 // once per merge pair.
 func pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars int) ([]*pattern.Explanation, error) {
 	q := append([]*pattern.Explanation{}, qpath...)
-	seen := make(map[string]struct{}, len(qpath))
+	seen := make(map[pattern.Key]struct{}, len(qpath))
 	for _, re := range qpath {
-		seen[re.P.CanonicalKey()] = struct{}{}
+		seen[re.P.Key()] = struct{}{}
 	}
 	check := cancelCheck{ctx: ctx}
 
@@ -82,7 +82,7 @@ func pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars i
 		var (
 			qnew     []*pattern.Explanation
 			hNew     [][]histPair
-			newIndex = make(map[string]int) // canonical key → index in qnew
+			newIndex = make(map[pattern.Key]int) // canonical key → index in qnew
 		)
 		// parentPaths[x] is the set of path indexes that, merged with
 		// parent x, produced some explanation of the current ring.
@@ -129,7 +129,7 @@ func pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars i
 					return nil, err
 				}
 				for _, re := range pattern.Merge(re1, qpath[i2], maxVars) {
-					key := re.P.CanonicalKey()
+					key := re.P.Key()
 					if _, dup := seen[key]; dup {
 						continue // duplicated against Q (older rings)
 					}
@@ -145,7 +145,7 @@ func pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars i
 			}
 		}
 		for _, re := range qnew {
-			seen[re.P.CanonicalKey()] = struct{}{}
+			seen[re.P.Key()] = struct{}{}
 		}
 		q = append(q, qnew...)
 		expand, hExpand = qnew, hNew

@@ -12,10 +12,23 @@
 // evaluate a pattern with the end — or both targets — varied) and serves
 // as an independent oracle in tests: instances produced incrementally by
 // the enumeration algorithms must equal the matcher's results.
+//
+// # Allocation discipline
+//
+// Measure evaluation calls Count/CountByEnd once per (pattern, pair) —
+// thousands of times per query under the distributional measures — so
+// matcher state is pooled: every entry point takes a matcher from a
+// sync.Pool, resets it, runs, and returns it. All per-run state lives in
+// fixed MaxVars-sized arrays or reused slices inside the pooled struct,
+// making the steady-state Count path allocation-free (see
+// BenchmarkMatchCount). The pool contract: reset rebuilds every field
+// that run reads, and release clears the graph, pattern and context
+// pointers so a pooled matcher never retains a swapped-out snapshot.
 package match
 
 import (
 	"context"
+	"sync"
 
 	"rex/internal/kb"
 	"rex/internal/pattern"
@@ -41,8 +54,9 @@ const ctxCheckInterval = 1024
 // or to the (chosen) end entity; variable bindings are otherwise free to
 // repeat.
 func ForEach(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID, f func(pattern.Instance) bool) {
-	m := newMatcher(g, p, start, end)
+	m := acquireMatcher(g, p, start, end)
 	m.run(f)
+	releaseMatcher(m)
 }
 
 // ForEachContext is ForEach with cancellation: the search checks ctx
@@ -50,20 +64,22 @@ func ForEach(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID, f func(patte
 // context is done, returning ctx.Err(). A nil error means the enumeration
 // ran to completion (or the callback stopped it).
 func ForEachContext(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID, f func(pattern.Instance) bool) error {
-	m := newMatcher(g, p, start, end)
+	m := acquireMatcher(g, p, start, end)
 	m.ctx = ctx
 	m.run(f)
-	return m.err
+	err := m.err
+	releaseMatcher(m)
+	return err
 }
 
 // CountContext is Count with cancellation; the count is partial when an
 // error is returned.
 func CountContext(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) (int, error) {
-	n := 0
-	err := ForEachContext(ctx, g, p, start, end, func(pattern.Instance) bool {
-		n++
-		return true
-	})
+	m := acquireMatcher(g, p, start, end)
+	m.ctx = ctx
+	m.run(m.countFn)
+	n, err := m.count, m.err
+	releaseMatcher(m)
 	return n, err
 }
 
@@ -91,13 +107,14 @@ func Find(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID, opt Options) []
 }
 
 // Count reports the number of instances of p between start and end; this
-// is Mcount evaluated from scratch.
+// is Mcount evaluated from scratch. The steady-state path performs no
+// allocations: the matcher, its buffers and the counting callback all
+// come from the pool.
 func Count(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) int {
-	n := 0
-	ForEach(g, p, start, end, func(pattern.Instance) bool {
-		n++
-		return true
-	})
+	m := acquireMatcher(g, p, start, end)
+	m.run(m.countFn)
+	n := m.count
+	releaseMatcher(m)
 	return n
 }
 
@@ -113,26 +130,90 @@ func CountByEnd(g *kb.Graph, p *pattern.Pattern, start kb.NodeID) map[kb.NodeID]
 	return counts
 }
 
-// matcher holds the per-run state of the backtracking search.
+// matcher holds the per-run state of the backtracking search. Instances
+// are pooled; all variable-indexed state sits in MaxVars-sized arrays so
+// a reset writes no pointers and performs no allocations.
 type matcher struct {
 	g     *kb.Graph
 	p     *pattern.Pattern
 	start kb.NodeID
 	end   kb.NodeID // InvalidNode when free
 
-	order    []pattern.VarID // assignment order, excluding pre-bound vars
-	inst     pattern.Instance
-	assigned []bool
-	// edgesAt[v] lists the pattern edges whose both endpoints are
-	// assigned once v is assigned (checked at assignment time).
-	checkAt  [][]pattern.Edge
-	anchorAt []anchor
+	n        int
+	instBuf  [pattern.MaxVars]kb.NodeID
+	inst     pattern.Instance // instBuf[:n]
+	assigned [pattern.MaxVars]bool
+
+	// plan output: order[:orderLen] is the assignment order excluding
+	// pre-bound variables; anchorAt[d] generates candidates for order[d];
+	// checks[checkSpan[d][0]:checkSpan[d][1]] are the edges to verify
+	// once order[d] is assigned.
+	order     [pattern.MaxVars]pattern.VarID
+	orderLen  int
+	anchorAt  [pattern.MaxVars]anchor
+	checkSpan [pattern.MaxVars][2]int32
+	checks    []pattern.Edge
+
+	// countFn is the pooled counting callback for Count/CountContext,
+	// allocated once per pooled matcher so the steady-state count path
+	// closes over nothing.
+	countFn func(pattern.Instance) bool
+	count   int
 
 	// Cancellation: ctx is checked every ctxCheckInterval candidate
 	// tries; when done, err records ctx.Err() and the search unwinds.
 	ctx   context.Context
 	err   error
 	tries int
+}
+
+var matcherPool = sync.Pool{
+	New: func() any {
+		m := &matcher{}
+		m.countFn = func(pattern.Instance) bool {
+			m.count++
+			return true
+		}
+		return m
+	},
+}
+
+// acquireMatcher takes a pooled matcher and rebuilds its state for one
+// run. The caller must pass it to releaseMatcher when done.
+func acquireMatcher(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) *matcher {
+	m := matcherPool.Get().(*matcher)
+	m.g, m.p, m.start, m.end = g, p, start, end
+	m.n = p.NumVars()
+	m.inst = m.instBuf[:m.n]
+	for i := 0; i < m.n; i++ {
+		m.assigned[i] = false
+	}
+	m.inst[pattern.Start] = start
+	m.assigned[pattern.Start] = true
+	if end != kb.InvalidNode {
+		m.inst[pattern.End] = end
+		m.assigned[pattern.End] = true
+	}
+	m.orderLen = 0
+	m.checks = m.checks[:0]
+	m.count = 0
+	m.tries = 0
+	m.ctx = nil
+	m.err = nil
+	m.plan()
+	return m
+}
+
+// releaseMatcher returns a matcher to the pool, clearing every pointer so
+// pooled matchers never pin a knowledge-base snapshot or context alive.
+// The reusable buffers (instance, plan and check storage) are retained —
+// that reuse is the point of the pool.
+func releaseMatcher(m *matcher) {
+	m.g, m.p = nil, nil
+	m.inst = nil
+	m.ctx = nil
+	m.err = nil
+	matcherPool.Put(m)
 }
 
 // cancelled reports whether the search should abort, checking the context
@@ -166,34 +247,23 @@ type anchor struct {
 	wantDir kb.Dir
 }
 
-func newMatcher(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) *matcher {
-	m := &matcher{
-		g:        g,
-		p:        p,
-		start:    start,
-		end:      end,
-		inst:     make(pattern.Instance, p.NumVars()),
-		assigned: make([]bool, p.NumVars()),
-	}
-	m.inst[pattern.Start] = start
-	m.assigned[pattern.Start] = true
-	if end != kb.InvalidNode {
-		m.inst[pattern.End] = end
-		m.assigned[pattern.End] = true
-	}
-	m.plan()
-	return m
-}
-
 // plan picks a static assignment order: repeatedly the unassigned
-// variable with the most edges into the assigned set (ties by lowest ID),
-// requiring at least one such edge so candidates always come from
-// adjacency rather than a full node scan. Patterns are connected to the
-// start, so the greedy order always completes.
+// variable with the most edges into the assigned set — the most
+// constrained, hence most selective, binding — breaking ties by higher
+// total pattern degree (more future constraints resolved early) and then
+// by lowest ID for determinism. At least one edge into the assigned set
+// is required so candidates always come from adjacency rather than a
+// full node scan; patterns are connected to the start, so the greedy
+// order always completes.
 func (m *matcher) plan() {
-	n := m.p.NumVars()
-	done := make([]bool, n)
-	copy(done, m.assigned)
+	n := m.n
+	var done [pattern.MaxVars]bool
+	var degree [pattern.MaxVars]int
+	copy(done[:n], m.assigned[:n])
+	for _, e := range m.p.Edges() {
+		degree[e.U]++
+		degree[e.V]++
+	}
 	remaining := 0
 	for v := 0; v < n; v++ {
 		if !done[v] {
@@ -202,7 +272,7 @@ func (m *matcher) plan() {
 	}
 	for remaining > 0 {
 		best := pattern.VarID(-1)
-		bestEdges := 0
+		bestEdges, bestDegree := 0, 0
 		for v := 0; v < n; v++ {
 			if done[v] {
 				continue
@@ -213,8 +283,8 @@ func (m *matcher) plan() {
 					cnt++
 				}
 			}
-			if cnt > bestEdges {
-				best, bestEdges = pattern.VarID(v), cnt
+			if cnt > bestEdges || (cnt == bestEdges && cnt > 0 && degree[v] > bestDegree) {
+				best, bestEdges, bestDegree = pattern.VarID(v), cnt, degree[v]
 			}
 		}
 		if best < 0 {
@@ -227,9 +297,7 @@ func (m *matcher) plan() {
 				if !done[v] {
 					done[v] = true
 					remaining--
-					m.order = append(m.order, pattern.VarID(v))
-					m.checkAt = append(m.checkAt, nil)
-					m.anchorAt = append(m.anchorAt, anchor{from: -1})
+					m.pushPlan(pattern.VarID(v), anchor{from: -1}, 0)
 					break
 				}
 			}
@@ -237,13 +305,12 @@ func (m *matcher) plan() {
 		}
 		done[best] = true
 		remaining--
-		m.order = append(m.order, best)
 
 		// Candidate anchor: the incident edge whose other endpoint is
 		// assigned; remaining incident-to-assigned edges become checks.
 		var anc anchor
 		anc.from = -1
-		var checks []pattern.Edge
+		checkStart := len(m.checks)
 		for _, e := range m.p.Edges() {
 			var other pattern.VarID
 			var outward bool // edge leaves the anchor toward best
@@ -270,12 +337,21 @@ func (m *matcher) plan() {
 			if anc.from < 0 {
 				anc = anchor{from: other, label: e.Label, wantDir: dir}
 			} else {
-				checks = append(checks, e)
+				m.checks = append(m.checks, e)
 			}
 		}
-		m.anchorAt = append(m.anchorAt, anc)
-		m.checkAt = append(m.checkAt, checks)
+		m.pushPlan(best, anc, checkStart)
 	}
+}
+
+// pushPlan appends one step to the assignment plan; the step's checks are
+// m.checks[checkStart:len(m.checks)].
+func (m *matcher) pushPlan(v pattern.VarID, anc anchor, checkStart int) {
+	d := m.orderLen
+	m.order[d] = v
+	m.anchorAt[d] = anc
+	m.checkSpan[d] = [2]int32{int32(checkStart), int32(len(m.checks))}
+	m.orderLen++
 }
 
 // run performs the backtracking search, invoking f for each complete
@@ -295,7 +371,7 @@ func (m *matcher) run(f func(pattern.Instance) bool) {
 
 // search assigns m.order[depth] and recurses.
 func (m *matcher) search(depth int, f func(pattern.Instance) bool) bool {
-	if depth == len(m.order) {
+	if depth == m.orderLen {
 		return f(m.inst)
 	}
 	v := m.order[depth]
@@ -360,7 +436,8 @@ func (m *matcher) admissible(v pattern.VarID, cand kb.NodeID) bool {
 // checkEdges verifies the non-anchor edges that became fully bound at
 // this depth.
 func (m *matcher) checkEdges(depth int) bool {
-	for _, e := range m.checkAt[depth] {
+	span := m.checkSpan[depth]
+	for _, e := range m.checks[span[0]:span[1]] {
 		if !m.g.HasEdge(m.inst[e.U], m.inst[e.V], e.Label) {
 			return false
 		}

@@ -59,8 +59,8 @@ func bruteForce(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) []pattern
 	return out
 }
 
-func asKeySet(ins []pattern.Instance) map[string]struct{} {
-	out := make(map[string]struct{}, len(ins))
+func asKeySet(ins []pattern.Instance) map[pattern.InstanceKey]struct{} {
+	out := make(map[pattern.InstanceKey]struct{}, len(ins))
 	for _, in := range ins {
 		out[in.Key()] = struct{}{}
 	}

@@ -36,9 +36,19 @@ func (LocalDeviation) AntiMonotonic() bool { return false }
 
 // Score implements Measure.
 func (LocalDeviation) Score(ctx *Context, ex *pattern.Explanation) Score {
-	counts, _ := match.CountByEndContext(ctx.Context(), ctx.G, ex.P, ctx.Start)
+	counts, _ := countByEnd(ctx, ex.P, ctx.Start)
 	a := float64(ex.Count())
 	return Score{deviation(counts, a)}
+}
+
+// countByEnd routes a local-distribution table computation through the
+// shared evaluator when the context carries one. The returned map is
+// shared on that route and must be treated as read-only.
+func countByEnd(ctx *Context, p *pattern.Pattern, start kb.NodeID) (map[kb.NodeID]int, error) {
+	if ev := ctx.Eval; ev != nil {
+		return ev.CountByEnd(ctx.Context(), p, start)
+	}
+	return match.CountByEndContext(ctx.Context(), ctx.G, p, start)
 }
 
 // GlobalDeviation averages the deviation over the sampled start
@@ -64,7 +74,7 @@ func (GlobalDeviation) Score(ctx *Context, ex *pattern.Explanation) Score {
 		if cctx.Err() != nil {
 			break // partial score; the caller checks the context
 		}
-		counts, _ := match.CountByEndContext(cctx, ctx.G, ex.P, s)
+		counts, _ := countByEnd(ctx, ex.P, s)
 		total += deviation(counts, a)
 	}
 	return Score{total / float64(len(starts))}

@@ -53,19 +53,35 @@ func (LocalPosition) ScoreWithLimit(ctx *Context, ex *pattern.Explanation, thres
 		limit = int(-threshold[0])
 	}
 	a := ex.Count()
-	pos, ok := localPosition(ctx.Context(), ctx.G, ex.P, ctx.Start, a, limit)
+	pos, ok := localPosition(ctx, ex.P, ctx.Start, a, limit)
 	if !ok {
 		return nil, false
 	}
 	return Score{-float64(pos)}, true
 }
 
-// localPosition counts the end entities whose instance count with the
-// given start strictly exceeds a. When limit ≥ 0 and the count of such
-// entities exceeds limit, enumeration stops and ok=false is returned.
-// Cancellation of cctx also aborts with ok=false; the caller is expected
-// to notice the done context and discard the result.
-func localPosition(cctx context.Context, g *kb.Graph, p *pattern.Pattern, start kb.NodeID, a, limit int) (pos int, ok bool) {
+// localPosition routes one local-position evaluation: through the
+// shared-computation evaluator when the context carries one (memoised
+// tables, prefix-shared path walks), through the streaming matcher
+// otherwise. Both routes return identical positions and identical
+// pruning decisions.
+func localPosition(ctx *Context, p *pattern.Pattern, start kb.NodeID, a, limit int) (pos int, ok bool) {
+	if ev := ctx.Eval; ev != nil {
+		pos, ok, err := ev.LocalPosition(ctx.Context(), p, start, a, limit)
+		if err != nil {
+			return 0, false
+		}
+		return pos, ok
+	}
+	return streamLocalPosition(ctx.Context(), ctx.G, p, start, a, limit)
+}
+
+// streamLocalPosition counts the end entities whose instance count with
+// the given start strictly exceeds a. When limit ≥ 0 and the count of
+// such entities exceeds limit, enumeration stops and ok=false is
+// returned. Cancellation of cctx also aborts with ok=false; the caller
+// is expected to notice the done context and discard the result.
+func streamLocalPosition(cctx context.Context, g *kb.Graph, p *pattern.Pattern, start kb.NodeID, a, limit int) (pos int, ok bool) {
 	counts := make(map[kb.NodeID]int)
 	exceeded := 0
 	aborted := false
@@ -133,7 +149,7 @@ func (GlobalPosition) ScoreWithLimit(ctx *Context, ex *pattern.Explanation, thre
 				return nil, false
 			}
 		}
-		pos, ok := localPosition(cctx, ctx.G, ex.P, s, a, rem)
+		pos, ok := localPosition(ctx, ex.P, s, a, rem)
 		if !ok {
 			return nil, false
 		}

@@ -89,9 +89,9 @@ func TestGlobalPositionSumsLocals(t *testing.T) {
 		want := 0.0
 		a := ex.Count()
 		for _, s := range ctx.SampleStarts {
-			pos, ok := localPosition(context.Background(), ctx.G, ex.P, s, a, -1)
+			pos, ok := streamLocalPosition(context.Background(), ctx.G, ex.P, s, a, -1)
 			if !ok {
-				t.Fatal("unlimited localPosition aborted")
+				t.Fatal("unlimited streamLocalPosition aborted")
 			}
 			want += float64(pos)
 		}

@@ -1,0 +1,411 @@
+// Shared-computation measure evaluation. The interestingness measures of
+// Section 4 are dominated by subgraph-match counting: the distributional
+// measures evaluate every explanation's pattern with a free end (and,
+// globally, over ~100 sampled starts), and nothing in the naive
+// formulation is shared between the many explanations of one query even
+// though PathUnion builds them all from a small set of overlapping
+// simple paths. The Evaluator recovers that sharing at two levels:
+//
+//   - Result memoisation: match counts are cached by (pattern key, pair)
+//     and per-end count tables by (pattern key, start), so re-evaluating
+//     a pattern — across measures of a combination, repeated queries on
+//     one snapshot, or the study harness — never matches twice.
+//   - Prefix sharing: path patterns (the bulk of every explanation set)
+//     are evaluated by a label-indexed walk instead of the general
+//     backtracking matcher, and the partial walks of every prefix are
+//     cached, so explanations that extend the same path reuse its
+//     partial-instance frontier instead of re-walking it from the start
+//     entity.
+//
+// An Evaluator is pinned to one frozen graph. The facade builds one per
+// snapshot (rex.Explainer owns it, rex.Store rebuilds the Explainer on
+// every hot swap), so memo lifetime equals snapshot lifetime and stale
+// counts can never leak across generations. Because a snapshot can live
+// indefinitely (a static KB never swaps) while memo keys are driven by
+// user queries, every cache in the evaluator is bounded: the result
+// memos flush wholesale on overflow and the prefix cache evicts by
+// start — memory stays fixed no matter the query diversity.
+
+package measure
+
+import (
+	"context"
+	"sync"
+
+	"rex/internal/kb"
+	"rex/internal/match"
+	"rex/internal/pattern"
+)
+
+// Evaluator memoises match-count computations over one frozen graph. It
+// is safe for concurrent use; cached tables are shared and must be
+// treated as read-only by callers.
+type Evaluator struct {
+	g *kb.Graph
+
+	mu         sync.Mutex
+	pairs      map[pairCountKey]int
+	tables     map[tableKey]map[kb.NodeID]int
+	tableCells int // total entries across tables, for the memory bound
+
+	prefixes prefixCache
+}
+
+type pairCountKey struct {
+	p          pattern.Key
+	start, end kb.NodeID
+}
+
+type tableKey struct {
+	p     pattern.Key
+	start kb.NodeID
+}
+
+// Memory bounds for the prefix-walk cache. Overflowing either cap only
+// disables caching for the offending entries — results are computed
+// either way, so the bounds trade speed for memory, never correctness.
+const (
+	// maxPrefixStarts bounds the number of start entities with live
+	// prefix caches; the least recently used bucket is evicted. Sized to
+	// cover the global measure's default 100 sampled starts plus the
+	// query pair, so a full global-distribution ranking reuses every
+	// sample's prefixes across explanations.
+	maxPrefixStarts = 128
+	// maxPrefixNodesPerStart bounds the node IDs stored across all
+	// cached walk levels of one start (256 KiB per start at the cap,
+	// ≈32 MiB per snapshot worst case).
+	maxPrefixNodesPerStart = 1 << 16
+	// maxWalkNodes aborts a materialised walk level that outgrows any
+	// reasonable cache entry; the computation falls back to the
+	// streaming matcher, which never materialises the instance set.
+	maxWalkNodes = 1 << 20
+	// maxPairMemos and maxTableCells bound the result memos, whose keys
+	// are driven by user queries and would otherwise grow for the whole
+	// snapshot lifetime (a static KB never swaps its evaluator away).
+	// On overflow the memos are flushed wholesale — rare, cheap, and it
+	// re-warms with the current working set instead of freezing on the
+	// oldest one. Worst case ≈ maxTableCells table entries ≈ 64 MiB.
+	maxPairMemos  = 1 << 20
+	maxTableCells = 1 << 22
+)
+
+// NewEvaluator builds an evaluator over a frozen graph.
+func NewEvaluator(g *kb.Graph) *Evaluator {
+	return &Evaluator{
+		g:      g,
+		pairs:  make(map[pairCountKey]int),
+		tables: make(map[tableKey]map[kb.NodeID]int),
+	}
+}
+
+// Graph returns the frozen graph the evaluator is pinned to.
+func (ev *Evaluator) Graph() *kb.Graph { return ev.g }
+
+// Count returns the number of instances of p between start and end,
+// memoised by (pattern key, pair). Cancellation aborts the underlying
+// match without poisoning the memo.
+func (ev *Evaluator) Count(ctx context.Context, p *pattern.Pattern, start, end kb.NodeID) (int, error) {
+	key := pairCountKey{p.Key(), start, end}
+	ev.mu.Lock()
+	n, ok := ev.pairs[key]
+	ev.mu.Unlock()
+	if ok {
+		return n, nil
+	}
+	n, err := match.CountContext(ctx, ev.g, p, start, end)
+	if err != nil {
+		return 0, err
+	}
+	ev.mu.Lock()
+	if len(ev.pairs) >= maxPairMemos {
+		ev.pairs = make(map[pairCountKey]int)
+	}
+	ev.pairs[key] = n
+	ev.mu.Unlock()
+	return n, nil
+}
+
+// CountByEnd returns the per-end instance counts of p with the start
+// bound and the end free — the local distribution D_l — memoised by
+// (pattern key, start). The returned map is shared: callers must not
+// modify it. Path patterns are evaluated by the prefix-sharing walk;
+// everything else falls back to the general matcher.
+func (ev *Evaluator) CountByEnd(ctx context.Context, p *pattern.Pattern, start kb.NodeID) (map[kb.NodeID]int, error) {
+	key := tableKey{p.Key(), start}
+	ev.mu.Lock()
+	t, ok := ev.tables[key]
+	ev.mu.Unlock()
+	if ok {
+		return t, nil
+	}
+	var counts map[kb.NodeID]int
+	var err error
+	if steps, isPath := p.PathSteps(); isPath {
+		counts, err = ev.pathCountByEnd(ctx, start, steps)
+	} else {
+		counts, err = match.CountByEndContext(ctx, ev.g, p, start)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ev.mu.Lock()
+	if ev.tableCells+len(counts) > maxTableCells {
+		ev.tables = make(map[tableKey]map[kb.NodeID]int)
+		ev.tableCells = 0
+	}
+	ev.tables[key] = counts
+	ev.tableCells += len(counts)
+	ev.mu.Unlock()
+	return counts, nil
+}
+
+// hasTable reports whether the (pattern, start) count table is already
+// memoised; the position measure uses it to decide between a table scan
+// and the streaming limit-pruned enumeration.
+func (ev *Evaluator) hasTable(p *pattern.Pattern, start kb.NodeID) bool {
+	ev.mu.Lock()
+	_, ok := ev.tables[tableKey{p.Key(), start}]
+	ev.mu.Unlock()
+	return ok
+}
+
+// LocalPosition counts the end entities whose instance count with start
+// strictly exceeds a (the position of the explanation in D_l). When
+// limit ≥ 0 and the position provably exceeds limit, ok=false is
+// returned — the "LIMIT p" pruning. Results are identical to the
+// streaming implementation in dist.go; the evaluator merely picks the
+// cheaper route: a scan of a (memoised or cheaply built) count table for
+// path patterns, the limit-pruned streaming matcher otherwise.
+func (ev *Evaluator) LocalPosition(ctx context.Context, p *pattern.Pattern, start kb.NodeID, a, limit int) (pos int, ok bool, err error) {
+	if _, isPath := p.PathSteps(); isPath || ev.hasTable(p, start) {
+		counts, err := ev.CountByEnd(ctx, p, start)
+		if err != nil {
+			return 0, false, err
+		}
+		exceeded := 0
+		for _, c := range counts {
+			if c > a {
+				exceeded++
+				if limit >= 0 && exceeded > limit {
+					return 0, false, nil
+				}
+			}
+		}
+		return exceeded, true, nil
+	}
+	pos, ok = streamLocalPosition(ctx, ev.g, p, start, a, limit)
+	return pos, ok, ctx.Err()
+}
+
+// --- Prefix-sharing walk evaluation for path patterns. ---
+
+// stepSeqKey identifies a walk level: the start-anchored step sequence
+// prefix of a path pattern.
+type stepSeqKey struct {
+	n     int8
+	steps [pattern.MaxVars - 1]pattern.PathStep
+}
+
+func seqKey(steps []pattern.PathStep) stepSeqKey {
+	var k stepSeqKey
+	k.n = int8(len(steps))
+	copy(k.steps[:], steps)
+	return k
+}
+
+// walkSet is the materialised set of injective walks matching one step
+// prefix from one start: walk i occupies nodes[i*stride : (i+1)*stride],
+// nodes[i*stride] being the start entity. A walkSet is immutable once
+// cached.
+type walkSet struct {
+	stride int
+	nodes  []kb.NodeID
+}
+
+func (w walkSet) count() int { return len(w.nodes) / w.stride }
+
+// startPrefixes is the per-start bucket of cached walk levels.
+type startPrefixes struct {
+	levels map[stepSeqKey]walkSet
+	size   int // total node IDs stored
+}
+
+// prefixCache is an LRU over start entities. Guarded by its own mutex so
+// long walk computations do not block unrelated memo lookups.
+type prefixCache struct {
+	mu     sync.Mutex
+	starts map[kb.NodeID]*startPrefixes
+	order  []kb.NodeID // LRU order, most recent last
+}
+
+func (pc *prefixCache) bucket(start kb.NodeID) *startPrefixes {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.starts == nil {
+		pc.starts = make(map[kb.NodeID]*startPrefixes)
+	}
+	sp, ok := pc.starts[start]
+	if !ok {
+		sp = &startPrefixes{levels: make(map[stepSeqKey]walkSet)}
+		pc.starts[start] = sp
+		pc.order = append(pc.order, start)
+		if len(pc.order) > maxPrefixStarts {
+			evict := pc.order[0]
+			pc.order = pc.order[1:]
+			delete(pc.starts, evict)
+		}
+		return sp
+	}
+	for i, s := range pc.order {
+		if s == start {
+			pc.order = append(append(pc.order[:i:i], pc.order[i+1:]...), start)
+			break
+		}
+	}
+	return sp
+}
+
+func (pc *prefixCache) get(sp *startPrefixes, key stepSeqKey) (walkSet, bool) {
+	pc.mu.Lock()
+	w, ok := sp.levels[key]
+	pc.mu.Unlock()
+	return w, ok
+}
+
+func (pc *prefixCache) put(sp *startPrefixes, key stepSeqKey, w walkSet) {
+	pc.mu.Lock()
+	if sp.size+len(w.nodes) <= maxPrefixNodesPerStart {
+		if _, dup := sp.levels[key]; !dup {
+			sp.levels[key] = w
+			sp.size += len(w.nodes)
+		}
+	}
+	pc.mu.Unlock()
+}
+
+// errWalkTooLarge aborts materialisation when a walk level outgrows
+// maxWalkNodes; the caller falls back to the streaming matcher.
+type walkTooLargeError struct{}
+
+func (walkTooLargeError) Error() string { return "measure: materialised walk level too large" }
+
+var errWalkTooLarge error = walkTooLargeError{}
+
+// pathCountByEnd evaluates a path pattern's local distribution via the
+// shared prefix walk. Counting from the full-length walk set is exact:
+// for a simple-path pattern the injective walks from the start are
+// precisely the pattern's instances (injectivity of the walk is the
+// instance-level injectivity, and Definition 2's target-avoidance is
+// subsumed by it), so counts per terminal equal the matcher's per-end
+// counts.
+func (ev *Evaluator) pathCountByEnd(ctx context.Context, start kb.NodeID, steps []pattern.PathStep) (map[kb.NodeID]int, error) {
+	sp := ev.prefixes.bucket(start)
+	w, err := ev.walksAt(ctx, sp, start, steps)
+	if err == errWalkTooLarge {
+		// Too big to materialise: stream it instead (no cache, bounded
+		// memory, identical result).
+		counts := make(map[kb.NodeID]int)
+		serr := ev.streamPathCounts(ctx, start, steps, counts)
+		if serr != nil {
+			return nil, serr
+		}
+		return counts, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[kb.NodeID]int)
+	for i := 0; i < w.count(); i++ {
+		counts[w.nodes[i*w.stride+w.stride-1]]++
+	}
+	return counts, nil
+}
+
+// walksAt returns the injective walks matching steps from start,
+// recursively extending the cached next-shortest prefix.
+func (ev *Evaluator) walksAt(ctx context.Context, sp *startPrefixes, start kb.NodeID, steps []pattern.PathStep) (walkSet, error) {
+	if len(steps) == 0 {
+		return walkSet{stride: 1, nodes: []kb.NodeID{start}}, nil
+	}
+	key := seqKey(steps)
+	if w, ok := ev.prefixes.get(sp, key); ok {
+		return w, nil
+	}
+	prev, err := ev.walksAt(ctx, sp, start, steps[:len(steps)-1])
+	if err != nil {
+		return walkSet{}, err
+	}
+	last := steps[len(steps)-1]
+	out := walkSet{stride: prev.stride + 1}
+	checked := 0
+	for i := 0; i < prev.count(); i++ {
+		walk := prev.nodes[i*prev.stride : (i+1)*prev.stride]
+		tail := walk[len(walk)-1]
+	nextEdge:
+		for _, he := range ev.g.NeighborsLabeled(tail, last.Label) {
+			if he.Dir != last.Dir {
+				continue
+			}
+			checked++
+			if checked%walkCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return walkSet{}, err
+				}
+			}
+			for _, n := range walk {
+				if n == he.To {
+					continue nextEdge
+				}
+			}
+			out.nodes = append(out.nodes, walk...)
+			out.nodes = append(out.nodes, he.To)
+			if len(out.nodes) > maxWalkNodes {
+				return walkSet{}, errWalkTooLarge
+			}
+		}
+	}
+	ev.prefixes.put(sp, key, out)
+	return out, nil
+}
+
+// walkCheckInterval bounds extension steps between context checks.
+const walkCheckInterval = 1024
+
+// streamPathCounts is the unmaterialised fallback: a depth-first walk
+// accumulating per-terminal counts directly.
+func (ev *Evaluator) streamPathCounts(ctx context.Context, start kb.NodeID, steps []pattern.PathStep, counts map[kb.NodeID]int) error {
+	var walk [pattern.MaxVars]kb.NodeID
+	walk[0] = start
+	checked := 0
+	var dfs func(depth int) error
+	dfs = func(depth int) error {
+		if depth == len(steps) {
+			counts[walk[depth]]++
+			return nil
+		}
+		st := steps[depth]
+	nextEdge:
+		for _, he := range ev.g.NeighborsLabeled(walk[depth], st.Label) {
+			if he.Dir != st.Dir {
+				continue
+			}
+			checked++
+			if checked%walkCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			for i := 0; i <= depth; i++ {
+				if walk[i] == he.To {
+					continue nextEdge
+				}
+			}
+			walk[depth+1] = he.To
+			if err := dfs(depth + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return dfs(0)
+}

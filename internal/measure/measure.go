@@ -73,6 +73,13 @@ type Context struct {
 	// callers observing a done context must discard results and surface
 	// ctx.Err() — the rank layer does exactly that.
 	Ctx context.Context
+	// Eval, when non-nil, routes match counting through the
+	// shared-computation evaluator: counts memoised per (pattern key,
+	// pair), local-distribution tables per (pattern key, start), and
+	// path patterns evaluated with shared prefix walks. Scores are
+	// identical with or without it; only the cost changes. The evaluator
+	// must be pinned to the same graph as G.
+	Eval *Evaluator
 }
 
 // Context returns the cancellation context, defaulting to Background so
@@ -246,17 +253,17 @@ func scoreOf(m Measure, ctx *Context, ex *pattern.Explanation) Score {
 	return m.Score(ctx, ex)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // CountOracle recomputes M_count with the independent matcher instead of
 // the enumerated instance list; tests use it to cross-check instance
 // propagation, and distributional measures use the same matcher on other
-// entity pairs.
+// entity pairs. With an evaluator in the context the count is memoised
+// by (pattern key, pair).
 func CountOracle(ctx *Context, ex *pattern.Explanation) int {
+	if ev := ctx.Eval; ev != nil {
+		n, err := ev.Count(ctx.Context(), ex.P, ctx.Start, ctx.End)
+		if err == nil {
+			return n
+		}
+	}
 	return match.Count(ctx.G, ex.P, ctx.Start, ctx.End)
 }

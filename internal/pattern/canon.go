@@ -1,9 +1,9 @@
 package pattern
 
 import (
-	"fmt"
+	"bytes"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Canonicalisation and isomorphism.
@@ -17,12 +17,19 @@ import (
 // non-target variables and keeping the lexicographically smallest edge
 // encoding. Two patterns are isomorphic iff their canonical keys are
 // equal, which turns the queue scan of the pseudocode into a hash-map
-// lookup.
+// lookup — and, via the interned 64-bit Key, a cheap integer-keyed one.
+//
+// The permutation search reuses two byte buffers and one edge scratch
+// slice for the whole run, so computing a canonical form performs a
+// constant number of allocations regardless of pattern size; the result
+// is cached on the pattern, making every later access free.
 
 // CanonicalKey returns a string that is identical for exactly the
 // patterns isomorphic to p (with targets pinned). The key is cached on
-// first use; computing it is O((n-2)! · |E| log |E|), trivial for the
-// pattern sizes REX enumerates.
+// first use; computing it is O((n-2)! · |E|), trivial for the pattern
+// sizes REX enumerates. Hot paths should prefer Key, the interned 64-bit
+// form; the string form remains the deterministic sort key for output
+// ordering.
 func (p *Pattern) CanonicalKey() string {
 	if p.canon == "" {
 		p.canon = p.computeCanon()
@@ -36,26 +43,37 @@ func (p *Pattern) computeCanon() string {
 }
 
 // canonWithPerm computes the canonical encoding together with a
-// permutation achieving it.
+// permutation achieving it. Candidate encodings are rendered into two
+// reused byte buffers (current candidate and best-so-far, swapped on
+// improvement) so the factorial search allocates nothing per
+// permutation.
 func (p *Pattern) canonWithPerm() (string, []VarID) {
 	free := p.n - 2 // variables 2..n-1 may be permuted
+	scratch := make([]Edge, len(p.edges))
 	if free <= 0 {
-		return p.encodeEdges(nil), nil
+		return string(p.appendEncoding(nil, nil, scratch)), nil
 	}
 	perm := make([]VarID, free) // perm[i] = image of variable i+2
 	for i := range perm {
 		perm[i] = VarID(i + 2)
 	}
-	best := ""
-	var bestPerm []VarID
+	// Both buffers are sized for the worst-case encoding up front so the
+	// factorial search never reallocates: the "n|" prefix plus up to 16
+	// bytes per "u,v,label;" triple (labels are int32).
+	encCap := 4 + 16*len(p.edges)
+	best := make([]byte, 0, encCap)
+	cand := make([]byte, 0, encCap)
+	haveBest := false
+	bestPerm := make([]VarID, free)
 	permute(perm, 0, func() {
-		enc := p.encodeEdges(perm)
-		if best == "" || enc < best {
-			best = enc
-			bestPerm = append(bestPerm[:0], perm...)
+		cand = p.appendEncoding(cand[:0], perm, scratch)
+		if !haveBest || bytes.Compare(cand, best) < 0 {
+			haveBest = true
+			best, cand = cand, best
+			copy(bestPerm, perm)
 		}
 	})
-	return best, bestPerm
+	return string(best), bestPerm
 }
 
 // CanonicalPerm returns a full variable renaming into the canonical
@@ -83,22 +101,18 @@ func (p *Pattern) CanonicalPerm() []VarID {
 // numbering and returns the sorted key list. Two explanations with
 // isomorphic patterns have equal canonical instance keys iff their
 // instance sets are equal.
-func (e *Explanation) CanonicalInstanceKeys() []string {
+func (e *Explanation) CanonicalInstanceKeys() []InstanceKey {
 	perm := e.P.CanonicalPerm()
-	keys := make([]string, len(e.Instances))
+	keys := make([]InstanceKey, len(e.Instances))
+	remapped := make(Instance, len(perm))
 	for i, in := range e.Instances {
-		remapped := make(Instance, len(in))
 		for v, id := range in {
 			remapped[perm[v]] = id
 		}
 		keys[i] = remapped.Key()
 	}
-	sortStrings(keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	return keys
-}
-
-func sortStrings(a []string) {
-	sort.Strings(a)
 }
 
 // permute generates all permutations of perm[k:] in place, invoking f for
@@ -115,33 +129,64 @@ func permute(perm []VarID, k int, f func()) {
 	}
 }
 
-// encodeEdges renders the edge multiset under a relabeling of the free
-// variables. perm[i] is the new name of variable i+2; a nil perm is the
-// identity. Directed edges keep their orientation; undirected edges are
-// re-normalised to U ≤ V after renaming so that equal patterns encode
-// equally.
-func (p *Pattern) encodeEdges(perm []VarID) string {
-	mapped := make([]Edge, len(p.edges))
-	rename := func(v VarID) VarID {
-		if v < 2 || perm == nil {
-			return v
-		}
-		return perm[v-2]
-	}
+// appendEncoding renders the edge multiset under a relabeling of the free
+// variables into dst, reusing scratch for the renamed edges. perm[i] is
+// the new name of variable i+2; a nil perm is the identity. Directed
+// edges keep their orientation; undirected edges are re-normalised to
+// U ≤ V after renaming so that equal patterns encode equally. The format
+// ("n|u,v,label;...") is the legacy string encoding — output ordering
+// depends on comparisons of these strings, so it must not change.
+func (p *Pattern) appendEncoding(dst []byte, perm []VarID, scratch []Edge) []byte {
 	for i, e := range p.edges {
-		u, v := rename(e.U), rename(e.V)
+		u, v := renameVar(e.U, perm), renameVar(e.V, perm)
 		if !p.schema.LabelDirected(e.Label) && u > v {
 			u, v = v, u
 		}
-		mapped[i] = Edge{U: u, V: v, Label: e.Label}
+		scratch[i] = Edge{U: u, V: v, Label: e.Label}
 	}
-	sortEdges(mapped)
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d|", p.n)
-	for _, e := range mapped {
-		fmt.Fprintf(&b, "%d,%d,%d;", e.U, e.V, e.Label)
+	insertionSortEdges(scratch)
+	dst = strconv.AppendInt(dst, int64(p.n), 10)
+	dst = append(dst, '|')
+	for _, e := range scratch {
+		dst = strconv.AppendInt(dst, int64(e.U), 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(e.V), 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(e.Label), 10)
+		dst = append(dst, ';')
 	}
-	return b.String()
+	return dst
+}
+
+func renameVar(v VarID, perm []VarID) VarID {
+	if v < 2 || perm == nil {
+		return v
+	}
+	return perm[v-2]
+}
+
+// insertionSortEdges sorts in place by edgeLess — the same order as
+// sortEdges, which shares the comparator — without the sort.Slice
+// closure allocation; edge lists are tiny, so insertion sort also wins
+// on constants.
+func insertionSortEdges(es []Edge) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && edgeLess(es[j], es[j-1]); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// edgeLess is the canonical (U, V, Label) edge order used by both the
+// normal form (sortEdges) and the canonical encoding.
+func edgeLess(a, b Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	if a.V != b.V {
+		return a.V < b.V
+	}
+	return a.Label < b.Label
 }
 
 // Isomorphic reports whether p and q are isomorphic with targets pinned.
@@ -149,5 +194,5 @@ func (p *Pattern) Isomorphic(q *Pattern) bool {
 	if p.n != q.n || len(p.edges) != len(q.edges) {
 		return false
 	}
-	return p.CanonicalKey() == q.CanonicalKey()
+	return p.Key() == q.Key()
 }

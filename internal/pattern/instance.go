@@ -2,7 +2,6 @@ package pattern
 
 import (
 	"fmt"
-	"strings"
 
 	"rex/internal/kb"
 )
@@ -14,20 +13,6 @@ import (
 // subsumes the definition's requirement that non-target variables avoid
 // the target entities (see the match package for why).
 type Instance []kb.NodeID
-
-// Key packs the assignment into a compact string usable as a map key for
-// de-duplication.
-func (in Instance) Key() string {
-	var b strings.Builder
-	b.Grow(len(in) * 4)
-	for _, id := range in {
-		b.WriteByte(byte(id))
-		b.WriteByte(byte(id >> 8))
-		b.WriteByte(byte(id >> 16))
-		b.WriteByte(byte(id >> 24))
-	}
-	return b.String()
-}
 
 // Clone returns a copy of the instance.
 func (in Instance) Clone() Instance {
@@ -47,7 +32,7 @@ type Explanation struct {
 // NewExplanation bundles a pattern with instances, de-duplicating the
 // instance list.
 func NewExplanation(p *Pattern, instances []Instance) *Explanation {
-	seen := make(map[string]struct{}, len(instances))
+	seen := make(map[InstanceKey]struct{}, len(instances))
 	out := instances[:0:0]
 	for _, in := range instances {
 		k := in.Key()

@@ -21,6 +21,14 @@ func TestInstanceKeyDistinguishes(t *testing.T) {
 
 func TestQuickInstanceKeyInjective(t *testing.T) {
 	f := func(a, b []int32) bool {
+		// Instances are bounded by MaxVars variables by construction
+		// (pattern.New enforces it); InstanceKey relies on that bound.
+		if len(a) > MaxVars {
+			a = a[:MaxVars]
+		}
+		if len(b) > MaxVars {
+			b = b[:MaxVars]
+		}
 		ia := make(Instance, len(a))
 		for i, v := range a {
 			ia[i] = kb.NodeID(v)

@@ -1,8 +1,6 @@
 package pattern
 
 import (
-	"strings"
-
 	"rex/internal/kb"
 )
 
@@ -121,26 +119,25 @@ func mergeInstances(re1, re2 *Explanation, mapping []VarID, rename2 []VarID, tot
 			matchedVars1 = append(matchedVars1, m)
 		}
 	}
-	joinKey := func(in Instance, vars []VarID) string {
-		var b strings.Builder
-		b.Grow(len(vars) * 4)
-		for _, v := range vars {
-			id := in[v]
-			b.WriteByte(byte(id))
-			b.WriteByte(byte(id >> 8))
-			b.WriteByte(byte(id >> 16))
-			b.WriteByte(byte(id >> 24))
+	// joinKey projects an instance onto the matched variables; the
+	// resulting InstanceKey is the hash-join key, built without
+	// allocating.
+	joinKey := func(in Instance, vars []VarID) InstanceKey {
+		var k InstanceKey
+		k.n = int8(len(vars))
+		for i, v := range vars {
+			k.ids[i] = in[v]
 		}
-		return b.String()
+		return k
 	}
-	index2 := make(map[string][]Instance, len(re2.Instances))
+	index2 := make(map[InstanceKey][]Instance, len(re2.Instances))
 	for _, i2 := range re2.Instances {
 		k := joinKey(i2, matchedVars2)
 		index2[k] = append(index2[k], i2)
 	}
 
 	var out []Instance
-	seen := make(map[string]struct{})
+	seen := make(map[InstanceKey]struct{})
 	for _, i1 := range re1.Instances {
 		k := joinKey(i1, matchedVars1)
 		for _, i2 := range index2[k] {

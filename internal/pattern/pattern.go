@@ -54,7 +54,13 @@ type Pattern struct {
 	edges  []Edge
 	schema Schema
 
-	canon string // lazily computed canonical key
+	canon  string // lazily computed canonical encoding
+	key    Key    // lazily interned 64-bit canonical key
+	hasKey bool
+
+	steps     []PathStep // lazily computed start→end walk (path patterns)
+	stepsOK   bool
+	stepsDone bool
 }
 
 // New constructs a pattern with n variables (n ≥ 2) and the given edges.
@@ -101,16 +107,11 @@ func MustNew(schema Schema, n int, edges []Edge) *Pattern {
 	return p
 }
 
+// sortEdges orders by edgeLess (see canon.go) — the single definition of
+// the edge order both New's normal form and the canonical encoding rely
+// on sharing.
 func sortEdges(es []Edge) {
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
-		}
-		if es[i].V != es[j].V {
-			return es[i].V < es[j].V
-		}
-		return es[i].Label < es[j].Label
-	})
+	sort.Slice(es, func(i, j int) bool { return edgeLess(es[i], es[j]) })
 }
 
 func dedupEdges(es []Edge) []Edge {
@@ -165,6 +166,73 @@ func (p *Pattern) IsPath() bool {
 		}
 	}
 	return p.connected()
+}
+
+// PathStep is one hop of a path pattern walked from the start target to
+// the end target: the edge label and the orientation the matching
+// knowledge-base half-edge must have at the hop's origin node (Out for a
+// pattern edge leaving the origin, In for one entering it, Undirected
+// for undirected labels). The sequence lets path instances be matched by
+// a plain label-indexed walk, without the general backtracking matcher.
+type PathStep struct {
+	Label kb.LabelID
+	Dir   kb.Dir
+}
+
+// PathSteps returns the start→end step sequence when p is a simple path
+// (IsPath), or ok=false otherwise. The measure evaluator uses it to
+// enumerate path instances with shared prefixes across explanations.
+// Computed once and cached, like the canonical key.
+func (p *Pattern) PathSteps() ([]PathStep, bool) {
+	if !p.stepsDone {
+		p.steps, p.stepsOK = p.computePathSteps()
+		p.stepsDone = true
+	}
+	return p.steps, p.stepsOK
+}
+
+func (p *Pattern) computePathSteps() (steps []PathStep, ok bool) {
+	if !p.IsPath() {
+		return nil, false
+	}
+	steps = make([]PathStep, 0, p.n-1)
+	cur, prev := Start, VarID(-1)
+	for range p.edges {
+		var next VarID
+		var st PathStep
+		found := false
+		for _, e := range p.edges {
+			var other VarID
+			var outward bool // edge leaves cur
+			switch {
+			case e.U == cur && e.V != prev:
+				other, outward = e.V, true
+			case e.V == cur && e.U != prev:
+				other, outward = e.U, false
+			default:
+				continue
+			}
+			st = PathStep{Label: e.Label, Dir: kb.Undirected}
+			if p.schema.LabelDirected(e.Label) {
+				if outward {
+					st.Dir = kb.Out
+				} else {
+					st.Dir = kb.In
+				}
+			}
+			next, found = other, true
+			break
+		}
+		if !found {
+			return nil, false // unreachable for a well-formed path
+		}
+		steps = append(steps, st)
+		prev, cur = cur, next
+	}
+	if cur != End {
+		return nil, false // unreachable for a well-formed path
+	}
+	return steps, true
 }
 
 // connected reports whether the pattern graph (edges undirected) is a

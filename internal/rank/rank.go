@@ -35,7 +35,10 @@ type Ranked struct {
 // was merged from, so on tied scores every ancestor of a top-k
 // explanation is itself top-k and the interleaved expansion cannot miss
 // it. (This also mirrors the paper's emission order: the ring-by-ring
-// union produces small patterns first.)
+// union produces small patterns first.) pattern.Key is the FNV-1a hash
+// of the canonical encoding — the exact hash this sort historically
+// computed itself — so the interned key preserves the tie order
+// bit-for-bit while skipping the per-comparison string hashing.
 func sortRanked(rs []Ranked) {
 	sort.Slice(rs, func(i, j int) bool {
 		if c := rs[i].Score.Cmp(rs[j].Score); c != 0 {
@@ -48,23 +51,11 @@ func sortRanked(rs []Ranked) {
 		if pi.NumEdges() != pj.NumEdges() {
 			return pi.NumEdges() < pj.NumEdges()
 		}
-		ki, kj := pi.CanonicalKey(), pj.CanonicalKey()
-		hi, hj := fnv64(ki), fnv64(kj)
-		if hi != hj {
+		if hi, hj := pi.Key(), pj.Key(); hi != hj {
 			return hi < hj
 		}
-		return ki < kj
+		return pi.CanonicalKey() < pj.CanonicalKey()
 	})
-}
-
-// fnv64 is the FNV-1a hash, inlined to keep the package dependency-free.
-func fnv64(s string) uint64 {
-	h := uint64(0xcbf29ce484222325)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 0x100000001b3
-	}
-	return h
 }
 
 // General implements Algorithm 5 over an already-enumerated explanation
@@ -127,12 +118,13 @@ func TopKAntiMonotoneContext(cctx context.Context, g *kb.Graph, start, end kb.No
 	}
 
 	pool := make([]Ranked, 0, len(paths))
-	seen := make(map[string]struct{}, len(paths))
-	expanded := make(map[string]struct{})
+	seen := make(map[pattern.Key]struct{}, len(paths))
+	expanded := make(map[pattern.Key]struct{})
 	for _, ex := range paths {
 		pool = append(pool, Ranked{Ex: ex, Score: m.Score(ctx, ex)})
-		seen[ex.P.CanonicalKey()] = struct{}{}
+		seen[ex.P.Key()] = struct{}{}
 	}
+	lim, isLimited := m.(measure.Limited)
 
 	for {
 		if err := cctx.Err(); err != nil {
@@ -143,9 +135,19 @@ func TopKAntiMonotoneContext(cctx context.Context, g *kb.Graph, start, end kb.No
 		if len(top) > k {
 			top = top[:k]
 		}
+		// The current k-th best score bounds every further evaluation:
+		// a Limited measure may abort once a candidate is provably
+		// strictly below it. The threshold only rises as the pool grows,
+		// so a candidate strictly below it now can never reach the final
+		// top-k (scores are fixed) and is safe to drop outright — the
+		// returned ranking is identical to the unpruned one.
+		var threshold measure.Score
+		if isLimited && len(pool) >= k {
+			threshold = pool[k-1].Score
+		}
 		var frontier []*pattern.Explanation
 		for _, r := range top {
-			key := r.Ex.P.CanonicalKey()
+			key := r.Ex.P.Key()
 			if _, done := expanded[key]; !done {
 				expanded[key] = struct{}{}
 				frontier = append(frontier, r.Ex)
@@ -168,11 +170,19 @@ func TopKAntiMonotoneContext(cctx context.Context, g *kb.Graph, start, end kb.No
 			}
 			for _, re2 := range paths {
 				for _, re := range pattern.Merge(re1, re2, maxVars) {
-					key := re.P.CanonicalKey()
+					key := re.P.Key()
 					if _, dup := seen[key]; dup {
 						continue
 					}
 					seen[key] = struct{}{}
+					if threshold != nil {
+						s, ok := lim.ScoreWithLimit(ctx, re, threshold)
+						if !ok {
+							continue // provably below the k-th best
+						}
+						pool = append(pool, Ranked{Ex: re, Score: s})
+						continue
+					}
 					pool = append(pool, Ranked{Ex: re, Score: m.Score(ctx, re)})
 				}
 			}

@@ -135,3 +135,28 @@ func TestTopKAntiMonotoneSparsePair(t *testing.T) {
 	want := General(ctx, all, measure.Monocount{}, 10)
 	assertSameRanking(t, "sparse pair", want, got)
 }
+
+// TestRankingUnchangedByEvaluator locks the shared-computation engine's
+// correctness bar at the ranking level: with a measure evaluator in the
+// context, both pruned rankers still return exactly what full
+// enumeration plus sorting returns without one.
+func TestRankingUnchangedByEvaluator(t *testing.T) {
+	for _, pairNames := range rankPairs {
+		g, s, e, ctx := setup(t, pairNames[0], pairNames[1])
+		ctx.SampleStarts = measure.SampleStarts(g, 15, 3)
+		evCtx := &measure.Context{G: g, Start: s, End: e, SampleStarts: ctx.SampleStarts, Eval: measure.NewEvaluator(g)}
+		all := enumerate.Explanations(g, s, e, rankCfg)
+		am := measure.Combined{Primary: measure.Size{}, Secondary: measure.Monocount{}}
+		for _, k := range []int{1, 3, 10} {
+			want := General(ctx, all, am, k)
+			got := TopKAntiMonotone(g, s, e, rankCfg, evCtx, am, k)
+			assertSameRanking(t, "eval anti-monotone k="+am.Name(), want, got)
+		}
+		dm := measure.Combined{Primary: measure.Size{}, Secondary: measure.LocalPosition{}}
+		for _, k := range []int{1, 5, 10} {
+			want := General(ctx, all, dm, k)
+			got := TopKDistributional(evCtx, all, dm, k)
+			assertSameRanking(t, "eval distributional "+dm.Name(), want, got)
+		}
+	}
+}

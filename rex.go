@@ -231,6 +231,13 @@ type Explainer struct {
 	m     measure.Measure
 	cfg   enumerate.Config
 	cache *resultCache
+	// eval is the shared-computation measure evaluator for this
+	// explainer's (frozen) graph: match counts and local-distribution
+	// tables are memoised across explanations and queries. It is pinned
+	// to the graph, so stores that hot-swap snapshots get a fresh one
+	// per generation automatically (each snapshot builds its own
+	// Explainer) — swap-time invalidation mirrors the result cache's.
+	eval *measure.Evaluator
 }
 
 // NewExplainer validates the options and builds an explainer.
@@ -263,7 +270,7 @@ func NewExplainer(k *KB, opt Options) (*Explainer, error) {
 	// guarantees the graph's read indexes exist before the first query
 	// and that concurrent queries never mutate shared state.
 	k.g.Freeze()
-	e := &Explainer{kb: k, opt: opt, m: m, cfg: cfg}
+	e := &Explainer{kb: k, opt: opt, m: m, cfg: cfg, eval: measure.NewEvaluator(k.g)}
 	if opt.CacheSize > 0 {
 		e.cache = newResultCache(opt.CacheSize)
 	}
@@ -384,7 +391,7 @@ func (e *Explainer) ExplainContext(ctx context.Context, start, end string) (*Res
 			return res, nil
 		}
 	}
-	mctx := &measure.Context{G: g, Start: s, End: t, Ctx: ctx}
+	mctx := &measure.Context{G: g, Start: s, End: t, Ctx: ctx, Eval: e.eval}
 	if needsGlobalSamples(e.m) {
 		mctx.SampleStarts = measure.SampleStartsOfType(g, g.Node(s).Type, e.opt.GlobalSamples, e.opt.Seed)
 	}
