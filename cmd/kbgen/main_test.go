@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke generates a small KB into a temp file and checks the
+// summary line.
+func TestRunSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "kb.tsv")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scale", "0.1", "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "wrote "+out) {
+		t.Errorf("missing summary line in %q", stdout.String())
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("output not written: %v", err)
+	}
+}
+
+// TestRunPresetDeterministic runs the small preset twice with one seed
+// and asserts identical reported fingerprints — the CLI-level face of
+// the kbgen reproducibility contract.
+func TestRunPresetDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	fpRe := regexp.MustCompile(`fingerprint ([0-9a-f]{16})`)
+	var fps []string
+	for i := 0; i < 2; i++ {
+		out := filepath.Join(dir, "kb.bin")
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-preset", "small", "-seed", "9", "-out", out}, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+		m := fpRe.FindStringSubmatch(stdout.String())
+		if m == nil {
+			t.Fatalf("no fingerprint in %q", stdout.String())
+		}
+		fps = append(fps, m[1])
+	}
+	if fps[0] != fps[1] {
+		t.Errorf("same preset+seed produced fingerprints %s and %s", fps[0], fps[1])
+	}
+}
+
+// TestRunBadFlags covers the error paths.
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-preset", "galactic"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown preset: exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}

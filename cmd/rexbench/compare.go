@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Baseline comparison: `rexbench -exp micro -compare BENCH_seed.json`
+// prints a per-workload delta table (ns/op, allocs/op, % change) of the
+// freshly measured results against a committed baseline file. The table
+// is informational — CI uploads it as an artifact and never fails on
+// timing — but allocs/op deltas are hardware-independent and meaningful
+// anywhere.
+
+// loadReport reads a BENCH.json document.
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("rexbench: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compareReports prints the delta table of current against baseline.
+// Workloads present on only one side are listed as added/removed rather
+// than dropped silently.
+func compareReports(w io.Writer, baselinePath string, baseline, current *benchReport) {
+	fmt.Fprintf(w, "\ndelta vs %s (generated %s)\n", baselinePath, baseline.Generated)
+	fmt.Fprintf(w, "%-22s %14s %14s %8s %12s %12s %8s\n",
+		"workload", "ns/op(base)", "ns/op(now)", "ns%", "allocs(base)", "allocs(now)", "allocs%")
+	base := make(map[string]benchResult, len(baseline.Workloads))
+	for _, b := range baseline.Workloads {
+		base[b.Name] = b
+	}
+	seen := make(map[string]bool, len(current.Workloads))
+	for _, c := range current.Workloads {
+		seen[c.Name] = true
+		b, ok := base[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-22s %14s %14.1f %8s %12s %12d %8s   (new workload)\n",
+				c.Name, "-", c.NsPerOp, "-", "-", c.AllocsPerOp, "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-22s %14.1f %14.1f %7.1f%% %12d %12d %7s%%\n",
+			c.Name, b.NsPerOp, c.NsPerOp, pctChange(b.NsPerOp, c.NsPerOp),
+			b.AllocsPerOp, c.AllocsPerOp,
+			fmt.Sprintf("%.1f", pctChange(float64(b.AllocsPerOp), float64(c.AllocsPerOp))))
+	}
+	for _, b := range baseline.Workloads {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "%-22s %14.1f %14s %8s %12d %12s %8s   (removed workload)\n",
+				b.Name, b.NsPerOp, "-", "-", b.AllocsPerOp, "-", "-")
+		}
+	}
+}
+
+// pctChange reports the relative change from base to now in percent;
+// a zero base with a nonzero now reads as +100%.
+func pctChange(base, now float64) float64 {
+	if base == 0 {
+		if now == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (now - base) / base * 100
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"time"
+
+	"rex"
+	"rex/internal/kbgen"
+)
+
+// The macro experiment gives the perf trajectory a traffic-shaped
+// number: instead of ns/op on the fixed sample KB, it generates a
+// preset-sized synthetic KB (the million preset is ~1.2M relationships,
+// the paper's scale), proves the CSR binary snapshot round-trips it at
+// speed, and reports end-to-end Explain latency percentiles over
+// connectedness-bucketed pairs plus sustained BatchExplain throughput.
+// Everything is deterministic in the seed except wall-clock timings.
+
+// macroOptions parameterises the macro run.
+type macroOptions struct {
+	Preset     string
+	Seed       int64
+	PerBucket  int     // pairs sampled per connectedness bucket
+	Rounds     int     // latency measurements per pair
+	QPSSeconds float64 // target duration of the throughput phase (0: one round)
+}
+
+// macroReport is the "macro" section of BENCH.json.
+type macroReport struct {
+	Preset         string  `json:"preset"`
+	Seed           int64   `json:"seed"`
+	Nodes          int     `json:"nodes"`
+	Edges          int     `json:"edges"`
+	GenerateMs     float64 `json:"generate_ms"`
+	SnapshotBytes  int64   `json:"snapshot_bytes"`
+	SnapshotSaveMs float64 `json:"snapshot_save_ms"`
+	SnapshotLoadMs float64 `json:"snapshot_load_ms"`
+	Pairs          int     `json:"pairs"`
+	LatencySamples int     `json:"latency_samples"`
+	ExplainP50Ms   float64 `json:"explain_p50_ms"`
+	ExplainP99Ms   float64 `json:"explain_p99_ms"`
+	ExplainMaxMs   float64 `json:"explain_max_ms"`
+	BatchQueries   int     `json:"batch_queries"`
+	BatchSeconds   float64 `json:"batch_seconds"`
+	BatchQPS       float64 `json:"batch_qps"`
+}
+
+// runMacro executes the macro experiment into report.Macro.
+func runMacro(report *benchReport, stdout io.Writer, opt macroOptions) error {
+	genOpt, err := kbgen.PresetOptions(opt.Preset, opt.Seed)
+	if err != nil {
+		return err
+	}
+	if opt.PerBucket <= 0 {
+		opt.PerBucket = 3
+	}
+	if opt.Rounds <= 0 {
+		opt.Rounds = 3
+	}
+	m := &macroReport{Preset: opt.Preset, Seed: opt.Seed}
+
+	t0 := time.Now()
+	g := kbgen.Generate(genOpt)
+	m.GenerateMs = msSince(t0)
+	st := g.Stats()
+	m.Nodes, m.Edges = st.Nodes, st.Edges
+	fmt.Fprintf(stdout, "macro: %s KB: %d entities, %d relationships (generated in %.0fms)\n",
+		opt.Preset, st.Nodes, st.Edges, m.GenerateMs)
+
+	// Snapshot round-trip: save the CSR binary format and load it back,
+	// verifying content identity by fingerprint. The loaded graph serves
+	// the query phases, so the measured traffic runs on exactly what a
+	// production deployment would load from disk.
+	dir, err := os.MkdirTemp("", "rexbench-macro-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "kb.bin")
+	t0 = time.Now()
+	if err := g.SaveBinary(snap); err != nil {
+		return err
+	}
+	m.SnapshotSaveMs = msSince(t0)
+	if fi, err := os.Stat(snap); err == nil {
+		m.SnapshotBytes = fi.Size()
+	}
+	t0 = time.Now()
+	kbv, err := rex.LoadKB(snap)
+	if err != nil {
+		return err
+	}
+	m.SnapshotLoadMs = msSince(t0)
+	if got, want := kbv.Fingerprint(), g.Fingerprint(); got != want {
+		return fmt.Errorf("macro: snapshot fingerprint %s != generated %s", got, want)
+	}
+	fmt.Fprintf(stdout, "macro: snapshot %0.1f MiB, save %.0fms, load %.0fms, fingerprint ok\n",
+		float64(m.SnapshotBytes)/(1<<20), m.SnapshotSaveMs, m.SnapshotLoadMs)
+
+	pairs := kbgen.SamplePairs(g, kbgen.PairOptions{PerBucket: opt.PerBucket, Seed: opt.Seed + 1})
+	if len(pairs) == 0 {
+		return fmt.Errorf("macro: no pairs sampled")
+	}
+	named := make([]rex.Pair, len(pairs))
+	for i, p := range pairs {
+		named[i] = rex.Pair{Start: g.NodeName(p.Start), End: g.NodeName(p.End)}
+	}
+	m.Pairs = len(named)
+
+	ex, err := rex.NewExplainer(kbv, rex.Options{TopK: 10})
+	if err != nil {
+		return err
+	}
+
+	// Latency phase: every pair measured Rounds times, uncached (the
+	// explainer has no result cache; evaluator memos warm up exactly as
+	// they would under production traffic on one snapshot).
+	var lat []float64
+	for r := 0; r < opt.Rounds; r++ {
+		for _, p := range named {
+			t0 = time.Now()
+			if _, err := ex.Explain(p.Start, p.End); err != nil {
+				return fmt.Errorf("macro: explain %s/%s: %w", p.Start, p.End, err)
+			}
+			lat = append(lat, msSince(t0))
+		}
+	}
+	slices.Sort(lat)
+	m.LatencySamples = len(lat)
+	m.ExplainP50Ms = percentile(lat, 50)
+	m.ExplainP99Ms = percentile(lat, 99)
+	m.ExplainMaxMs = lat[len(lat)-1]
+	fmt.Fprintf(stdout, "macro: explain latency over %d samples: p50 %.1fms, p99 %.1fms, max %.1fms\n",
+		m.LatencySamples, m.ExplainP50Ms, m.ExplainP99Ms, m.ExplainMaxMs)
+
+	// Throughput phase: sustained BatchExplain rounds until the target
+	// duration elapses (at least one round), all workers busy.
+	workers := runtime.GOMAXPROCS(0)
+	t0 = time.Now()
+	queries := 0
+	for {
+		res := ex.BatchExplain(context.Background(), named, rex.BatchOptions{Concurrency: workers})
+		for _, r := range res {
+			if r.Err != nil {
+				return fmt.Errorf("macro: batch %s/%s: %w", r.Pair.Start, r.Pair.End, r.Err)
+			}
+		}
+		queries += len(res)
+		if time.Since(t0).Seconds() >= opt.QPSSeconds {
+			break
+		}
+	}
+	m.BatchSeconds = time.Since(t0).Seconds()
+	m.BatchQueries = queries
+	m.BatchQPS = float64(queries) / m.BatchSeconds
+	fmt.Fprintf(stdout, "macro: sustained BatchExplain: %d queries in %.1fs = %.1f QPS (%d workers)\n",
+		m.BatchQueries, m.BatchSeconds, m.BatchQPS, workers)
+
+	report.Macro = m
+	return nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Nanoseconds()) / 1e6 }
+
+// percentile returns the p-th percentile of sorted samples
+// (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -5,11 +5,16 @@
 //	rexbench -exp fig7 -quick    # Figure 7 without the NaiveEnum baseline
 //	rexbench -exp table1         # the user-study Table 1 (simulated raters)
 //	rexbench -exp micro -bench-out BENCH.json   # hot-path micro suite, JSON results
+//	rexbench -exp micro -compare BENCH_seed.json  # + delta table vs a committed baseline
+//	rexbench -exp macro -preset million         # million-edge KB latency/QPS section
 //
 // Experiments: fig7, fig8, fig9, fig10, fig11, table1, pathshare, all,
-// plus the opt-in micro suite that emits machine-readable ns/op, B/op
-// and allocs/op per workload (the perf trajectory tracked by
-// BENCH_seed.json / BENCH.json). See EXPERIMENTS.md for the
+// plus two opt-in perf suites: micro emits machine-readable ns/op, B/op
+// and allocs/op per hot-path workload (the trajectory tracked by
+// BENCH_seed.json / BENCH.json), and macro generates a preset-sized
+// synthetic KB (million ≈ 1.2M relationships), round-trips its CSR
+// binary snapshot, and reports Explain latency percentiles plus
+// sustained BatchExplain QPS. See EXPERIMENTS.md for the
 // paper-vs-measured record.
 package main
 
@@ -36,14 +41,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, all")
-		benchOut  = fs.String("bench-out", "", "write micro-benchmark results as JSON to this file (with -exp micro)")
+		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, macro, all")
+		benchOut  = fs.String("bench-out", "", "write benchmark results as JSON to this file (with -exp micro/macro)")
+		compare   = fs.String("compare", "", "baseline BENCH.json to print a per-workload delta table against (with -exp micro)")
 		scale     = fs.Float64("scale", 1, "synthetic KB scale factor")
 		seed      = fs.Int64("seed", 42, "workload seed")
 		perBucket = fs.Int("pairs", 10, "entity pairs per connectedness bucket")
 		quick     = fs.Bool("quick", false, "reduce work: skip NaiveEnum, fewer global samples, shorter k sweep")
 		samples   = fs.Int("global-samples", 100, "sampled starts estimating the global distribution")
 		raters    = fs.Int("raters", 10, "simulated raters for table1/pathshare")
+		preset    = fs.String("preset", "million", "KB size preset for -exp macro: small, medium, million")
+		macroQPS  = fs.Float64("macro-qps-seconds", 5, "target duration of the macro throughput phase (0: one batch round)")
+		macroPer  = fs.Int("macro-pairs", 3, "macro pairs per connectedness bucket")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -113,14 +122,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if want("learned") {
 		harness.Learned(studyOpt).Print(stdout)
 	}
-	// The micro suite is opt-in: it is the hot-path benchmark harness
-	// behind BENCH.json, not one of the paper's figures, so "all" (the
-	// paper reproduction) does not imply it.
-	if wants["micro"] {
-		if err := runMicro(stdout, *benchOut); err != nil {
-			fmt.Fprintln(stderr, "rexbench:", err)
-			return 1
+	// The micro and macro suites are opt-in: they are the hot-path and
+	// traffic-shaped benchmark harnesses behind BENCH.json, not paper
+	// figures, so "all" (the paper reproduction) does not imply them.
+	if wants["micro"] || wants["macro"] {
+		report := newBenchReport()
+		if wants["micro"] {
+			if err := runMicro(&report, stdout); err != nil {
+				fmt.Fprintln(stderr, "rexbench:", err)
+				return 1
+			}
 		}
+		if wants["macro"] {
+			opt := macroOptions{Preset: *preset, Seed: *seed, PerBucket: *macroPer, QPSSeconds: *macroQPS}
+			if err := runMacro(&report, stdout, opt); err != nil {
+				fmt.Fprintln(stderr, "rexbench:", err)
+				return 1
+			}
+		}
+		if *benchOut != "" {
+			if err := writeReport(&report, *benchOut, stdout); err != nil {
+				fmt.Fprintln(stderr, "rexbench:", err)
+				return 1
+			}
+		}
+		if *compare != "" {
+			baseline, err := loadReport(*compare)
+			if err != nil {
+				fmt.Fprintln(stderr, "rexbench:", err)
+				return 1
+			}
+			compareReports(stdout, *compare, baseline, &report)
+		}
+	} else if *compare != "" {
+		fmt.Fprintln(stderr, "rexbench: -compare requires -exp micro (nothing measured to compare)")
+		return 2
 	}
 	return 0
 }

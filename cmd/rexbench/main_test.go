@@ -88,3 +88,81 @@ func TestRunMicroSmoke(t *testing.T) {
 		t.Errorf("match_count allocates %d/op; want ≤ 2 (seed baseline: 15)", mc.AllocsPerOp)
 	}
 }
+
+// TestCompareReports exercises the delta-table rendering directly:
+// matched workloads get percentage deltas, asymmetric ones are called
+// out as added/removed.
+func TestCompareReports(t *testing.T) {
+	baseline := &benchReport{
+		Generated: "2026-01-01T00:00:00Z",
+		Workloads: []benchResult{
+			{Name: "match_count", NsPerOp: 1000, AllocsPerOp: 10},
+			{Name: "gone", NsPerOp: 5, AllocsPerOp: 1},
+		},
+	}
+	current := &benchReport{
+		Workloads: []benchResult{
+			{Name: "match_count", NsPerOp: 500, AllocsPerOp: 0},
+			{Name: "fresh", NsPerOp: 7, AllocsPerOp: 2},
+		},
+	}
+	var buf bytes.Buffer
+	compareReports(&buf, "base.json", baseline, current)
+	s := buf.String()
+	for _, want := range []string{"match_count", "-50.0%", "(new workload)", "(removed workload)", "base.json"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("delta table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunCompareRequiresMicro pins the flag-combination error.
+func TestRunCompareRequiresMicro(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "fig8", "-pairs", "1", "-scale", "0.05", "-quick", "-compare", "nope.json"}, &out, &errOut); code != 2 {
+		t.Errorf("-compare without micro: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-compare requires") {
+		t.Errorf("missing error message, got: %s", errOut.String())
+	}
+}
+
+// TestRunMacroSmoke drives the macro experiment end to end on the small
+// preset (one pair per bucket, single throughput round) and checks the
+// JSON report carries the macro section.
+func TestRunMacroSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro smoke generates a KB; skip under -short")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "macro", "-preset", "small", "-macro-pairs", "1",
+		"-macro-qps-seconds", "0", "-bench-out", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"fingerprint ok", "explain latency", "sustained BatchExplain"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("macro output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	m := report.Macro
+	if m == nil {
+		t.Fatal("report has no macro section")
+	}
+	if m.Preset != "small" || m.Edges == 0 || m.Pairs == 0 || m.LatencySamples == 0 || m.BatchQueries == 0 {
+		t.Errorf("implausible macro section: %+v", m)
+	}
+	if m.ExplainP50Ms <= 0 || m.ExplainP99Ms < m.ExplainP50Ms {
+		t.Errorf("implausible latency percentiles: p50=%v p99=%v", m.ExplainP50Ms, m.ExplainP99Ms)
+	}
+}

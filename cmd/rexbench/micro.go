@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 
 	"rex"
 	"rex/internal/enumerate"
+	"rex/internal/kb"
 	"rex/internal/kbgen"
 	"rex/internal/match"
 	"rex/internal/pattern"
@@ -52,6 +54,42 @@ type benchReport struct {
 	NumCPU    int           `json:"num_cpu"`
 	Generated string        `json:"generated"`
 	Workloads []benchResult `json:"workloads"`
+	// Macro holds the traffic-shaped numbers (million-edge KB latency
+	// percentiles and sustained QPS) when -exp macro ran; see macro.go.
+	Macro *macroReport `json:"macro,omitempty"`
+}
+
+// newBenchReport stamps the environment header.
+func newBenchReport() benchReport {
+	return benchReport{
+		Note: "REX hot-path micro-benchmarks on the fixed sample KB, plus the optional " +
+			"macro section (million-edge KB latency percentiles and sustained QPS). " +
+			"allocs/op is hardware-independent; ns/op is for trend reading on comparable " +
+			"hardware. Baseline: BENCH_seed.json (pre-optimisation seed).",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// writeReport writes the BENCH.json document.
+func writeReport(report *benchReport, path string, stdout io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return nil
 }
 
 // microWorkloads assembles the suite over the sample KB.
@@ -104,10 +142,18 @@ func microWorkloads() []benchWorkload {
 		},
 		{
 			name: "match_count_by_end",
-			desc: "match.CountByEnd of the smallest enumerated pattern (free end)",
+			desc: "match.CountByEndInto of the smallest enumerated pattern (free end, reused table)",
 			fn: func(b *testing.B) {
+				counts := make(map[kb.NodeID]int)
+				if err := match.CountByEndInto(context.Background(), g, smallest, s, counts); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					match.CountByEnd(g, smallest, s)
+					clear(counts)
+					if err := match.CountByEndInto(context.Background(), g, smallest, s, counts); err != nil {
+						b.Fatal(err)
+					}
 				}
 			},
 		},
@@ -172,19 +218,10 @@ func microWorkloads() []benchWorkload {
 	return w
 }
 
-// runMicro executes the micro suite, prints a table and optionally
-// writes the JSON report. It returns a non-nil error only for real
-// failures (workload setup, file I/O) — never for timing variance.
-func runMicro(stdout io.Writer, jsonPath string) error {
-	report := benchReport{
-		Note: "REX hot-path micro-benchmarks on the fixed sample KB. allocs/op is " +
-			"hardware-independent; ns/op is for trend reading on comparable hardware. " +
-			"Baseline: BENCH_seed.json (pre-optimisation seed).",
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Generated: time.Now().UTC().Format(time.RFC3339),
-	}
+// runMicro executes the micro suite into report and prints a table. It
+// returns a non-nil error only for real failures (workload setup) —
+// never for timing variance.
+func runMicro(report *benchReport, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "%-22s %14s %12s %12s\n", "workload", "ns/op", "B/op", "allocs/op")
 	for _, w := range microWorkloads() {
 		r := testing.Benchmark(func(b *testing.B) {
@@ -202,22 +239,5 @@ func runMicro(stdout io.Writer, jsonPath string) error {
 		report.Workloads = append(report.Workloads, res)
 		fmt.Fprintf(stdout, "%-22s %14.1f %12d %12d\n", res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 	}
-	if jsonPath == "" {
-		return nil
-	}
-	f, err := os.Create(jsonPath)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "wrote %s\n", jsonPath)
 	return nil
 }

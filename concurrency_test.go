@@ -300,3 +300,44 @@ func TestResultCache(t *testing.T) {
 		t.Errorf("uncached stats = %+v, want zero", st)
 	}
 }
+
+// TestPooledEnumerationDeterminismUnderBatch drives concurrent
+// BatchExplain traffic over one explainer — every query checking out
+// private enumeration state from the per-snapshot pool — and requires
+// each pair's result to be byte-identical to its serial reference on
+// every round. With -race this also proves pooled frontier, grouping
+// and merge buffers are never shared between in-flight queries.
+func TestPooledEnumerationDeterminismUnderBatch(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{TopK: 10, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial references first (also warms the pools).
+	want := make([]*Result, len(samplePairs))
+	for i, p := range samplePairs {
+		r, err := ex.Explain(p.Start, p.End)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		want[i] = r
+	}
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		res := ex.BatchExplain(context.Background(), samplePairs, BatchOptions{Concurrency: 4})
+		if len(res) != len(samplePairs) {
+			t.Fatalf("round %d: %d results for %d pairs", round, len(res), len(samplePairs))
+		}
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("round %d pair %v: %v", round, samplePairs[i], r.Err)
+			}
+			if !resultsEqual(r.Result, want[i]) {
+				t.Fatalf("round %d pair %v: pooled result diverged from serial reference", round, samplePairs[i])
+			}
+		}
+	}
+}

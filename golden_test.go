@@ -1,0 +1,137 @@
+package rex
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite testdata/explain_goldens.json from current output")
+
+// goldenPairs are the entity pairs the golden corpus ranks: well-connected
+// sample-KB pairs plus pairs from a small generated KB, so both the curated
+// and the synthetic schema shapes are pinned.
+func goldenCases() []struct {
+	kbName string
+	kb     *KB
+	pairs  [][2]string
+} {
+	gen := GenerateKB(GenOptions{Scale: 0.5, Seed: 7})
+	return []struct {
+		kbName string
+		kb     *KB
+		pairs  [][2]string
+	}{
+		{
+			kbName: "sample",
+			kb:     SampleKB(),
+			pairs: [][2]string{
+				{"brad_pitt", "angelina_jolie"},
+				{"kate_winslet", "leonardo_dicaprio"},
+				{"brad_pitt", "george_clooney"},
+			},
+		},
+		{
+			kbName: "generated",
+			kb:     gen,
+			pairs: [][2]string{
+				{"actor_0000", "actor_0001"},
+				{"actor_0002", "film_0010"},
+			},
+		},
+	}
+}
+
+// goldenMeasures are the paper's eight Table 1 measures; ranked output
+// under every one of them must stay byte-identical across perf refactors.
+var goldenMeasures = []string{
+	"size", "random-walk", "count", "monocount",
+	"local-dist", "global-dist", "size+monocount", "size+local-dist",
+}
+
+// renderGolden flattens one ranked result into deterministic lines.
+func renderGolden(res *Result) []string {
+	var lines []string
+	for i, e := range res.Explanations {
+		lines = append(lines, fmt.Sprintf("#%d %s score=%v size=%d count=%d mono=%d",
+			i, e.Pattern, e.Score, e.Size, e.NumInstances, e.Monocount))
+		for _, in := range e.Instances {
+			lines = append(lines, "  inst "+strings.Join(in.Bindings, ","))
+		}
+	}
+	return lines
+}
+
+// TestExplainGoldens locks the fully-rendered ranked output (patterns,
+// scores, instance lists, ordering) for every measure on both a curated
+// and a generated knowledge base. Any enumeration, matching, measuring or
+// ranking refactor must keep this byte-identical; regenerate deliberately
+// with `go test -run TestExplainGoldens -update`.
+func TestExplainGoldens(t *testing.T) {
+	got := map[string][]string{}
+	for _, c := range goldenCases() {
+		for _, m := range goldenMeasures {
+			ex, err := NewExplainer(c.kb, Options{Measure: m, TopK: 10, Seed: 42})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", c.kbName, m, err)
+			}
+			for _, p := range c.pairs {
+				res, err := ex.Explain(p[0], p[1])
+				if err != nil {
+					t.Fatalf("%s/%s %v: %v", c.kbName, m, p, err)
+				}
+				key := fmt.Sprintf("%s/%s/%s->%s", c.kbName, m, p[0], p[1])
+				got[key] = renderGolden(res)
+			}
+		}
+	}
+
+	path := filepath.Join("testdata", "explain_goldens.json")
+	if *updateGoldens {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read goldens (regenerate with -update): %v", err)
+	}
+	var want map[string][]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("golden case count: got %d, want %d", len(got), len(want))
+	}
+	for key, wl := range want {
+		gl, ok := got[key]
+		if !ok {
+			t.Errorf("%s: missing from current output", key)
+			continue
+		}
+		if len(gl) != len(wl) {
+			t.Errorf("%s: %d lines, want %d", key, len(gl), len(wl))
+			continue
+		}
+		for i := range wl {
+			if gl[i] != wl[i] {
+				t.Errorf("%s line %d:\n got %q\nwant %q", key, i, gl[i], wl[i])
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package enumerate
+
+import (
+	"testing"
+
+	"rex/internal/kbgen"
+)
+
+// enumerateAllocBudget bounds the steady-state allocations of one full
+// sample-KB enumeration (prioritized paths + pruned union). The pooled
+// state makes frontier growth, grouping and merge candidates free; what
+// remains is the returned explanation set itself (patterns, instance
+// blocks, result slices) plus amortised map growth. The committed
+// BENCH.json acceptance line is ≤ 880 allocs/op (10× under the 8,834
+// the unpooled implementation performed); the budget sits under it with
+// headroom so a regression trips here before it shows in CI numbers.
+const enumerateAllocBudget = 600
+
+// TestEnumerateSteadyStateAllocBudget is the alloc-regression guard for
+// the pooled enumeration pipeline, enforced like the match pool test.
+func TestEnumerateSteadyStateAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop entries; alloc counts are not meaningful")
+	}
+	g := kbgen.Sample()
+	g.Freeze()
+	s := g.NodeByName("brad_pitt")
+	e := g.NodeByName("angelina_jolie")
+	cfg := Config{MaxPatternSize: 5, PathAlg: PathPrioritized, UnionAlg: UnionPrune, Workers: 1}
+
+	want := len(Explanations(g, s, e, cfg)) // warm pools, pin expected size
+	if want == 0 {
+		t.Fatal("sample enumeration returned nothing")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if got := len(Explanations(g, s, e, cfg)); got != want {
+			t.Fatalf("enumeration size changed under pooling: %d != %d", got, want)
+		}
+	})
+	if allocs > enumerateAllocBudget {
+		t.Errorf("steady-state Explanations allocates %.0f times per op; budget %d", allocs, enumerateAllocBudget)
+	}
+}

@@ -20,7 +20,8 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
+	"strings"
 
 	"rex/internal/kb"
 	"rex/internal/pattern"
@@ -97,6 +98,11 @@ type Config struct {
 	// serial expansion. The enumerated explanation set and its ordering
 	// are identical for every worker count.
 	Workers int
+	// Pool supplies reusable enumeration state. The facade owns one Pool
+	// per knowledge-base snapshot (the measure.Evaluator lifetime
+	// contract); nil falls back to a process-wide pool. Results never
+	// alias pooled storage, so any pool choice yields identical output.
+	Pool *Pool
 }
 
 // DefaultMaxPatternSize matches the paper's experimental pattern size
@@ -128,16 +134,19 @@ func Explanations(g *kb.Graph, start, end kb.NodeID, cfg Config) []*pattern.Expl
 // returning ctx.Err() and no explanations.
 func ExplanationsContext(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, error) {
 	cfg = cfg.normalized()
-	paths, err := PathsContext(ctx, g, start, end, cfg)
+	pl := cfg.pool()
+	st := pl.get()
+	defer pl.put(st)
+	paths, err := st.paths(ctx, g, start, end, cfg)
 	if err != nil {
 		return nil, err
 	}
 	var out []*pattern.Explanation
 	switch cfg.UnionAlg {
 	case UnionPrune:
-		out, err = pathUnionPrune(ctx, paths, cfg.MaxPatternSize)
+		out, err = st.pathUnionPrune(ctx, paths, cfg.MaxPatternSize)
 	default:
-		out, err = pathUnionBasic(ctx, paths, cfg.MaxPatternSize)
+		out, err = st.pathUnionBasic(ctx, paths, cfg.MaxPatternSize)
 	}
 	if err != nil {
 		return nil, err
@@ -158,41 +167,43 @@ func Paths(g *kb.Graph, start, end kb.NodeID, cfg Config) []*pattern.Explanation
 // inside the enumeration loops.
 func PathsContext(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, error) {
 	cfg = cfg.normalized()
+	pl := cfg.pool()
+	st := pl.get()
+	defer pl.put(st)
+	return st.paths(ctx, g, start, end, cfg)
+}
+
+// paths runs the configured path enumerator on the pooled state and
+// groups the result into explanations.
+func (st *enumState) paths(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, error) {
 	maxLen := cfg.MaxPatternSize - 1
 	var (
-		insts []pathInst
-		err   error
+		keys []pathKey
+		err  error
 	)
 	switch cfg.PathAlg {
 	case PathBasic:
-		insts, err = pathEnumBasic(ctx, g, start, end, maxLen)
+		keys, err = pathEnumBasic(ctx, g, start, end, maxLen, st.out[:0])
 	case PathPrioritized:
-		insts, err = pathEnumPrioritized(ctx, g, start, end, maxLen, cfg.Workers)
+		keys, err = st.pathEnumPrioritized(ctx, g, start, end, maxLen, cfg.Workers)
 	default:
-		insts, err = pathEnumNaive(ctx, g, start, end, maxLen)
+		keys, err = pathEnumNaive(ctx, g, start, end, maxLen, st.out[:0])
 	}
 	if err != nil {
 		return nil, err
 	}
-	return groupPaths(g, insts), nil
-}
-
-// pathInst is a simple path at the instance level: the node sequence and
-// the half-edges taken between consecutive nodes.
-type pathInst struct {
-	nodes []kb.NodeID
-	steps []kb.HalfEdge
-	// k memoises key(): enumerators that already computed the key for
-	// deduplication store it here so grouping does not rebuild it.
-	k      pathKey
-	hasKey bool
+	out := st.groupPaths(g, keys)
+	st.out = keys[:0] // retain the (possibly regrown) buffer for reuse
+	return out, nil
 }
 
 // pathKey is the comparable identity of a path instance: the node
 // sequence plus per-step label and orientation, packed into a fixed-size
-// struct so de-duplication maps hash it without allocating. Path length
-// is bounded by the pattern size limit, which New caps at
-// pattern.MaxVars nodes.
+// struct so de-duplication maps hash it — and result buffers store it —
+// without allocating. Path length is bounded by the pattern size limit,
+// which New caps at pattern.MaxVars nodes. The key is the path: the full
+// half-edge sequence reconstructs from nodes and steps (each step's
+// target is the next node).
 type pathKey struct {
 	n     int8 // number of nodes; steps are n-1
 	nodes [pattern.MaxVars]kb.NodeID
@@ -204,18 +215,19 @@ type pathStepKey struct {
 	dir   kb.Dir
 }
 
-// key builds the path's comparable identity.
-func (p *pathInst) key() pathKey {
-	if p.hasKey {
-		return p.k
-	}
-	var k pathKey
-	k.n = int8(len(p.nodes))
-	copy(k.nodes[:], p.nodes)
-	for i, s := range p.steps {
-		k.steps[i] = pathStepKey{label: s.Label, dir: s.Dir}
-	}
-	return k
+// stepSeqKey is a path's label/orientation sequence with the concrete
+// nodes stripped: two start→end paths have the same stepSeqKey iff their
+// patterns are isomorphic with targets pinned (interior variables of a
+// path are positional, and reversal is ruled out by the pinned,
+// distinct targets). It is the grouping key that turns path instances
+// into path explanations without building a pattern per instance.
+type stepSeqKey struct {
+	n     int8
+	steps [pattern.MaxVars - 1]pathStepKey
+}
+
+func (k *pathKey) stepSeq() stepSeqKey {
+	return stepSeqKey{n: k.n, steps: k.steps}
 }
 
 // less orders path keys exactly as the legacy byte-string keys did
@@ -249,150 +261,115 @@ func leLess32(a, b uint32) bool {
 }
 
 // groupPaths converts path instances into path explanations: instances
-// sharing an isomorphic pattern are grouped under one explanation. The
-// instances are sorted by key first so that each explanation's
-// representative pattern — the pattern of the smallest-keyed instance in
-// its isomorphism class — is independent of the traversal order that
-// discovered the paths; this is what lets the parallel enumerator return
-// byte-identical results for every worker count.
-func groupPaths(g *kb.Graph, insts []pathInst) []*pattern.Explanation {
-	type keyed struct {
-		key pathKey
-		pi  pathInst
+// sharing an isomorphic pattern are grouped under one explanation. Two
+// start→end paths are pattern-isomorphic exactly when their step
+// sequences agree (see stepSeqKey), so grouping needs no pattern
+// construction per instance: the keys are sorted (which also puts each
+// group's smallest-keyed instance — the representative the parallel
+// enumerator's determinism relies on — first), de-duplicated by adjacent
+// equality, counted per group, and materialised with one pattern and one
+// block-allocated instance set per group.
+func (st *enumState) groupPaths(g *kb.Graph, keys []pathKey) []*pattern.Explanation {
+	if len(keys) == 0 {
+		return nil
 	}
-	ks := make([]keyed, len(insts))
-	for i, pi := range insts {
-		ks[i] = keyed{key: pi.key(), pi: pi}
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].key.less(ks[j].key) })
-	byCanon := make(map[pattern.Key]*pattern.Explanation)
-	seen := make(map[pathKey]struct{}, len(insts))
-	for _, kp := range ks {
-		pi := kp.pi
-		k := kp.key
-		if _, dup := seen[k]; dup {
+	slices.SortFunc(keys, func(a, b pathKey) int {
+		if a.less(b) {
+			return -1
+		}
+		if b.less(a) {
+			return 1
+		}
+		return 0
+	})
+	// Pass 1: assign groups and count unique paths per group.
+	clear(st.groups)
+	st.gcounts = st.gcounts[:0]
+	for i := range keys {
+		if i > 0 && keys[i] == keys[i-1] {
 			continue
 		}
-		seen[k] = struct{}{}
-		p, inst, err := pattern.FromPathInstance(g, pi.nodes, pi.steps)
-		if err != nil {
-			// Unreachable by construction; fail loudly in development.
-			panic(err)
+		ssk := keys[i].stepSeq()
+		gid, ok := st.groups[ssk]
+		if !ok {
+			gid = int32(len(st.gcounts))
+			st.groups[ssk] = gid
+			st.gcounts = append(st.gcounts, 0)
 		}
-		ck := p.Key()
-		if ex, ok := byCanon[ck]; ok {
-			ex.Instances = append(ex.Instances, remapInstance(ex.P, p, inst))
-		} else {
-			byCanon[ck] = &pattern.Explanation{P: p, Instances: []pattern.Instance{inst}}
-		}
+		st.gcounts[gid]++
 	}
-	out := make([]*pattern.Explanation, 0, len(byCanon))
-	for _, ex := range byCanon {
-		dedupInstances(ex)
-		out = append(out, ex)
+	// Pass 2: materialise. The representative pattern is built from the
+	// group's first (smallest) key; every member shares its step
+	// sequence, so instance numbering is positional for all of them:
+	// [start, end, interior...]. Each group's instances share one flat
+	// backing array sized exactly in pass 1, so a group costs one
+	// pattern, one header slice and one ID block — regardless of how
+	// many paths it contains.
+	out := make([]*pattern.Explanation, len(st.gcounts))
+	backs := make([][]kb.NodeID, len(st.gcounts))
+	for i := range keys {
+		if i > 0 && keys[i] == keys[i-1] {
+			continue
+		}
+		k := &keys[i]
+		gid := st.groups[k.stepSeq()]
+		total := int(k.n)
+		ex := out[gid]
+		if ex == nil {
+			nodes, steps := st.pathOf(k)
+			p, _, err := pattern.FromPathInstance(g, nodes, steps)
+			if err != nil {
+				// Unreachable by construction; fail loudly in development.
+				panic(err)
+			}
+			ex = &pattern.Explanation{P: p, Instances: make([]pattern.Instance, 0, st.gcounts[gid])}
+			out[gid] = ex
+			backs[gid] = make([]kb.NodeID, 0, int(st.gcounts[gid])*total)
+		}
+		b := backs[gid]
+		off := len(b)
+		b = append(b, k.nodes[0], k.nodes[k.n-1])
+		b = append(b, k.nodes[1:int(k.n)-1]...)
+		backs[gid] = b
+		ex.Instances = append(ex.Instances, pattern.Instance(b[off:len(b):len(b)]))
 	}
 	sortExplanations(out)
 	return out
 }
 
-// remapInstance translates an instance of pattern q into the variable
-// numbering of the isomorphic representative p. For path patterns built
-// by FromPathInstance the numbering is positional, but two isomorphic
-// paths can traverse their labels in mirrored variable orders, so a
-// mapping search is required. Patterns are tiny; brute force suffices.
-func remapInstance(p, q *pattern.Pattern, inst pattern.Instance) pattern.Instance {
-	m := findIsomorphism(q, p)
-	if m == nil {
-		panic("enumerate: isomorphic patterns with no variable mapping")
+// pathOf reconstructs a key's node and half-edge sequences into the
+// state's scratch buffers (valid until the next call).
+func (st *enumState) pathOf(k *pathKey) ([]kb.NodeID, []kb.HalfEdge) {
+	n := int(k.n)
+	nodes := st.nodesBuf[:n]
+	steps := st.stepsBuf[:n-1]
+	copy(nodes, k.nodes[:n])
+	for i := 0; i < n-1; i++ {
+		steps[i] = kb.HalfEdge{To: k.nodes[i+1], Label: k.steps[i].label, Dir: k.steps[i].dir}
 	}
-	out := make(pattern.Instance, p.NumVars())
-	for qv, pv := range m {
-		out[pv] = inst[qv]
-	}
-	return out
+	return nodes, steps
 }
 
-// findIsomorphism returns a mapping m with m[qVar] = pVar such that q's
-// edges rename exactly onto p's edges (targets pinned), or nil.
-func findIsomorphism(q, p *pattern.Pattern) []pattern.VarID {
-	if q.NumVars() != p.NumVars() || q.NumEdges() != p.NumEdges() {
-		return nil
-	}
-	n := q.NumVars()
-	m := make([]pattern.VarID, n)
-	m[pattern.Start], m[pattern.End] = pattern.Start, pattern.End
-	used := make([]bool, n)
-	used[pattern.Start], used[pattern.End] = true, true
-
-	// Index p's edges for O(1) membership under a candidate mapping.
-	type ekey struct {
-		u, v pattern.VarID
-		l    kb.LabelID
-	}
-	pEdges := make(map[ekey]int, p.NumEdges())
-	for _, e := range p.Edges() {
-		pEdges[ekey{e.U, e.V, e.Label}]++
-	}
-	sch := p.Schema()
-	checkFull := func() bool {
-		seen := make(map[ekey]int, q.NumEdges())
-		for _, e := range q.Edges() {
-			u, v := m[e.U], m[e.V]
-			if !sch.LabelDirected(e.Label) && u > v {
-				u, v = v, u
-			}
-			seen[ekey{u, v, e.Label}]++
-		}
-		if len(seen) != len(pEdges) {
-			return false
-		}
-		for k, c := range seen {
-			if pEdges[k] != c {
-				return false
-			}
-		}
-		return true
-	}
-	var rec func(qv int) bool
-	rec = func(qv int) bool {
-		if qv == n {
-			return checkFull()
-		}
-		if qv == int(pattern.Start) || qv == int(pattern.End) {
-			return rec(qv + 1)
-		}
-		for pv := 2; pv < n; pv++ {
-			if used[pv] {
-				continue
-			}
-			used[pv] = true
-			m[qv] = pattern.VarID(pv)
-			if rec(qv + 1) {
-				return true
-			}
-			used[pv] = false
-		}
-		return false
-	}
-	if !rec(0) {
-		return nil
-	}
-	return m
-}
-
-// dedupInstances removes duplicate instances in place and sorts them.
+// dedupInstances sorts an explanation's instances by key and removes
+// adjacent duplicates in place — no map, no comparator allocation.
 func dedupInstances(ex *pattern.Explanation) {
-	seen := make(map[pattern.InstanceKey]struct{}, len(ex.Instances))
+	slices.SortFunc(ex.Instances, func(a, b pattern.Instance) int {
+		ka, kb := a.Key(), b.Key()
+		if ka.Less(kb) {
+			return -1
+		}
+		if kb.Less(ka) {
+			return 1
+		}
+		return 0
+	})
 	out := ex.Instances[:0]
-	for _, in := range ex.Instances {
-		k := in.Key()
-		if _, dup := seen[k]; dup {
+	for i, in := range ex.Instances {
+		if i > 0 && in.Key() == ex.Instances[i-1].Key() {
 			continue
 		}
-		seen[k] = struct{}{}
 		out = append(out, in)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key().Less(out[j].Key()) })
 	ex.Instances = out
 }
 
@@ -402,14 +379,14 @@ func sortExplanations(es []*pattern.Explanation) {
 	for _, ex := range es {
 		dedupInstances(ex)
 	}
-	sort.Slice(es, func(i, j int) bool {
-		pi, pj := es[i].P, es[j].P
-		if pi.NumVars() != pj.NumVars() {
-			return pi.NumVars() < pj.NumVars()
+	slices.SortFunc(es, func(a, b *pattern.Explanation) int {
+		pa, pb := a.P, b.P
+		if pa.NumVars() != pb.NumVars() {
+			return pa.NumVars() - pb.NumVars()
 		}
-		if pi.NumEdges() != pj.NumEdges() {
-			return pi.NumEdges() < pj.NumEdges()
+		if pa.NumEdges() != pb.NumEdges() {
+			return pa.NumEdges() - pb.NumEdges()
 		}
-		return pi.CanonicalKey() < pj.CanonicalKey()
+		return strings.Compare(pa.CanonicalKey(), pb.CanonicalKey())
 	})
 }

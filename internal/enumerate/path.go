@@ -7,12 +7,20 @@ import (
 	"sync"
 
 	"rex/internal/kb"
+	"rex/internal/pattern"
 )
 
 // Path enumeration at the instance level (Section 3.2). All three
 // algorithms return exactly the set of simple paths between the targets
 // with length ≤ maxLen; they differ in how much of the graph they touch
 // and in what order, which is what Figure 7 measures.
+//
+// Paths are represented as fixed-size values throughout — a partial path
+// is a small struct of inline arrays bounded by pattern.MaxVars, and a
+// finished path is its comparable pathKey — so growing, copying and
+// joining paths never touches the allocator; the only allocations are
+// the amortised growth of the (pooled, reused) frontier and result
+// buffers.
 //
 // Every enumerator checks its context at a bounded interval — every
 // ctxCheckInterval expansion steps, not per edge — so an expired deadline
@@ -48,17 +56,59 @@ func (c *cancelCheck) step() error {
 	return c.err
 }
 
+// partial is a simple path grown from one target during enumeration:
+// nodes[0] is the owning target. It is a fixed-size value — extending a
+// path is a struct copy, not an allocation; lengths are bounded by the
+// pattern size limit, which the Config normalisation caps at
+// pattern.MaxVars nodes.
+type partial struct {
+	n     int8 // number of nodes ≥ 1; steps are n-1
+	nodes [pattern.MaxVars]kb.NodeID
+	steps [pattern.MaxVars - 1]kb.HalfEdge
+}
+
+func (p *partial) last() kb.NodeID { return p.nodes[p.n-1] }
+func (p *partial) length() int     { return int(p.n) - 1 }
+
+func (p *partial) contains(id kb.NodeID) bool {
+	for i := int8(0); i < p.n; i++ {
+		if p.nodes[i] == id {
+			return true
+		}
+	}
+	return false
+}
+
+// extend returns a copy of p grown by one half-edge.
+func (p *partial) extend(he kb.HalfEdge) partial {
+	np := *p
+	np.nodes[np.n] = he.To
+	np.steps[np.n-1] = he
+	np.n++
+	return np
+}
+
+// makePathKey packs a full start→end path into its comparable identity.
+func makePathKey(nodes []kb.NodeID, steps []kb.HalfEdge) pathKey {
+	var k pathKey
+	k.n = int8(len(nodes))
+	copy(k.nodes[:], nodes)
+	for i, s := range steps {
+		k.steps[i] = pathStepKey{label: s.Label, dir: s.Dir}
+	}
+	return k
+}
+
 // pathEnumNaive enumerates every length-limited simple path starting at
 // start by depth-first search and keeps the ones that end at end. This is
 // the strawman PathEnumNaive of Section 5.2: it explores the full
 // neighborhood of the start entity regardless of the end entity.
-func pathEnumNaive(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen int) ([]pathInst, error) {
+func pathEnumNaive(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen int, out []pathKey) ([]pathKey, error) {
 	if maxLen <= 0 || start == end {
-		return nil, nil
+		return out, nil
 	}
-	var out []pathInst
-	nodes := []kb.NodeID{start}
-	var steps []kb.HalfEdge
+	cur := partial{n: 1}
+	cur.nodes[0] = start
 	onPath := make(map[kb.NodeID]bool, maxLen+1)
 	onPath[start] = true
 	check := cancelCheck{ctx: ctx}
@@ -69,22 +119,19 @@ func pathEnumNaive(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLe
 		}
 		for _, he := range g.Neighbors(at) {
 			if he.To == end {
-				full := pathInst{
-					nodes: append(append([]kb.NodeID{}, nodes...), end),
-					steps: append(append([]kb.HalfEdge{}, steps...), he),
-				}
-				out = append(out, full)
+				full := cur.extend(he)
+				out = append(out, makePathKey(full.nodes[:full.n], full.steps[:full.n-1]))
 				continue
 			}
-			if onPath[he.To] || len(steps)+1 >= maxLen {
+			if onPath[he.To] || cur.length()+1 >= maxLen {
 				continue
 			}
 			onPath[he.To] = true
-			nodes = append(nodes, he.To)
-			steps = append(steps, he)
+			cur.nodes[cur.n] = he.To
+			cur.steps[cur.n-1] = he
+			cur.n++
 			ok := dfs(he.To)
-			nodes = nodes[:len(nodes)-1]
-			steps = steps[:len(steps)-1]
+			cur.n--
 			onPath[he.To] = false
 			if !ok {
 				return false
@@ -99,70 +146,42 @@ func pathEnumNaive(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLe
 	return out, nil
 }
 
-// partialPath is a simple path grown from one target during bidirectional
-// enumeration.
-type partialPath struct {
-	nodes []kb.NodeID // nodes[0] is the owning target
-	steps []kb.HalfEdge
-}
-
-func (p partialPath) last() kb.NodeID { return p.nodes[len(p.nodes)-1] }
-func (p partialPath) length() int     { return len(p.steps) }
-
-func (p partialPath) contains(id kb.NodeID) bool {
-	for _, n := range p.nodes {
-		if n == id {
-			return true
-		}
-	}
-	return false
-}
-
-// extend returns a copy of p grown by one half-edge.
-func (p partialPath) extend(he kb.HalfEdge) partialPath {
-	nodes := make([]kb.NodeID, len(p.nodes)+1)
-	copy(nodes, p.nodes)
-	nodes[len(p.nodes)] = he.To
-	steps := make([]kb.HalfEdge, len(p.steps)+1)
-	copy(steps, p.steps)
-	steps[len(p.steps)] = he
-	return partialPath{nodes: nodes, steps: steps}
-}
-
-// joinPaths stitches a forward partial path (from start) and a backward
+// joinToKey stitches a forward partial path (from start) and a backward
 // partial path (from end) meeting at the same terminal node into a full
-// path instance, or returns false when the two sides share an interior
-// node. The backward path is reversed; each reversed step flips the
-// half-edge perspective (Out becomes In and vice versa).
-func joinPaths(fwd, bwd partialPath) (pathInst, bool) {
+// path key, or returns false when the two sides share an interior node.
+// The backward path is reversed; each reversed step flips the half-edge
+// perspective (Out becomes In and vice versa).
+func joinToKey(fwd, bwd *partial) (pathKey, bool) {
 	// Disjointness except at the meeting node. Both sides are short, so
 	// the quadratic scan beats allocating a set.
-	for i, n := range fwd.nodes {
-		for j, m := range bwd.nodes {
-			if n != m {
+	for i := int8(0); i < fwd.n; i++ {
+		for j := int8(0); j < bwd.n; j++ {
+			if fwd.nodes[i] != bwd.nodes[j] {
 				continue
 			}
-			if i == len(fwd.nodes)-1 && j == len(bwd.nodes)-1 {
+			if i == fwd.n-1 && j == bwd.n-1 {
 				continue // the meeting node itself
 			}
-			return pathInst{}, false
+			return pathKey{}, false
 		}
 	}
-	total := fwd.length() + bwd.length()
-	nodes := make([]kb.NodeID, 0, total+1)
-	steps := make([]kb.HalfEdge, 0, total)
-	nodes = append(nodes, fwd.nodes...)
-	steps = append(steps, fwd.steps...)
+	var k pathKey
+	k.n = fwd.n + bwd.n - 1
+	copy(k.nodes[:], fwd.nodes[:fwd.n])
+	for i := int8(0); i < fwd.n-1; i++ {
+		k.steps[i] = pathStepKey{label: fwd.steps[i].Label, dir: fwd.steps[i].Dir}
+	}
 	// Walk the backward path from its terminal (== meet) toward end.
-	for i := len(bwd.steps) - 1; i >= 0; i-- {
+	at := fwd.n
+	for i := bwd.n - 2; i >= 0; i-- {
 		// bwd.steps[i] goes bwd.nodes[i] → bwd.nodes[i+1]; the full path
 		// traverses it from bwd.nodes[i+1] to bwd.nodes[i].
 		he := bwd.steps[i]
-		flipped := kb.HalfEdge{To: bwd.nodes[i], Label: he.Label, Dir: flipDir(he.Dir)}
-		nodes = append(nodes, bwd.nodes[i])
-		steps = append(steps, flipped)
+		k.nodes[at] = bwd.nodes[i]
+		k.steps[at-1] = pathStepKey{label: he.Label, dir: flipDir(he.Dir)}
+		at++
 	}
-	return pathInst{nodes: nodes, steps: steps}, true
+	return k, true
 }
 
 func flipDir(d kb.Dir) kb.Dir {
@@ -184,9 +203,9 @@ func canonicalSplit(a, b int) bool { return a == b || a == b+1 }
 // (Section 3.2): all simple partial paths of length ≤ ⌈l/2⌉ grow from the
 // start and ≤ ⌊l/2⌋ from the end, shorter first; opposite partial paths
 // ending at a common node join into full paths.
-func pathEnumBasic(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen int) ([]pathInst, error) {
+func pathEnumBasic(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen int, out []pathKey) ([]pathKey, error) {
 	if maxLen <= 0 || start == end {
-		return nil, nil
+		return out, nil
 	}
 	capFwd := (maxLen + 1) / 2
 	capBwd := maxLen / 2
@@ -201,24 +220,26 @@ func pathEnumBasic(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLe
 		return nil, err
 	}
 
-	byMeetBwd := make(map[kb.NodeID][]partialPath)
+	byMeetBwd := make(map[kb.NodeID][]partial)
 	for _, p := range bwd {
 		byMeetBwd[p.last()] = append(byMeetBwd[p.last()], p)
 	}
-	var out []pathInst
-	for _, f := range fwd {
+	for i := range fwd {
+		f := &fwd[i]
 		if err := check.step(); err != nil {
 			return nil, err
 		}
-		for _, b := range byMeetBwd[f.last()] {
+		bs := byMeetBwd[f.last()]
+		for j := range bs {
+			b := &bs[j]
 			if !canonicalSplit(f.length(), b.length()) {
 				continue
 			}
 			if f.length()+b.length() == 0 {
 				continue
 			}
-			if full, ok := joinPaths(f, b); ok {
-				out = append(out, full)
+			if k, ok := joinToKey(f, b); ok {
+				out = append(out, k)
 			}
 		}
 	}
@@ -237,13 +258,15 @@ const (
 // length ≤ cap from origin. other is the opposite target: the forward
 // side records paths that reach it but never expands beyond; the backward
 // side skips it entirely (a path suffix never contains the start).
-func collectPartials(g *kb.Graph, origin, other kb.NodeID, cap int, s side, check *cancelCheck) ([]partialPath, error) {
-	seed := partialPath{nodes: []kb.NodeID{origin}}
-	out := []partialPath{seed}
-	frontier := []partialPath{seed}
+func collectPartials(g *kb.Graph, origin, other kb.NodeID, cap int, s side, check *cancelCheck) ([]partial, error) {
+	seed := partial{n: 1}
+	seed.nodes[0] = origin
+	out := []partial{seed}
+	frontier := []partial{seed}
 	for depth := 0; depth < cap && len(frontier) > 0; depth++ {
-		var next []partialPath
-		for _, p := range frontier {
+		var next []partial
+		for i := range frontier {
+			p := &frontier[i]
 			if err := check.step(); err != nil {
 				return nil, err
 			}
@@ -275,19 +298,23 @@ func collectPartials(g *kb.Graph, origin, other kb.NodeID, cap int, s side, chec
 // opposite side has met the frontier more cheaply.
 //
 // The frontier is processed in batches: up to `workers` queue entries are
-// popped together, each entry's path extensions — the allocation-heavy
-// part of expansion — are computed concurrently on a worker pool, and the
-// results are applied (joins, bookkeeping, activation spreading)
-// sequentially in pop order. Shared state is only read during the
-// concurrent phase and only mutated during the sequential phase, and pop
-// order is deterministic, so the enumerated path set and its grouping are
-// identical for every worker count; with workers == 1 the batch size is 1
-// and the algorithm is exactly the sequential original. Batching changes
-// the traversal order relative to one-at-a-time popping, never the
-// result set (every partial path's terminal is re-activated by the
-// expansion that created it, so every under-cap partial is eventually
-// expanded regardless of order).
-func pathEnumPrioritized(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen, workers int) ([]pathInst, error) {
+// popped together, each entry's path extensions are computed concurrently
+// on a worker pool, and the results are applied (joins, bookkeeping,
+// activation spreading) sequentially in pop order. Shared state is only
+// read during the concurrent phase and only mutated during the sequential
+// phase, and pop order is deterministic, so the enumerated path set and
+// its grouping are identical for every worker count; with workers == 1
+// the batch size is 1 and the algorithm is exactly the sequential
+// original. Batching changes the traversal order relative to
+// one-at-a-time popping, never the result set (every partial path's
+// terminal is re-activated by the expansion that created it, so every
+// under-cap partial is eventually expanded regardless of order).
+//
+// All per-query storage — the node-state arena and index, the priority
+// queue, the dedup set and the per-worker extension buffers — lives in
+// the pooled enumState and is reused across queries.
+func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen, workers int) ([]pathKey, error) {
+	st.resetPrio()
 	if maxLen <= 0 || start == end {
 		return nil, nil
 	}
@@ -297,174 +324,94 @@ func pathEnumPrioritized(ctx context.Context, g *kb.Graph, start, end kb.NodeID,
 	caps := [2]int{(maxLen + 1) / 2, maxLen / 2}
 	targets := [2]kb.NodeID{start, end}
 
-	type nodeState struct {
-		partial  [2][]partialPath
-		expanded [2]int // partial[s][:expanded[s]] have been expanded
-		act      [2]float64
-	}
-	states := make(map[kb.NodeID]*nodeState)
-	get := func(id kb.NodeID) *nodeState {
-		st, ok := states[id]
-		if !ok {
-			st = &nodeState{}
-			states[id] = st
-		}
-		return st
-	}
-
-	pq := &actQueue{}
-	heap.Init(pq)
-
-	var out []pathInst
-	seen := make(map[pathKey]struct{})
-
-	// join merges a freshly added partial path on side s at node x with
-	// every opposite-side partial already at x, using the canonical split
-	// so each full path is produced once.
-	join := func(x kb.NodeID, s side, p partialPath) {
-		st := get(x)
-		for _, q := range st.partial[1-s] {
-			var f, b partialPath
-			if s == forwardSide {
-				f, b = p, q
-			} else {
-				f, b = q, p
-			}
-			if !canonicalSplit(f.length(), b.length()) || f.length()+b.length() == 0 {
-				continue
-			}
-			if full, ok := joinPaths(f, b); ok {
-				k := full.key()
-				if _, dup := seen[k]; !dup {
-					seen[k] = struct{}{}
-					full.k, full.hasKey = k, true // memoise for groupPaths
-					out = append(out, full)
-				}
-			}
-		}
-	}
-
-	// add registers a new partial path at its terminal node, joins it
-	// against the opposite side, and makes the terminal expandable. Only
-	// the sequential phases call it.
-	add := func(s side, p partialPath, activation float64) {
-		x := p.last()
-		st := get(x)
-		st.partial[s] = append(st.partial[s], p)
-		join(x, s, p)
-		if activation > 0 {
-			st.act[s] += activation
-			heap.Push(pq, actEntry{node: x, s: s, act: st.act[s]})
-		}
-	}
-
 	for s := forwardSide; s <= backwardSide; s++ {
 		deg := g.Degree(targets[s])
 		a := 1.0
 		if deg > 0 {
 			a = 1.0 / float64(deg)
 		}
-		add(s, partialPath{nodes: []kb.NodeID{targets[s]}}, a)
+		seed := partial{n: 1}
+		seed.nodes[0] = targets[s]
+		st.addPartial(s, seed, a)
 	}
 
-	// expandJob is one popped frontier entry: the node to expand on one
-	// side, its pending partial paths (snapshotted sequentially before the
-	// concurrent phase), and the activation it will spread.
-	type expandJob struct {
-		node    kb.NodeID
-		s       side
-		spread  float64
-		pending []partialPath
+	if cap(st.results) < workers {
+		st.results = append(st.results[:cap(st.results)], make([][]partial, workers-cap(st.results))...)
 	}
-	jobs := make([]expandJob, 0, workers)
-	results := make([][]partialPath, workers)
-
-	// extensions computes the new partial paths one job contributes. It
-	// only reads the graph and the job's snapshot, so jobs run in
-	// parallel.
-	extensions := func(j expandJob) []partialPath {
-		var exts []partialPath
-		for _, p := range j.pending {
-			if p.length() >= caps[j.s] {
-				continue
-			}
-			for _, he := range g.Neighbors(j.node) {
-				if he.To == targets[j.s] || p.contains(he.To) {
-					continue
-				}
-				if j.s == backwardSide && he.To == targets[forwardSide] {
-					continue
-				}
-				exts = append(exts, p.extend(he))
-			}
-		}
-		return exts
-	}
+	results := st.results[:workers]
+	jobs := st.jobs[:0]
 
 	check := cancelCheck{ctx: ctx}
-	for pq.Len() > 0 {
+	for st.pq.Len() > 0 {
 		// Sequential phase 1: pop a batch and snapshot each entry's
 		// pending work, marking it expanded. The cancellation check
 		// steps once per popped node — the same expansion-step
 		// granularity as the other enumerators.
 		jobs = jobs[:0]
 		pendingTotal := 0
-		for pq.Len() > 0 && len(jobs) < workers {
+		for st.pq.Len() > 0 && len(jobs) < workers {
 			if err := check.step(); err != nil {
+				st.jobs = jobs
 				return nil, err
 			}
-			e := heap.Pop(pq).(actEntry)
-			st := get(e.node)
-			if st.act[e.s] == 0 {
+			e := heap.Pop(&st.pq).(actEntry)
+			si := st.stateFor(e.node)
+			ns := &st.states[si]
+			if ns.act[e.s] == 0 {
 				continue // already expanded since this entry was pushed
 			}
-			spread := st.act[e.s]
-			st.act[e.s] = 0
+			spread := ns.act[e.s]
+			ns.act[e.s] = 0
 
 			// The forward side never expands beyond the end entity; the
 			// backward side never sits on the start entity at all.
 			if e.s == forwardSide && e.node == end {
 				continue
 			}
-			pending := st.partial[e.s][st.expanded[e.s]:]
-			st.expanded[e.s] = len(st.partial[e.s])
+			pending := ns.partial[e.s][ns.expanded[e.s]:]
+			ns.expanded[e.s] = int32(len(ns.partial[e.s]))
 			jobs = append(jobs, expandJob{node: e.node, s: e.s, spread: spread, pending: pending})
 			pendingTotal += len(pending)
 		}
 
-		// Concurrent phase: compute every job's extensions. Tiny batches
-		// run inline — goroutine fan-out only pays off once there is real
-		// expansion work to split.
+		// Concurrent phase: compute every job's extensions into the
+		// per-worker reused buffers. Tiny batches run inline — goroutine
+		// fan-out only pays off once there is real expansion work to
+		// split.
 		if len(jobs) > 1 && pendingTotal >= 16 {
 			var wg sync.WaitGroup
 			for i := range jobs {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					results[i] = extensions(jobs[i])
+					results[i] = extendJobPaths(g, &jobs[i], caps, targets, results[i][:0])
 				}(i)
 			}
 			wg.Wait()
 		} else {
 			for i := range jobs {
-				results[i] = extensions(jobs[i])
+				results[i] = extendJobPaths(g, &jobs[i], caps, targets, results[i][:0])
 			}
 		}
 
 		// Sequential phase 2: apply in pop order — register extensions
 		// (joining against the opposite side) and spread activation to
 		// neighbors with pending work.
-		for i, j := range jobs {
-			for _, np := range results[i] {
-				add(j.s, np, 0)
+		for i := range jobs {
+			j := &jobs[i]
+			for r := range results[i] {
+				st.addPartial(j.s, results[i][r], 0)
 			}
-			results[i] = nil
 			for _, he := range g.Neighbors(j.node) {
 				if he.To == start || he.To == end {
 					continue
 				}
-				nst := get(he.To)
-				if len(nst.partial[j.s]) == nst.expanded[j.s] {
+				ni, ok := st.stateIdx[he.To]
+				if !ok {
+					continue // never touched: nothing pending on this side
+				}
+				ns := &st.states[ni]
+				if len(ns.partial[j.s]) == int(ns.expanded[j.s]) {
 					continue // nothing pending on this side
 				}
 				d := g.Degree(he.To)
@@ -472,15 +419,73 @@ func pathEnumPrioritized(ctx context.Context, g *kb.Graph, start, end kb.NodeID,
 				if d > 0 {
 					inc = j.spread / float64(d)
 				}
-				nst.act[j.s] += inc
-				heap.Push(pq, actEntry{node: he.To, s: j.s, act: nst.act[j.s]})
+				ns.act[j.s] += inc
+				heap.Push(&st.pq, actEntry{node: he.To, s: j.s, act: ns.act[j.s]})
 			}
 			// Partial paths terminating at the opposite target still need
 			// to be joinable (they were, at add time) but never expand;
 			// nothing further to do for them.
 		}
 	}
-	return out, nil
+	st.jobs = jobs
+	return st.out, nil
+}
+
+// extendJobPaths computes the new partial paths one job contributes into
+// dst. It only reads the graph and the job's snapshot, so jobs run in
+// parallel.
+func extendJobPaths(g *kb.Graph, j *expandJob, caps [2]int, targets [2]kb.NodeID, dst []partial) []partial {
+	for i := range j.pending {
+		p := &j.pending[i]
+		if p.length() >= caps[j.s] {
+			continue
+		}
+		for _, he := range g.Neighbors(j.node) {
+			if he.To == targets[j.s] || p.contains(he.To) {
+				continue
+			}
+			if j.s == backwardSide && he.To == targets[forwardSide] {
+				continue
+			}
+			dst = append(dst, p.extend(he))
+		}
+	}
+	return dst
+}
+
+// addPartial registers a new partial path at its terminal node, joins it
+// against the opposite side, and makes the terminal expandable. Only the
+// sequential phases call it.
+func (st *enumState) addPartial(s side, p partial, activation float64) {
+	x := p.last()
+	si := st.stateFor(x)
+	ns := &st.states[si]
+	ns.partial[s] = append(ns.partial[s], p)
+	// join the fresh path with every opposite-side partial already at x,
+	// using the canonical split so each full path is produced once.
+	opp := ns.partial[1-s]
+	for qi := range opp {
+		q := &opp[qi]
+		var f, b *partial
+		if s == forwardSide {
+			f, b = &p, q
+		} else {
+			f, b = q, &p
+		}
+		if !canonicalSplit(f.length(), b.length()) || f.length()+b.length() == 0 {
+			continue
+		}
+		if k, ok := joinToKey(f, b); ok {
+			if _, dup := st.seen[k]; !dup {
+				st.seen[k] = struct{}{}
+				st.out = append(st.out, k)
+			}
+		}
+	}
+	if activation > 0 {
+		ns.act[s] += activation
+		heap.Push(&st.pq, actEntry{node: x, s: s, act: ns.act[s]})
+	}
 }
 
 // actEntry is a priority-queue element for activation-driven expansion.

@@ -1,0 +1,158 @@
+package enumerate
+
+import (
+	"sync"
+
+	"rex/internal/kb"
+	"rex/internal/pattern"
+)
+
+// Pool reuses enumeration state across queries. The facade creates one
+// Pool per knowledge-base snapshot — the same lifetime contract as
+// measure.Evaluator — so steady-state enumeration touches the allocator
+// only for the explanations it returns, and a hot-swapped snapshot's
+// buffers become collectable the moment its Pool is dropped. A Pool is
+// safe for concurrent use: each query checks out a private state, so
+// parallel BatchExplain callers never share scratch.
+//
+// The package-level entry points (Explanations, Paths, ...) fall back to
+// a process-wide Pool, keeping the zero-configuration API allocation-
+// friendly too.
+type Pool struct {
+	p sync.Pool
+}
+
+// NewPool returns an empty enumeration-state pool.
+func NewPool() *Pool {
+	pl := &Pool{}
+	pl.p.New = func() any { return newEnumState() }
+	return pl
+}
+
+// defaultPool backs the package-level API.
+var defaultPool = NewPool()
+
+// pool resolves the pool configured on cfg, defaulting to the
+// process-wide one.
+func (cfg Config) pool() *Pool {
+	if cfg.Pool != nil {
+		return cfg.Pool
+	}
+	return defaultPool
+}
+
+func (pl *Pool) get() *enumState { return pl.p.Get().(*enumState) }
+
+func (pl *Pool) put(s *enumState) {
+	if s.oversized() {
+		return // let an unusually large query's buffers go to the GC
+	}
+	pl.p.Put(s)
+}
+
+// retainedCap bounds how many elements a pooled buffer may keep between
+// queries; a state that outgrew it is dropped instead of pinned forever.
+const retainedCap = 1 << 16
+
+// enumState is the per-query scratch of the enumeration pipeline:
+// prioritized-path frontier storage, path grouping tables and the
+// union-phase merge machinery. All of it is reused across queries; none
+// of it retains a reference to any graph, context or returned
+// explanation after a query completes.
+type enumState struct {
+	// Prioritized path search (path.go).
+	stateIdx map[kb.NodeID]int32 // node → index into states
+	states   []nodeState
+	pq       actQueue
+	out      []pathKey
+	seen     map[pathKey]struct{}
+	jobs     []expandJob
+	results  [][]partial
+
+	// Path grouping (enumerate.go).
+	groups   map[stepSeqKey]int32
+	gcounts  []int32
+	nodesBuf [pattern.MaxVars]kb.NodeID
+	stepsBuf [pattern.MaxVars - 1]kb.HalfEdge
+
+	// Union phase (union.go).
+	unionSeen map[pattern.Key]struct{}
+	newIndex  map[pattern.Key]int
+	merger    *pattern.Merger
+}
+
+func newEnumState() *enumState {
+	return &enumState{
+		stateIdx:  make(map[kb.NodeID]int32),
+		seen:      make(map[pathKey]struct{}),
+		groups:    make(map[stepSeqKey]int32),
+		unionSeen: make(map[pattern.Key]struct{}),
+		newIndex:  make(map[pattern.Key]int),
+		merger:    pattern.NewMerger(),
+	}
+}
+
+// oversized reports whether the state grew past what is worth
+// retaining. Every reusable buffer counts — maps never shrink, so
+// re-pooling a state after one pathological query would pin its
+// footprint for the snapshot's lifetime.
+func (s *enumState) oversized() bool {
+	return cap(s.out) > retainedCap ||
+		len(s.seen) > retainedCap ||
+		cap(s.states) > retainedCap ||
+		len(s.stateIdx) > retainedCap ||
+		len(s.groups) > retainedCap ||
+		cap(s.gcounts) > retainedCap ||
+		len(s.unionSeen) > retainedCap ||
+		len(s.newIndex) > retainedCap ||
+		s.merger.Oversized(retainedCap)
+}
+
+// nodeState is the per-node frontier bookkeeping of the prioritized
+// search; see pathEnumPrioritized.
+type nodeState struct {
+	partial  [2][]partial
+	expanded [2]int32 // partial[s][:expanded[s]] have been expanded
+	act      [2]float64
+}
+
+// expandJob is one popped frontier entry: the node to expand on one
+// side, its pending partial paths (snapshotted sequentially before the
+// concurrent phase), and the activation it will spread.
+type expandJob struct {
+	node    kb.NodeID
+	s       side
+	spread  float64
+	pending []partial
+}
+
+// resetPrio prepares the prioritized-search state for one query.
+func (s *enumState) resetPrio() {
+	clear(s.stateIdx)
+	s.states = s.states[:0]
+	s.pq = s.pq[:0]
+	s.out = s.out[:0]
+	clear(s.seen)
+}
+
+// stateFor returns the index of id's nodeState, creating one (with
+// recycled buffers) on first touch. Callers must index s.states fresh
+// after any call that can create states — the backing array may move.
+func (s *enumState) stateFor(id kb.NodeID) int32 {
+	if i, ok := s.stateIdx[id]; ok {
+		return i
+	}
+	i := int32(len(s.states))
+	if len(s.states) < cap(s.states) {
+		s.states = s.states[:i+1]
+		ns := &s.states[i]
+		ns.partial[0] = ns.partial[0][:0]
+		ns.partial[1] = ns.partial[1][:0]
+		ns.expanded = [2]int32{}
+		ns.act = [2]float64{}
+	} else {
+		s.states = append(s.states, nodeState{})
+	}
+	s.stateIdx[id] = i
+	return i
+}

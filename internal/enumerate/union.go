@@ -13,39 +13,51 @@ import (
 // detected by canonical pattern keys, globally across rings, so each
 // minimal pattern surfaces exactly once — at the ring equal to its
 // minimal covering cardinality minus one.
+//
+// Both algorithms drive the pattern.Merger with a key-first protocol:
+// the canonical key of each merge candidate is computed in reused
+// scratch before any instance work, so a candidate that duplicates an
+// already-committed pattern costs no instance join and no allocation,
+// and only explanations that enter the result are ever materialised.
 
 // PathUnionBasic is Algorithm 3: every explanation of the previous ring
 // merges with every path explanation.
 func PathUnionBasic(qpath []*pattern.Explanation, maxVars int) []*pattern.Explanation {
-	out, _ := pathUnionBasic(context.Background(), qpath, maxVars)
+	st := defaultPool.get()
+	defer defaultPool.put(st)
+	out, _ := st.pathUnionBasic(context.Background(), qpath, maxVars)
 	return out
 }
 
 // pathUnionBasic implements PathUnionBasic with cancellation, checked
 // once per merge pair.
-func pathUnionBasic(ctx context.Context, qpath []*pattern.Explanation, maxVars int) ([]*pattern.Explanation, error) {
+func (st *enumState) pathUnionBasic(ctx context.Context, qpath []*pattern.Explanation, maxVars int) ([]*pattern.Explanation, error) {
 	q := append([]*pattern.Explanation{}, qpath...)
-	seen := make(map[pattern.Key]struct{}, len(qpath))
+	seen := st.unionSeen
+	clear(seen)
 	for _, re := range qpath {
 		seen[re.P.Key()] = struct{}{}
 	}
 	check := cancelCheck{ctx: ctx}
+	decide := func(k pattern.Key) pattern.MergeAction {
+		if _, dup := seen[k]; dup {
+			return pattern.MergeSkip
+		}
+		return pattern.MergeTake
+	}
 	expand := qpath
 	for len(expand) > 0 {
 		var qnew []*pattern.Explanation
+		take := func(k pattern.Key, re *pattern.Explanation) {
+			seen[k] = struct{}{}
+			qnew = append(qnew, re)
+		}
 		for _, re1 := range expand {
 			for _, re2 := range qpath {
 				if err := check.step(); err != nil {
 					return nil, err
 				}
-				for _, re := range pattern.Merge(re1, re2, maxVars) {
-					key := re.P.Key()
-					if _, dup := seen[key]; dup {
-						continue
-					}
-					seen[key] = struct{}{}
-					qnew = append(qnew, re)
-				}
+				st.merger.Merge(re1, re2, maxVars, decide, take)
 			}
 		}
 		q = append(q, qnew...)
@@ -61,15 +73,22 @@ func pathUnionBasic(ctx context.Context, qpath []*pattern.Explanation, maxVars i
 // current ring it suffices to try the paths that built its ring-siblings
 // sharing a parent (plus, on the first ring, all paths).
 func PathUnionPrune(qpath []*pattern.Explanation, maxVars int) []*pattern.Explanation {
-	out, _ := pathUnionPrune(context.Background(), qpath, maxVars)
+	st := defaultPool.get()
+	defer defaultPool.put(st)
+	out, _ := st.pathUnionPrune(context.Background(), qpath, maxVars)
 	return out
 }
 
 // pathUnionPrune implements PathUnionPrune with cancellation, checked
-// once per merge pair.
-func pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars int) ([]*pattern.Explanation, error) {
+// once per merge pair. Candidates that duplicate an older ring are
+// skipped before instance work; candidates that duplicate the current
+// ring run the instance join only to decide whether a composition
+// history entry is due (MergeProbe) — exactly the work the unpooled
+// implementation performed, minus every wasted materialisation.
+func (st *enumState) pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars int) ([]*pattern.Explanation, error) {
 	q := append([]*pattern.Explanation{}, qpath...)
-	seen := make(map[pattern.Key]struct{}, len(qpath))
+	seen := st.unionSeen
+	clear(seen)
 	for _, re := range qpath {
 		seen[re.P.Key()] = struct{}{}
 	}
@@ -78,12 +97,13 @@ func pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars i
 	type histPair struct{ parent, path int }
 	expand := qpath
 	var hExpand [][]histPair // composition history per expand entry; nil on ring 0
+	newIndex := st.newIndex  // canonical key → index in qnew, reset per ring
 	for len(expand) > 0 {
 		var (
-			qnew     []*pattern.Explanation
-			hNew     [][]histPair
-			newIndex = make(map[pattern.Key]int) // canonical key → index in qnew
+			qnew []*pattern.Explanation
+			hNew [][]histPair
 		)
+		clear(newIndex)
 		// parentPaths[x] is the set of path indexes that, merged with
 		// parent x, produced some explanation of the current ring.
 		var parentPaths map[int]map[int]struct{}
@@ -99,6 +119,27 @@ func pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars i
 					set[pr.path] = struct{}{}
 				}
 			}
+		}
+
+		decide := func(k pattern.Key) pattern.MergeAction {
+			if _, dup := seen[k]; dup {
+				return pattern.MergeSkip // duplicated against Q (older rings)
+			}
+			if _, dup := newIndex[k]; dup {
+				return pattern.MergeProbe // current ring: history bookkeeping only
+			}
+			return pattern.MergeTake
+		}
+		var curParent, curPath int
+		take := func(k pattern.Key, re *pattern.Explanation) {
+			idx, ok := newIndex[k]
+			if !ok {
+				idx = len(qnew)
+				newIndex[k] = idx
+				qnew = append(qnew, re)
+				hNew = append(hNew, nil)
+			}
+			hNew[idx] = append(hNew[idx], histPair{parent: curParent, path: curPath})
 		}
 
 		for i1, re1 := range expand {
@@ -128,20 +169,8 @@ func pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars i
 				if err := check.step(); err != nil {
 					return nil, err
 				}
-				for _, re := range pattern.Merge(re1, qpath[i2], maxVars) {
-					key := re.P.Key()
-					if _, dup := seen[key]; dup {
-						continue // duplicated against Q (older rings)
-					}
-					idx, ok := newIndex[key]
-					if !ok {
-						idx = len(qnew)
-						newIndex[key] = idx
-						qnew = append(qnew, re)
-						hNew = append(hNew, nil)
-					}
-					hNew[idx] = append(hNew[idx], histPair{parent: i1, path: i2})
-				}
+				curParent, curPath = i1, i2
+				st.merger.Merge(re1, qpath[i2], maxVars, decide, take)
 			}
 		}
 		for _, re := range qnew {

@@ -11,21 +11,40 @@ import (
 // Binary serialisation. The TSV format is the interchange format; the
 // binary format exists because a paper-scale knowledge base (hundreds of
 // thousands of entities, >10^6 edges) loads an order of magnitude faster
-// without string splitting. Layout, all integers unsigned varints:
+// without string splitting.
 //
-//	magic "REXKB" version(1)
+// Version 2 serialises the frozen CSR layout directly — per-node degrees
+// followed by the flat half-edge array in frozen (To, Label, Dir) span
+// order — so loading is a streaming fill of the read-path arrays: no
+// AddEdge bookkeeping, no edge-set map, no re-sorting. The content
+// fingerprint is carried in the file (it is a pure function of the
+// content that the loader verifies structurally). Layout, all integers
+// unsigned varints:
+//
+//	magic "REXKB" version(2)
 //	numLabels { nameLen name directed(1 byte) } ...
 //	numNodes  { nameLen name typeLen type } ...
-//	numEdges  { from to label } ...
+//	numEdges
+//	degrees   numNodes × degree
+//	halfEdges Σdegree × { to label dir(1 byte) }
+//	fpLen fp
 //
-// Node and label references in edges are the dense IDs assigned by
-// declaration order, so graphs round-trip with identical IDs.
+// Version 1 (edge-list layout: numEdges × { from to label }) remains
+// readable; writers always emit version 2. Node and label references are
+// the dense IDs assigned by declaration order, so graphs round-trip with
+// identical IDs.
 
 const binaryMagic = "REXKB"
-const binaryVersion = 1
+const (
+	binaryVersion1 = 1
+	binaryVersion  = 2
+)
 
-// WriteBinary serialises the graph in the binary format.
+// WriteBinary serialises the graph in the binary format (version 2, the
+// CSR layout). The graph is frozen first if it is not already — the CSR
+// arrays are the wire content.
 func (g *Graph) WriteBinary(w io.Writer) error {
+	g.Freeze()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err
@@ -44,6 +63,80 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 		return err
 	}
 	if err := writeUvarint(binaryVersion); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(g.labels))); err != nil {
+		return err
+	}
+	for i, name := range g.labels {
+		if err := writeString(name); err != nil {
+			return err
+		}
+		d := byte(0)
+		if g.labelDirected[i] {
+			d = 1
+		}
+		if err := bw.WriteByte(d); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(len(g.nodes))); err != nil {
+		return err
+	}
+	for _, n := range g.nodes {
+		if err := writeString(n.Name); err != nil {
+			return err
+		}
+		if err := writeString(n.Type); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(g.numEdges)); err != nil {
+		return err
+	}
+	for i := range g.nodes {
+		if err := writeUvarint(uint64(g.csrOff[i+1] - g.csrOff[i])); err != nil {
+			return err
+		}
+	}
+	for _, he := range g.csr {
+		if err := writeUvarint(uint64(he.To)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(he.Label)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(he.Dir)); err != nil {
+			return err
+		}
+	}
+	if err := writeString(g.fp); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeBinaryV1 emits the legacy edge-list layout; kept (unexported) so
+// the compatibility path stays covered by tests.
+func (g *Graph) writeBinaryV1(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeUvarint(binaryVersion1); err != nil {
 		return err
 	}
 	if err := writeUvarint(uint64(len(g.labels))); err != nil {
@@ -126,7 +219,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != binaryVersion {
+	if version != binaryVersion1 && version != binaryVersion {
 		return nil, fmt.Errorf("kb: unsupported binary version %d", version)
 	}
 	g := New()
@@ -152,6 +245,8 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.nodes = make([]Node, 0, numNodes)
+	g.byName = make(map[string]NodeID, numNodes)
 	for i := uint64(0); i < numNodes; i++ {
 		name, err := readString("node name", maxName)
 		if err != nil {
@@ -161,31 +256,116 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.AddNode(name, typ)
+		if _, dup := g.byName[name]; dup {
+			return nil, fmt.Errorf("kb: binary node %d: duplicate name %q", i, name)
+		}
+		id := NodeID(len(g.nodes))
+		g.nodes = append(g.nodes, Node{ID: id, Name: name, Type: typ})
+		g.byName[name] = id
 	}
 	numEdges, err := readUvarint("edge count")
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < numEdges; i++ {
-		from, err := readUvarint("edge from")
-		if err != nil {
-			return nil, err
+	if version == binaryVersion1 {
+		g.adj = make([][]HalfEdge, len(g.nodes))
+		for i := uint64(0); i < numEdges; i++ {
+			from, err := readUvarint("edge from")
+			if err != nil {
+				return nil, err
+			}
+			to, err := readUvarint("edge to")
+			if err != nil {
+				return nil, err
+			}
+			label, err := readUvarint("edge label")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := g.AddEdge(NodeID(from), NodeID(to), LabelID(label)); err != nil {
+				return nil, err
+			}
 		}
-		to, err := readUvarint("edge to")
+		g.Freeze()
+		return g, nil
+	}
+	if err := g.readCSR(br, readUvarint, numEdges); err != nil {
+		return nil, err
+	}
+	fp, err := readString("fingerprint", 64)
+	if err != nil {
+		return nil, err
+	}
+	g.numEdges = int(numEdges)
+	g.frozen = true
+	g.deriveLabelView()
+	g.buildTypeIndex()
+	g.fp = fp
+	return g, nil
+}
+
+// readCSR streams the version-2 degree and half-edge arrays into the CSR
+// layout, validating references, orientation values, span sort order and
+// the half-edge/edge-count invariant so a corrupt file cannot produce a
+// structurally inconsistent graph.
+func (g *Graph) readCSR(br *bufio.Reader, readUvarint func(string) (uint64, error), numEdges uint64) error {
+	n := len(g.nodes)
+	g.csrOff = make([]int32, n+1)
+	total := uint64(0)
+	for i := 0; i < n; i++ {
+		d, err := readUvarint("node degree")
 		if err != nil {
-			return nil, err
+			return err
 		}
-		label, err := readUvarint("edge label")
+		total += d
+		if total >= uint64(1)<<31 {
+			return fmt.Errorf("kb: binary degree sum overflows")
+		}
+		g.csrOff[i+1] = int32(total)
+	}
+	if total != 2*numEdges {
+		return fmt.Errorf("kb: binary half-edge count %d does not match edge count %d", total, numEdges)
+	}
+	g.csr = make([]HalfEdge, total)
+	for i := range g.csr {
+		to, err := readUvarint("half-edge target")
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if _, err := g.AddEdge(NodeID(from), NodeID(to), LabelID(label)); err != nil {
-			return nil, err
+		label, err := readUvarint("half-edge label")
+		if err != nil {
+			return err
+		}
+		d, err := br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("kb: binary half-edge dir: %w", err)
+		}
+		if to >= uint64(n) {
+			return fmt.Errorf("kb: binary half-edge %d: target %d out of range", i, to)
+		}
+		if label >= uint64(len(g.labels)) {
+			return fmt.Errorf("kb: binary half-edge %d: label %d out of range", i, label)
+		}
+		if Dir(d) != Out && Dir(d) != In && Dir(d) != Undirected {
+			return fmt.Errorf("kb: binary half-edge %d: bad orientation %d", i, d)
+		}
+		g.csr[i] = HalfEdge{To: NodeID(to), Label: LabelID(label), Dir: Dir(d)}
+	}
+	for i := 0; i < n; i++ {
+		span := g.csr[g.csrOff[i]:g.csrOff[i+1]]
+		for j := 1; j < len(span); j++ {
+			a, b := span[j-1], span[j]
+			if a.To > b.To || (a.To == b.To && (a.Label > b.Label || (a.Label == b.Label && a.Dir >= b.Dir))) {
+				return fmt.Errorf("kb: binary node %d: half-edge span not strictly (To, Label, Dir)-sorted", i)
+			}
+		}
+		for _, he := range span {
+			if he.To == NodeID(i) {
+				return fmt.Errorf("kb: binary node %d: self-loop", i)
+			}
 		}
 	}
-	g.Freeze()
-	return g, nil
+	return nil
 }
 
 // SaveBinary writes the graph to a file in the binary format.

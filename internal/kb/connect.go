@@ -20,7 +20,7 @@ func (g *Graph) Connectedness(start, end NodeID, maxLen int, cap int) int {
 	count := 0
 	var dfs func(at NodeID, depth int) bool // returns false when capped
 	dfs = func(at NodeID, depth int) bool {
-		for _, he := range g.adj[at] {
+		for _, he := range g.Neighbors(at) {
 			if he.To == end {
 				count++
 				if cap >= 0 && count >= cap {
@@ -96,7 +96,7 @@ func (g *Graph) Reachable(start, end NodeID, maxLen int) bool {
 	for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
 		var next []NodeID
 		for _, u := range frontier {
-			for _, he := range g.adj[u] {
+			for _, he := range g.Neighbors(u) {
 				if he.To == end {
 					return true
 				}

@@ -107,21 +107,39 @@ type Graph struct {
 	labelIDs      map[string]LabelID
 	labelDirected []bool
 
+	// Build-time representation: per-node adjacency lists plus the
+	// edge-existence set behind AddEdge's duplicate detection. Valid
+	// whenever the graph is unfrozen; Freeze flattens both into the CSR
+	// arrays below and releases them, and thaw reconstructs them before
+	// the first post-freeze mutation.
 	adj      [][]HalfEdge
 	edgeSet  map[edgeKey]struct{}
 	numEdges int
 	frozen   bool
 
-	// Read-path indexes, precomputed by Freeze so concurrent queries
-	// never mutate shared state.
-	labelAdj   [][]HalfEdge  // per-node adjacency re-sorted by (Label, To, Dir)
-	labelSpans [][]labelSpan // per-node spans into labelAdj, ascending by label
-	byType     map[string][]NodeID
-	fp         string // content fingerprint, computed by Freeze
+	// CSR read path, built by Freeze: every half-edge of the graph lives
+	// in one contiguous backing array per view, with per-node offset
+	// spans. csr is the plain adjacency view — node i's half-edges are
+	// csr[csrOff[i]:csrOff[i+1]], sorted by (To, Label, Dir) — and
+	// labelCSR the per-label view, same spans re-sorted by (Label, To,
+	// Dir) with spans[spanOff[i]:spanOff[i+1]] locating each label run.
+	// Both views index into flat arrays, so a frozen graph costs two
+	// half-edge arrays plus three small offset arrays no matter how many
+	// nodes it has — no per-node slice headers, no pointer chasing.
+	csrOff   []int32
+	csr      []HalfEdge
+	labelCSR []HalfEdge
+	spanOff  []int32
+	spans    []labelSpan
+
+	// Remaining read-path indexes, precomputed by Freeze so concurrent
+	// queries never mutate shared state.
+	byType map[string][]NodeID
+	fp     string // content fingerprint, computed by Freeze
 }
 
-// labelSpan locates the half-edges with one label inside a node's
-// label-sorted adjacency list.
+// labelSpan locates the half-edges with one label inside the flat
+// label-sorted adjacency array; off is an absolute labelCSR offset.
 type labelSpan struct {
 	label LabelID
 	off   int32
@@ -159,11 +177,11 @@ func (g *Graph) AddNode(name, typ string) NodeID {
 	if id, ok := g.byName[name]; ok {
 		return id
 	}
+	g.thaw()
 	id := NodeID(len(g.nodes))
 	g.nodes = append(g.nodes, Node{ID: id, Name: name, Type: typ})
 	g.adj = append(g.adj, nil)
 	g.byName[name] = id
-	g.frozen = false
 	return id
 }
 
@@ -181,13 +199,13 @@ func (g *Graph) Label(name string, directed bool) (LabelID, error) {
 		}
 		return id, nil
 	}
+	// Labels are part of the hashed content, so registering one must
+	// invalidate the frozen fingerprint like every other mutation.
+	g.thaw()
 	id := LabelID(len(g.labels))
 	g.labels = append(g.labels, name)
 	g.labelDirected = append(g.labelDirected, directed)
 	g.labelIDs[name] = id
-	// Labels are part of the hashed content, so registering one must
-	// invalidate the frozen fingerprint like every other mutation.
-	g.frozen = false
 	return id, nil
 }
 
@@ -273,6 +291,7 @@ func (g *Graph) AddEdge(from, to NodeID, label LabelID) (bool, error) {
 	if from == to {
 		return false, fmt.Errorf("kb: AddEdge: self-loop on node %d (%s) not supported", from, g.NodeName(from))
 	}
+	g.thaw()
 	if g.edgeSet == nil {
 		g.edgeSet = make(map[edgeKey]struct{})
 	}
@@ -293,7 +312,6 @@ func (g *Graph) AddEdge(from, to NodeID, label LabelID) (bool, error) {
 		g.adj[to] = append(g.adj[to], HalfEdge{To: from, Label: label, Dir: Undirected})
 	}
 	g.numEdges++
-	g.frozen = false
 	return true, nil
 }
 
@@ -307,8 +325,34 @@ func (g *Graph) MustAddEdge(from, to NodeID, label LabelID) {
 
 // HasEdge reports whether an edge with the given label connects from and
 // to. For directed labels the orientation from→to is required; for
-// undirected labels either orientation matches.
+// undirected labels either orientation matches. On a frozen graph the
+// check is a binary search in the node's label-sorted CSR span — no map,
+// no hashing; on an unfrozen graph it consults the edge set.
 func (g *Graph) HasEdge(from, to NodeID, label LabelID) bool {
+	if g.frozen {
+		if from < 0 || int(from) >= len(g.nodes) {
+			return false
+		}
+		span := g.NeighborsLabeled(from, label)
+		// Within one label the span is sorted by (To, Dir); at most two
+		// entries share a To (the In and Out halves of a directed cycle
+		// pair), so scan after the binary search.
+		lo, hi := 0, len(span)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if span[mid].To < to {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		for ; lo < len(span) && span[lo].To == to; lo++ {
+			if span[lo].Dir != In {
+				return true // Out for the required orientation, or Undirected
+			}
+		}
+		return false
+	}
 	if g.edgeSet == nil {
 		return false
 	}
@@ -321,17 +365,40 @@ func (g *Graph) HasEdge(from, to NodeID, label LabelID) bool {
 
 // Degree reports the number of half-edges at a node (each undirected or
 // directed incident edge counts once).
-func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+func (g *Graph) Degree(id NodeID) int {
+	if g.frozen {
+		return int(g.csrOff[id+1] - g.csrOff[id])
+	}
+	return len(g.adj[id])
+}
 
 // Neighbors returns the half-edges at a node. The returned slice is owned
-// by the graph and must not be modified. Order is deterministic after
-// Freeze.
-func (g *Graph) Neighbors(id NodeID) []HalfEdge { return g.adj[id] }
+// by the graph and must not be modified. On a frozen graph it is a span
+// of the contiguous CSR array, deterministically ordered by (To, Label,
+// Dir).
+func (g *Graph) Neighbors(id NodeID) []HalfEdge {
+	if g.frozen {
+		return g.csr[g.csrOff[id]:g.csrOff[id+1]]
+	}
+	return g.adj[id]
+}
 
 // Edges returns every edge once, ordered by (From, To, Label). Undirected
-// edges are reported with From ≤ To.
+// edges are reported with From ≤ To. On a frozen graph the list streams
+// straight out of the CSR spans, which are already in emission order.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.numEdges)
+	if g.frozen {
+		for i := range g.nodes {
+			from := NodeID(i)
+			for _, he := range g.csr[g.csrOff[i]:g.csrOff[i+1]] {
+				if he.Dir == Out || (he.Dir == Undirected && from <= he.To) {
+					out = append(out, Edge{From: from, To: he.To, Label: he.Label})
+				}
+			}
+		}
+		return out
+	}
 	for k := range g.edgeSet {
 		out = append(out, Edge{From: k.from, To: k.to, Label: k.label})
 	}
@@ -347,64 +414,174 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
-// Freeze sorts all adjacency lists so iteration order is deterministic
-// across runs, and precomputes the read-path indexes (per-label adjacency
-// and entity-type lists) that make the graph safe and fast to query from
-// many goroutines, plus the content fingerprint served by Fingerprint.
-// Freeze is idempotent and cheap when already frozen.
+// Freeze flattens the per-node adjacency lists into the contiguous CSR
+// arrays (sorted so iteration order is deterministic across runs),
+// precomputes the read-path indexes (per-label adjacency spans and
+// entity-type lists) that make the graph safe and fast to query from
+// many goroutines, computes the content fingerprint served by
+// Fingerprint, and releases the build-time adjacency lists and edge set —
+// a frozen graph is the CSR arrays. Freeze is idempotent and cheap when
+// already frozen; mutating a frozen graph reconstructs the build-time
+// state transparently (see thaw).
 func (g *Graph) Freeze() {
 	if g.frozen {
 		return
 	}
-	for i := range g.adj {
-		a := g.adj[i]
-		sort.Slice(a, func(x, y int) bool {
-			if a[x].To != a[y].To {
-				return a[x].To < a[y].To
-			}
-			if a[x].Label != a[y].Label {
-				return a[x].Label < a[y].Label
-			}
-			return a[x].Dir < a[y].Dir
-		})
-	}
-	g.buildLabelIndex()
+	g.buildCSR()
+	g.adj = nil
+	g.edgeSet = nil
+	g.frozen = true
 	g.buildTypeIndex()
 	g.fp = g.fingerprint()
-	g.frozen = true
 }
 
-// buildLabelIndex materialises, for every node, its adjacency list
-// re-sorted by (Label, To, Dir) together with per-label spans, so that
-// NeighborsLabeled answers in O(log L) with no allocation. Within one
-// label the half-edge order equals the frozen Neighbors order filtered to
-// that label, keeping enumeration deterministic either way.
-func (g *Graph) buildLabelIndex() {
-	g.labelAdj = make([][]HalfEdge, len(g.adj))
-	g.labelSpans = make([][]labelSpan, len(g.adj))
-	for i := range g.adj {
-		a := append([]HalfEdge(nil), g.adj[i]...)
-		sort.Slice(a, func(x, y int) bool {
-			if a[x].Label != a[y].Label {
-				return a[x].Label < a[y].Label
-			}
-			if a[x].To != a[y].To {
-				return a[x].To < a[y].To
-			}
-			return a[x].Dir < a[y].Dir
-		})
-		g.labelAdj[i] = a
-		var spans []labelSpan
-		for j := 0; j < len(a); {
-			k := j
-			for k < len(a) && a[k].Label == a[j].Label {
-				k++
-			}
-			spans = append(spans, labelSpan{label: a[j].Label, off: int32(j), n: int32(k - j)})
-			j = k
-		}
-		g.labelSpans[i] = spans
+// buildCSR concatenates the adjacency lists into the flat csr array,
+// sorts each node's span by (To, Label, Dir), and derives the label view.
+// Backing arrays from a previous freeze are reused.
+func (g *Graph) buildCSR() {
+	n := len(g.nodes)
+	if cap(g.csrOff) < n+1 {
+		g.csrOff = make([]int32, n+1)
+	} else {
+		g.csrOff = g.csrOff[:n+1]
 	}
+	g.csr = g.csr[:0]
+	g.csrOff[0] = 0
+	for i := 0; i < n; i++ {
+		g.csr = append(g.csr, g.adj[i]...)
+		g.csrOff[i+1] = int32(len(g.csr))
+	}
+	for i := 0; i < n; i++ {
+		span := g.csr[g.csrOff[i]:g.csrOff[i+1]]
+		sort.Slice(span, func(x, y int) bool {
+			if span[x].To != span[y].To {
+				return span[x].To < span[y].To
+			}
+			if span[x].Label != span[y].Label {
+				return span[x].Label < span[y].Label
+			}
+			return span[x].Dir < span[y].Dir
+		})
+	}
+	g.deriveLabelView()
+}
+
+// deriveLabelView builds labelCSR (each node's span re-sorted by (Label,
+// To, Dir)) and the flat per-label span index from the sorted csr array.
+// Because a node's csr span is already sorted by (To, Dir) within each
+// label, a stable counting pass per node — group sizes, then placement in
+// traversal order — produces the label view without a comparison sort.
+func (g *Graph) deriveLabelView() {
+	n := len(g.nodes)
+	if cap(g.labelCSR) < len(g.csr) {
+		g.labelCSR = make([]HalfEdge, len(g.csr))
+	} else {
+		g.labelCSR = g.labelCSR[:len(g.csr)]
+	}
+	g.spanOff = g.spanOff[:0]
+	g.spans = g.spans[:0]
+	// Scratch reused across nodes: per-label counts for the labels
+	// touched by the current node.
+	type labelCount struct {
+		label LabelID
+		count int32
+		off   int32
+	}
+	var touched []labelCount
+	for i := 0; i < n; i++ {
+		g.spanOff = append(g.spanOff, int32(len(g.spans)))
+		base := g.csrOff[i]
+		span := g.csr[base:g.csrOff[i+1]]
+		touched = touched[:0]
+		for _, he := range span {
+			found := false
+			for t := range touched {
+				if touched[t].label == he.Label {
+					touched[t].count++
+					found = true
+					break
+				}
+			}
+			if !found {
+				touched = append(touched, labelCount{label: he.Label, count: 1})
+			}
+		}
+		// Ascending label order for the binary search in NeighborsLabeled.
+		sort.Slice(touched, func(x, y int) bool { return touched[x].label < touched[y].label })
+		off := base
+		for t := range touched {
+			touched[t].off = off
+			g.spans = append(g.spans, labelSpan{label: touched[t].label, off: off, n: touched[t].count})
+			off += touched[t].count
+		}
+		// Stable placement: traversal order within a label is (To, Dir).
+		for _, he := range span {
+			for t := range touched {
+				if touched[t].label == he.Label {
+					g.labelCSR[touched[t].off] = he
+					touched[t].off++
+					break
+				}
+			}
+		}
+	}
+	g.spanOff = append(g.spanOff, int32(len(g.spans)))
+}
+
+// thaw reconstructs the build-time representation (per-node adjacency
+// lists and the edge-existence set) from the CSR arrays so a frozen graph
+// can be mutated again. Every mutator calls it first; on an unfrozen
+// graph it is a no-op. The CSR views are truncated, keeping their backing
+// arrays for the next Freeze.
+func (g *Graph) thaw() {
+	if !g.frozen {
+		return
+	}
+	g.frozen = false
+	g.adj = g.adjFromCSR()
+	g.edgeSet = edgeSetFromAdj(g.adj)
+	g.csr = g.csr[:0]
+	g.csrOff = g.csrOff[:0]
+	g.labelCSR = g.labelCSR[:0]
+	g.spanOff = g.spanOff[:0]
+	g.spans = g.spans[:0]
+	g.fp = ""
+}
+
+// adjFromCSR copies the CSR spans back into per-node adjacency lists.
+func (g *Graph) adjFromCSR() [][]HalfEdge {
+	adj := make([][]HalfEdge, len(g.nodes))
+	for i := range adj {
+		span := g.csr[g.csrOff[i]:g.csrOff[i+1]]
+		if len(span) > 0 {
+			adj[i] = append([]HalfEdge(nil), span...)
+		}
+	}
+	return adj
+}
+
+// edgeSetFromAdj rebuilds the edge-existence set behind AddEdge's
+// duplicate detection and the unfrozen HasEdge.
+func edgeSetFromAdj(adj [][]HalfEdge) map[edgeKey]struct{} {
+	total := 0
+	for _, a := range adj {
+		total += len(a)
+	}
+	set := make(map[edgeKey]struct{}, total/2)
+	for i, a := range adj {
+		from := NodeID(i)
+		for _, he := range a {
+			switch he.Dir {
+			case Out:
+				set[edgeKey{from, he.To, he.Label}] = struct{}{}
+			case Undirected:
+				if from <= he.To {
+					set[edgeKey{from, he.To, he.Label}] = struct{}{}
+				}
+			}
+		}
+	}
+	return set
 }
 
 // buildTypeIndex materialises the entity-type → node-ID lists behind
@@ -423,8 +600,8 @@ func (g *Graph) buildTypeIndex() {
 // to a filtered copy. The returned slice is owned by the graph and must
 // not be modified.
 func (g *Graph) NeighborsLabeled(id NodeID, label LabelID) []HalfEdge {
-	if g.frozen && int(id) < len(g.labelSpans) {
-		spans := g.labelSpans[id]
+	if g.frozen && int(id) < len(g.nodes) {
+		spans := g.spans[g.spanOff[id]:g.spanOff[id+1]]
 		lo, hi := 0, len(spans)
 		for lo < hi {
 			mid := (lo + hi) / 2
@@ -436,7 +613,7 @@ func (g *Graph) NeighborsLabeled(id NodeID, label LabelID) []HalfEdge {
 		}
 		if lo < len(spans) && spans[lo].label == label {
 			sp := spans[lo]
-			return g.labelAdj[id][sp.off : sp.off+sp.n]
+			return g.labelCSR[sp.off : sp.off+sp.n]
 		}
 		return nil
 	}
@@ -488,8 +665,8 @@ type Stats struct {
 func (g *Graph) Stats() Stats {
 	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), Labels: g.NumLabels()}
 	total := 0
-	for i := range g.adj {
-		d := len(g.adj[i])
+	for i := 0; i < len(g.nodes); i++ {
+		d := g.Degree(NodeID(i))
 		total += d
 		if d > s.MaxDegree {
 			s.MaxDegree = d

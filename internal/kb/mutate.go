@@ -30,6 +30,14 @@ func (g *Graph) Clone() *Graph {
 	for k, v := range g.labelIDs {
 		c.labelIDs[k] = v
 	}
+	if g.frozen {
+		// A frozen graph holds only the CSR arrays; materialise the
+		// clone's build-time state from them. The original stays frozen
+		// and keeps serving reads.
+		c.adj = g.adjFromCSR()
+		c.edgeSet = edgeSetFromAdj(c.adj)
+		return c
+	}
 	c.adj = make([][]HalfEdge, len(g.adj))
 	for i := range g.adj {
 		c.adj[i] = append([]HalfEdge(nil), g.adj[i]...)
@@ -47,8 +55,8 @@ func (g *Graph) SetNodeType(id NodeID, typ string) error {
 	if id < 0 || int(id) >= len(g.nodes) {
 		return fmt.Errorf("kb: SetNodeType: node %d out of range", id)
 	}
+	g.thaw()
 	g.nodes[id].Type = typ
-	g.frozen = false
 	return nil
 }
 
@@ -71,9 +79,11 @@ func (g *Graph) RemoveEdge(from, to NodeID, label LabelID) (bool, error) {
 	if !directed && from > to {
 		key = edgeKey{to, from, label}
 	}
-	if _, ok := g.edgeSet[key]; !ok {
+	// Existence check before thawing: a miss must not unfreeze the graph.
+	if !g.HasEdge(from, to, label) {
 		return false, nil
 	}
+	g.thaw()
 	delete(g.edgeSet, key)
 	if directed {
 		g.adj[from] = removeHalf(g.adj[from], HalfEdge{To: to, Label: label, Dir: Out})
@@ -83,7 +93,6 @@ func (g *Graph) RemoveEdge(from, to NodeID, label LabelID) (bool, error) {
 		g.adj[to] = removeHalf(g.adj[to], HalfEdge{To: from, Label: label, Dir: Undirected})
 	}
 	g.numEdges--
-	g.frozen = false
 	return true, nil
 }
 

@@ -192,3 +192,41 @@ func TestSamplePairsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerateReproducible pins the determinism contract the presets and
+// the macro benchmark rely on: the same (preset, seed) always builds the
+// byte-identical graph — equal fingerprints — and a different seed
+// builds a different one.
+func TestGenerateReproducible(t *testing.T) {
+	opt, err := PresetOptions("small", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Generate(opt)
+	b := Generate(opt)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("same seed, different fingerprints: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	opt2 := opt
+	opt2.Seed = 8
+	c := Generate(opt2)
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+// TestPresetOptions covers the preset table and its error path.
+func TestPresetOptions(t *testing.T) {
+	for _, name := range PresetNames() {
+		opt, err := PresetOptions(name, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if opt.Scale <= 0 || opt.Seed != 42 {
+			t.Errorf("%s: bad options %+v", name, opt)
+		}
+	}
+	if _, err := PresetOptions("galactic", 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}

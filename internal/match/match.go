@@ -87,11 +87,26 @@ func CountContext(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start, e
 // when an error is returned.
 func CountByEndContext(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start kb.NodeID) (map[kb.NodeID]int, error) {
 	counts := make(map[kb.NodeID]int)
-	err := ForEachContext(ctx, g, p, start, kb.InvalidNode, func(in pattern.Instance) bool {
-		counts[in[pattern.End]]++
-		return true
-	})
+	err := CountByEndInto(ctx, g, p, start, counts)
 	return counts, err
+}
+
+// CountByEndInto evaluates p with a free end variable and accumulates
+// the per-end instance counts into dst, which the caller owns (and
+// typically reuses — clear it between unrelated runs). Like Count, the
+// steady-state path allocates nothing: the matcher and its counting
+// callback come from the pool, and dst absorbs the only per-call state
+// the map-returning wrappers had to allocate. The count is partial when
+// an error is returned. The start entity itself is excluded as an end.
+func CountByEndInto(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start kb.NodeID, dst map[kb.NodeID]int) error {
+	m := acquireMatcher(g, p, start, kb.InvalidNode)
+	m.ctx = ctx
+	m.endCounts = dst
+	m.run(m.byEndFn)
+	err := m.err
+	m.endCounts = nil
+	releaseMatcher(m)
+	return err
 }
 
 // Find collects the instances of p with the given target bindings. Pass
@@ -121,12 +136,11 @@ func Count(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) int {
 // CountByEnd evaluates p with a free end variable and returns the number
 // of instances per end entity: the raw material of the paper's local
 // distribution D_l. The start entity itself is excluded as an end.
+// Callers that reuse a table should prefer CountByEndInto, which is
+// allocation-free in the steady state.
 func CountByEnd(g *kb.Graph, p *pattern.Pattern, start kb.NodeID) map[kb.NodeID]int {
 	counts := make(map[kb.NodeID]int)
-	ForEach(g, p, start, kb.InvalidNode, func(in pattern.Instance) bool {
-		counts[in[pattern.End]]++
-		return true
-	})
+	_ = CountByEndInto(context.Background(), g, p, start, counts)
 	return counts
 }
 
@@ -156,9 +170,12 @@ type matcher struct {
 
 	// countFn is the pooled counting callback for Count/CountContext,
 	// allocated once per pooled matcher so the steady-state count path
-	// closes over nothing.
-	countFn func(pattern.Instance) bool
-	count   int
+	// closes over nothing. byEndFn is its per-end sibling: it increments
+	// endCounts, the caller-owned table wired up by CountByEndInto.
+	countFn   func(pattern.Instance) bool
+	count     int
+	byEndFn   func(pattern.Instance) bool
+	endCounts map[kb.NodeID]int
 
 	// Cancellation: ctx is checked every ctxCheckInterval candidate
 	// tries; when done, err records ctx.Err() and the search unwinds.
@@ -172,6 +189,10 @@ var matcherPool = sync.Pool{
 		m := &matcher{}
 		m.countFn = func(pattern.Instance) bool {
 			m.count++
+			return true
+		}
+		m.byEndFn = func(in pattern.Instance) bool {
+			m.endCounts[in[pattern.End]]++
 			return true
 		}
 		return m
@@ -213,6 +234,7 @@ func releaseMatcher(m *matcher) {
 	m.inst = nil
 	m.ctx = nil
 	m.err = nil
+	m.endCounts = nil
 	matcherPool.Put(m)
 }
 

@@ -25,8 +25,13 @@ func poolTestPattern(t *testing.T) (*kb.Graph, *pattern.Pattern, kb.NodeID, kb.N
 
 // TestCountSteadyStateAllocFree is the alloc-regression guard for the
 // pooled matcher: once the pool is warm, Count must not allocate — the
-// matcher, its plan and its counting callback are all reused.
+// matcher, its plan and its counting callback are all reused. The same
+// holds for CountByEndInto with a caller-reused table: the per-end
+// counting callback and the accumulation map are both recycled.
 func TestCountSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop entries; alloc counts are not meaningful")
+	}
 	g, p, s, e := poolTestPattern(t)
 	Count(g, p, s, e) // warm the pool (and the pattern's lazy caches)
 	allocs := testing.AllocsPerRun(200, func() {
@@ -34,6 +39,27 @@ func TestCountSteadyStateAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state Count allocates %.1f times per op; want 0", allocs)
+	}
+
+	counts := make(map[kb.NodeID]int)
+	if err := CountByEndInto(context.Background(), g, p, s, counts); err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) == 0 {
+		t.Fatal("CountByEndInto found no ends for the test pattern")
+	}
+	want := len(counts)
+	allocs = testing.AllocsPerRun(200, func() {
+		clear(counts)
+		if err := CountByEndInto(context.Background(), g, p, s, counts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state CountByEndInto allocates %.1f times per op; want 0", allocs)
+	}
+	if len(counts) != want {
+		t.Errorf("reused-table CountByEndInto found %d ends, want %d", len(counts), want)
 	}
 }
 

@@ -143,7 +143,10 @@ func (ev *Evaluator) CountByEnd(ctx context.Context, p *pattern.Pattern, start k
 	if steps, isPath := p.PathSteps(); isPath {
 		counts, err = ev.pathCountByEnd(ctx, start, steps)
 	} else {
-		counts, err = match.CountByEndContext(ctx, ev.g, p, start)
+		// The memo map doubles as the matcher's accumulation table, so
+		// the general path allocates exactly the map it retains.
+		counts = make(map[kb.NodeID]int)
+		err = match.CountByEndInto(ctx, ev.g, p, start, counts)
 	}
 	if err != nil {
 		return nil, err

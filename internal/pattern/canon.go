@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Canonicalisation and isomorphism.
@@ -30,50 +31,71 @@ import (
 // sizes REX enumerates. Hot paths should prefer Key, the interned 64-bit
 // form; the string form remains the deterministic sort key for output
 // ordering.
+//
+// The string itself comes from the process-wide intern table, so the
+// steady state — recomputing the canonical form of a pattern shape seen
+// before — allocates nothing: the factorial search runs in pooled
+// buffers and the interned string is shared.
 func (p *Pattern) CanonicalKey() string {
-	if p.canon == "" {
-		p.canon = p.computeCanon()
+	if !p.hasKey {
+		cs := canonPool.Get().(*canonScratch)
+		enc := canonEncode(cs, p.schema, p.n, p.edges, nil)
+		p.key, p.canon = internKeyBytes(enc)
+		p.hasKey = true
+		canonPool.Put(cs)
 	}
 	return p.canon
 }
 
-func (p *Pattern) computeCanon() string {
-	enc, _ := p.canonWithPerm()
-	return enc
+// canonScratch holds the reusable buffers of the factorial canonical
+// search: the renamed-edge scratch, the permutation and best-permutation
+// arrays, and the two encoding buffers (current candidate and
+// best-so-far, swapped on improvement) — so one canonical-form
+// computation performs no allocations once the buffers are warm.
+type canonScratch struct {
+	scratch    []Edge
+	perm       []VarID
+	best, cand []byte
 }
 
-// canonWithPerm computes the canonical encoding together with a
-// permutation achieving it. Candidate encodings are rendered into two
-// reused byte buffers (current candidate and best-so-far, swapped on
-// improvement) so the factorial search allocates nothing per
-// permutation.
-func (p *Pattern) canonWithPerm() (string, []VarID) {
-	free := p.n - 2 // variables 2..n-1 may be permuted
-	scratch := make([]Edge, len(p.edges))
-	if free <= 0 {
-		return string(p.appendEncoding(nil, nil, scratch)), nil
+var canonPool = sync.Pool{New: func() any { return &canonScratch{} }}
+
+// canonEncode computes the canonical encoding of the pattern (n, edges)
+// into cs's buffers and returns it; the result is valid until cs is
+// reused. When bestPerm is non-nil it receives a permutation achieving
+// the canonical form (len n-2). edges must be in the New normal form
+// (undirected U ≤ V, sorted, deduped).
+func canonEncode(cs *canonScratch, schema Schema, n int, edges []Edge, bestPerm []VarID) []byte {
+	if cap(cs.scratch) < len(edges) {
+		cs.scratch = make([]Edge, len(edges))
 	}
-	perm := make([]VarID, free) // perm[i] = image of variable i+2
+	scratch := cs.scratch[:len(edges)]
+	free := n - 2 // variables 2..n-1 may be permuted
+	if free <= 0 {
+		cs.best = appendEncoding(cs.best[:0], schema, n, edges, nil, scratch)
+		return cs.best
+	}
+	if cap(cs.perm) < free {
+		cs.perm = make([]VarID, free)
+	}
+	perm := cs.perm[:free] // perm[i] = image of variable i+2
 	for i := range perm {
 		perm[i] = VarID(i + 2)
 	}
-	// Both buffers are sized for the worst-case encoding up front so the
-	// factorial search never reallocates: the "n|" prefix plus up to 16
-	// bytes per "u,v,label;" triple (labels are int32).
-	encCap := 4 + 16*len(p.edges)
-	best := make([]byte, 0, encCap)
-	cand := make([]byte, 0, encCap)
 	haveBest := false
-	bestPerm := make([]VarID, free)
+	best, cand := cs.best[:0], cs.cand[:0]
 	permute(perm, 0, func() {
-		cand = p.appendEncoding(cand[:0], perm, scratch)
+		cand = appendEncoding(cand[:0], schema, n, edges, perm, scratch)
 		if !haveBest || bytes.Compare(cand, best) < 0 {
 			haveBest = true
 			best, cand = cand, best
-			copy(bestPerm, perm)
+			if bestPerm != nil {
+				copy(bestPerm, perm)
+			}
 		}
 	})
-	return string(best), bestPerm
+	cs.best, cs.cand = best, cand
+	return best
 }
 
 // CanonicalPerm returns a full variable renaming into the canonical
@@ -84,15 +106,15 @@ func (p *Pattern) canonWithPerm() (string, []VarID) {
 // automorphisms of the canonical pattern, which permute the instance set
 // onto itself).
 func (p *Pattern) CanonicalPerm() []VarID {
-	_, perm := p.canonWithPerm()
 	out := make([]VarID, p.n)
 	out[Start], out[End] = Start, End
 	for i := 2; i < p.n; i++ {
-		if perm == nil {
-			out[i] = VarID(i)
-		} else {
-			out[i] = perm[i-2]
-		}
+		out[i] = VarID(i)
+	}
+	if p.n > 2 {
+		cs := canonPool.Get().(*canonScratch)
+		canonEncode(cs, p.schema, p.n, p.edges, out[2:])
+		canonPool.Put(cs)
 	}
 	return out
 }
@@ -136,16 +158,16 @@ func permute(perm []VarID, k int, f func()) {
 // U ≤ V after renaming so that equal patterns encode equally. The format
 // ("n|u,v,label;...") is the legacy string encoding — output ordering
 // depends on comparisons of these strings, so it must not change.
-func (p *Pattern) appendEncoding(dst []byte, perm []VarID, scratch []Edge) []byte {
-	for i, e := range p.edges {
+func appendEncoding(dst []byte, schema Schema, n int, edges []Edge, perm []VarID, scratch []Edge) []byte {
+	for i, e := range edges {
 		u, v := renameVar(e.U, perm), renameVar(e.V, perm)
-		if !p.schema.LabelDirected(e.Label) && u > v {
+		if !schema.LabelDirected(e.Label) && u > v {
 			u, v = v, u
 		}
 		scratch[i] = Edge{U: u, V: v, Label: e.Label}
 	}
 	insertionSortEdges(scratch)
-	dst = strconv.AppendInt(dst, int64(p.n), 10)
+	dst = strconv.AppendInt(dst, int64(n), 10)
 	dst = append(dst, '|')
 	for _, e := range scratch {
 		dst = strconv.AppendInt(dst, int64(e.U), 10)

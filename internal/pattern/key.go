@@ -38,7 +38,18 @@ var internTable = struct {
 // internKey issues the Key for a canonical encoding, registering it in
 // the collision-check table.
 func internKey(canon string) Key {
-	k := Key(fnv64(canon))
+	k, _ := internKeyBytes([]byte(canon))
+	return k
+}
+
+// internKeyBytes issues the Key for a canonical encoding given as bytes
+// and returns the interned string form. In the steady state — an
+// encoding already registered — it allocates nothing: the hash runs over
+// the byte slice and the comparison against the stored string converts
+// without copying. Only the first sighting of a new pattern shape
+// allocates (the retained string).
+func internKeyBytes(canon []byte) (Key, string) {
+	k := Key(fnv64Bytes(canon))
 	internTable.RLock()
 	prev, ok := internTable.m[k]
 	internTable.RUnlock()
@@ -47,14 +58,15 @@ func internKey(canon string) Key {
 		if prev2, ok2 := internTable.m[k]; ok2 {
 			prev, ok = prev2, true
 		} else {
-			internTable.m[k] = canon
+			prev = string(canon)
+			internTable.m[k] = prev
 		}
 		internTable.Unlock()
 	}
-	if ok && prev != canon {
+	if ok && prev != string(canon) {
 		panic(fmt.Sprintf("pattern: 64-bit canonical key collision between %q and %q", prev, canon))
 	}
-	return k
+	return k, prev
 }
 
 // fnv64 is the FNV-1a hash of the canonical encoding. The rank layer's
@@ -70,12 +82,23 @@ func fnv64(s string) uint64 {
 	return h
 }
 
+// fnv64Bytes is fnv64 over a byte slice, so hashing a scratch-buffer
+// encoding needs no string conversion.
+func fnv64Bytes(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
 // Key returns the interned 64-bit canonical key. Equal keys ⇔ isomorphic
-// patterns (targets pinned). Computed once and cached, like CanonicalKey.
+// patterns (targets pinned). Computed once and cached, like CanonicalKey
+// (which computes both in one pooled pass).
 func (p *Pattern) Key() Key {
 	if !p.hasKey {
-		p.key = internKey(p.CanonicalKey())
-		p.hasKey = true
+		p.CanonicalKey()
 	}
 	return p.key
 }

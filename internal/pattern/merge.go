@@ -1,6 +1,8 @@
 package pattern
 
 import (
+	"sync"
+
 	"rex/internal/kb"
 )
 
@@ -27,26 +29,129 @@ import (
 // and at least one instance. Results are not de-duplicated against each
 // other; the caller's duplication check handles that (as in the paper).
 func Merge(re1, re2 *Explanation, maxVars int) []*Explanation {
+	m := AcquireMerger()
+	defer ReleaseMerger(m)
+	var out []*Explanation
+	m.Merge(re1, re2, maxVars,
+		func(Key) MergeAction { return MergeTake },
+		func(_ Key, ex *Explanation) { out = append(out, ex) })
+	return out
+}
+
+// MergeAction tells the Merger how far to take one merge candidate,
+// decided from its canonical key — after the (pooled, allocation-free)
+// instance join proved the candidate non-empty, but before anything is
+// materialised.
+type MergeAction int
+
+const (
+	// MergeSkip discards the candidate: nothing is materialised and take
+	// is not called. Correct whenever the caller has already committed an
+	// explanation under the same key (the classic duplication check).
+	MergeSkip MergeAction = iota
+	// MergeProbe reports the candidate without materialising it: take
+	// receives a nil explanation. Used by the pruned union to record
+	// composition history for a pattern that already exists in the
+	// current ring.
+	MergeProbe
+	// MergeTake materialises the merged explanation and passes it to
+	// take.
+	MergeTake
+)
+
+// Merger runs the ∪f enumeration with every intermediate buffer — the
+// mapping search state, the merged-edge scratch, the canonical-encoding
+// buffers and the hash-join tables — reused across calls, so the only
+// allocations a merge performs are for explanations the caller actually
+// keeps. A Merger retains no reference to any graph or explanation after
+// a call returns and is freely reusable across snapshots; it is not safe
+// for concurrent use (pool one per goroutine, see AcquireMerger).
+type Merger struct {
+	mapping []VarID
+	used    []bool
+	rename2 [MaxVars]VarID
+	edges   []Edge
+	cs      canonScratch
+
+	// Hash-join state: heads/next chain re2's instance indexes by
+	// matched-variable projection; seen de-duplicates joined instances;
+	// arena accumulates accepted instances flattened (total IDs each).
+	heads map[InstanceKey]int32
+	next  []int32
+	seen  map[InstanceKey]struct{}
+	arena []kb.NodeID
+}
+
+// NewMerger returns a Merger with empty (lazily grown) buffers.
+func NewMerger() *Merger {
+	return &Merger{
+		heads: make(map[InstanceKey]int32),
+		seen:  make(map[InstanceKey]struct{}),
+	}
+}
+
+var mergerPool = sync.Pool{New: func() any { return NewMerger() }}
+
+// AcquireMerger takes a Merger from the process-wide pool.
+func AcquireMerger() *Merger { return mergerPool.Get().(*Merger) }
+
+// ReleaseMerger returns a Merger to the pool. The warm buffers are the
+// point; they hold no pointers into caller state. A merger whose join
+// tables outgrew the retention bound is dropped instead — Go maps never
+// shrink, so re-pooling it would pin a pathological query's footprint
+// for the life of the process.
+func ReleaseMerger(m *Merger) {
+	if m.Oversized(mergerRetainedCap) {
+		return
+	}
+	mergerPool.Put(m)
+}
+
+// mergerRetainedCap bounds the elements a pooled Merger may keep
+// between uses.
+const mergerRetainedCap = 1 << 16
+
+// Oversized reports whether the merger's reusable buffers grew past
+// limit elements; pools use it to decide between reuse and release.
+func (m *Merger) Oversized(limit int) bool {
+	return cap(m.arena) > limit || len(m.heads) > limit ||
+		len(m.seen) > limit || cap(m.next) > limit
+}
+
+// Merge enumerates the valid partial mappings of merge(re1, re2, n) in
+// the same order as the package-level Merge. Each candidate's instance
+// sets are hash-joined in pooled scratch; for non-empty candidates the
+// merged pattern's canonical key is resolved and decide picks the action
+// (see MergeAction). take is invoked — in enumeration order — once per
+// candidate whose join was non-empty and whose action was MergeProbe
+// (ex == nil) or MergeTake (ex materialised).
+func (m *Merger) Merge(re1, re2 *Explanation, maxVars int, decide func(Key) MergeAction, take func(Key, *Explanation)) {
 	p1, p2 := re1.P, re2.P
 	free1 := p1.NumVars() - 2
 	free2 := p2.NumVars() - 2
 	if free1 == 0 || free2 == 0 {
 		// Requirement (4) cannot be met: nothing to match.
-		return nil
+		return
 	}
-	var out []*Explanation
+	if cap(m.mapping) < free2 {
+		m.mapping = make([]VarID, free2)
+	}
+	if cap(m.used) < free1 {
+		m.used = make([]bool, free1)
+	}
+	mapping := m.mapping[:free2]
+	used := m.used[:free1]
+	for i := range used {
+		used[i] = false
+	}
 	// mapping[j] is the p1 variable matched to p2 variable j+2, or -1.
-	mapping := make([]VarID, free2)
-	used := make([]bool, free1)
 	var rec func(j, matched int)
 	rec = func(j, matched int) {
 		if j == free2 {
 			if matched == 0 {
 				return
 			}
-			if merged := applyMapping(re1, re2, mapping, maxVars); merged != nil {
-				out = append(out, merged)
-			}
+			m.candidate(re1, re2, mapping, maxVars, decide, take)
 			return
 		}
 		mapping[j] = -1
@@ -63,16 +168,16 @@ func Merge(re1, re2 *Explanation, maxVars int) []*Explanation {
 		mapping[j] = -1
 	}
 	rec(0, 0)
-	return out
 }
 
-// applyMapping builds the merged explanation for one mapping, or nil when
-// the result exceeds maxVars or has no instance.
-func applyMapping(re1, re2 *Explanation, mapping []VarID, maxVars int) *Explanation {
+// candidate processes one mapping: renames, normalises the merged edge
+// multiset in scratch, resolves the canonical key, and — if the caller
+// wants the candidate — joins the instance sets and materialises.
+func (m *Merger) candidate(re1, re2 *Explanation, mapping []VarID, maxVars int, decide func(Key) MergeAction, take func(Key, *Explanation)) {
 	p1, p2 := re1.P, re2.P
 	// Assign variable IDs in the merged pattern: p1 variables keep their
 	// IDs; unmatched p2 variables get fresh IDs.
-	rename2 := make([]VarID, p2.NumVars())
+	rename2 := m.rename2[:p2.NumVars()]
 	rename2[Start], rename2[End] = Start, End
 	next := VarID(p1.NumVars())
 	for j := 0; j < p2.NumVars()-2; j++ {
@@ -85,38 +190,66 @@ func applyMapping(re1, re2 *Explanation, mapping []VarID, maxVars int) *Explanat
 	}
 	total := int(next)
 	if total > maxVars {
-		return nil
+		return
 	}
 
-	edges := make([]Edge, 0, p1.NumEdges()+p2.NumEdges())
-	edges = append(edges, p1.Edges()...)
+	// Join the instance sets first: the pooled hash-join is cheap, and a
+	// candidate with no instance — the common case — must skip the
+	// (factorial) canonical-form computation entirely.
+	n := m.joinInstances(re1, re2, mapping, rename2, total)
+	if n == 0 {
+		return
+	}
+
+	// Merged edge multiset in New's normal form: per-edge orientation
+	// normalisation, canonical sort, dedup — all in the reused scratch.
+	schema := p1.Schema()
+	m.edges = m.edges[:0]
+	m.edges = append(m.edges, p1.Edges()...)
 	for _, e := range p2.Edges() {
-		edges = append(edges, Edge{U: rename2[e.U], V: rename2[e.V], Label: e.Label})
+		u, v := rename2[e.U], rename2[e.V]
+		if !schema.LabelDirected(e.Label) && u > v {
+			u, v = v, u
+		}
+		m.edges = append(m.edges, Edge{U: u, V: v, Label: e.Label})
 	}
-	merged, err := New(p1.Schema(), total, edges)
-	if err != nil {
-		return nil
-	}
+	insertionSortEdges(m.edges)
+	m.edges = dedupEdges(m.edges)
 
-	instances := mergeInstances(re1, re2, mapping, rename2, total)
-	if len(instances) == 0 {
-		return nil
+	enc := canonEncode(&m.cs, schema, total, m.edges, nil)
+	key, canon := internKeyBytes(enc)
+	action := decide(key)
+	if action == MergeSkip {
+		return
 	}
-	return &Explanation{P: merged, Instances: instances}
+	if action == MergeProbe {
+		take(key, nil)
+		return
+	}
+	p := newInterned(schema, total, m.edges, canon, key)
+	// Exactly two allocations for the instance set: one flat ID backing
+	// array and one header slice.
+	backing := make([]kb.NodeID, n*total)
+	copy(backing, m.arena[:n*total])
+	insts := make([]Instance, n)
+	for i := range insts {
+		insts[i] = Instance(backing[i*total : (i+1)*total])
+	}
+	take(key, &Explanation{P: p, Instances: insts})
 }
 
-// mergeInstances joins the two instance sets on the matched variables.
-// To avoid the |I1|×|I2| scan of the pseudocode, re2's instances are
-// indexed by their matched-variable values first; the join then probes
-// that index, which is the standard hash-join the paper's SQL evaluation
-// would perform.
-func mergeInstances(re1, re2 *Explanation, mapping []VarID, rename2 []VarID, total int) []Instance {
-	matchedVars2 := make([]VarID, 0, len(mapping))
-	matchedVars1 := make([]VarID, 0, len(mapping))
-	for j, m := range mapping {
-		if m >= 0 {
-			matchedVars2 = append(matchedVars2, VarID(j+2))
-			matchedVars1 = append(matchedVars1, m)
+// joinInstances hash-joins the two instance sets on the matched
+// variables into the reused arena, returning the number of accepted
+// (injective, de-duplicated) merged instances; the arena holds them
+// flattened, total IDs each, in the same order the legacy join emitted.
+func (m *Merger) joinInstances(re1, re2 *Explanation, mapping []VarID, rename2 []VarID, total int) int {
+	var matched1, matched2 [MaxVars]VarID
+	nm := 0
+	for j, v := range mapping {
+		if v >= 0 {
+			matched2[nm] = VarID(j + 2)
+			matched1[nm] = v
+			nm++
 		}
 	}
 	// joinKey projects an instance onto the matched variables; the
@@ -130,18 +263,37 @@ func mergeInstances(re1, re2 *Explanation, mapping []VarID, rename2 []VarID, tot
 		}
 		return k
 	}
-	index2 := make(map[InstanceKey][]Instance, len(re2.Instances))
-	for _, i2 := range re2.Instances {
-		k := joinKey(i2, matchedVars2)
-		index2[k] = append(index2[k], i2)
+	// Index re2's instances by projection as forward chains: heads holds
+	// the first instance index per key, next the following one. Built in
+	// reverse so chain traversal preserves instance order.
+	clear(m.heads)
+	if cap(m.next) < len(re2.Instances) {
+		m.next = make([]int32, len(re2.Instances))
+	}
+	nxt := m.next[:len(re2.Instances)]
+	for i := len(re2.Instances) - 1; i >= 0; i-- {
+		k := joinKey(re2.Instances[i], matched2[:nm])
+		if head, ok := m.heads[k]; ok {
+			nxt[i] = head
+		} else {
+			nxt[i] = -1
+		}
+		m.heads[k] = int32(i)
 	}
 
-	var out []Instance
-	seen := make(map[InstanceKey]struct{})
+	clear(m.seen)
+	m.arena = m.arena[:0]
+	n := 0
+	var buf [MaxVars]kb.NodeID
 	for _, i1 := range re1.Instances {
-		k := joinKey(i1, matchedVars1)
-		for _, i2 := range index2[k] {
-			merged := make(Instance, total)
+		k := joinKey(i1, matched1[:nm])
+		idx, ok := m.heads[k]
+		if !ok {
+			continue
+		}
+		for ; idx >= 0; idx = nxt[idx] {
+			i2 := re2.Instances[idx]
+			merged := Instance(buf[:total])
 			copy(merged, i1)
 			for v2 := 2; v2 < len(i2); v2++ {
 				merged[rename2[v2]] = i2[v2]
@@ -150,14 +302,15 @@ func mergeInstances(re1, re2 *Explanation, mapping []VarID, rename2 []VarID, tot
 				continue
 			}
 			ik := merged.Key()
-			if _, dup := seen[ik]; dup {
+			if _, dup := m.seen[ik]; dup {
 				continue
 			}
-			seen[ik] = struct{}{}
-			out = append(out, merged)
+			m.seen[ik] = struct{}{}
+			m.arena = append(m.arena, merged...)
+			n++
 		}
 	}
-	return out
+	return n
 }
 
 // injective reports whether all variable bindings are distinct. REX

@@ -15,7 +15,6 @@ package pattern
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"rex/internal/kb"
@@ -88,9 +87,24 @@ func New(schema Schema, n int, edges []Edge) (*Pattern, error) {
 		}
 		norm = append(norm, e)
 	}
-	sortEdges(norm)
+	insertionSortEdges(norm)
 	norm = dedupEdges(norm)
 	return &Pattern{n: n, edges: norm, schema: schema}, nil
+}
+
+// newInterned builds a pattern whose normal form and canonical identity
+// were already computed externally (the merge scratch): edges must be
+// normalised, sorted and deduped, and (canon, key) must be the interned
+// canonical encoding of exactly this shape. The edge list is copied.
+func newInterned(schema Schema, n int, edges []Edge, canon string, key Key) *Pattern {
+	return &Pattern{
+		n:      n,
+		edges:  append([]Edge(nil), edges...),
+		schema: schema,
+		canon:  canon,
+		key:    key,
+		hasKey: true,
+	}
 }
 
 // MaxVars bounds pattern size. The paper uses a size limit of 5; the cap
@@ -105,13 +119,6 @@ func MustNew(schema Schema, n int, edges []Edge) *Pattern {
 		panic(err)
 	}
 	return p
-}
-
-// sortEdges orders by edgeLess (see canon.go) — the single definition of
-// the edge order both New's normal form and the canonical encoding rely
-// on sharing.
-func sortEdges(es []Edge) {
-	sort.Slice(es, func(i, j int) bool { return edgeLess(es[i], es[j]) })
 }
 
 func dedupEdges(es []Edge) []Edge {

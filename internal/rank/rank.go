@@ -125,6 +125,17 @@ func TopKAntiMonotoneContext(cctx context.Context, g *kb.Graph, start, end kb.No
 		seen[ex.P.Key()] = struct{}{}
 	}
 	lim, isLimited := m.(measure.Limited)
+	merger := pattern.AcquireMerger()
+	defer pattern.ReleaseMerger(merger)
+	// Key-first merge protocol: candidates duplicating an already-seen
+	// pattern are dropped before materialisation, so the expansion loop
+	// only allocates for explanations that enter the candidate pool.
+	decide := func(k pattern.Key) pattern.MergeAction {
+		if _, dup := seen[k]; dup {
+			return pattern.MergeSkip
+		}
+		return pattern.MergeTake
+	}
 
 	for {
 		if err := cctx.Err(); err != nil {
@@ -164,27 +175,24 @@ func TopKAntiMonotoneContext(cctx context.Context, g *kb.Graph, start, end kb.No
 			copy(out, top)
 			return out, nil
 		}
+		take := func(key pattern.Key, re *pattern.Explanation) {
+			seen[key] = struct{}{}
+			if threshold != nil {
+				s, ok := lim.ScoreWithLimit(ctx, re, threshold)
+				if !ok {
+					return // provably below the k-th best
+				}
+				pool = append(pool, Ranked{Ex: re, Score: s})
+				return
+			}
+			pool = append(pool, Ranked{Ex: re, Score: m.Score(ctx, re)})
+		}
 		for _, re1 := range frontier {
 			if err := cctx.Err(); err != nil {
 				return nil, err
 			}
 			for _, re2 := range paths {
-				for _, re := range pattern.Merge(re1, re2, maxVars) {
-					key := re.P.Key()
-					if _, dup := seen[key]; dup {
-						continue
-					}
-					seen[key] = struct{}{}
-					if threshold != nil {
-						s, ok := lim.ScoreWithLimit(ctx, re, threshold)
-						if !ok {
-							continue // provably below the k-th best
-						}
-						pool = append(pool, Ranked{Ex: re, Score: s})
-						continue
-					}
-					pool = append(pool, Ranked{Ex: re, Score: m.Score(ctx, re)})
-				}
+				merger.Merge(re1, re2, maxVars, decide, take)
 			}
 		}
 	}

@@ -125,6 +125,11 @@ func (k *KB) Stats() Stats {
 		MaxDegree: s.MaxDegree, AvgDegree: s.AvgDegree}
 }
 
+// Fingerprint returns the knowledge base's 16-hex-digit content hash —
+// the same value served in query responses and /stats, and carried in
+// the binary snapshot format for load-time identity checks.
+func (k *KB) Fingerprint() string { return k.g.Fingerprint() }
+
 // HasEntity reports whether the knowledge base contains the named entity.
 func (k *KB) HasEntity(name string) bool { return k.g.NodeByName(name) != kb.InvalidNode }
 
@@ -270,6 +275,10 @@ func NewExplainer(k *KB, opt Options) (*Explainer, error) {
 	// guarantees the graph's read indexes exist before the first query
 	// and that concurrent queries never mutate shared state.
 	k.g.Freeze()
+	// The enumeration pool shares the evaluator's lifetime contract: one
+	// per snapshot, so steady-state queries reuse frontier and merge
+	// buffers, and a hot swap releases them with the old explainer.
+	cfg.Pool = enumerate.NewPool()
 	e := &Explainer{kb: k, opt: opt, m: m, cfg: cfg, eval: measure.NewEvaluator(k.g)}
 	if opt.CacheSize > 0 {
 		e.cache = newResultCache(opt.CacheSize)
