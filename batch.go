@@ -20,8 +20,14 @@ type BatchOptions struct {
 	Concurrency int
 	// PerPairTimeout, when positive, bounds each pair's query with its
 	// own deadline (derived from the batch context), so one pathological
-	// pair cannot consume the whole batch budget.
+	// pair cannot consume the whole batch budget. Exceeding it is an
+	// error on that pair; prefer Budget for a graceful best-so-far
+	// answer instead.
 	PerPairTimeout time.Duration
+	// Budget bounds each pair's work, returning truncated best-so-far
+	// results instead of errors when it expires (see Budget). The zero
+	// value inherits the explainer's Options.Budget.
+	Budget Budget
 }
 
 // BatchResult is the outcome for one pair of a batch: either a result or
@@ -31,6 +37,10 @@ type BatchResult struct {
 	Pair   Pair
 	Result *Result
 	Err    error
+	// Elapsed is the wall-clock time this pair's query took (including
+	// any wait on a coalesced duplicate computation); the contended
+	// benchmark derives its latency percentiles from it.
+	Elapsed time.Duration
 }
 
 // BatchExplain explains many pairs concurrently over a worker pool,
@@ -38,7 +48,9 @@ type BatchResult struct {
 // errors (unknown entities, per-pair timeouts) are recorded in the
 // corresponding slot; cancelling ctx aborts in-flight queries and marks
 // every unfinished pair with ctx.Err(). The explainer's result cache,
-// when enabled, is consulted and populated as usual.
+// when enabled, is consulted and populated as usual, and duplicate
+// pairs in flight at the same time are coalesced onto one computation —
+// their slots share one read-only *Result.
 func (e *Explainer) BatchExplain(ctx context.Context, pairs []Pair, opts BatchOptions) []BatchResult {
 	out := make([]BatchResult, len(pairs))
 	if len(pairs) == 0 {
@@ -72,6 +84,11 @@ func (e *Explainer) BatchExplain(ctx context.Context, pairs []Pair, opts BatchOp
 		eng = &budgeted
 	}
 
+	bud := opts.Budget
+	if !bud.active() {
+		bud = e.opt.Budget
+	}
+
 	var next sync.Mutex
 	idx := 0
 	var wg sync.WaitGroup
@@ -93,11 +110,13 @@ func (e *Explainer) BatchExplain(ctx context.Context, pairs []Pair, opts BatchOp
 				if opts.PerPairTimeout > 0 {
 					pctx, cancel = context.WithTimeout(ctx, opts.PerPairTimeout)
 				}
-				res, err := eng.ExplainContext(pctx, p.Start, p.End)
+				t0 := time.Now()
+				res, err := eng.ExplainBudgeted(pctx, p.Start, p.End, bud)
+				elapsed := time.Since(t0)
 				if cancel != nil {
 					cancel()
 				}
-				out[i] = BatchResult{Pair: p, Result: res, Err: err}
+				out[i] = BatchResult{Pair: p, Result: res, Err: err, Elapsed: elapsed}
 			}
 		}()
 	}

@@ -1,0 +1,187 @@
+package rex
+
+// Tests for the anytime query budget at the facade: truncated results
+// are honest prefixes of the exhaustive answer, unbudgeted queries are
+// unaffected, and budgeted results interact safely with the cache.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestExplainBudgetedSubset checks the facade budget contract on the
+// default measure: a generous expansion budget reproduces the
+// unbudgeted result exactly (Truncated false), and a tight one returns
+// Truncated=true with every explanation drawn from the exhaustive
+// explanation set, deterministically across repeated runs.
+func TestExplainBudgetedSubset(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := samplePairs[0]
+	full, err := ex.Explain(p.Start, p.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("unbudgeted result is marked truncated")
+	}
+
+	// Generous budget: must match the exhaustive result byte for byte.
+	res, err := ex.ExplainBudgeted(context.Background(), p.Start, p.End, Budget{MaxExpansions: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("generous budget truncated")
+	}
+	if !resultsEqual(res, full) {
+		t.Fatal("generous budget changed the result")
+	}
+
+	// The exhaustive pattern universe: everything the unbudgeted query
+	// could rank, not just its top-k.
+	exAll, err := NewExplainer(kb, Options{TopK: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullAll, err := exAll.Explain(p.Start, p.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := map[string]bool{}
+	for _, e := range fullAll.Explanations {
+		universe[e.Pattern] = true
+	}
+
+	sawTruncated := false
+	for budget := 1; budget <= 64; budget *= 4 {
+		b := Budget{MaxExpansions: budget}
+		res1, err := ex.ExplainBudgeted(context.Background(), p.Start, p.End, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := ex.ExplainBudgeted(context.Background(), p.Start, p.End, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(res1, res2) || res1.Truncated != res2.Truncated {
+			t.Fatalf("budget %d: repeated budgeted queries disagree", budget)
+		}
+		if res1.Truncated {
+			sawTruncated = true
+		}
+		for _, e := range res1.Explanations {
+			if !universe[e.Pattern] {
+				t.Fatalf("budget %d: pattern %q not in the exhaustive explanation set", budget, e.Pattern)
+			}
+		}
+	}
+	if !sawTruncated {
+		t.Fatal("budget sweep never truncated; the test exercised nothing")
+	}
+}
+
+// TestExplainBudgetTimeout checks the wall-clock budget: an effectively
+// zero timeout returns a truncated result promptly without error, and
+// timeout-budgeted results bypass the cache (they are wall-clock
+// dependent) while leaving unbudgeted entries untouched.
+func TestExplainBudgetTimeout(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{TopK: 10, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := samplePairs[0]
+
+	res, err := ex.ExplainBudgeted(context.Background(), p.Start, p.End, Budget{Timeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("nanosecond budget did not truncate")
+	}
+	if st := ex.CacheStats(); st.Entries != 0 {
+		t.Fatalf("timeout-budgeted result was cached: %+v", st)
+	}
+
+	// The unbudgeted query must compute fresh and cache normally.
+	full, err := ex.Explain(p.Start, p.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("unbudgeted result truncated after a budgeted query")
+	}
+	if st := ex.CacheStats(); st.Entries != 1 {
+		t.Fatalf("unbudgeted result not cached: %+v", st)
+	}
+
+	// An expansion budget is deterministic and caches under its own key:
+	// it must never serve for (or be served from) the unbudgeted entry.
+	bres, err := ex.ExplainBudgeted(context.Background(), p.Start, p.End, Budget{MaxExpansions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bres.Truncated {
+		t.Fatal("one-expansion budget did not truncate")
+	}
+	if st := ex.CacheStats(); st.Entries != 2 {
+		t.Fatalf("expansion-budgeted result not cached separately: %+v", st)
+	}
+	again, err := ex.Explain(p.Start, p.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != full {
+		t.Fatal("unbudgeted cache entry was displaced by the budgeted one")
+	}
+
+	// A timeout-budgeted query that finishes untruncated is identical to
+	// the unbudgeted answer and must cache (under its own key): a server
+	// default wall-clock budget must not turn the cache into dead weight
+	// for the pairs that finish inside it.
+	tres, err := ex.ExplainBudgeted(context.Background(), p.Start, p.End, Budget{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.Truncated {
+		t.Fatal("one-minute budget truncated a sample-KB query")
+	}
+	if st := ex.CacheStats(); st.Entries != 3 {
+		t.Fatalf("untruncated timeout-budgeted result not cached: %+v", st)
+	}
+	tagain, err := ex.ExplainBudgeted(context.Background(), p.Start, p.End, Budget{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagain != tres {
+		t.Fatal("untruncated timeout-budgeted result not served from cache")
+	}
+}
+
+// TestBatchExplainBudget checks budget plumbing through BatchExplain:
+// the per-batch budget truncates every heavy pair and per-pair Elapsed
+// is populated.
+func TestBatchExplainBudget(t *testing.T) {
+	kb := SampleKB()
+	ex, err := NewExplainer(kb, Options{TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ex.BatchExplain(context.Background(), samplePairs, BatchOptions{Budget: Budget{MaxExpansions: 1}})
+	for i, br := range out {
+		if br.Err != nil {
+			t.Fatalf("pair %d: %v", i, br.Err)
+		}
+		if !br.Result.Truncated {
+			t.Errorf("pair %d: one-expansion budget did not truncate", i)
+		}
+		if br.Elapsed <= 0 {
+			t.Errorf("pair %d: Elapsed not populated", i)
+		}
+	}
+}

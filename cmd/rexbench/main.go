@@ -7,6 +7,8 @@
 //	rexbench -exp micro -bench-out BENCH.json   # hot-path micro suite, JSON results
 //	rexbench -exp micro -compare BENCH_seed.json  # + delta table vs a committed baseline
 //	rexbench -exp macro -preset million         # million-edge KB latency/QPS section
+//	rexbench -exp macro -macro-budget-ms 250 -macro-workers 1,4 \
+//	    -mutexprofile mutex.pprof               # + anytime-budget and contended phases
 //
 // Experiments: fig7, fig8, fig9, fig10, fig11, table1, pathshare, all,
 // plus two opt-in perf suites: micro emits machine-readable ns/op, B/op
@@ -14,8 +16,11 @@
 // BENCH_seed.json / BENCH.json), and macro generates a preset-sized
 // synthetic KB (million ≈ 1.2M relationships), round-trips its CSR
 // binary snapshot, and reports Explain latency percentiles plus
-// sustained BatchExplain QPS. See EXPERIMENTS.md for the
-// paper-vs-measured record.
+// sustained BatchExplain QPS — optionally re-measured under the
+// anytime budget (-macro-budget-ms / -macro-budget-expansions) and in
+// the contended mode (-macro-workers, -macro-cpu), with a mutex
+// contention profile of the whole run via -mutexprofile. See
+// EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
@@ -24,11 +29,46 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"rex/internal/harness"
 )
+
+// parseIntList parses a comma-separated list of positive integers
+// ("1,4" → [1 4]); an empty string is an empty list.
+func parseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid entry %q (want positive integers)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// writeMutexProfile dumps the accumulated mutex-contention profile, the
+// artifact CI uploads so lock regressions on the query path are visible
+// in PRs.
+func writeMutexProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -51,8 +91,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		samples   = fs.Int("global-samples", 100, "sampled starts estimating the global distribution")
 		raters    = fs.Int("raters", 10, "simulated raters for table1/pathshare")
 		preset    = fs.String("preset", "million", "KB size preset for -exp macro: small, medium, million")
-		macroQPS  = fs.Float64("macro-qps-seconds", 5, "target duration of the macro throughput phase (0: one batch round)")
-		macroPer  = fs.Int("macro-pairs", 3, "macro pairs per connectedness bucket")
+		macroQPS  = fs.Float64("macro-qps-seconds", 5, "target duration of each macro throughput phase (0: one batch round)")
+		macroPer  = fs.Int("macro-pairs", 5, "macro pairs per connectedness bucket")
+		macroRnd  = fs.Int("macro-rounds", 4, "macro latency measurements per pair")
+		macroBudM = fs.Int64("macro-budget-ms", 0, "macro anytime budget in wall-clock ms; enables the budgeted latency/contended phases (0: skip)")
+		macroBudX = fs.Int("macro-budget-expansions", 0, "macro anytime budget in enumeration expansions (0: none)")
+		macroWkr  = fs.String("macro-workers", "", "comma-separated BatchExplain worker counts for the macro contended mode, e.g. 1,4 (empty: skip)")
+		macroCPU  = fs.String("macro-cpu", "", "comma-separated GOMAXPROCS settings for the macro contended mode (empty: current)")
+		mutexProf = fs.String("mutexprofile", "", "write a runtime mutex-contention profile of the whole run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -64,6 +110,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	gs := *samples
 	if *quick && gs > 25 {
 		gs = 25
+	}
+
+	if *mutexProf != "" {
+		// Sample every fifth contended mutex event: cheap enough to leave
+		// on for a whole benchmark run, dense enough that a serializing
+		// lock on the query path is unmissable in the profile.
+		runtime.SetMutexProfileFraction(5)
+		defer runtime.SetMutexProfileFraction(0)
+		defer func() {
+			if err := writeMutexProfile(*mutexProf); err != nil {
+				fmt.Fprintln(stderr, "rexbench: mutex profile:", err)
+			} else {
+				fmt.Fprintf(stdout, "wrote mutex profile %s\n", *mutexProf)
+			}
+		}()
 	}
 
 	wants := map[string]bool{}
@@ -134,7 +195,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if wants["macro"] {
-			opt := macroOptions{Preset: *preset, Seed: *seed, PerBucket: *macroPer, QPSSeconds: *macroQPS}
+			mWorkers, err := parseIntList(*macroWkr)
+			if err != nil {
+				fmt.Fprintln(stderr, "rexbench: -macro-workers:", err)
+				return 2
+			}
+			mCPUs, err := parseIntList(*macroCPU)
+			if err != nil {
+				fmt.Fprintln(stderr, "rexbench: -macro-cpu:", err)
+				return 2
+			}
+			opt := macroOptions{
+				Preset: *preset, Seed: *seed, PerBucket: *macroPer, Rounds: *macroRnd,
+				QPSSeconds: *macroQPS, BudgetMS: *macroBudM, BudgetExpansions: *macroBudX,
+				Workers: mWorkers, CPUs: mCPUs,
+			}
 			if err := runMacro(&report, stdout, opt); err != nil {
 				fmt.Fprintln(stderr, "rexbench:", err)
 				return 1

@@ -166,3 +166,102 @@ func TestRunMacroSmoke(t *testing.T) {
 		t.Errorf("implausible latency percentiles: p50=%v p99=%v", m.ExplainP50Ms, m.ExplainP99Ms)
 	}
 }
+
+// TestPercentileInterpolation pins the linear-interpolation percentile:
+// small sample sets must not collapse p99 onto max (the nearest-rank
+// bug the macro report shipped with), and exact ranks stay exact.
+func TestPercentileInterpolation(t *testing.T) {
+	if got := percentile(nil, 99); got != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("singleton: %v", got)
+	}
+	s := []float64{1, 2, 3, 4, 5}
+	if got := percentile(s, 50); got != 3 {
+		t.Errorf("p50 of 1..5 = %v, want 3", got)
+	}
+	if got := percentile(s, 100); got != 5 {
+		t.Errorf("p100 of 1..5 = %v, want 5", got)
+	}
+	// p99 over 5 samples interpolates between the 4th and 5th value —
+	// strictly below max, unlike nearest-rank.
+	if got := percentile(s, 99); got <= 4 || got >= 5 {
+		t.Errorf("p99 of 1..5 = %v, want in (4,5)", got)
+	}
+	// Many-sample sanity: p99 of 1..200 ≈ 198.01.
+	var big []float64
+	for i := 1; i <= 200; i++ {
+		big = append(big, float64(i))
+	}
+	if got := percentile(big, 99); got < 197.5 || got > 198.5 {
+		t.Errorf("p99 of 1..200 = %v, want ≈198", got)
+	}
+}
+
+// TestParseIntList covers the contended-mode list flags.
+func TestParseIntList(t *testing.T) {
+	if got, err := parseIntList(""); err != nil || got != nil {
+		t.Errorf("empty: %v %v", got, err)
+	}
+	got, err := parseIntList("1, 4,16")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {
+		t.Errorf("parse: %v %v", got, err)
+	}
+	if _, err := parseIntList("1,x"); err == nil {
+		t.Error("non-numeric entry accepted")
+	}
+	if _, err := parseIntList("0"); err == nil {
+		t.Error("zero accepted")
+	}
+}
+
+// TestRunMacroContendedSmoke exercises the contended mode and budget
+// knobs end to end on the small preset.
+func TestRunMacroContendedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro smoke generates a KB; skip under -short")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "macro", "-preset", "small", "-macro-pairs", "1",
+		"-macro-rounds", "1", "-macro-qps-seconds", "0", "-macro-budget-ms", "50",
+		"-macro-workers", "1,2", "-mutexprofile", filepath.Join(dir, "mutex.pprof"),
+		"-bench-out", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"budgeted explain latency", "contended cpu=", "wrote mutex profile"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("macro output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	m := report.Macro
+	if m == nil {
+		t.Fatal("report has no macro section")
+	}
+	if m.BudgetMS != 50 || m.BudgetedSamples == 0 {
+		t.Errorf("budgeted phase missing: %+v", m)
+	}
+	// workers 1 and 2, each with and without the budget.
+	if len(m.Contended) != 4 {
+		t.Fatalf("contended points = %d, want 4", len(m.Contended))
+	}
+	for i, pt := range m.Contended {
+		if pt.Queries == 0 || pt.QPS <= 0 || pt.P99Ms <= 0 {
+			t.Errorf("contended point %d implausible: %+v", i, pt)
+		}
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "mutex.pprof")); err != nil || fi.Size() == 0 {
+		t.Errorf("mutex profile not written: %v", err)
+	}
+}

@@ -11,6 +11,14 @@
 //	GET  /stats                   uptime, KB version + size, cache and query counters
 //	GET  /healthz                 liveness probe with the active KB generation
 //
+// Queries accept per-request work budgets — budget_ms (wall clock) and
+// budget_expansions (deterministic enumeration bound) as /explain query
+// parameters or body fields, and as top-level /batch fields applying to
+// every pair. A query that exhausts its budget answers with its best
+// explanations found so far and "truncated": true instead of a 504;
+// the -budget and -budget-expansions flags set the default for
+// requests that don't specify one. Unbudgeted queries are exhaustive.
+//
 // Admin endpoints (JSON responses):
 //
 //	POST /admin/delta             stream TSV mutation records; on success the
@@ -68,6 +76,8 @@ func main() {
 		maxInst  = flag.Int("instances", 3, "max instances per explanation (0 = all)")
 		workers  = flag.Int("parallelism", 0, "enumeration worker pool size (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
+		budgetT  = flag.Duration("budget", 0, "default per-query work budget; on expiry the best-so-far explanations are returned as truncated instead of erroring (0 = none; requests override with budget_ms)")
+		budgetX  = flag.Int("budget-expansions", 0, "default per-query enumeration expansion budget, deterministic truncation (0 = none; requests override with budget_expansions)")
 		cacheSz  = flag.Int("cache", 1024, "result cache entries per KB snapshot (0 = disable caching)")
 		maxBatch = flag.Int("max-batch", 1024, "largest accepted /batch pair count")
 		adminTok = flag.String("admin-token", "", "bearer token required by /admin/* (empty = open; only safe on a trusted listener)")
@@ -82,6 +92,7 @@ func main() {
 		MaxInstancesPerExplanation: *maxInst,
 		Parallelism:                *workers,
 		CacheSize:                  *cacheSz,
+		Budget:                     rex.Budget{Timeout: *budgetT, MaxExpansions: *budgetX},
 	}
 	var (
 		store *rex.Store

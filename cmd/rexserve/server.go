@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -94,12 +96,68 @@ func (s *server) handler() http.Handler {
 // explainResponse wraps one query result for the wire. Generation and
 // Fingerprint identify the snapshot that computed the result, so
 // clients (and the swap-under-traffic tests) can correlate answers
-// with KB versions.
+// with KB versions. Truncated mirrors Result.Truncated: the query
+// exhausted its budget and the explanations are the best found within
+// it, not the exhaustive ranking.
 type explainResponse struct {
 	Result      *rex.Result `json:"result"`
+	Truncated   bool        `json:"truncated"`
 	Generation  uint64      `json:"generation"`
 	Fingerprint string      `json:"fingerprint"`
 	ElapsedMS   float64     `json:"elapsed_ms"`
+}
+
+// budgetRequest carries the per-request work budget accepted by
+// /explain (query parameters or JSON body fields) and /batch (top-level
+// body fields, applied to every pair). Zero values fall back to the
+// server's default budget flags.
+type budgetRequest struct {
+	// BudgetMS bounds the query's wall-clock milliseconds; on expiry
+	// the best-so-far explanations are returned with truncated=true.
+	BudgetMS int64 `json:"budget_ms"`
+	// BudgetExpansions bounds enumeration node expansions —
+	// deterministic truncation, unlike the wall-clock budget.
+	BudgetExpansions int `json:"budget_expansions"`
+}
+
+func (b budgetRequest) budget() rex.Budget {
+	return rex.Budget{
+		MaxExpansions: b.BudgetExpansions,
+		Timeout:       time.Duration(b.BudgetMS) * time.Millisecond,
+	}
+}
+
+// validate rejects nonsensical budgets so a client typo (a negative
+// value would silently mean "unbudgeted") gets a 400, not an unbounded
+// query.
+func (b budgetRequest) validate() error {
+	if b.BudgetMS < 0 {
+		return fmt.Errorf("budget_ms must be non-negative, got %d", b.BudgetMS)
+	}
+	if b.BudgetExpansions < 0 {
+		return fmt.Errorf("budget_expansions must be non-negative, got %d", b.BudgetExpansions)
+	}
+	return nil
+}
+
+// parseBudgetQuery reads the budget knobs from URL query parameters.
+func parseBudgetQuery(q url.Values) (budgetRequest, error) {
+	var b budgetRequest
+	if v := q.Get("budget_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return b, fmt.Errorf("invalid budget_ms %q", v)
+		}
+		b.BudgetMS = ms
+	}
+	if v := q.Get("budget_expansions"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return b, fmt.Errorf("invalid budget_expansions %q", v)
+		}
+		b.BudgetExpansions = n
+	}
+	return b, b.validate()
 }
 
 // errorResponse is the JSON error shape of every endpoint.
@@ -107,9 +165,12 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// batchRequest is the /batch input.
+// batchRequest is the /batch input. The budget fields apply to every
+// pair of the batch.
 type batchRequest struct {
-	Pairs []rex.Pair `json:"pairs"`
+	Pairs            []rex.Pair `json:"pairs"`
+	BudgetMS         int64      `json:"budget_ms"`
+	BudgetExpansions int        `json:"budget_expansions"`
 }
 
 // batchResponse is the /batch output: one entry per requested pair, in
@@ -123,10 +184,11 @@ type batchResponse struct {
 }
 
 type batchEntry struct {
-	Start  string      `json:"start"`
-	End    string      `json:"end"`
-	Result *rex.Result `json:"result,omitempty"`
-	Error  string      `json:"error,omitempty"`
+	Start     string      `json:"start"`
+	End       string      `json:"end"`
+	Result    *rex.Result `json:"result,omitempty"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Error     string      `json:"error,omitempty"`
 }
 
 // swapResponse reports a completed snapshot swap from the admin
@@ -210,17 +272,35 @@ func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 }
 
 // handleExplain answers GET /explain?start=a&end=b and the equivalent
-// POST with a JSON {"start","end"} body.
+// POST with a JSON {"start","end"} body. Both forms accept the
+// per-request budget knobs budget_ms and budget_expansions; requests
+// without them run under the server's default budget flags.
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var p rex.Pair
+	var bud budgetRequest
 	switch r.Method {
 	case http.MethodGet:
-		p.Start = r.URL.Query().Get("start")
-		p.End = r.URL.Query().Get("end")
+		q := r.URL.Query()
+		p.Start = q.Get("start")
+		p.End = q.Get("end")
+		var err error
+		if bud, err = parseBudgetQuery(q); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
 	case http.MethodPost:
 		body := http.MaxBytesReader(w, r.Body, 1<<20)
-		if err := json.NewDecoder(body).Decode(&p); err != nil {
+		var req struct {
+			rex.Pair
+			budgetRequest
+		}
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			writeJSON(w, decodeStatus(err), errorResponse{Error: "invalid JSON body: " + err.Error()})
+			return
+		}
+		p, bud = req.Pair, req.budgetRequest
+		if err := bud.validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
 	default:
@@ -235,7 +315,13 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	snap := s.store.Current() // pin one KB version for the whole request
 	t0 := time.Now()
-	res, err := snap.Explainer.ExplainContext(ctx, p.Start, p.End)
+	var res *rex.Result
+	var err error
+	if b := bud.budget(); b != (rex.Budget{}) {
+		res, err = snap.Explainer.ExplainBudgeted(ctx, p.Start, p.End, b)
+	} else {
+		res, err = snap.Explainer.ExplainContext(ctx, p.Start, p.End)
+	}
 	s.note(err)
 	if err != nil {
 		writeJSON(w, errStatus(err), errorResponse{Error: err.Error()})
@@ -243,6 +329,7 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, explainResponse{
 		Result:      res,
+		Truncated:   res.Truncated,
 		Generation:  snap.Generation,
 		Fingerprint: snap.Fingerprint,
 		ElapsedMS:   float64(time.Since(t0).Microseconds()) / 1000,
@@ -275,11 +362,16 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Pairs), s.maxBatch)})
 		return
 	}
+	bud := budgetRequest{BudgetMS: req.BudgetMS, BudgetExpansions: req.BudgetExpansions}
+	if err := bud.validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	snap := s.store.Current()
 	t0 := time.Now()
-	results := snap.Explainer.BatchExplain(ctx, req.Pairs, rex.BatchOptions{})
+	results := snap.Explainer.BatchExplain(ctx, req.Pairs, rex.BatchOptions{Budget: bud.budget()})
 	resp := batchResponse{
 		Results:     make([]batchEntry, len(results)),
 		Generation:  snap.Generation,
@@ -288,6 +380,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, br := range results {
 		s.note(br.Err)
 		entry := batchEntry{Start: br.Pair.Start, End: br.Pair.End, Result: br.Result}
+		if br.Result != nil {
+			entry.Truncated = br.Result.Truncated
+		}
 		if br.Err != nil {
 			entry.Error = br.Err.Error()
 		}

@@ -191,3 +191,84 @@ func TestPprofEndpointsGated(t *testing.T) {
 		t.Errorf("healthz with pprof on = %d, want 200", rec.Code)
 	}
 }
+
+// TestExplainBudgetKnobs drives the per-request anytime budget through
+// both /explain forms and /batch: a deterministic one-expansion budget
+// must answer 200 with truncated=true (never a 504), an invalid knob is
+// a 400, and unbudgeted requests stay exhaustive.
+func TestExplainBudgetKnobs(t *testing.T) {
+	h := testServer(t, time.Minute).handler()
+
+	rec := get(t, h, "/explain?start=brad_pitt&end=angelina_jolie&budget_expansions=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("budgeted GET status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp explainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated || resp.Result == nil || !resp.Result.Truncated {
+		t.Fatalf("one-expansion budget not reported truncated: %s", rec.Body)
+	}
+
+	rec = post(t, h, "/explain", `{"start":"brad_pitt","end":"angelina_jolie","budget_expansions":1,"budget_ms":60000}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("budgeted POST status = %d, body %s", rec.Code, rec.Body)
+	}
+	resp = explainResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Fatalf("budgeted POST not reported truncated: %s", rec.Body)
+	}
+
+	// Unbudgeted requests remain exhaustive.
+	rec = get(t, h, "/explain?start=brad_pitt&end=angelina_jolie")
+	resp = explainResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated {
+		t.Fatalf("unbudgeted request reported truncated: %s", rec.Body)
+	}
+
+	if rec := get(t, h, "/explain?start=a&end=b&budget_ms=nope"); rec.Code != http.StatusBadRequest {
+		t.Errorf("invalid budget_ms: status = %d, want 400", rec.Code)
+	}
+
+	rec = post(t, h, "/batch", `{"pairs":[{"start":"brad_pitt","end":"angelina_jolie"},{"start":"tom_cruise","end":"nicole_kidman"}],"budget_expansions":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("budgeted batch status = %d, body %s", rec.Code, rec.Body)
+	}
+	var bresp batchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &bresp); err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range bresp.Results {
+		if e.Error != "" {
+			t.Fatalf("batch entry %d: %s", i, e.Error)
+		}
+		if !e.Truncated {
+			t.Errorf("batch entry %d not truncated under a one-expansion budget", i)
+		}
+	}
+}
+
+// TestBudgetKnobsRejectNegative: a negative budget would silently mean
+// "unbudgeted"; the API must reject it instead.
+func TestBudgetKnobsRejectNegative(t *testing.T) {
+	h := testServer(t, time.Minute).handler()
+	if rec := get(t, h, "/explain?start=a&end=b&budget_ms=-50"); rec.Code != http.StatusBadRequest {
+		t.Errorf("negative budget_ms GET: status = %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/explain?start=a&end=b&budget_expansions=-1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("negative budget_expansions GET: status = %d, want 400", rec.Code)
+	}
+	if rec := post(t, h, "/explain", `{"start":"a","end":"b","budget_ms":-50}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("negative budget_ms POST: status = %d, want 400", rec.Code)
+	}
+	if rec := post(t, h, "/batch", `{"pairs":[{"start":"a","end":"b"}],"budget_expansions":-2}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("negative budget_expansions batch: status = %d, want 400", rec.Code)
+	}
+}

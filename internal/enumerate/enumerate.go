@@ -22,6 +22,7 @@ import (
 	"math/bits"
 	"slices"
 	"strings"
+	"time"
 
 	"rex/internal/kb"
 	"rex/internal/pattern"
@@ -103,6 +104,67 @@ type Config struct {
 	// contract); nil falls back to a process-wide pool. Results never
 	// alias pooled storage, so any pool choice yields identical output.
 	Pool *Pool
+	// Budget bounds enumeration work, turning the prioritized search
+	// into an anytime algorithm. The zero value never truncates and is
+	// byte-identical to unbudgeted enumeration.
+	Budget Budget
+}
+
+// Budget bounds the work of one enumeration, making the prioritized
+// search a true anytime algorithm (the activation scores of Section 3.2
+// postpone high-degree hubs, so the paths found first are exactly the
+// ones early termination should keep). When the budget expires the
+// enumerator stops expanding and returns the explanations built from
+// every path completed so far, reporting truncation instead of an
+// error. The zero value never truncates.
+type Budget struct {
+	// MaxExpansions bounds the number of frontier node expansions of
+	// the prioritized path search (0 = unlimited). Expansion-budgeted
+	// searches run the canonical serial expansion order regardless of
+	// Config.Workers, so the returned path set is a deterministic
+	// prefix: enumerating with budget N always yields a subset of the
+	// paths found with any budget ≥ N, and of the unbudgeted set.
+	// Only PathPrioritized honours it; the naive and basic strawmen
+	// have no frontier to bound and ignore it.
+	MaxExpansions int
+	// Deadline is the wall-clock cutoff (zero = none), polled at
+	// bounded intervals in the prioritized expansion loop and the
+	// union merge loop. Deadline truncation is inherently timing-
+	// dependent and therefore not deterministic.
+	Deadline time.Time
+}
+
+// restricts reports whether the budget can truncate at all.
+func (b Budget) restricts() bool {
+	return b.MaxExpansions > 0 || !b.Deadline.IsZero()
+}
+
+// budgetClock polls a deadline at a bounded interval; the zero value
+// (no deadline) never expires. Expiry is sticky.
+type budgetClock struct {
+	deadline time.Time
+	n        int
+	expired  bool
+}
+
+// budgetCheckInterval bounds the work between deadline polls in the
+// union merge loop (merges are heavyweight relative to time.Now, so a
+// small interval keeps truncation prompt without measurable cost).
+const budgetCheckInterval = 32
+
+func (b *budgetClock) hit() bool {
+	if b.expired {
+		return true
+	}
+	if b.deadline.IsZero() {
+		return false
+	}
+	b.n++
+	if b.n%budgetCheckInterval != 0 {
+		return false
+	}
+	b.expired = time.Now().After(b.deadline)
+	return b.expired
 }
 
 // DefaultMaxPatternSize matches the paper's experimental pattern size
@@ -133,26 +195,38 @@ func Explanations(g *kb.Graph, start, end kb.NodeID, cfg Config) []*pattern.Expl
 // combination check ctx at bounded intervals and abort mid-flight,
 // returning ctx.Err() and no explanations.
 func ExplanationsContext(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, error) {
+	out, _, err := ExplanationsBudgeted(ctx, g, start, end, cfg)
+	return out, err
+}
+
+// ExplanationsBudgeted is ExplanationsContext surfacing the anytime
+// contract: when cfg.Budget truncates the search, truncated is true and
+// the returned explanations are the complete minimal explanations built
+// from every path the budget admitted — a valid (deterministic, for an
+// expansion budget) subset of the unbudgeted result, never an error.
+// With a zero budget the output is byte-identical to
+// ExplanationsContext and truncated is always false.
+func ExplanationsBudgeted(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) (out []*pattern.Explanation, truncated bool, err error) {
 	cfg = cfg.normalized()
 	pl := cfg.pool()
 	st := pl.get()
 	defer pl.put(st)
-	paths, err := st.paths(ctx, g, start, end, cfg)
+	paths, truncated, err := st.paths(ctx, g, start, end, cfg)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	var out []*pattern.Explanation
+	var utrunc bool
 	switch cfg.UnionAlg {
 	case UnionPrune:
-		out, err = st.pathUnionPrune(ctx, paths, cfg.MaxPatternSize)
+		out, utrunc, err = st.pathUnionPrune(ctx, paths, cfg.MaxPatternSize, cfg.Budget.Deadline)
 	default:
-		out, err = st.pathUnionBasic(ctx, paths, cfg.MaxPatternSize)
+		out, utrunc, err = st.pathUnionBasic(ctx, paths, cfg.MaxPatternSize, cfg.Budget.Deadline)
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	sortExplanations(out)
-	return out, nil
+	return out, truncated || utrunc, nil
 }
 
 // Paths enumerates all simple-path explanations between the targets with
@@ -166,6 +240,14 @@ func Paths(g *kb.Graph, start, end kb.NodeID, cfg Config) []*pattern.Explanation
 // PathsContext is Paths with cancellation, checked at bounded intervals
 // inside the enumeration loops.
 func PathsContext(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, error) {
+	out, _, err := PathsBudgeted(ctx, g, start, end, cfg)
+	return out, err
+}
+
+// PathsBudgeted is PathsContext surfacing the anytime contract (see
+// ExplanationsBudgeted): a truncating budget yields the path
+// explanations completed so far with truncated = true.
+func PathsBudgeted(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, bool, error) {
 	cfg = cfg.normalized()
 	pl := cfg.pool()
 	st := pl.get()
@@ -175,26 +257,27 @@ func PathsContext(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Co
 
 // paths runs the configured path enumerator on the pooled state and
 // groups the result into explanations.
-func (st *enumState) paths(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, error) {
+func (st *enumState) paths(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, bool, error) {
 	maxLen := cfg.MaxPatternSize - 1
 	var (
-		keys []pathKey
-		err  error
+		keys      []pathKey
+		truncated bool
+		err       error
 	)
 	switch cfg.PathAlg {
 	case PathBasic:
 		keys, err = pathEnumBasic(ctx, g, start, end, maxLen, st.out[:0])
 	case PathPrioritized:
-		keys, err = st.pathEnumPrioritized(ctx, g, start, end, maxLen, cfg.Workers)
+		keys, truncated, err = st.pathEnumPrioritized(ctx, g, start, end, maxLen, cfg.Workers, cfg.Budget)
 	default:
 		keys, err = pathEnumNaive(ctx, g, start, end, maxLen, st.out[:0])
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	out := st.groupPaths(g, keys)
 	st.out = keys[:0] // retain the (possibly regrown) buffer for reuse
-	return out, nil
+	return out, truncated, nil
 }
 
 // pathKey is the comparable identity of a path instance: the node

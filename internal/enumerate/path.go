@@ -5,6 +5,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"rex/internal/kb"
 	"rex/internal/pattern"
@@ -313,14 +314,34 @@ func collectPartials(g *kb.Graph, origin, other kb.NodeID, cap int, s side, chec
 // All per-query storage — the node-state arena and index, the priority
 // queue, the dedup set and the per-worker extension buffers — lives in
 // the pooled enumState and is reused across queries.
-func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen, workers int) ([]pathKey, error) {
+//
+// The budget makes the search anytime: expansions are counted per
+// expanded node and the deadline is polled per popped entry; when
+// either expires the current batch finishes (its nodes were already
+// marked expanded) and the paths completed so far are returned with
+// truncated = true. Because activation ordering postpones high-degree
+// hubs, the truncated set holds exactly the cheap, high-value paths the
+// paper's anytime argument (Section 5) keeps. An expansion budget
+// forces the serial batch size, so its truncation point — and therefore
+// the returned set — is identical for every Workers setting and is a
+// prefix of any larger budget's expansion sequence.
+func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start, end kb.NodeID, maxLen, workers int, bud Budget) ([]pathKey, bool, error) {
 	st.resetPrio()
 	if maxLen <= 0 || start == end {
-		return nil, nil
+		return nil, false, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if bud.MaxExpansions > 0 {
+		// Deterministic anytime mode: batch size 1 is exactly the
+		// sequential algorithm, so "first N expansions" is well defined
+		// independent of the worker count.
+		workers = 1
+	}
+	hasDeadline := !bud.Deadline.IsZero()
+	expansions := 0
+	truncated := false
 	caps := [2]int{(maxLen + 1) / 2, maxLen / 2}
 	targets := [2]kb.NodeID{start, end}
 
@@ -350,9 +371,17 @@ func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start
 		jobs = jobs[:0]
 		pendingTotal := 0
 		for st.pq.Len() > 0 && len(jobs) < workers {
+			if bud.MaxExpansions > 0 && expansions >= bud.MaxExpansions {
+				truncated = true
+				break
+			}
+			if hasDeadline && time.Now().After(bud.Deadline) {
+				truncated = true
+				break
+			}
 			if err := check.step(); err != nil {
 				st.jobs = jobs
-				return nil, err
+				return nil, false, err
 			}
 			e := heap.Pop(&st.pq).(actEntry)
 			si := st.stateFor(e.node)
@@ -372,6 +401,7 @@ func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start
 			ns.expanded[e.s] = int32(len(ns.partial[e.s]))
 			jobs = append(jobs, expandJob{node: e.node, s: e.s, spread: spread, pending: pending})
 			pendingTotal += len(pending)
+			expansions++
 		}
 
 		// Concurrent phase: compute every job's extensions into the
@@ -384,13 +414,13 @@ func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					results[i] = extendJobPaths(g, &jobs[i], caps, targets, results[i][:0])
+					results[i] = extendJobPaths(g, &jobs[i], caps, targets, results[i][:0], bud.Deadline)
 				}(i)
 			}
 			wg.Wait()
 		} else {
 			for i := range jobs {
-				results[i] = extendJobPaths(g, &jobs[i], caps, targets, results[i][:0])
+				results[i] = extendJobPaths(g, &jobs[i], caps, targets, results[i][:0], bud.Deadline)
 			}
 		}
 
@@ -426,21 +456,36 @@ func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start
 			// to be joinable (they were, at add time) but never expand;
 			// nothing further to do for them.
 		}
+		if truncated {
+			// Budget exhausted: the popped batch was applied in full (its
+			// nodes were marked expanded before the cut), so st.out holds
+			// every path completed by the admitted expansions.
+			break
+		}
 	}
 	st.jobs = jobs
-	return st.out, nil
+	return st.out, truncated, nil
 }
 
 // extendJobPaths computes the new partial paths one job contributes into
 // dst. It only reads the graph and the job's snapshot, so jobs run in
-// parallel.
-func extendJobPaths(g *kb.Graph, j *expandJob, caps [2]int, targets [2]kb.NodeID, dst []partial) []partial {
+// parallel. A non-zero deadline is polled at a bounded interval so one
+// huge expansion (a high-degree hub with many pending paths) cannot
+// overshoot the anytime budget by its own full cost; cutting the
+// extension set short only shrinks the truncated result, which the
+// budget contract allows.
+func extendJobPaths(g *kb.Graph, j *expandJob, caps [2]int, targets [2]kb.NodeID, dst []partial, deadline time.Time) []partial {
+	checked := 0
 	for i := range j.pending {
 		p := &j.pending[i]
 		if p.length() >= caps[j.s] {
 			continue
 		}
 		for _, he := range g.Neighbors(j.node) {
+			checked++
+			if checked%ctxCheckInterval == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+				return dst
+			}
 			if he.To == targets[j.s] || p.contains(he.To) {
 				continue
 			}

@@ -2,6 +2,7 @@ package enumerate
 
 import (
 	"context"
+	"time"
 
 	"rex/internal/pattern"
 )
@@ -25,13 +26,15 @@ import (
 func PathUnionBasic(qpath []*pattern.Explanation, maxVars int) []*pattern.Explanation {
 	st := defaultPool.get()
 	defer defaultPool.put(st)
-	out, _ := st.pathUnionBasic(context.Background(), qpath, maxVars)
+	out, _, _ := st.pathUnionBasic(context.Background(), qpath, maxVars, time.Time{})
 	return out
 }
 
 // pathUnionBasic implements PathUnionBasic with cancellation, checked
-// once per merge pair.
-func (st *enumState) pathUnionBasic(ctx context.Context, qpath []*pattern.Explanation, maxVars int) ([]*pattern.Explanation, error) {
+// once per merge pair, and an optional anytime deadline: on expiry the
+// explanations committed so far (each complete, with its instances) are
+// returned with truncated = true.
+func (st *enumState) pathUnionBasic(ctx context.Context, qpath []*pattern.Explanation, maxVars int, deadline time.Time) ([]*pattern.Explanation, bool, error) {
 	q := append([]*pattern.Explanation{}, qpath...)
 	seen := st.unionSeen
 	clear(seen)
@@ -39,6 +42,7 @@ func (st *enumState) pathUnionBasic(ctx context.Context, qpath []*pattern.Explan
 		seen[re.P.Key()] = struct{}{}
 	}
 	check := cancelCheck{ctx: ctx}
+	clock := budgetClock{deadline: deadline}
 	decide := func(k pattern.Key) pattern.MergeAction {
 		if _, dup := seen[k]; dup {
 			return pattern.MergeSkip
@@ -55,7 +59,10 @@ func (st *enumState) pathUnionBasic(ctx context.Context, qpath []*pattern.Explan
 		for _, re1 := range expand {
 			for _, re2 := range qpath {
 				if err := check.step(); err != nil {
-					return nil, err
+					return nil, false, err
+				}
+				if clock.hit() {
+					return append(q, qnew...), true, nil
 				}
 				st.merger.Merge(re1, re2, maxVars, decide, take)
 			}
@@ -63,7 +70,7 @@ func (st *enumState) pathUnionBasic(ctx context.Context, qpath []*pattern.Explan
 		q = append(q, qnew...)
 		expand = qnew
 	}
-	return q, nil
+	return q, false, nil
 }
 
 // PathUnionPrune is Algorithm 4: composition histories restrict which
@@ -75,7 +82,7 @@ func (st *enumState) pathUnionBasic(ctx context.Context, qpath []*pattern.Explan
 func PathUnionPrune(qpath []*pattern.Explanation, maxVars int) []*pattern.Explanation {
 	st := defaultPool.get()
 	defer defaultPool.put(st)
-	out, _ := st.pathUnionPrune(context.Background(), qpath, maxVars)
+	out, _, _ := st.pathUnionPrune(context.Background(), qpath, maxVars, time.Time{})
 	return out
 }
 
@@ -84,8 +91,10 @@ func PathUnionPrune(qpath []*pattern.Explanation, maxVars int) []*pattern.Explan
 // skipped before instance work; candidates that duplicate the current
 // ring run the instance join only to decide whether a composition
 // history entry is due (MergeProbe) — exactly the work the unpooled
-// implementation performed, minus every wasted materialisation.
-func (st *enumState) pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars int) ([]*pattern.Explanation, error) {
+// implementation performed, minus every wasted materialisation. An
+// anytime deadline returns the explanations committed so far (each
+// complete) with truncated = true.
+func (st *enumState) pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars int, deadline time.Time) ([]*pattern.Explanation, bool, error) {
 	q := append([]*pattern.Explanation{}, qpath...)
 	seen := st.unionSeen
 	clear(seen)
@@ -93,6 +102,7 @@ func (st *enumState) pathUnionPrune(ctx context.Context, qpath []*pattern.Explan
 		seen[re.P.Key()] = struct{}{}
 	}
 	check := cancelCheck{ctx: ctx}
+	clock := budgetClock{deadline: deadline}
 
 	type histPair struct{ parent, path int }
 	expand := qpath
@@ -167,7 +177,10 @@ func (st *enumState) pathUnionPrune(ctx context.Context, qpath []*pattern.Explan
 			}
 			for _, i2 := range candidates {
 				if err := check.step(); err != nil {
-					return nil, err
+					return nil, false, err
+				}
+				if clock.hit() {
+					return append(q, qnew...), true, nil
 				}
 				curParent, curPath = i1, i2
 				st.merger.Merge(re1, qpath[i2], maxVars, decide, take)
@@ -179,7 +192,7 @@ func (st *enumState) pathUnionPrune(ctx context.Context, qpath []*pattern.Explan
 		q = append(q, qnew...)
 		expand, hExpand = qnew, hNew
 	}
-	return q, nil
+	return q, false, nil
 }
 
 // sortInts insertion-sorts the (small) candidate index sets so merge

@@ -25,6 +25,14 @@
 // user queries, every cache in the evaluator is bounded: the result
 // memos flush wholesale on overflow and the prefix cache evicts by
 // start — memory stays fixed no matter the query diversity.
+//
+// Concurrency: the memos are split into power-of-two lock shards keyed
+// by the low bits of pattern.Key (an FNV-1a hash, so the bits are well
+// mixed), and the prefix cache into shards keyed by start node, so
+// concurrent BatchExplain workers hitting different patterns or starts
+// never serialise on one mutex. Sharding only partitions the maps;
+// every result is computed exactly as before, so scores are
+// byte-identical to the single-lock implementation.
 
 package measure
 
@@ -43,12 +51,31 @@ import (
 type Evaluator struct {
 	g *kb.Graph
 
+	shards   [evalShardCount]evalShard
+	prefixes prefixCache
+}
+
+// evalShard holds one lock shard of the result memos. Shards are
+// selected by pattern key, so all memo traffic for one pattern —
+// including the CountByEnd table an explanation set shares — lands on
+// one mutex while different patterns proceed in parallel.
+type evalShard struct {
 	mu         sync.Mutex
 	pairs      map[pairCountKey]int
 	tables     map[tableKey]map[kb.NodeID]int
-	tableCells int // total entries across tables, for the memory bound
+	tableCells int // total entries across this shard's tables
+}
 
-	prefixes prefixCache
+// evalShardCount is the number of result-memo lock shards. Power of two
+// so shard selection is a mask; 16 comfortably covers any realistic
+// BatchExplain worker count while keeping the per-shard flush bounds
+// meaningful.
+const evalShardCount = 16
+
+// shardFor selects the lock shard for a pattern key. The key is an
+// FNV-1a hash, so its low bits are uniformly distributed.
+func (ev *Evaluator) shardFor(k pattern.Key) *evalShard {
+	return &ev.shards[uint64(k)&(evalShardCount-1)]
 }
 
 type pairCountKey struct {
@@ -84,18 +111,25 @@ const (
 	// snapshot lifetime (a static KB never swaps its evaluator away).
 	// On overflow the memos are flushed wholesale — rare, cheap, and it
 	// re-warms with the current working set instead of freezing on the
-	// oldest one. Worst case ≈ maxTableCells table entries ≈ 64 MiB.
+	// oldest one. The totals are split evenly across the lock shards
+	// (each shard flushes independently at total/shards), so the
+	// worst-case footprint is unchanged from the single-lock era:
+	// ≈ maxTableCells table entries ≈ 64 MiB.
 	maxPairMemos  = 1 << 20
 	maxTableCells = 1 << 22
+
+	maxPairMemosPerShard  = maxPairMemos / evalShardCount
+	maxTableCellsPerShard = maxTableCells / evalShardCount
 )
 
 // NewEvaluator builds an evaluator over a frozen graph.
 func NewEvaluator(g *kb.Graph) *Evaluator {
-	return &Evaluator{
-		g:      g,
-		pairs:  make(map[pairCountKey]int),
-		tables: make(map[tableKey]map[kb.NodeID]int),
+	ev := &Evaluator{g: g}
+	for i := range ev.shards {
+		ev.shards[i].pairs = make(map[pairCountKey]int)
+		ev.shards[i].tables = make(map[tableKey]map[kb.NodeID]int)
 	}
+	return ev
 }
 
 // Graph returns the frozen graph the evaluator is pinned to.
@@ -106,9 +140,10 @@ func (ev *Evaluator) Graph() *kb.Graph { return ev.g }
 // match without poisoning the memo.
 func (ev *Evaluator) Count(ctx context.Context, p *pattern.Pattern, start, end kb.NodeID) (int, error) {
 	key := pairCountKey{p.Key(), start, end}
-	ev.mu.Lock()
-	n, ok := ev.pairs[key]
-	ev.mu.Unlock()
+	sh := ev.shardFor(key.p)
+	sh.mu.Lock()
+	n, ok := sh.pairs[key]
+	sh.mu.Unlock()
 	if ok {
 		return n, nil
 	}
@@ -116,12 +151,12 @@ func (ev *Evaluator) Count(ctx context.Context, p *pattern.Pattern, start, end k
 	if err != nil {
 		return 0, err
 	}
-	ev.mu.Lock()
-	if len(ev.pairs) >= maxPairMemos {
-		ev.pairs = make(map[pairCountKey]int)
+	sh.mu.Lock()
+	if len(sh.pairs) >= maxPairMemosPerShard {
+		sh.pairs = make(map[pairCountKey]int)
 	}
-	ev.pairs[key] = n
-	ev.mu.Unlock()
+	sh.pairs[key] = n
+	sh.mu.Unlock()
 	return n, nil
 }
 
@@ -132,9 +167,10 @@ func (ev *Evaluator) Count(ctx context.Context, p *pattern.Pattern, start, end k
 // everything else falls back to the general matcher.
 func (ev *Evaluator) CountByEnd(ctx context.Context, p *pattern.Pattern, start kb.NodeID) (map[kb.NodeID]int, error) {
 	key := tableKey{p.Key(), start}
-	ev.mu.Lock()
-	t, ok := ev.tables[key]
-	ev.mu.Unlock()
+	sh := ev.shardFor(key.p)
+	sh.mu.Lock()
+	t, ok := sh.tables[key]
+	sh.mu.Unlock()
 	if ok {
 		return t, nil
 	}
@@ -151,14 +187,14 @@ func (ev *Evaluator) CountByEnd(ctx context.Context, p *pattern.Pattern, start k
 	if err != nil {
 		return nil, err
 	}
-	ev.mu.Lock()
-	if ev.tableCells+len(counts) > maxTableCells {
-		ev.tables = make(map[tableKey]map[kb.NodeID]int)
-		ev.tableCells = 0
+	sh.mu.Lock()
+	if sh.tableCells+len(counts) > maxTableCellsPerShard {
+		sh.tables = make(map[tableKey]map[kb.NodeID]int)
+		sh.tableCells = 0
 	}
-	ev.tables[key] = counts
-	ev.tableCells += len(counts)
-	ev.mu.Unlock()
+	sh.tables[key] = counts
+	sh.tableCells += len(counts)
+	sh.mu.Unlock()
 	return counts, nil
 }
 
@@ -166,9 +202,11 @@ func (ev *Evaluator) CountByEnd(ctx context.Context, p *pattern.Pattern, start k
 // memoised; the position measure uses it to decide between a table scan
 // and the streaming limit-pruned enumeration.
 func (ev *Evaluator) hasTable(p *pattern.Pattern, start kb.NodeID) bool {
-	ev.mu.Lock()
-	_, ok := ev.tables[tableKey{p.Key(), start}]
-	ev.mu.Unlock()
+	key := tableKey{p.Key(), start}
+	sh := ev.shardFor(key.p)
+	sh.mu.Lock()
+	_, ok := sh.tables[key]
+	sh.mu.Unlock()
 	return ok
 }
 
@@ -233,57 +271,79 @@ type startPrefixes struct {
 	size   int // total node IDs stored
 }
 
-// prefixCache is an LRU over start entities. Guarded by its own mutex so
-// long walk computations do not block unrelated memo lookups.
+// prefixShardCount is the number of prefix-cache lock shards. Power of
+// two so selection is a mask over the (densely allocated) node ID.
+const prefixShardCount = 8
+
+// maxPrefixStartsPerShard keeps the global LRU bound: each shard holds
+// its share of the maxPrefixStarts budget and evicts independently.
+const maxPrefixStartsPerShard = maxPrefixStarts / prefixShardCount
+
+// prefixCache is an LRU over start entities, sharded by start node so
+// concurrent queries walking different starts (BatchExplain workers,
+// global-distribution sampling) never serialise on one mutex, and long
+// walk computations never block unrelated memo lookups.
 type prefixCache struct {
+	shards [prefixShardCount]prefixShard
+}
+
+// prefixShard is one lock shard: an independent LRU over its share of
+// the start entities.
+type prefixShard struct {
 	mu     sync.Mutex
 	starts map[kb.NodeID]*startPrefixes
 	order  []kb.NodeID // LRU order, most recent last
 }
 
-func (pc *prefixCache) bucket(start kb.NodeID) *startPrefixes {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if pc.starts == nil {
-		pc.starts = make(map[kb.NodeID]*startPrefixes)
+// shardFor selects the shard owning a start node. Node IDs are dense
+// sequential integers, so the low bits spread starts evenly.
+func (pc *prefixCache) shardFor(start kb.NodeID) *prefixShard {
+	return &pc.shards[uint32(start)&(prefixShardCount-1)]
+}
+
+func (ps *prefixShard) bucket(start kb.NodeID) *startPrefixes {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.starts == nil {
+		ps.starts = make(map[kb.NodeID]*startPrefixes)
 	}
-	sp, ok := pc.starts[start]
+	sp, ok := ps.starts[start]
 	if !ok {
 		sp = &startPrefixes{levels: make(map[stepSeqKey]walkSet)}
-		pc.starts[start] = sp
-		pc.order = append(pc.order, start)
-		if len(pc.order) > maxPrefixStarts {
-			evict := pc.order[0]
-			pc.order = pc.order[1:]
-			delete(pc.starts, evict)
+		ps.starts[start] = sp
+		ps.order = append(ps.order, start)
+		if len(ps.order) > maxPrefixStartsPerShard {
+			evict := ps.order[0]
+			ps.order = ps.order[1:]
+			delete(ps.starts, evict)
 		}
 		return sp
 	}
-	for i, s := range pc.order {
+	for i, s := range ps.order {
 		if s == start {
-			pc.order = append(append(pc.order[:i:i], pc.order[i+1:]...), start)
+			ps.order = append(append(ps.order[:i:i], ps.order[i+1:]...), start)
 			break
 		}
 	}
 	return sp
 }
 
-func (pc *prefixCache) get(sp *startPrefixes, key stepSeqKey) (walkSet, bool) {
-	pc.mu.Lock()
+func (ps *prefixShard) get(sp *startPrefixes, key stepSeqKey) (walkSet, bool) {
+	ps.mu.Lock()
 	w, ok := sp.levels[key]
-	pc.mu.Unlock()
+	ps.mu.Unlock()
 	return w, ok
 }
 
-func (pc *prefixCache) put(sp *startPrefixes, key stepSeqKey, w walkSet) {
-	pc.mu.Lock()
+func (ps *prefixShard) put(sp *startPrefixes, key stepSeqKey, w walkSet) {
+	ps.mu.Lock()
 	if sp.size+len(w.nodes) <= maxPrefixNodesPerStart {
 		if _, dup := sp.levels[key]; !dup {
 			sp.levels[key] = w
 			sp.size += len(w.nodes)
 		}
 	}
-	pc.mu.Unlock()
+	ps.mu.Unlock()
 }
 
 // errWalkTooLarge aborts materialisation when a walk level outgrows
@@ -302,8 +362,9 @@ var errWalkTooLarge error = walkTooLargeError{}
 // subsumed by it), so counts per terminal equal the matcher's per-end
 // counts.
 func (ev *Evaluator) pathCountByEnd(ctx context.Context, start kb.NodeID, steps []pattern.PathStep) (map[kb.NodeID]int, error) {
-	sp := ev.prefixes.bucket(start)
-	w, err := ev.walksAt(ctx, sp, start, steps)
+	ps := ev.prefixes.shardFor(start)
+	sp := ps.bucket(start)
+	w, err := ev.walksAt(ctx, ps, sp, start, steps)
 	if err == errWalkTooLarge {
 		// Too big to materialise: stream it instead (no cache, bounded
 		// memory, identical result).
@@ -326,15 +387,15 @@ func (ev *Evaluator) pathCountByEnd(ctx context.Context, start kb.NodeID, steps 
 
 // walksAt returns the injective walks matching steps from start,
 // recursively extending the cached next-shortest prefix.
-func (ev *Evaluator) walksAt(ctx context.Context, sp *startPrefixes, start kb.NodeID, steps []pattern.PathStep) (walkSet, error) {
+func (ev *Evaluator) walksAt(ctx context.Context, ps *prefixShard, sp *startPrefixes, start kb.NodeID, steps []pattern.PathStep) (walkSet, error) {
 	if len(steps) == 0 {
 		return walkSet{stride: 1, nodes: []kb.NodeID{start}}, nil
 	}
 	key := seqKey(steps)
-	if w, ok := ev.prefixes.get(sp, key); ok {
+	if w, ok := ps.get(sp, key); ok {
 		return w, nil
 	}
-	prev, err := ev.walksAt(ctx, sp, start, steps[:len(steps)-1])
+	prev, err := ev.walksAt(ctx, ps, sp, start, steps[:len(steps)-1])
 	if err != nil {
 		return walkSet{}, err
 	}
@@ -367,7 +428,7 @@ func (ev *Evaluator) walksAt(ctx context.Context, sp *startPrefixes, start kb.No
 			}
 		}
 	}
-	ev.prefixes.put(sp, key, out)
+	ps.put(sp, key, out)
 	return out, nil
 }
 

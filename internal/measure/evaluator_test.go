@@ -2,6 +2,7 @@ package measure
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"rex/internal/enumerate"
@@ -170,6 +171,110 @@ func TestScoresIdenticalWithAndWithoutEvaluator(t *testing.T) {
 			if got.Cmp(want) != 0 {
 				t.Fatalf("%s on %v: evaluator score %v, bare score %v", m.Name(), ex.P, got, want)
 			}
+		}
+	}
+}
+
+// TestEvaluatorMemoLookupAllocFree pins the sharded-evaluator contract
+// that splitting the memos across lock shards added no steady-state
+// allocations: once a (pattern, pair) count and a (pattern, start)
+// table are memoised, re-reading them is pure shard selection plus a
+// map lookup.
+func TestEvaluatorMemoLookupAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector adds bookkeeping allocations; counts are not meaningful")
+	}
+	_, ev, es, s, e := evalFixture(t)
+	ctx := context.Background()
+	for _, ex := range es {
+		if _, err := ev.Count(ctx, ex.P, s, e); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ev.CountByEnd(ctx, ex.P, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, ex := range es {
+			if _, err := ev.Count(ctx, ex.P, s, e); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ev.CountByEnd(ctx, ex.P, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("memoised evaluator lookups allocate %.0f times per sweep; want 0", allocs)
+	}
+}
+
+// TestEvaluatorShardedParity drives every enumerated pattern through
+// Count/CountByEnd/LocalPosition on a cold evaluator from many
+// goroutines at once (run with -race) and checks each result against a
+// serial reference evaluator: sharding partitions the locks, never the
+// answers.
+func TestEvaluatorShardedParity(t *testing.T) {
+	g, ev, es, s, e := evalFixture(t)
+	ref := NewEvaluator(g)
+	ctx := context.Background()
+
+	type res struct {
+		count int
+		ends  int
+		pos   int
+	}
+	want := make([]res, len(es))
+	for i, ex := range es {
+		c, err := ref.Count(ctx, ex.P, s, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := ref.CountByEnd(ctx, ex.P, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos, ok, err := ref.LocalPosition(ctx, ex.P, s, c, -1)
+		if err != nil || !ok {
+			t.Fatalf("reference LocalPosition: pos=%d ok=%v err=%v", pos, ok, err)
+		}
+		want[i] = res{count: c, ends: len(tab), pos: pos}
+	}
+
+	const goroutines = 8
+	errs := make(chan error, goroutines)
+	for gr := 0; gr < goroutines; gr++ {
+		go func(gr int) {
+			for round := 0; round < 3; round++ {
+				for i, ex := range es {
+					c, err := ev.Count(ctx, ex.P, s, e)
+					if err != nil {
+						errs <- err
+						return
+					}
+					tab, err := ev.CountByEnd(ctx, ex.P, s)
+					if err != nil {
+						errs <- err
+						return
+					}
+					pos, ok, err := ev.LocalPosition(ctx, ex.P, s, c, -1)
+					if err != nil || !ok {
+						errs <- fmt.Errorf("LocalPosition: ok=%v err=%v", ok, err)
+						return
+					}
+					if c != want[i].count || len(tab) != want[i].ends || pos != want[i].pos {
+						errs <- fmt.Errorf("pattern %d: concurrent (%d,%d,%d) != serial (%d,%d,%d)",
+							i, c, len(tab), pos, want[i].count, want[i].ends, want[i].pos)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(gr)
+	}
+	for gr := 0; gr < goroutines; gr++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
 		}
 	}
 }

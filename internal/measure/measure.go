@@ -265,5 +265,12 @@ func CountOracle(ctx *Context, ex *pattern.Explanation) int {
 			return n
 		}
 	}
+	// A cancelled (or budget-expired) context must not fall through to
+	// the uninterruptible matcher: return an incomplete value — callers
+	// observing a done context discard the score (the rank layer's
+	// contract), so the shortcut is never visible in results.
+	if ctx.Context().Err() != nil {
+		return 0
+	}
 	return match.Count(ctx.G, ex.P, ctx.Start, ctx.End)
 }

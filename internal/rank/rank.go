@@ -15,12 +15,51 @@ package rank
 import (
 	"context"
 	"sort"
+	"time"
 
 	"rex/internal/enumerate"
 	"rex/internal/kb"
 	"rex/internal/measure"
 	"rex/internal/pattern"
 )
+
+// rankClock reports expiry of the anytime budget context (nil = never
+// expires); expiry is sticky so one observation truncates the rest of
+// the ranking.
+type rankClock struct {
+	bctx    context.Context
+	expired bool
+}
+
+func (c *rankClock) hit() bool {
+	if c.expired {
+		return true
+	}
+	if c.bctx == nil {
+		return false
+	}
+	c.expired = c.bctx.Err() != nil
+	return c.expired
+}
+
+// budgetedMeasureCtx prepares anytime scoring for a deadline: measure
+// evaluations run under a context that expires at the deadline (derived
+// from cctx, so real cancellation still flows through), which the
+// engine's bounded-interval checks — matcher bindings, evaluator walks,
+// streaming positions — already poll. A heavy evaluation therefore
+// aborts within the budget instead of overshooting it by its own full
+// cost; the rank loops observe the expiry via rankClock, discard the
+// aborted (incomplete) evaluation, and return the ranking built so far.
+// With a zero deadline everything is returned unchanged.
+func budgetedMeasureCtx(cctx context.Context, mctx *measure.Context, deadline time.Time) (*measure.Context, *rankClock, context.CancelFunc) {
+	if deadline.IsZero() {
+		return mctx, &rankClock{}, func() {}
+	}
+	bctx, cancel := context.WithDeadline(cctx, deadline)
+	bm := *mctx
+	bm.Ctx = bctx
+	return &bm, &rankClock{bctx: bctx}, cancel
+}
 
 // Ranked pairs an explanation with its interestingness score.
 type Ranked struct {
@@ -70,24 +109,42 @@ func General(ctx *measure.Context, es []*pattern.Explanation, m measure.Measure,
 // context aborts ranking mid-flight with ctx.Err(). Scores computed while
 // the context expires are discarded, never partially returned.
 func GeneralContext(cctx context.Context, ctx *measure.Context, es []*pattern.Explanation, m measure.Measure, k int) ([]Ranked, error) {
-	rs := make([]Ranked, len(es))
-	for i, ex := range es {
+	rs, _, err := GeneralBudgeted(cctx, ctx, es, m, k, time.Time{})
+	return rs, err
+}
+
+// GeneralBudgeted is GeneralContext with an anytime deadline: scoring
+// stops when the deadline passes and the explanations scored so far are
+// ranked and returned with truncated = true. A zero deadline never
+// truncates and is byte-identical to GeneralContext.
+func GeneralBudgeted(cctx context.Context, ctx *measure.Context, es []*pattern.Explanation, m measure.Measure, k int, deadline time.Time) ([]Ranked, bool, error) {
+	bm, clock, cancel := budgetedMeasureCtx(cctx, ctx, deadline)
+	defer cancel()
+	rs := make([]Ranked, 0, len(es))
+	for _, ex := range es {
 		if err := cctx.Err(); err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		rs[i] = Ranked{Ex: ex, Score: m.Score(ctx, ex)}
+		if clock.hit() {
+			break
+		}
+		s := m.Score(bm, ex)
+		if clock.hit() {
+			break // the budget cut this evaluation short: discard it
+		}
+		rs = append(rs, Ranked{Ex: ex, Score: s})
 	}
 	// A context that expired during the final Score call would otherwise
 	// slip a partial score into the result: measures abort with
 	// incomplete values on cancellation and rely on this post-loop check.
 	if err := cctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	sortRanked(rs)
 	if k > 0 && len(rs) > k {
 		rs = rs[:k]
 	}
-	return rs, nil
+	return rs, clock.expired, nil
 }
 
 // TopKAntiMonotone interleaves enumeration, scoring and ranking for an
@@ -105,12 +162,26 @@ func TopKAntiMonotone(g *kb.Graph, start, end kb.NodeID, cfg enumerate.Config, c
 // enumeration aborts via the enumerate layer, and the interleaved
 // expansion checks the context once per frontier explanation.
 func TopKAntiMonotoneContext(cctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg enumerate.Config, ctx *measure.Context, m measure.Measure, k int) ([]Ranked, error) {
+	rs, _, err := TopKAntiMonotoneBudgeted(cctx, g, start, end, cfg, ctx, m, k)
+	return rs, err
+}
+
+// TopKAntiMonotoneBudgeted is TopKAntiMonotoneContext surfacing the
+// anytime contract of cfg.Budget: path enumeration truncates per the
+// enumerate layer, and when the budget deadline passes mid-expansion the
+// current top-k list (complete explanations, correctly ranked among
+// everything scored so far) is returned with truncated = true. A zero
+// budget never truncates and the result is byte-identical to
+// TopKAntiMonotoneContext.
+func TopKAntiMonotoneBudgeted(cctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg enumerate.Config, ctx *measure.Context, m measure.Measure, k int) ([]Ranked, bool, error) {
 	if k <= 0 {
 		k = 10
 	}
-	paths, err := enumerate.PathsContext(cctx, g, start, end, cfg)
+	bm, clock, cancel := budgetedMeasureCtx(cctx, ctx, cfg.Budget.Deadline)
+	defer cancel()
+	paths, truncated, err := enumerate.PathsBudgeted(cctx, g, start, end, cfg)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	maxVars := cfg.MaxPatternSize
 	if maxVars <= 0 {
@@ -121,7 +192,14 @@ func TopKAntiMonotoneContext(cctx context.Context, g *kb.Graph, start, end kb.No
 	seen := make(map[pattern.Key]struct{}, len(paths))
 	expanded := make(map[pattern.Key]struct{})
 	for _, ex := range paths {
-		pool = append(pool, Ranked{Ex: ex, Score: m.Score(ctx, ex)})
+		if clock.hit() {
+			break // remaining paths stay unscored; the first round exits
+		}
+		s := m.Score(bm, ex)
+		if clock.hit() {
+			break // the budget cut this evaluation short: discard it
+		}
+		pool = append(pool, Ranked{Ex: ex, Score: s})
 		seen[ex.P.Key()] = struct{}{}
 	}
 	lim, isLimited := m.(measure.Limited)
@@ -139,12 +217,19 @@ func TopKAntiMonotoneContext(cctx context.Context, g *kb.Graph, start, end kb.No
 
 	for {
 		if err := cctx.Err(); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		sortRanked(pool)
 		top := pool
 		if len(top) > k {
 			top = top[:k]
+		}
+		// Anytime exit: the pool holds every explanation scored so far,
+		// so the current top-k is the best answer the budget bought.
+		if clock.hit() {
+			out := make([]Ranked, len(top))
+			copy(out, top)
+			return out, true, nil
 		}
 		// The current k-th best score bounds every further evaluation:
 		// a Limited measure may abort once a candidate is provably
@@ -169,27 +254,37 @@ func TopKAntiMonotoneContext(cctx context.Context, g *kb.Graph, start, end kb.No
 			// Score call of the previous expansion round (see
 			// GeneralContext).
 			if err := cctx.Err(); err != nil {
-				return nil, err
+				return nil, false, err
 			}
 			out := make([]Ranked, len(top))
 			copy(out, top)
-			return out, nil
+			return out, truncated, nil
 		}
 		take := func(key pattern.Key, re *pattern.Explanation) {
 			seen[key] = struct{}{}
 			if threshold != nil {
-				s, ok := lim.ScoreWithLimit(ctx, re, threshold)
-				if !ok {
-					return // provably below the k-th best
+				s, ok := lim.ScoreWithLimit(bm, re, threshold)
+				if !ok || clock.hit() {
+					return // provably below the k-th best, or budget-cut
 				}
 				pool = append(pool, Ranked{Ex: re, Score: s})
 				return
 			}
-			pool = append(pool, Ranked{Ex: re, Score: m.Score(ctx, re)})
+			s := m.Score(bm, re)
+			if clock.hit() {
+				return // the budget cut this evaluation short: discard it
+			}
+			pool = append(pool, Ranked{Ex: re, Score: s})
 		}
 		for _, re1 := range frontier {
 			if err := cctx.Err(); err != nil {
-				return nil, err
+				return nil, false, err
+			}
+			if clock.hit() {
+				// Candidates merged so far are already scored into the
+				// pool; the next round's top-of-loop exit returns them
+				// ranked.
+				break
 			}
 			for _, re2 := range paths {
 				merger.Merge(re1, re2, maxVars, decide, take)
@@ -210,19 +305,37 @@ func TopKDistributional(ctx *measure.Context, es []*pattern.Explanation, m measu
 // TopKDistributionalContext is TopKDistributional with cancellation,
 // checked before each bounded evaluation.
 func TopKDistributionalContext(cctx context.Context, ctx *measure.Context, es []*pattern.Explanation, m measure.Limited, k int) ([]Ranked, error) {
+	rs, _, err := TopKDistributionalBudgeted(cctx, ctx, es, m, k, time.Time{})
+	return rs, err
+}
+
+// TopKDistributionalBudgeted is TopKDistributionalContext with an
+// anytime deadline: when it passes, evaluation stops and the top-k over
+// the explanations scored so far is returned with truncated = true. A
+// zero deadline never truncates and is byte-identical to
+// TopKDistributionalContext.
+func TopKDistributionalBudgeted(cctx context.Context, ctx *measure.Context, es []*pattern.Explanation, m measure.Limited, k int, deadline time.Time) ([]Ranked, bool, error) {
 	if k <= 0 {
 		k = 10
 	}
+	bm, clock, cancel := budgetedMeasureCtx(cctx, ctx, deadline)
+	defer cancel()
 	var top []Ranked
 	for _, ex := range es {
 		if err := cctx.Err(); err != nil {
-			return nil, err
+			return nil, false, err
+		}
+		if clock.hit() {
+			break
 		}
 		var threshold measure.Score
 		if len(top) >= k {
 			threshold = top[len(top)-1].Score
 		}
-		s, ok := m.ScoreWithLimit(ctx, ex, threshold)
+		s, ok := m.ScoreWithLimit(bm, ex, threshold)
+		if clock.hit() {
+			break // the budget cut this evaluation short: discard it
+		}
 		if !ok {
 			continue // cannot beat the current k-th best
 		}
@@ -237,7 +350,7 @@ func TopKDistributionalContext(cctx context.Context, ctx *measure.Context, es []
 	// the final ScoreWithLimit call must fail the ranking here rather
 	// than return a silently truncated top-k.
 	if err := cctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return top, nil
+	return top, clock.expired, nil
 }

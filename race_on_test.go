@@ -1,0 +1,7 @@
+//go:build race
+
+package rex
+
+// raceEnabled lets alloc-count tests skip themselves under the race
+// detector, which adds bookkeeping allocations of its own.
+const raceEnabled = true

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"rex/internal/decorate"
 	"rex/internal/enumerate"
@@ -202,9 +203,53 @@ type Options struct {
 	// caching. Cached results are shared between callers and must be
 	// treated as read-only.
 	CacheSize int
+	// Budget bounds the work of every query answered by this explainer,
+	// making heavy pairs anytime: when the budget expires the best
+	// explanations found so far are returned with Result.Truncated set
+	// instead of running to exhaustion. The zero value never truncates.
+	// ExplainBudgeted and BatchOptions.Budget override it per request.
+	Budget Budget
+}
+
+// Budget bounds the work of one query, turning the prioritized
+// enumeration into the anytime search the paper's activation ordering
+// was designed for (Section 5): cheap, high-value explanations are
+// found first, so stopping early keeps the best ones. An exhausted
+// budget is not an error — the query returns its best-so-far
+// explanations with Result.Truncated set. The zero value never
+// truncates and is byte-identical to an unbudgeted query.
+type Budget struct {
+	// MaxExpansions bounds the node expansions of the prioritized path
+	// search (0 = unlimited). Expansion-budgeted enumeration is
+	// deterministic: the result is a prefix-consistent subset of the
+	// unbudgeted explanation set, identical across runs and worker
+	// counts. Requires PathAlgorithm "prioritized" (the default); the
+	// naive and basic strawmen ignore it.
+	MaxExpansions int
+	// Timeout bounds the query's wall-clock time (0 = none), polled at
+	// bounded intervals in enumeration, union and ranking. Unlike a
+	// context deadline — which aborts with an error — an expired budget
+	// timeout returns the truncated best-so-far result. Timeout
+	// truncation is timing-dependent, so such results are never cached.
+	Timeout time.Duration
+}
+
+// active reports whether the budget can truncate at all.
+func (b Budget) active() bool { return b.MaxExpansions > 0 || b.Timeout > 0 }
+
+// normalized clamps nonsensical negative fields to "unlimited".
+func (b Budget) normalized() Budget {
+	if b.MaxExpansions < 0 {
+		b.MaxExpansions = 0
+	}
+	if b.Timeout < 0 {
+		b.Timeout = 0
+	}
+	return b
 }
 
 func (o Options) normalized() Options {
+	o.Budget = o.Budget.normalized()
 	if o.MaxPatternSize <= 0 {
 		o.MaxPatternSize = 5
 	}
@@ -236,6 +281,11 @@ type Explainer struct {
 	m     measure.Measure
 	cfg   enumerate.Config
 	cache *resultCache
+	// flight coalesces concurrent identical (pair, budget) queries onto
+	// one computation — duplicate pairs in a batch, or a hot pair under
+	// serving traffic, cost one execution instead of racing N times.
+	// Always on (it needs no capacity), independent of the cache.
+	flight *flightGroup
 	// eval is the shared-computation measure evaluator for this
 	// explainer's (frozen) graph: match counts and local-distribution
 	// tables are memoised across explanations and queries. It is pinned
@@ -279,7 +329,8 @@ func NewExplainer(k *KB, opt Options) (*Explainer, error) {
 	// per snapshot, so steady-state queries reuse frontier and merge
 	// buffers, and a hot swap releases them with the old explainer.
 	cfg.Pool = enumerate.NewPool()
-	e := &Explainer{kb: k, opt: opt, m: m, cfg: cfg, eval: measure.NewEvaluator(k.g)}
+	e := &Explainer{kb: k, opt: opt, m: m, cfg: cfg,
+		flight: newFlightGroup(), eval: measure.NewEvaluator(k.g)}
 	if opt.CacheSize > 0 {
 		e.cache = newResultCache(opt.CacheSize)
 	}
@@ -363,6 +414,13 @@ type Result struct {
 	Start, End   string
 	Measure      string
 	Explanations []Explanation
+	// Truncated reports that the query exhausted its Budget and
+	// Explanations holds the best explanations found within it rather
+	// than the exhaustive ranking. Every listed explanation is complete
+	// (real pattern, real instances, exact scores); only coverage of the
+	// candidate space was cut short. Always false for unbudgeted
+	// queries.
+	Truncated bool
 }
 
 // Explain enumerates and ranks relationship explanations between two
@@ -376,8 +434,26 @@ func (e *Explainer) Explain(start, end string) (*Result, error) {
 // aborts enumeration, matching and ranking mid-flight (checked at bounded
 // intervals) and returns ctx.Err(). When the explainer was built with a
 // positive Options.CacheSize, results are served from and stored into the
-// LRU cache; cached results are shared and must be treated as read-only.
+// LRU cache. Concurrent identical queries are coalesced onto a single
+// computation, so results — cached or not — are shared between callers
+// and must be treated as read-only. Queries run under Options.Budget;
+// use ExplainBudgeted to override it per request.
 func (e *Explainer) ExplainContext(ctx context.Context, start, end string) (*Result, error) {
+	return e.ExplainBudgeted(ctx, start, end, e.opt.Budget)
+}
+
+// testHookComputeStart, when set by a test, is called by the
+// single-flight leader before it starts computing; tests block it to
+// pin concurrent duplicate queries in the joined state.
+var testHookComputeStart func(key string)
+
+// ExplainBudgeted is ExplainContext with a per-request work budget
+// overriding Options.Budget: when the budget expires the query returns
+// the best explanations found so far with Result.Truncated set (see
+// Budget). A zero budget runs to exhaustion and is byte-identical to an
+// unbudgeted query.
+func (e *Explainer) ExplainBudgeted(ctx context.Context, start, end string, b Budget) (*Result, error) {
+	b = b.normalized()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -393,11 +469,42 @@ func (e *Explainer) ExplainContext(ctx context.Context, start, end string) (*Res
 	if s == t {
 		return nil, fmt.Errorf("rex: start and end entity are both %q", start)
 	}
-	var key string
+	key := e.queryKey(start, end, b)
 	if e.cache != nil {
-		key = e.cacheKey(start, end)
 		if res, ok := e.cache.get(key); ok {
 			return res, nil
+		}
+	}
+	return e.flight.do(ctx, key, func() (*Result, error) {
+		if h := testHookComputeStart; h != nil {
+			h(key)
+		}
+		res, err := e.compute(ctx, start, end, s, t, b)
+		// Timeout-TRUNCATED results are wall-clock-dependent and never
+		// stored: a result truncated under momentary load must not keep
+		// answering for a pair that deserves the full budget later. An
+		// untruncated result is byte-identical to the unbudgeted answer
+		// regardless of the budget, and expansion-budget truncation is
+		// deterministic — both cache fine (under the budget-suffixed
+		// key), so a wall-clock default budget does not disable the
+		// cache for the pairs that finish inside it.
+		if err == nil && e.cache != nil && !(b.Timeout > 0 && res.Truncated) {
+			e.cache.put(key, res)
+		}
+		return res, err
+	})
+}
+
+// compute runs the full enumerate → measure → rank → render pipeline
+// for one resolved pair under a budget. Exactly one goroutine runs it
+// per in-flight (pair, budget) key.
+func (e *Explainer) compute(ctx context.Context, start, end string, s, t kb.NodeID, b Budget) (*Result, error) {
+	g := e.kb.g
+	cfg := e.cfg
+	if b.active() {
+		cfg.Budget.MaxExpansions = b.MaxExpansions
+		if b.Timeout > 0 {
+			cfg.Budget.Deadline = time.Now().Add(b.Timeout)
 		}
 	}
 	mctx := &measure.Context{G: g, Start: s, End: t, Ctx: ctx, Eval: e.eval}
@@ -406,24 +513,29 @@ func (e *Explainer) ExplainContext(ctx context.Context, start, end string) (*Res
 	}
 
 	var (
-		ranked []rank.Ranked
-		err    error
+		ranked    []rank.Ranked
+		truncated bool
+		err       error
 	)
 	switch {
 	case !e.opt.DisablePruning && e.m.AntiMonotonic():
-		ranked, err = rank.TopKAntiMonotoneContext(ctx, g, s, t, e.cfg, mctx, e.m, e.opt.TopK)
+		ranked, truncated, err = rank.TopKAntiMonotoneBudgeted(ctx, g, s, t, cfg, mctx, e.m, e.opt.TopK)
 	case !e.opt.DisablePruning && isLimited(e.m):
 		var es []*pattern.Explanation
-		es, err = enumerate.ExplanationsContext(ctx, g, s, t, e.cfg)
+		var etrunc, rtrunc bool
+		es, etrunc, err = enumerate.ExplanationsBudgeted(ctx, g, s, t, cfg)
 		if err == nil {
-			ranked, err = rank.TopKDistributionalContext(ctx, mctx, es, e.m.(measure.Limited), e.opt.TopK)
+			ranked, rtrunc, err = rank.TopKDistributionalBudgeted(ctx, mctx, es, e.m.(measure.Limited), e.opt.TopK, cfg.Budget.Deadline)
 		}
+		truncated = etrunc || rtrunc
 	default:
 		var es []*pattern.Explanation
-		es, err = enumerate.ExplanationsContext(ctx, g, s, t, e.cfg)
+		var etrunc, rtrunc bool
+		es, etrunc, err = enumerate.ExplanationsBudgeted(ctx, g, s, t, cfg)
 		if err == nil {
-			ranked, err = rank.GeneralContext(ctx, mctx, es, e.m, e.opt.TopK)
+			ranked, rtrunc, err = rank.GeneralBudgeted(ctx, mctx, es, e.m, e.opt.TopK, cfg.Budget.Deadline)
 		}
+		truncated = etrunc || rtrunc
 	}
 	if err != nil {
 		return nil, err
@@ -435,23 +547,26 @@ func (e *Explainer) ExplainContext(ctx context.Context, start, end string) (*Res
 		return nil, err
 	}
 
-	res := &Result{Start: start, End: end, Measure: e.m.Name()}
+	res := &Result{Start: start, End: end, Measure: e.m.Name(), Truncated: truncated}
 	for _, r := range ranked {
 		res.Explanations = append(res.Explanations, e.render(r))
-	}
-	if e.cache != nil {
-		e.cache.put(key, res)
 	}
 	return res, nil
 }
 
-// cacheKey builds the cache key for a pair. The cache belongs to
-// exactly one explainer (and therefore one normalized option set), so
-// the pair alone identifies the entry. Length-prefixing makes the key
+// queryKey builds the cache and single-flight key for a (pair, budget)
+// query. The cache and flight group belong to exactly one explainer
+// (and therefore one normalized option set), so the pair plus the
+// budget identifies the computation. Length-prefixing makes the key
 // unambiguous for arbitrary entity names — no separator byte needs to
-// be excluded.
-func (e *Explainer) cacheKey(start, end string) string {
-	return fmt.Sprintf("%d:%s%d:%s", len(start), start, len(end), end)
+// be excluded — and unbudgeted queries keep the historical pair-only
+// key shape.
+func (e *Explainer) queryKey(start, end string, b Budget) string {
+	key := fmt.Sprintf("%d:%s%d:%s", len(start), start, len(end), end)
+	if b.active() {
+		key += fmt.Sprintf("|x%d|t%d", b.MaxExpansions, int64(b.Timeout))
+	}
+	return key
 }
 
 func isLimited(m measure.Measure) bool {
