@@ -12,6 +12,7 @@ package rex
 
 import (
 	"context"
+	"strings"
 	"sync"
 	"testing"
 
@@ -453,6 +454,32 @@ func BenchmarkExplain(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ex.Explain("kate_winslet", "leonardo_dicaprio"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreApplyDelta is the write-path benchmark: one small
+// localized delta applied and hot-swapped through a live store per
+// iteration — O(delta) overlay build, explainer construction and cache
+// carry-over included. Each iteration's delta attaches a fresh chain of
+// entities under one label, so successive applies stack overlay
+// generations and periodically exercise compaction.
+func BenchmarkStoreApplyDelta(b *testing.B) {
+	st, err := NewStore(SampleKB(), Options{Measure: "size", TopK: 10, CacheSize: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Current().Explainer.Explain("kate_winslet", "leonardo_dicaprio"); err != nil {
+		b.Fatal(err) // something warm to carry across every swap
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delta := "label\tbench_ingest\tU\n" +
+			"node\t" + benchName("bench_node", i) + "\tconcept\n" +
+			"edge\tkate_winslet\t" + benchName("bench_node", i) + "\tbench_ingest\n"
+		if _, err := st.Apply(strings.NewReader(delta)); err != nil {
 			b.Fatal(err)
 		}
 	}

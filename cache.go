@@ -122,6 +122,22 @@ func (c *resultCache) put(key string, res *Result) {
 	}
 }
 
+// entries snapshots every cached (key, result) pair, least recently
+// used first, so re-putting them in order into a fresh cache preserves
+// relative recency. Used by the store's swap-time carry-over.
+func (c *resultCache) entries() []cacheEntry {
+	out := make([]cacheEntry, 0, c.len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Back(); el != nil; el = el.Prev() {
+			out = append(out, el.Value.(cacheEntry))
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // len reports the number of cached entries across all shards.
 func (c *resultCache) len() int {
 	n := 0

@@ -1,0 +1,207 @@
+package rex
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// clusteredKB builds n disconnected four-node clusters, each with two
+// parallel two-hop paths between its (s_i, t_i) pair:
+//
+//	s_i --rel-- m1_i --rel-- t_i
+//	s_i --rel-- m2_i --rel-- t_i
+//
+// Clusters share no nodes or edges, so a delta inside cluster 0 is
+// provably unobservable from every other cluster's pair.
+func clusteredKB(t *testing.T, n int) *KB {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("label\trel\tU\nlabel\textra\tU\n")
+	for i := 0; i < n; i++ {
+		for _, v := range []string{"s", "m1", "m2", "t"} {
+			fmt.Fprintf(&sb, "node\t%s%d\tperson\n", v, i)
+		}
+		fmt.Fprintf(&sb, "edge\ts%d\tm1%d\trel\n", i, i)
+		fmt.Fprintf(&sb, "edge\tm1%d\tt%d\trel\n", i, i)
+		fmt.Fprintf(&sb, "edge\ts%d\tm2%d\trel\n", i, i)
+		fmt.Fprintf(&sb, "edge\tm2%d\tt%d\trel\n", i, i)
+	}
+	k, err := ReadKB(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestCarryOverAcrossSwap is the carry-over acceptance test: after a
+// delta touching one label inside one cluster, every other cluster's
+// cached result survives the swap (≥ 90% here: 11 of 12), each carried
+// result is byte-identical to a fresh recomputation on the new
+// snapshot, and the touched pair is never served its stale answer.
+func TestCarryOverAcrossSwap(t *testing.T) {
+	const clusters = 12
+	// CacheSize below the shard threshold keeps the cache single-sharded
+	// with exact global LRU, so all 12 warm entries coexist.
+	st := mustStore(t, clusteredKB(t, clusters), Options{
+		Measure: "size+local-dist", TopK: 10, CacheSize: 32,
+	})
+
+	// Warm the cache on every cluster's hot pair.
+	warm := make([]*Result, clusters)
+	for i := 0; i < clusters; i++ {
+		res := mustExplain(t, st, fmt.Sprintf("s%d", i), fmt.Sprintf("t%d", i))
+		warm[i] = res
+	}
+	if got := st.Current().Explainer.CacheStats().Entries; got != clusters {
+		t.Fatalf("warm cache entries = %d, want %d", got, clusters)
+	}
+
+	// One-label delta inside cluster 0: a direct s0—t0 edge under the
+	// otherwise unused "extra" label, which adds a size-2 explanation
+	// for the touched pair.
+	info, err := st.Apply(strings.NewReader("edge\ts0\tt0\textra\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Overlay {
+		t.Errorf("delta not applied as overlay: %+v", info)
+	}
+	if info.ResultsCarried != clusters-1 || info.ResultsDropped != 1 {
+		t.Fatalf("carried/dropped = %d/%d, want %d/1", info.ResultsCarried, info.ResultsDropped, clusters-1)
+	}
+
+	snap := st.Current()
+	stats0 := snap.Explainer.CacheStats()
+
+	// Every untouched pair is a post-swap cache hit, and the served
+	// result is byte-identical to a cold recomputation on the new graph.
+	cold, err := NewExplainer(snap.KB, st.opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < clusters; i++ {
+		start, end := fmt.Sprintf("s%d", i), fmt.Sprintf("t%d", i)
+		got := mustExplain(t, st, start, end)
+		if got != warm[i] {
+			t.Errorf("pair %d: carried result is not the cached pointer", i)
+		}
+		fresh, err := cold.Explain(start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, fresh) {
+			t.Errorf("pair %d: carried result diverges from fresh recomputation\ngot:   %+v\nfresh: %+v", i, got, fresh)
+		}
+	}
+	stats1 := snap.Explainer.CacheStats()
+	if hits := stats1.Hits - stats0.Hits; hits != clusters-1 {
+		t.Errorf("post-swap hits = %d, want %d (≥90%% survival)", hits, clusters-1)
+	}
+
+	// The touched pair must not see its stale answer: the new direct
+	// edge creates a size-2 explanation absent pre-swap.
+	got0 := mustExplain(t, st, "s0", "t0")
+	if reflect.DeepEqual(got0, warm[0]) {
+		t.Fatal("touched pair served its pre-swap result")
+	}
+	found := false
+	for _, ex := range got0.Explanations {
+		if ex.Size == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("touched pair's fresh result lacks the new direct-edge explanation: %+v", got0.Explanations)
+	}
+
+	ls := st.LiveStats()
+	if ls.ResultsCarried != uint64(clusters-1) || ls.ResultsDropped != 1 {
+		t.Errorf("LiveStats carried/dropped = %d/%d", ls.ResultsCarried, ls.ResultsDropped)
+	}
+	if ls.OverlayDepth != 1 {
+		t.Errorf("LiveStats overlay depth = %d, want 1", ls.OverlayDepth)
+	}
+}
+
+// TestCarryPromotesMemos checks the evaluator side: re-ranking an
+// untouched pair after a swap promotes memos (count tables, prefix
+// walks) from the previous generation instead of recomputing, and the
+// promotion counter surfaces in LiveStats.
+func TestCarryPromotesMemos(t *testing.T) {
+	st := mustStore(t, clusteredKB(t, 4), Options{
+		Measure: "size+local-dist", TopK: 10, CacheSize: 0, // no result cache: force re-rank
+	})
+	for i := 0; i < 4; i++ {
+		mustExplain(t, st, fmt.Sprintf("s%d", i), fmt.Sprintf("t%d", i))
+	}
+	if _, err := st.Apply(strings.NewReader("edge\ts0\tt0\textra\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.LiveStats().MemoPromotions; got != 0 {
+		t.Fatalf("promotions before any post-swap query = %d", got)
+	}
+	mustExplain(t, st, "s1", "t1") // rel-only patterns: all memos promotable
+	if got := st.LiveStats().MemoPromotions; got == 0 {
+		t.Error("re-ranking an untouched pair promoted no memos")
+	}
+}
+
+// TestCarryDropsWhenInDoubt pins the wholesale-drop cases: retypes and
+// whole-graph reloads forfeit the carry basis entirely.
+func TestCarryDropsWhenInDoubt(t *testing.T) {
+	st := mustStore(t, clusteredKB(t, 3), Options{
+		Measure: "size", TopK: 5, CacheSize: 16,
+	})
+	for i := 0; i < 3; i++ {
+		mustExplain(t, st, fmt.Sprintf("s%d", i), fmt.Sprintf("t%d", i))
+	}
+	info, err := st.Apply(strings.NewReader("settype\tm10\trobot\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResultsCarried != 0 || info.ResultsDropped != 3 {
+		t.Errorf("retype delta carried %d, dropped %d; want 0/3", info.ResultsCarried, info.ResultsDropped)
+	}
+	if got := st.Current().Explainer.CacheStats().Entries; got != 0 {
+		t.Errorf("cache entries after retype swap = %d, want 0", got)
+	}
+}
+
+// TestCarryGlobalMeasureDropsResults pins that global-distribution
+// measures never carry results: their sampled start set can shift under
+// any node addition.
+func TestCarryGlobalMeasureDropsResults(t *testing.T) {
+	st := mustStore(t, clusteredKB(t, 3), Options{
+		Measure: "global-dist", TopK: 5, CacheSize: 16, GlobalSamples: 8,
+	})
+	for i := 0; i < 3; i++ {
+		mustExplain(t, st, fmt.Sprintf("s%d", i), fmt.Sprintf("t%d", i))
+	}
+	info, err := st.Apply(strings.NewReader("node\tnew0\tperson\nedge\ts0\tnew0\textra\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ResultsCarried != 0 || info.ResultsDropped != 3 {
+		t.Errorf("global-measure delta carried %d, dropped %d; want 0/3", info.ResultsCarried, info.ResultsDropped)
+	}
+}
+
+func mustStore(t *testing.T, k *KB, opt Options) *Store {
+	t.Helper()
+	st, err := NewStore(k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func mustExplain(t *testing.T, st *Store, start, end string) *Result {
+	t.Helper()
+	res, err := st.Current().Explainer.Explain(start, end)
+	if err != nil {
+		t.Fatalf("explain %s %s: %v", start, end, err)
+	}
+	return res
+}

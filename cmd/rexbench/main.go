@@ -9,9 +9,10 @@
 //	rexbench -exp macro -preset million         # million-edge KB latency/QPS section
 //	rexbench -exp macro -macro-budget-ms 250 -macro-workers 1,4 \
 //	    -mutexprofile mutex.pprof               # + anytime-budget and contended phases
+//	rexbench -exp ingest -preset million        # write path: O(delta) applies + carry-over
 //
 // Experiments: fig7, fig8, fig9, fig10, fig11, table1, pathshare, all,
-// plus two opt-in perf suites: micro emits machine-readable ns/op, B/op
+// plus three opt-in perf suites: micro emits machine-readable ns/op, B/op
 // and allocs/op per hot-path workload (the trajectory tracked by
 // BENCH_seed.json / BENCH.json), and macro generates a preset-sized
 // synthetic KB (million ≈ 1.2M relationships), round-trips its CSR
@@ -20,7 +21,11 @@
 // anytime budget (-macro-budget-ms / -macro-budget-expansions) and in
 // the contended mode (-macro-workers, -macro-cpu), with a mutex
 // contention profile of the whole run via -mutexprofile. See
-// EXPERIMENTS.md for the paper-vs-measured record.
+// EXPERIMENTS.md for the paper-vs-measured record. The ingest suite
+// measures the write path: O(delta) overlay applies vs the Clone+Freeze
+// rebuild they replace, sustained applies/sec through a live store, and
+// swap-to-warm latency plus hit rate of the carried result cache
+// (-ingest-deltas, -ingest-ops, -ingest-pairs).
 package main
 
 import (
@@ -81,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, macro, all")
+		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, macro, ingest, all")
 		benchOut  = fs.String("bench-out", "", "write benchmark results as JSON to this file (with -exp micro/macro)")
 		compare   = fs.String("compare", "", "baseline BENCH.json to print a per-workload delta table against (with -exp micro)")
 		scale     = fs.Float64("scale", 1, "synthetic KB scale factor")
@@ -98,6 +103,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		macroBudX = fs.Int("macro-budget-expansions", 0, "macro anytime budget in enumeration expansions (0: none)")
 		macroWkr  = fs.String("macro-workers", "", "comma-separated BatchExplain worker counts for the macro contended mode, e.g. 1,4 (empty: skip)")
 		macroCPU  = fs.String("macro-cpu", "", "comma-separated GOMAXPROCS settings for the macro contended mode (empty: current)")
+		ingDeltas = fs.Int("ingest-deltas", 32, "deltas applied in the ingest sustained phase")
+		ingOps    = fs.Int("ingest-ops", 100, "records per ingest delta")
+		ingPairs  = fs.Int("ingest-pairs", 24, "hot pairs for the ingest swap-to-warm phase")
 		mutexProf = fs.String("mutexprofile", "", "write a runtime mutex-contention profile of the whole run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -183,10 +191,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if want("learned") {
 		harness.Learned(studyOpt).Print(stdout)
 	}
-	// The micro and macro suites are opt-in: they are the hot-path and
-	// traffic-shaped benchmark harnesses behind BENCH.json, not paper
-	// figures, so "all" (the paper reproduction) does not imply them.
-	if wants["micro"] || wants["macro"] {
+	// The micro, macro and ingest suites are opt-in: they are the
+	// hot-path, traffic-shaped and write-path benchmark harnesses behind
+	// BENCH.json, not paper figures, so "all" (the paper reproduction)
+	// does not imply them.
+	if wants["micro"] || wants["macro"] || wants["ingest"] {
 		report := newBenchReport()
 		if wants["micro"] {
 			if err := runMicro(&report, stdout); err != nil {
@@ -213,6 +222,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if err := runMacro(&report, stdout, opt); err != nil {
 				fmt.Fprintln(stderr, "rexbench:", err)
 				return 1
+			}
+		}
+		if wants["ingest"] {
+			// -preset accepts a comma-separated list for the ingest suite,
+			// so one run covers the small/medium/million write-path table.
+			for _, p := range strings.Split(*preset, ",") {
+				opt := ingestOptions{
+					Preset: strings.TrimSpace(p), Seed: *seed,
+					Deltas: *ingDeltas, Ops: *ingOps, Pairs: *ingPairs,
+				}
+				if err := runIngest(&report, stdout, opt); err != nil {
+					fmt.Fprintln(stderr, "rexbench:", err)
+					return 1
+				}
 			}
 		}
 		if *benchOut != "" {

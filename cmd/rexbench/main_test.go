@@ -167,6 +167,52 @@ func TestRunMacroSmoke(t *testing.T) {
 	}
 }
 
+// TestRunIngestSmoke drives the write-path experiment end to end on the
+// small preset and checks the JSON report carries the ingest section.
+func TestRunIngestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ingest smoke generates a KB; skip under -short")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "ingest", "-preset", "small", "-ingest-deltas", "4",
+		"-ingest-ops", "20", "-ingest-pairs", "4", "-bench-out", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"overlay", "swap-to-warm", "sustained 4 deltas"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("ingest output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Ingest) != 1 {
+		t.Fatalf("ingest sections = %d, want 1", len(report.Ingest))
+	}
+	ig := report.Ingest[0]
+	if ig.Preset != "small" || ig.Edges == 0 || ig.HotPairs == 0 || ig.Deltas != 4 {
+		t.Errorf("implausible ingest section: %+v", ig)
+	}
+	if ig.OverlayMs <= 0 || ig.RebuildMs <= 0 || ig.AppliesPerSec <= 0 {
+		t.Errorf("ingest timings missing: %+v", ig)
+	}
+	// The O(delta) claim holds even at the small preset: the overlay
+	// apply must beat the full Clone+Freeze rebuild outright.
+	if ig.OverlaySpeedup <= 1 {
+		t.Errorf("overlay apply not faster than rebuild: %+v", ig)
+	}
+	if ig.PostSwapHitRate < 0 || ig.PostSwapHitRate > 1 {
+		t.Errorf("hit rate out of range: %v", ig.PostSwapHitRate)
+	}
+}
+
 // TestPercentileInterpolation pins the linear-interpolation percentile:
 // small sample sets must not collapse p99 onto max (the nearest-rank
 // bug the macro report shipped with), and exact ranks stay exact.

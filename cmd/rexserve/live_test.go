@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -14,6 +15,8 @@ import (
 	"time"
 
 	"rex"
+	"rex/internal/kb"
+	"rex/internal/kbgen"
 )
 
 // liveBaseTSV connects a—b directly; c and d exist but share no
@@ -131,6 +134,76 @@ func TestAdminDeltaEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsLiveSection checks the /stats "live" section and the
+// overlay/carry fields of the swap response: a one-edge delta swaps in
+// as a depth-1 overlay, carries the cached result whose pair is out of
+// the delta's reach, and drops the touched pair's entry.
+func TestStatsLiveSection(t *testing.T) {
+	// Pad the base with filler edges disconnected from every queried
+	// pair so the one-edge delta stays under the compaction ratio and
+	// the swap publishes a depth-1 overlay rather than compacting.
+	var sb strings.Builder
+	sb.WriteString(liveBaseTSV)
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&sb, "node\tf%d\tperson\n", i)
+		if i > 0 {
+			fmt.Fprintf(&sb, "edge\tf%d\tf%d\tknows\n", i-1, i)
+		}
+	}
+	k, err := rex.ReadKB(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rex.NewStore(k, rex.Options{
+		Measure: "size", TopK: 100, MaxPatternSize: 3, CacheSize: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(store, "", time.Minute, 8)
+	h := s.handler()
+
+	if st := stats(t, h); st.Live.OverlayDepth != 0 || st.Live.Compactions != 0 ||
+		st.Live.ResultsCarried != 0 || st.Live.ResultsDropped != 0 || st.Live.MemoPromotions != 0 {
+		t.Fatalf("live stats before any delta = %+v", st.Live)
+	}
+
+	// Warm the cache on both pairs, then ingest an edge touching only
+	// (c, d): the (a, b) entry is outside the delta's radius and must be
+	// carried, the (c, d) entry must be invalidated.
+	explain(t, h, "a", "b")
+	explain(t, h, "c", "d")
+	rec := postBody(t, h, "/admin/delta", "edge\tc\td\tknows\n")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delta: status %d, body %s", rec.Code, rec.Body)
+	}
+	var sw swapResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sw); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.Overlay || sw.Compacted || sw.OverlayDepth != 1 {
+		t.Errorf("swap overlay fields = %+v, want depth-1 uncompacted overlay", sw)
+	}
+	if sw.ResultsCarried != 1 || sw.ResultsDropped != 1 {
+		t.Errorf("swap carry fields = carried %d, dropped %d, want 1/1", sw.ResultsCarried, sw.ResultsDropped)
+	}
+
+	st := stats(t, h)
+	if st.Live.OverlayDepth != 1 || st.Live.Compactions != 0 {
+		t.Errorf("live overlay stats after delta = %+v", st.Live)
+	}
+	if st.Live.ResultsCarried != 1 || st.Live.ResultsDropped != 1 {
+		t.Errorf("live carry stats after delta = %+v", st.Live)
+	}
+
+	// The carried (a, b) entry is a post-swap cache hit.
+	hits0 := st.Cache.Hits
+	explain(t, h, "a", "b")
+	if st := stats(t, h); st.Cache.Hits != hits0+1 {
+		t.Errorf("carried result was not a post-swap cache hit: %+v", st.Cache)
+	}
+}
+
 func TestAdminTokenGate(t *testing.T) {
 	s := liveServer(t, "")
 	s.adminToken = "sekrit"
@@ -244,6 +317,126 @@ func TestAdminReloadEndpoint(t *testing.T) {
 	}
 }
 
+// TestDeltaIngestionSoak is the CI soak: a small-preset synthetic KB
+// (~11K relationships) served over HTTP while a stream of localized
+// deltas applies through /admin/delta under concurrent /explain
+// traffic. Run with -race it exercises the overlay build, compaction
+// policy and cache carry-over against live readers at a realistic
+// graph size; its own assertions check that every request succeeds,
+// every delta lands as the expected generation, and the /stats live
+// section stays coherent.
+func TestDeltaIngestionSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak generates a preset KB and streams deltas; skip under -short")
+	}
+	genOpt, err := kbgen.PresetOptions("small", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := kbgen.Generate(genOpt)
+	path := filepath.Join(t.TempDir(), "kb.bin")
+	if err := g.SaveBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	store, err := rex.OpenStore(path, rex.Options{TopK: 10, MaxPatternSize: 3, CacheSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(store, path, time.Minute, 8).handler()
+
+	sampled := kbgen.SamplePairs(g, kbgen.PairOptions{PerBucket: 2, Seed: 43})
+	if len(sampled) == 0 {
+		t.Fatal("no pairs sampled")
+	}
+	const (
+		numDeltas   = 24
+		opsPerDelta = 30
+		numReaders  = 3
+	)
+
+	// Warm the generation-1 cache so the first swap has entries to carry
+	// or drop even if the readers below are scheduled late.
+	for _, p := range sampled {
+		url := "/explain?start=" + g.NodeName(p.Start) + "&end=" + g.NodeName(p.End)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("warm %s: status %d: %s", url, rec.Code, rec.Body)
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		done     atomic.Bool
+		readErrs = make([]error, numReaders)
+	)
+	for r := 0; r < numReaders; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !done.Load(); i++ {
+				p := sampled[(i+r)%len(sampled)]
+				url := "/explain?start=" + g.NodeName(p.Start) + "&end=" + g.NodeName(p.End)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+				if rec.Code != http.StatusOK {
+					readErrs[r] = fmt.Errorf("%s: status %d: %s", url, rec.Code, rec.Body)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writer: each delta hangs a chain of fresh entities off a random
+	// anchor under the "soak" label (registered by the first delta).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < numDeltas; i++ {
+		var sb strings.Builder
+		if i == 0 {
+			sb.WriteString("label\tsoak\tU\n")
+		}
+		prev := g.NodeName(kb.NodeID(rng.Intn(g.NumNodes())))
+		for j := 0; j < opsPerDelta/2; j++ {
+			name := fmt.Sprintf("soak_%d_%d", i, j)
+			fmt.Fprintf(&sb, "node\t%s\tconcept\n", name)
+			fmt.Fprintf(&sb, "edge\t%s\t%s\tsoak\n", prev, name)
+			prev = name
+		}
+		rec := postBody(t, h, "/admin/delta", sb.String())
+		if rec.Code != http.StatusOK {
+			t.Fatalf("delta %d: status %d, body %s", i, rec.Code, rec.Body)
+		}
+		var sw swapResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &sw); err != nil {
+			t.Fatal(err)
+		}
+		if sw.Generation != uint64(i+2) || !sw.Overlay {
+			t.Fatalf("delta %d: swap = %+v, want overlay generation %d", i, sw, i+2)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	for r, err := range readErrs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", r, err)
+		}
+	}
+
+	st := stats(t, h)
+	if st.Version.Generation != numDeltas+1 || st.Version.Deltas != numDeltas {
+		t.Errorf("version after soak = %+v", st.Version)
+	}
+	if st.Queries.Errors != 0 {
+		t.Errorf("%d query errors during soak", st.Queries.Errors)
+	}
+	if st.Live.ResultsCarried+st.Live.ResultsDropped == 0 {
+		t.Error("no carry-over accounting after a warm soak")
+	}
+	if st.Live.OverlayDepth < 0 || st.Live.OverlayDepth > numDeltas {
+		t.Errorf("implausible overlay depth %d", st.Live.OverlayDepth)
+	}
+}
+
 // TestLiveSwapUnderTraffic is the subsystem's acceptance test: readers
 // hammer /explain while deltas stream in through /admin/delta. Run
 // under -race it checks the lock-free snapshot discipline; its own
@@ -339,6 +532,12 @@ func TestLiveSwapUnderTraffic(t *testing.T) {
 		if sw.Generation != uint64(i+1) {
 			t.Fatalf("delta %d produced generation %d, want %d", i, sw.Generation, i+1)
 		}
+		// Every delta applies as an overlay; whether it compacts depends
+		// on the ratio policy, but the reported depth must be consistent:
+		// zero exactly when the swap compacted.
+		if !sw.Overlay || sw.Compacted != (sw.OverlayDepth == 0) {
+			t.Fatalf("delta %d: overlay = %v, compacted = %v, depth = %d", i, sw.Overlay, sw.Compacted, sw.OverlayDepth)
+		}
 		time.Sleep(2 * time.Millisecond) // let readers overlap several generations
 	}
 	done.Store(true)
@@ -372,5 +571,23 @@ func TestLiveSwapUnderTraffic(t *testing.T) {
 	}
 	if st.Queries.Errors != 0 {
 		t.Errorf("%d query errors during swaps, want 0", st.Queries.Errors)
+	}
+
+	// Carry-over accounting: the cached (c, d) result lives outside
+	// every delta's reach until the final one ingests the c—d edge, so
+	// it is carried across exactly the first numDeltas-1 swaps and then
+	// invalidated. (a, b) entries sit inside every delta's ball and are
+	// always dropped, never carried.
+	if st.Live.ResultsCarried != numDeltas-1 {
+		t.Errorf("results carried = %d, want %d (the (c, d) entry per untouching swap)",
+			st.Live.ResultsCarried, numDeltas-1)
+	}
+	if st.Live.ResultsDropped < 2 {
+		t.Errorf("results dropped = %d, want ≥ 2", st.Live.ResultsDropped)
+	}
+	// The first delta doubles the one-edge base, so the ratio policy
+	// must have compacted at least once during the run.
+	if st.Live.Compactions == 0 {
+		t.Error("no compactions under the ratio policy on a tiny base")
 	}
 }

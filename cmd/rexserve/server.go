@@ -204,20 +204,36 @@ type swapResponse struct {
 	EdgesAdded   int    `json:"edges_added,omitempty"`
 	EdgesRemoved int    `json:"edges_removed,omitempty"`
 	TypesSet     int    `json:"types_set,omitempty"`
+	// Overlay/Compacted/OverlayDepth describe how the swap was built:
+	// as an O(delta) overlay over the previous CSR, and whether the
+	// overlay chain was folded back into fresh arrays.
+	Overlay      bool `json:"overlay,omitempty"`
+	Compacted    bool `json:"compacted,omitempty"`
+	OverlayDepth int  `json:"overlay_depth,omitempty"`
+	// ResultsCarried/ResultsDropped report swap-time cache carry-over:
+	// previous-generation results that survived into, or were
+	// invalidated out of, the new snapshot's cache.
+	ResultsCarried int `json:"results_carried,omitempty"`
+	ResultsDropped int `json:"results_dropped,omitempty"`
 }
 
 func swapResponseOf(info rex.SwapInfo) swapResponse {
 	return swapResponse{
-		Generation:   info.Generation,
-		Fingerprint:  info.Fingerprint,
-		Nodes:        info.KB.Nodes,
-		Edges:        info.KB.Edges,
-		Labels:       info.KB.Labels,
-		NodesAdded:   info.NodesAdded,
-		LabelsAdded:  info.LabelsAdded,
-		EdgesAdded:   info.EdgesAdded,
-		EdgesRemoved: info.EdgesRemoved,
-		TypesSet:     info.TypesSet,
+		Generation:     info.Generation,
+		Fingerprint:    info.Fingerprint,
+		Nodes:          info.KB.Nodes,
+		Edges:          info.KB.Edges,
+		Labels:         info.KB.Labels,
+		NodesAdded:     info.NodesAdded,
+		LabelsAdded:    info.LabelsAdded,
+		EdgesAdded:     info.EdgesAdded,
+		EdgesRemoved:   info.EdgesRemoved,
+		TypesSet:       info.TypesSet,
+		Overlay:        info.Overlay,
+		Compacted:      info.Compacted,
+		OverlayDepth:   info.OverlayDepth,
+		ResultsCarried: info.ResultsCarried,
+		ResultsDropped: info.ResultsDropped,
 	}
 }
 
@@ -454,6 +470,7 @@ type statsResponse struct {
 	KB            rex.Stats      `json:"kb"`
 	Cache         rex.CacheStats `json:"cache"`
 	Queries       queryStats     `json:"queries"`
+	Live          liveStats      `json:"live"`
 }
 
 // versionInfo identifies the active KB snapshot and the swap history.
@@ -469,6 +486,26 @@ type queryStats struct {
 	Explains uint64 `json:"explains"`
 	Errors   uint64 `json:"errors"`
 	Timeouts uint64 `json:"timeouts"`
+}
+
+// liveStats is the write-path and carry-over section of /stats: overlay
+// state of the active snapshot plus cumulative carry-over counters.
+type liveStats struct {
+	OverlayDepth   int    `json:"overlay_depth"`
+	Compactions    uint64 `json:"compactions"`
+	ResultsCarried uint64 `json:"results_carried"`
+	ResultsDropped uint64 `json:"results_dropped"`
+	MemoPromotions uint64 `json:"memo_promotions"`
+}
+
+func liveStatsOf(ls rex.LiveStats) liveStats {
+	return liveStats{
+		OverlayDepth:   ls.OverlayDepth,
+		Compactions:    ls.Compactions,
+		ResultsCarried: ls.ResultsCarried,
+		ResultsDropped: ls.ResultsDropped,
+		MemoPromotions: ls.MemoPromotions,
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -489,6 +526,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Errors:   s.errors.Load(),
 			Timeouts: s.timeouts.Load(),
 		},
+		Live: liveStatsOf(s.store.LiveStats()),
 	})
 }
 

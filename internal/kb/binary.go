@@ -13,37 +13,47 @@ import (
 // thousands of entities, >10^6 edges) loads an order of magnitude faster
 // without string splitting.
 //
-// Version 2 serialises the frozen CSR layout directly — per-node degrees
+// Version 3 serialises the frozen CSR layout directly — per-node degrees
 // followed by the flat half-edge array in frozen (To, Label, Dir) span
 // order — so loading is a streaming fill of the read-path arrays: no
 // AddEdge bookkeeping, no edge-set map, no re-sorting. The content
 // fingerprint is carried in the file (it is a pure function of the
-// content that the loader verifies structurally). Layout, all integers
-// unsigned varints:
+// content that the loader verifies structurally), together with the
+// XOR-combinable item hash behind it, so a loaded graph can serve as an
+// overlay base with O(delta) incremental fingerprints. Layout, all
+// integers unsigned varints:
 //
-//	magic "REXKB" version(2)
+//	magic "REXKB" version(3)
 //	numLabels { nameLen name directed(1 byte) } ...
 //	numNodes  { nameLen name typeLen type } ...
 //	numEdges
 //	degrees   numNodes × degree
 //	halfEdges Σdegree × { to label dir(1 byte) }
 //	fpLen fp
+//	xorFP (8 bytes big-endian)
 //
-// Version 1 (edge-list layout: numEdges × { from to label }) remains
-// readable; writers always emit version 2. Node and label references are
-// the dense IDs assigned by declaration order, so graphs round-trip with
-// identical IDs.
+// Version 2 (the same layout without the trailing xorFP) and version 1
+// (edge-list layout: numEdges × { from to label }) remain readable;
+// their fingerprints are recomputed on load. Writers always emit
+// version 3. Node and label references are the dense IDs assigned by
+// declaration order, so graphs round-trip with identical IDs.
 
 const binaryMagic = "REXKB"
 const (
 	binaryVersion1 = 1
-	binaryVersion  = 2
+	binaryVersion2 = 2
+	binaryVersion  = 3
 )
 
-// WriteBinary serialises the graph in the binary format (version 2, the
+// WriteBinary serialises the graph in the binary format (version 3, the
 // CSR layout). The graph is frozen first if it is not already — the CSR
-// arrays are the wire content.
+// arrays are the wire content. An overlay generation is compacted
+// first: its own CSR arrays belong to the base and describe older
+// content.
 func (g *Graph) WriteBinary(w io.Writer) error {
+	if g.ov != nil {
+		return g.Compact().WriteBinary(w)
+	}
 	g.Freeze()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
@@ -111,6 +121,11 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 		}
 	}
 	if err := writeString(g.fp); err != nil {
+		return err
+	}
+	var xorBuf [8]byte
+	binary.BigEndian.PutUint64(xorBuf[:], g.xorFP)
+	if _, err := bw.Write(xorBuf[:]); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -219,7 +234,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != binaryVersion1 && version != binaryVersion {
+	if version != binaryVersion1 && version != binaryVersion2 && version != binaryVersion {
 		return nil, fmt.Errorf("kb: unsupported binary version %d", version)
 	}
 	g := New()
@@ -300,7 +315,20 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	g.frozen = true
 	g.deriveLabelView()
 	g.buildTypeIndex()
+	if version == binaryVersion2 {
+		// The legacy format carries a fingerprint computed by the old
+		// sequential hash; recompute both hashes so the invariant
+		// fp == fpString(counts, xorFP) holds for every frozen graph.
+		g.xorFP = g.contentXor()
+		g.fp = fpString(g.NumNodes(), g.NumEdges(), g.NumLabels(), g.xorFP)
+		return g, nil
+	}
+	var xorBuf [8]byte
+	if _, err := io.ReadFull(br, xorBuf[:]); err != nil {
+		return nil, fmt.Errorf("kb: binary xor hash: %w", err)
+	}
 	g.fp = fp
+	g.xorFP = binary.BigEndian.Uint64(xorBuf[:])
 	return g, nil
 }
 

@@ -136,6 +136,13 @@ type Graph struct {
 	// queries never mutate shared state.
 	byType map[string][]NodeID
 	fp     string // content fingerprint, computed by Freeze
+	xorFP  uint64 // XOR-combinable content hash behind fp (see mutate.go)
+
+	// ov marks this graph as an overlay generation: the CSR arrays above
+	// are aliased from an immutable frozen base, and nodes whose
+	// adjacency changed since that base are patched through ov (see
+	// overlay.go). nil for ordinary graphs.
+	ov *overlay
 }
 
 // labelSpan locates the half-edges with one label inside the flat
@@ -260,6 +267,11 @@ func (g *Graph) NodeByName(name string) NodeID {
 	if id, ok := g.byName[name]; ok {
 		return id
 	}
+	if g.ov != nil {
+		if id, ok := g.ov.addedByName[name]; ok {
+			return id
+		}
+	}
 	return InvalidNode
 }
 
@@ -367,6 +379,11 @@ func (g *Graph) HasEdge(from, to NodeID, label LabelID) bool {
 // directed incident edge counts once).
 func (g *Graph) Degree(id NodeID) int {
 	if g.frozen {
+		if g.ov != nil {
+			if on := g.ov.node(id); on != nil {
+				return len(on.csr)
+			}
+		}
 		return int(g.csrOff[id+1] - g.csrOff[id])
 	}
 	return len(g.adj[id])
@@ -375,9 +392,15 @@ func (g *Graph) Degree(id NodeID) int {
 // Neighbors returns the half-edges at a node. The returned slice is owned
 // by the graph and must not be modified. On a frozen graph it is a span
 // of the contiguous CSR array, deterministically ordered by (To, Label,
-// Dir).
+// Dir); on an overlay generation, nodes the overlay touched answer from
+// their materialised span instead, in the identical order.
 func (g *Graph) Neighbors(id NodeID) []HalfEdge {
 	if g.frozen {
+		if g.ov != nil {
+			if on := g.ov.node(id); on != nil {
+				return on.csr
+			}
+		}
 		return g.csr[g.csrOff[id]:g.csrOff[id+1]]
 	}
 	return g.adj[id]
@@ -391,7 +414,7 @@ func (g *Graph) Edges() []Edge {
 	if g.frozen {
 		for i := range g.nodes {
 			from := NodeID(i)
-			for _, he := range g.csr[g.csrOff[i]:g.csrOff[i+1]] {
+			for _, he := range g.Neighbors(from) {
 				if he.Dir == Out || (he.Dir == Undirected && from <= he.To) {
 					out = append(out, Edge{From: from, To: he.To, Label: he.Label})
 				}
@@ -432,7 +455,8 @@ func (g *Graph) Freeze() {
 	g.edgeSet = nil
 	g.frozen = true
 	g.buildTypeIndex()
-	g.fp = g.fingerprint()
+	g.xorFP = g.contentXor()
+	g.fp = fpString(g.NumNodes(), g.NumEdges(), g.NumLabels(), g.xorFP)
 }
 
 // buildCSR concatenates the adjacency lists into the flat csr array,
@@ -532,27 +556,44 @@ func (g *Graph) deriveLabelView() {
 // lists and the edge-existence set) from the CSR arrays so a frozen graph
 // can be mutated again. Every mutator calls it first; on an unfrozen
 // graph it is a no-op. The CSR views are truncated, keeping their backing
-// arrays for the next Freeze.
+// arrays for the next Freeze. An overlay generation instead detaches
+// from its base entirely — the aliased arrays and the shared name index
+// belong to the base, which keeps serving other generations.
 func (g *Graph) thaw() {
 	if !g.frozen {
 		return
 	}
+	adj := g.adjFromCSR() // reads through the frozen, overlay-aware path
 	g.frozen = false
-	g.adj = g.adjFromCSR()
-	g.edgeSet = edgeSetFromAdj(g.adj)
-	g.csr = g.csr[:0]
-	g.csrOff = g.csrOff[:0]
-	g.labelCSR = g.labelCSR[:0]
-	g.spanOff = g.spanOff[:0]
-	g.spans = g.spans[:0]
+	g.adj = adj
+	g.edgeSet = edgeSetFromAdj(adj)
+	if g.ov != nil {
+		g.csr, g.csrOff, g.labelCSR, g.spanOff, g.spans = nil, nil, nil, nil, nil
+		g.nodes = append([]Node(nil), g.nodes...)
+		byName := make(map[string]NodeID, len(g.nodes))
+		for i := range g.nodes {
+			byName[g.nodes[i].Name] = g.nodes[i].ID
+		}
+		g.byName = byName
+		g.byType = nil
+		g.ov = nil
+	} else {
+		g.csr = g.csr[:0]
+		g.csrOff = g.csrOff[:0]
+		g.labelCSR = g.labelCSR[:0]
+		g.spanOff = g.spanOff[:0]
+		g.spans = g.spans[:0]
+	}
 	g.fp = ""
 }
 
-// adjFromCSR copies the CSR spans back into per-node adjacency lists.
+// adjFromCSR copies the frozen spans back into per-node adjacency
+// lists. It must be called while the graph is still frozen: it reads
+// through Neighbors so overlay generations resolve correctly.
 func (g *Graph) adjFromCSR() [][]HalfEdge {
 	adj := make([][]HalfEdge, len(g.nodes))
 	for i := range adj {
-		span := g.csr[g.csrOff[i]:g.csrOff[i+1]]
+		span := g.Neighbors(NodeID(i))
 		if len(span) > 0 {
 			adj[i] = append([]HalfEdge(nil), span...)
 		}
@@ -601,6 +642,11 @@ func (g *Graph) buildTypeIndex() {
 // not be modified.
 func (g *Graph) NeighborsLabeled(id NodeID, label LabelID) []HalfEdge {
 	if g.frozen && int(id) < len(g.nodes) {
+		if g.ov != nil {
+			if on := g.ov.node(id); on != nil {
+				return on.labeled(label)
+			}
+		}
 		spans := g.spans[g.spanOff[id]:g.spanOff[id+1]]
 		lo, hi := 0, len(spans)
 		for lo < hi {
@@ -641,6 +687,9 @@ func (g *Graph) Nodes() []Node {
 // type index instead of scanning every node. The slice is always a copy.
 func (g *Graph) NodesOfType(typ string) []NodeID {
 	if g.frozen {
+		if g.ov != nil {
+			return g.ov.nodesOfType(typ)
+		}
 		return append([]NodeID(nil), g.byType[typ]...)
 	}
 	var out []NodeID

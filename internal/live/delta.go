@@ -158,6 +158,17 @@ type ApplyStats struct {
 	EdgesAdded   int
 	EdgesRemoved int
 	TypesSet     int
+
+	// Overlay reports whether the new generation was built as an
+	// O(delta) overlay over the previous snapshot (Apply) rather than a
+	// full Clone+Freeze rebuild (ApplyRebuild).
+	Overlay bool
+	// Compacted reports that the manager folded the overlay chain into
+	// fresh CSR arrays while publishing this generation.
+	Compacted bool
+	// OverlayDepth is the overlay depth of the published snapshot
+	// (0 after a rebuild or compaction).
+	OverlayDepth int
 }
 
 // Changed reports whether the application mutated anything.
@@ -165,32 +176,156 @@ func (s ApplyStats) Changed() bool {
 	return s.NodesAdded+s.LabelsAdded+s.EdgesAdded+s.EdgesRemoved+s.TypesSet > 0
 }
 
-// Apply replays the delta onto a deep clone of base and returns the
-// resulting frozen graph. base is never mutated and keeps serving
-// concurrent reads throughout. Application is all-or-nothing: any
-// failing record (unknown entity or label, directedness conflict,
-// self-loop) aborts with an error identifying the source line, and no
-// new graph is produced.
-func (d *Delta) Apply(base *kb.Graph) (*kb.Graph, ApplyStats, error) {
+// ChangeSet is the touched-set of one delta application, the input to
+// label-scoped cache carry-over (see the rex facade): which labels had
+// edges added or removed, which nodes changed (edge endpoints, added
+// entities, retyped entities), and whether any entity changed type.
+type ChangeSet struct {
+	// Labels holds every label with an edge added or removed. Cached
+	// state whose pattern mentions none of these labels cannot observe
+	// the edge changes.
+	Labels map[kb.LabelID]struct{}
+	// Nodes holds the endpoints of every changed edge plus added and
+	// retyped entities. Both endpoints of every removed edge are here,
+	// so a breadth-first ball grown from Nodes over the NEW graph also
+	// covers every path that existed only in the old graph: any such
+	// path crosses a removed edge, whose endpoints seed the ball.
+	Nodes map[kb.NodeID]struct{}
+	// Retyped reports that some entity's type changed. Type changes
+	// shift pattern applicability globally (matching is type-scoped), so
+	// carry-over is disabled wholesale when set.
+	Retyped bool
+}
+
+// NewChangeSet returns an empty change set.
+func NewChangeSet() *ChangeSet {
+	return &ChangeSet{
+		Labels: make(map[kb.LabelID]struct{}),
+		Nodes:  make(map[kb.NodeID]struct{}),
+	}
+}
+
+// AffectedBall grows a breadth-first ball of the given radius from the
+// change set's touched nodes over g (the new generation) and returns
+// every node in it. Growth stops once the ball would exceed maxNodes,
+// returning (nil, false) — the caller should then treat every node as
+// potentially affected. Radius 0 returns just the touched nodes.
+func (cs *ChangeSet) AffectedBall(g *kb.Graph, radius, maxNodes int) (map[kb.NodeID]struct{}, bool) {
+	ball := make(map[kb.NodeID]struct{}, len(cs.Nodes))
+	frontier := make([]kb.NodeID, 0, len(cs.Nodes))
+	for id := range cs.Nodes {
+		ball[id] = struct{}{}
+		frontier = append(frontier, id)
+	}
+	if len(ball) > maxNodes {
+		return nil, false
+	}
+	for hop := 0; hop < radius && len(frontier) > 0; hop++ {
+		var next []kb.NodeID
+		for _, id := range frontier {
+			if int(id) >= g.NumNodes() {
+				continue
+			}
+			for _, he := range g.Neighbors(id) {
+				if _, seen := ball[he.To]; seen {
+					continue
+				}
+				if len(ball) >= maxNodes {
+					return nil, false
+				}
+				ball[he.To] = struct{}{}
+				next = append(next, he.To)
+			}
+		}
+		frontier = next
+	}
+	return ball, true
+}
+
+// mutator is the graph surface applyOp drives, implemented by both the
+// O(delta) overlay builder and a plain clone, so the two apply paths
+// share one replay loop with identical record semantics and error text.
+type mutator interface {
+	NodeByName(string) kb.NodeID
+	LabelByName(string) kb.LabelID
+	NodeType(kb.NodeID) string
+	AddNode(string, string) kb.NodeID
+	Label(string, bool) (kb.LabelID, error)
+	AddEdge(kb.NodeID, kb.NodeID, kb.LabelID) (bool, error)
+	RemoveEdge(kb.NodeID, kb.NodeID, kb.LabelID) (bool, error)
+	SetNodeType(kb.NodeID, string) error
+}
+
+// graphAdapter lifts *kb.Graph to the mutator surface.
+type graphAdapter struct{ *kb.Graph }
+
+func (a graphAdapter) NodeType(id kb.NodeID) string { return a.Node(id).Type }
+
+// Apply replays the delta as an overlay generation over base in
+// O(delta · degree): base's CSR arrays are shared, only touched nodes
+// get materialised spans, and base is never mutated — it keeps serving
+// concurrent reads throughout. The returned ChangeSet records what the
+// delta touched, for cache carry-over across the swap.
+//
+// Application is all-or-nothing: any failing record (unknown entity or
+// label, directedness conflict, self-loop) aborts with an error
+// identifying the source line, and no new graph or change set is
+// produced. The stats returned alongside an error are the partial
+// counts accumulated before the failing record and are undefined for
+// any other purpose — callers must not publish or act on them.
+//
+// A delta whose records are all no-ops returns base itself (with
+// zero-valued stats), not a new generation.
+func (d *Delta) Apply(base *kb.Graph) (*kb.Graph, ApplyStats, *ChangeSet, error) {
+	b, err := kb.NewOverlayBuilder(base)
+	if err != nil {
+		return nil, ApplyStats{}, nil, fmt.Errorf("live: %v", err)
+	}
+	var st ApplyStats
+	cs := NewChangeSet()
+	for _, op := range d.Ops {
+		if err := applyOp(b, op, &st, cs); err != nil {
+			return nil, st, nil, err
+		}
+	}
+	if !st.Changed() {
+		return base, st, cs, nil
+	}
+	g := b.Graph()
+	st.Overlay = true
+	st.OverlayDepth = g.Overlay().Depth
+	return g, st, cs, nil
+}
+
+// ApplyRebuild replays the delta onto a deep clone of base and freezes
+// the result from scratch — the legacy O(graph) path, kept as the
+// equivalence oracle for the overlay path and for measuring the
+// rebuild-vs-overlay cost gap (cmd/rexbench). Semantics and error text
+// are identical to Apply, including the undefined-stats error contract.
+func (d *Delta) ApplyRebuild(base *kb.Graph) (*kb.Graph, ApplyStats, *ChangeSet, error) {
 	g := base.Clone()
 	var st ApplyStats
+	cs := NewChangeSet()
 	for _, op := range d.Ops {
-		if err := applyOp(g, op, &st); err != nil {
-			return nil, ApplyStats{}, err
+		if err := applyOp(graphAdapter{g}, op, &st, cs); err != nil {
+			return nil, st, nil, err
 		}
 	}
 	g.Freeze()
-	return g, st, nil
+	return g, st, cs, nil
 }
 
-// applyOp replays one mutation onto the graph under construction.
-func applyOp(g *kb.Graph, op Op, st *ApplyStats) error {
+// applyOp replays one mutation onto the generation under construction,
+// recording effective changes in both the stats and the change set.
+func applyOp(g mutator, op Op, st *ApplyStats, cs *ChangeSet) error {
 	switch op.Kind {
 	case OpAddNode:
-		if g.NodeByName(op.Name) == kb.InvalidNode {
+		known := g.NodeByName(op.Name) != kb.InvalidNode
+		id := g.AddNode(op.Name, op.Type)
+		if !known {
 			st.NodesAdded++
+			cs.Nodes[id] = struct{}{}
 		}
-		g.AddNode(op.Name, op.Type)
 	case OpAddLabel:
 		known := g.LabelByName(op.Name) != kb.InvalidLabel
 		if _, err := g.Label(op.Name, op.Directed); err != nil {
@@ -198,19 +333,25 @@ func applyOp(g *kb.Graph, op Op, st *ApplyStats) error {
 		}
 		if !known {
 			st.LabelsAdded++
+			// A label first seen in this delta cannot appear in any
+			// pattern cached against earlier generations, so it does not
+			// join the touched-label set; edges using it touch their
+			// endpoints as usual.
 		}
 	case OpSetType:
 		id := g.NodeByName(op.Name)
 		if id == kb.InvalidNode {
 			return fmt.Errorf("live: line %d: settype: unknown node %q", op.Line, op.Name)
 		}
-		if g.Node(id).Type == op.Type {
+		if g.NodeType(id) == op.Type {
 			return nil // already that type: no-op, not counted
 		}
 		if err := g.SetNodeType(id, op.Type); err != nil {
 			return fmt.Errorf("live: line %d: %v", op.Line, err)
 		}
 		st.TypesSet++
+		cs.Nodes[id] = struct{}{}
+		cs.Retyped = true
 	case OpAddEdge, OpDelEdge:
 		from := g.NodeByName(op.From)
 		if from == kb.InvalidNode {
@@ -231,6 +372,9 @@ func applyOp(g *kb.Graph, op Op, st *ApplyStats) error {
 			}
 			if added {
 				st.EdgesAdded++
+				cs.Labels[label] = struct{}{}
+				cs.Nodes[from] = struct{}{}
+				cs.Nodes[to] = struct{}{}
 			}
 		} else {
 			removed, err := g.RemoveEdge(from, to, label)
@@ -239,6 +383,9 @@ func applyOp(g *kb.Graph, op Op, st *ApplyStats) error {
 			}
 			if removed {
 				st.EdgesRemoved++
+				cs.Labels[label] = struct{}{}
+				cs.Nodes[from] = struct{}{}
+				cs.Nodes[to] = struct{}{}
 			}
 		}
 	default:

@@ -92,13 +92,17 @@ func TestDeltaApply(t *testing.T) {
 		"deledge\ta\tb\tknows",
 		"deledge\ta\tc\tknows", // absent: no-op
 	}, "\n"))
-	g2, st, err := d.Apply(g)
+	g2, st, cs, err := d.Apply(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := ApplyStats{NodesAdded: 1, LabelsAdded: 1, EdgesAdded: 1, EdgesRemoved: 1, TypesSet: 1}
+	want := ApplyStats{NodesAdded: 1, LabelsAdded: 1, EdgesAdded: 1, EdgesRemoved: 1, TypesSet: 1,
+		Overlay: true, OverlayDepth: 1}
 	if st != want {
 		t.Errorf("stats = %+v, want %+v", st, want)
+	}
+	if cs == nil || !cs.Retyped {
+		t.Errorf("change set = %+v, want Retyped", cs)
 	}
 	if !st.Changed() {
 		t.Error("Changed() = false")
@@ -151,7 +155,7 @@ func TestDeltaApplyErrors(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			g := baseGraph(t)
 			fp := g.Fingerprint()
-			g2, _, err := parse(t, c.src).Apply(g)
+			g2, _, _, err := parse(t, c.src).Apply(g)
 			if err == nil || !strings.Contains(err.Error(), c.want) {
 				t.Fatalf("err = %v, want mention of %q", err, c.want)
 			}
@@ -167,7 +171,7 @@ func TestDeltaApplyErrors(t *testing.T) {
 
 func TestManagerLifecycle(t *testing.T) {
 	builds := 0
-	m, err := NewManager(baseGraph(t), func(g *kb.Graph) (any, error) {
+	m, err := NewManager(baseGraph(t), func(g *kb.Graph, prev *Snapshot, cs *ChangeSet) (any, error) {
 		builds++
 		return fmt.Sprintf("payload-%d", builds), nil
 	})
@@ -230,6 +234,168 @@ func TestManagerNoopDeltaPublishesNothing(t *testing.T) {
 	}
 }
 
+// TestApplyRebuildMatchesOverlay pins that both apply paths produce
+// identical content, fingerprints and effective-change stats.
+func TestApplyRebuildMatchesOverlay(t *testing.T) {
+	src := strings.Join([]string{
+		"node\td\tfilm",
+		"label\tstarring\tD",
+		"edge\td\ta\tstarring",
+		"edge\td\tb\tstarring",
+		"deledge\ta\tb\tknows",
+		"settype\tc\tdirector",
+	}, "\n")
+	d := parse(t, src)
+	ovG, ovSt, ovCS, err := d.Apply(baseGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbG, rbSt, rbCS, err := d.ApplyRebuild(baseGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovG.Fingerprint() != rbG.Fingerprint() {
+		t.Errorf("overlay fingerprint %s != rebuild %s", ovG.Fingerprint(), rbG.Fingerprint())
+	}
+	if !ovSt.Overlay || rbSt.Overlay {
+		t.Errorf("Overlay flags: apply %+v, rebuild %+v", ovSt, rbSt)
+	}
+	ovSt.Overlay, ovSt.OverlayDepth = false, 0
+	if ovSt != rbSt {
+		t.Errorf("stats diverge: %+v vs %+v", ovSt, rbSt)
+	}
+	if len(ovCS.Labels) != len(rbCS.Labels) || len(ovCS.Nodes) != len(rbCS.Nodes) || ovCS.Retyped != rbCS.Retyped {
+		t.Errorf("change sets diverge: %+v vs %+v", ovCS, rbCS)
+	}
+}
+
+// TestChangeSetCollection checks that the touched-set records exactly
+// the labels and nodes of effective mutations.
+func TestChangeSetCollection(t *testing.T) {
+	g := baseGraph(t)
+	d := parse(t, strings.Join([]string{
+		"node\td\tfilm",
+		"label\tstarring\tD",
+		"edge\td\tc\tstarring",
+		"edge\ta\tb\tknows", // duplicate: no-op, must not touch knows
+	}, "\n"))
+	g2, _, cs, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Retyped {
+		t.Error("Retyped set without a settype")
+	}
+	starring := g2.LabelByName("starring")
+	if _, ok := cs.Labels[starring]; !ok || len(cs.Labels) != 1 {
+		t.Errorf("touched labels = %v, want only starring (%d)", cs.Labels, starring)
+	}
+	wantNodes := []kb.NodeID{g2.NodeByName("c"), g2.NodeByName("d")}
+	if len(cs.Nodes) != len(wantNodes) {
+		t.Fatalf("touched nodes = %v, want %v", cs.Nodes, wantNodes)
+	}
+	for _, id := range wantNodes {
+		if _, ok := cs.Nodes[id]; !ok {
+			t.Errorf("node %d missing from touched set %v", id, cs.Nodes)
+		}
+	}
+
+	// The ball at radius 1 reaches c's and d's neighbours; the cap makes
+	// growth fail soft.
+	ball, ok := cs.AffectedBall(g2, 1, 100)
+	if !ok {
+		t.Fatal("ball overflowed a generous cap")
+	}
+	for id := range cs.Nodes {
+		if _, in := ball[id]; !in {
+			t.Errorf("touched node %d not in its own ball", id)
+		}
+	}
+	if _, _, ok := func() (map[kb.NodeID]struct{}, bool, bool) {
+		b, ok := cs.AffectedBall(g2, 1, 1)
+		return b, ok, ok
+	}(); ok {
+		t.Error("ball cap of 1 not enforced")
+	}
+}
+
+// TestManagerCompaction drives enough deltas through a tight compaction
+// policy to trigger folding, and checks depth bookkeeping.
+func TestManagerCompaction(t *testing.T) {
+	m, err := NewManager(baseGraph(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CompactDepth = 3
+	m.CompactRatio = 100 // depth-only policy for the test
+	var depths []int
+	for i := 0; i < 7; i++ {
+		d := parse(t, fmt.Sprintf("node\tx%d\tperson\nedge\ta\tx%d\tknows", i, i))
+		snap, st, err := m.ApplyDelta(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Overlay {
+			t.Fatalf("delta %d not applied as overlay: %+v", i, st)
+		}
+		depths = append(depths, st.OverlayDepth)
+		if got := snap.Graph.Overlay().Depth; got != st.OverlayDepth {
+			t.Fatalf("delta %d: stats depth %d != graph depth %d", i, st.OverlayDepth, got)
+		}
+		if st.Compacted != (st.OverlayDepth == 0) {
+			t.Fatalf("delta %d: Compacted=%v at depth %d", i, st.Compacted, st.OverlayDepth)
+		}
+	}
+	// Depth counts 1, 2, then hits CompactDepth=3 and folds to 0.
+	want := []int{1, 2, 0, 1, 2, 0, 1}
+	for i := range want {
+		if depths[i] != want[i] {
+			t.Fatalf("depths = %v, want %v", depths, want)
+		}
+	}
+	if m.Compactions() != 2 {
+		t.Errorf("compactions = %d, want 2", m.Compactions())
+	}
+	if m.Generation() != 8 {
+		t.Errorf("generation = %d, want 8", m.Generation())
+	}
+}
+
+// TestFailedApplyPublishesNothing pins the all-or-nothing contract: a
+// delta that fails mid-apply — after several effective records — must
+// not publish, bump the generation, or disturb the served graph, even
+// though the partial stats are non-zero.
+func TestFailedApplyPublishesNothing(t *testing.T) {
+	m, err := NewManager(baseGraph(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Current()
+	d := parse(t, strings.Join([]string{
+		"node\td\tfilm",          // effective
+		"edge\ta\td\tknows",      // effective
+		"edge\ta\tghost\tknows",  // fails here
+		"node\tnever\tunreached", // never replayed
+	}, "\n"))
+	_, st, err := m.ApplyDelta(d)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line-3 failure", err)
+	}
+	// Stats-so-far are returned for diagnostics but documented undefined.
+	if st.NodesAdded != 1 || st.EdgesAdded != 1 {
+		t.Logf("partial stats = %+v", st)
+	}
+	if m.Current() != before || m.Generation() != 1 || m.Swaps() != 0 {
+		t.Error("failed apply published a snapshot")
+	}
+	if before.Graph.NodeByName("d") != kb.InvalidNode {
+		t.Error("failed apply leaked a node into the served graph")
+	}
+	if before.Graph.Fingerprint() != before.Fingerprint {
+		t.Error("failed apply mutated the served graph")
+	}
+}
+
 func TestManagerApplyErrorKeepsSnapshot(t *testing.T) {
 	m, err := NewManager(baseGraph(t), nil)
 	if err != nil {
@@ -249,7 +415,7 @@ func TestManagerApplyErrorKeepsSnapshot(t *testing.T) {
 
 func TestManagerBuildErrorKeepsSnapshot(t *testing.T) {
 	builds := 0
-	m, err := NewManager(baseGraph(t), func(g *kb.Graph) (any, error) {
+	m, err := NewManager(baseGraph(t), func(g *kb.Graph, prev *Snapshot, cs *ChangeSet) (any, error) {
 		builds++
 		if builds > 1 {
 			return nil, fmt.Errorf("boom")
@@ -269,7 +435,7 @@ func TestManagerBuildErrorKeepsSnapshot(t *testing.T) {
 }
 
 func TestManagerInitialBuildError(t *testing.T) {
-	if _, err := NewManager(baseGraph(t), func(*kb.Graph) (any, error) {
+	if _, err := NewManager(baseGraph(t), func(*kb.Graph, *Snapshot, *ChangeSet) (any, error) {
 		return nil, fmt.Errorf("boom")
 	}); err == nil {
 		t.Fatal("NewManager swallowed build error")
@@ -282,7 +448,7 @@ func TestManagerInitialBuildError(t *testing.T) {
 // TestManagerConcurrentReadersAndWriters drives lock-free reads under
 // concurrent swaps; run with -race this checks the epoch discipline.
 func TestManagerConcurrentReadersAndWriters(t *testing.T) {
-	m, err := NewManager(baseGraph(t), func(g *kb.Graph) (any, error) {
+	m, err := NewManager(baseGraph(t), func(g *kb.Graph, prev *Snapshot, cs *ChangeSet) (any, error) {
 		return g.Fingerprint(), nil
 	})
 	if err != nil {

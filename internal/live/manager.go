@@ -35,7 +35,14 @@ type Snapshot struct {
 // built frozen graph. It runs once per swap, before the snapshot is
 // published; an error aborts the swap and keeps the current snapshot
 // active.
-type BuildFunc func(*kb.Graph) (any, error)
+//
+// prev and cs enable cache carry-over: for a delta-driven swap, prev is
+// the snapshot being replaced and cs the delta's touched-set, so the
+// builder may seed the new payload's caches with entries from prev that
+// provably cannot observe the change. Both are nil for the initial
+// build and for whole-graph swaps (SwapGraph), where no sound carry
+// basis exists — the payload must then start cold.
+type BuildFunc func(g *kb.Graph, prev *Snapshot, cs *ChangeSet) (any, error)
 
 // Manager owns the active snapshot and serialises its replacement.
 //
@@ -48,11 +55,32 @@ type BuildFunc func(*kb.Graph) (any, error)
 type Manager struct {
 	build BuildFunc
 
+	// CompactDepth and CompactRatio bound the overlay chain: when a
+	// delta-built generation reaches CompactDepth stacked overlays or
+	// its materialised half-edges exceed CompactRatio of the base CSR,
+	// the manager folds it into fresh CSR arrays before publishing.
+	// Compaction runs on the writer path under the same mutex as the
+	// apply — readers keep serving the previous snapshot lock-free
+	// throughout. Set both before traffic starts; zero values take the
+	// defaults (32 and 0.25).
+	CompactDepth int
+	CompactRatio float64
+
 	mu  sync.Mutex // serialises writers; readers never take it
 	cur atomic.Pointer[Snapshot]
 
-	swaps atomic.Uint64 // completed swaps (generation - 1)
+	swaps       atomic.Uint64 // completed swaps (generation - 1)
+	compactions atomic.Uint64 // overlay chains folded on the write path
 }
+
+// Default compaction policy: fold the overlay chain every 32 deltas, or
+// sooner if the materialised patch spans reach a quarter of the base
+// CSR (at that point the memory sharing no longer pays for the extra
+// page-table indirection).
+const (
+	DefaultCompactDepth = 32
+	DefaultCompactRatio = 0.25
+)
 
 // NewManager freezes g, builds its payload and installs it as
 // generation 1.
@@ -61,14 +89,18 @@ func NewManager(g *kb.Graph, build BuildFunc) (*Manager, error) {
 		return nil, fmt.Errorf("live: NewManager: nil graph")
 	}
 	if build == nil {
-		build = func(*kb.Graph) (any, error) { return nil, nil }
+		build = func(*kb.Graph, *Snapshot, *ChangeSet) (any, error) { return nil, nil }
 	}
 	g.Freeze()
-	payload, err := build(g)
+	payload, err := build(g, nil, nil)
 	if err != nil {
 		return nil, fmt.Errorf("live: building initial snapshot: %w", err)
 	}
-	m := &Manager{build: build}
+	m := &Manager{
+		build:        build,
+		CompactDepth: DefaultCompactDepth,
+		CompactRatio: DefaultCompactRatio,
+	}
 	m.cur.Store(&Snapshot{
 		Generation:  1,
 		Fingerprint: g.Fingerprint(),
@@ -90,11 +122,18 @@ func (m *Manager) Generation() uint64 { return m.cur.Load().Generation }
 // construction.
 func (m *Manager) Swaps() uint64 { return m.swaps.Load() }
 
-// ApplyDelta replays a delta onto the current snapshot's graph and
-// atomically publishes the result as the next generation. The current
-// snapshot keeps serving until the new one — graph and payload — is
-// fully built; on any error nothing is published and the active
-// generation is unchanged.
+// Compactions returns the number of overlay chains folded into fresh
+// CSR arrays on the write path.
+func (m *Manager) Compactions() uint64 { return m.compactions.Load() }
+
+// ApplyDelta replays a delta onto the current snapshot's graph as an
+// O(delta) overlay generation and atomically publishes the result as
+// the next generation, compacting the overlay chain first when it
+// crosses the CompactDepth/CompactRatio policy. The current snapshot
+// keeps serving until the new one — graph and payload — is fully
+// built; on any error nothing is published and the active generation
+// is unchanged (the stats returned alongside an error are partial
+// counts, undefined for any use beyond diagnostics).
 //
 // A delta whose every record is a no-op (duplicate nodes and edges,
 // deletions of absent edges) changes nothing, so nothing is published:
@@ -108,22 +147,30 @@ func (m *Manager) ApplyDelta(d *Delta) (*Snapshot, ApplyStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	cur := m.cur.Load()
-	g, st, err := d.Apply(cur.Graph)
+	g, st, cs, err := d.Apply(cur.Graph)
 	if err != nil {
-		return nil, ApplyStats{}, err
+		return nil, st, err
 	}
 	if !st.Changed() {
 		return cur, st, nil
 	}
-	snap, err := m.publishLocked(g)
+	if info := g.Overlay(); info.Depth >= m.CompactDepth || info.Ratio > m.CompactRatio {
+		g = g.Compact()
+		st.Compacted = true
+		st.OverlayDepth = 0
+		m.compactions.Add(1)
+	}
+	snap, err := m.publishLocked(g, cur, cs)
 	if err != nil {
-		return nil, ApplyStats{}, err
+		return nil, st, err
 	}
 	return snap, st, nil
 }
 
 // SwapGraph publishes an independently built graph (e.g. re-read from
-// disk) as the next generation, freezing it first if needed.
+// disk) as the next generation, freezing it first if needed. There is
+// no delta relating it to the current snapshot, so the payload is built
+// without a carry basis and starts cold.
 func (m *Manager) SwapGraph(g *kb.Graph) (*Snapshot, error) {
 	if g == nil {
 		return nil, fmt.Errorf("live: SwapGraph: nil graph")
@@ -131,13 +178,14 @@ func (m *Manager) SwapGraph(g *kb.Graph) (*Snapshot, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	g.Freeze()
-	return m.publishLocked(g)
+	return m.publishLocked(g, nil, nil)
 }
 
 // publishLocked builds the payload for g and stores the next-generation
-// snapshot. Callers hold m.mu.
-func (m *Manager) publishLocked(g *kb.Graph) (*Snapshot, error) {
-	payload, err := m.build(g)
+// snapshot. prev and cs are forwarded to the BuildFunc as the carry
+// basis when the swap came from a delta. Callers hold m.mu.
+func (m *Manager) publishLocked(g *kb.Graph, prev *Snapshot, cs *ChangeSet) (*Snapshot, error) {
+	payload, err := m.build(g, prev, cs)
 	if err != nil {
 		return nil, fmt.Errorf("live: building snapshot payload: %w", err)
 	}

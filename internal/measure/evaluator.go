@@ -39,6 +39,7 @@ package measure
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"rex/internal/kb"
 	"rex/internal/match"
@@ -53,6 +54,12 @@ type Evaluator struct {
 
 	shards   [evalShardCount]evalShard
 	prefixes prefixCache
+
+	// carry, when set, links to the previous generation's evaluator for
+	// cross-snapshot memo promotion (see carry.go). promotions counts
+	// memos promoted through it.
+	carry      atomic.Pointer[carryLink]
+	promotions atomic.Uint64
 }
 
 // evalShard holds one lock shard of the result memos. Shards are
@@ -147,9 +154,13 @@ func (ev *Evaluator) Count(ctx context.Context, p *pattern.Pattern, start, end k
 	if ok {
 		return n, nil
 	}
-	n, err := match.CountContext(ctx, ev.g, p, start, end)
-	if err != nil {
-		return 0, err
+	n, promoted := ev.carriedCount(p, key)
+	if !promoted {
+		var err error
+		n, err = match.CountContext(ctx, ev.g, p, start, end)
+		if err != nil {
+			return 0, err
+		}
 	}
 	sh.mu.Lock()
 	if len(sh.pairs) >= maxPairMemosPerShard {
@@ -157,6 +168,9 @@ func (ev *Evaluator) Count(ctx context.Context, p *pattern.Pattern, start, end k
 	}
 	sh.pairs[key] = n
 	sh.mu.Unlock()
+	if promoted {
+		ev.promotions.Add(1)
+	}
 	return n, nil
 }
 
@@ -174,18 +188,20 @@ func (ev *Evaluator) CountByEnd(ctx context.Context, p *pattern.Pattern, start k
 	if ok {
 		return t, nil
 	}
-	var counts map[kb.NodeID]int
-	var err error
-	if steps, isPath := p.PathSteps(); isPath {
-		counts, err = ev.pathCountByEnd(ctx, start, steps)
-	} else {
-		// The memo map doubles as the matcher's accumulation table, so
-		// the general path allocates exactly the map it retains.
-		counts = make(map[kb.NodeID]int)
-		err = match.CountByEndInto(ctx, ev.g, p, start, counts)
-	}
-	if err != nil {
-		return nil, err
+	counts, promoted := ev.carriedTable(p, key)
+	if !promoted {
+		var err error
+		if steps, isPath := p.PathSteps(); isPath {
+			counts, err = ev.pathCountByEnd(ctx, start, steps)
+		} else {
+			// The memo map doubles as the matcher's accumulation table, so
+			// the general path allocates exactly the map it retains.
+			counts = make(map[kb.NodeID]int)
+			err = match.CountByEndInto(ctx, ev.g, p, start, counts)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	sh.mu.Lock()
 	if sh.tableCells+len(counts) > maxTableCellsPerShard {
@@ -195,6 +211,9 @@ func (ev *Evaluator) CountByEnd(ctx context.Context, p *pattern.Pattern, start k
 	sh.tables[key] = counts
 	sh.tableCells += len(counts)
 	sh.mu.Unlock()
+	if promoted {
+		ev.promotions.Add(1)
+	}
 	return counts, nil
 }
 
@@ -393,6 +412,11 @@ func (ev *Evaluator) walksAt(ctx context.Context, ps *prefixShard, sp *startPref
 	}
 	key := seqKey(steps)
 	if w, ok := ps.get(sp, key); ok {
+		return w, nil
+	}
+	if w, ok := ev.carriedWalks(steps, start, key); ok {
+		ps.put(sp, key, w)
+		ev.promotions.Add(1)
 		return w, nil
 	}
 	prev, err := ev.walksAt(ctx, ps, sp, start, steps[:len(steps)-1])

@@ -297,6 +297,15 @@ type Explainer struct {
 
 // NewExplainer validates the options and builds an explainer.
 func NewExplainer(k *KB, opt Options) (*Explainer, error) {
+	return newExplainer(k, opt, nil, nil)
+}
+
+// newExplainer is NewExplainer with an optional evaluator carry basis:
+// prevEval is the previous snapshot's evaluator and touched the labels
+// changed by the delta separating the snapshots, so memos for untouched
+// patterns warm the new generation instead of recomputing (see
+// internal/measure/carry.go). Both nil for a cold build.
+func newExplainer(k *KB, opt Options, prevEval *measure.Evaluator, touched map[kb.LabelID]struct{}) (*Explainer, error) {
 	opt = opt.normalized()
 	cfg := enumerate.Config{MaxPatternSize: opt.MaxPatternSize, Workers: opt.Parallelism}
 	switch opt.PathAlgorithm {
@@ -330,7 +339,7 @@ func NewExplainer(k *KB, opt Options) (*Explainer, error) {
 	// buffers, and a hot swap releases them with the old explainer.
 	cfg.Pool = enumerate.NewPool()
 	e := &Explainer{kb: k, opt: opt, m: m, cfg: cfg,
-		flight: newFlightGroup(), eval: measure.NewEvaluator(k.g)}
+		flight: newFlightGroup(), eval: measure.NewEvaluatorFrom(k.g, prevEval, touched)}
 	if opt.CacheSize > 0 {
 		e.cache = newResultCache(opt.CacheSize)
 	}

@@ -3,9 +3,11 @@ package rex
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"rex/internal/kb"
 	"rex/internal/live"
+	"rex/internal/measure"
 )
 
 // Store is a live knowledge base: it owns a sequence of versioned,
@@ -23,6 +25,14 @@ import (
 type Store struct {
 	mgr *live.Manager
 	opt Options
+
+	// Carry-over effectiveness counters, cumulative across swaps.
+	resultsCarried atomic.Uint64
+	resultsDropped atomic.Uint64
+	// promosRetired accumulates the memo-promotion counts of evaluators
+	// as their generation is replaced, so LiveStats can report a running
+	// total without keeping retired evaluators alive.
+	promosRetired atomic.Uint64
 }
 
 // storePayload is the per-snapshot serving state the live manager
@@ -30,6 +40,10 @@ type Store struct {
 type storePayload struct {
 	kb *KB
 	ex *Explainer
+	// carried and dropped count the previous generation's cached results
+	// that survived into (or were invalidated out of) this snapshot's
+	// cache at build time.
+	carried, dropped int
 }
 
 // StoreSnapshot is one pinned knowledge-base version. The KB and
@@ -52,6 +66,17 @@ type SwapInfo struct {
 	// Effective mutation counts; all zero for ReloadFrom, which
 	// replaces the graph wholesale.
 	NodesAdded, LabelsAdded, EdgesAdded, EdgesRemoved, TypesSet int
+	// Overlay reports the new generation was built as an O(delta)
+	// overlay; Compacted that the overlay chain was folded into fresh
+	// CSR arrays during this swap; OverlayDepth the published
+	// generation's overlay depth.
+	Overlay      bool
+	Compacted    bool
+	OverlayDepth int
+	// ResultsCarried and ResultsDropped count the previous generation's
+	// cached results that survived into, or were invalidated out of, the
+	// new snapshot's cache.
+	ResultsCarried, ResultsDropped int
 }
 
 // NewStore builds a live store serving k as generation 1. The options
@@ -64,19 +89,112 @@ func NewStore(k *KB, opt Options) (*Store, error) {
 	if k == nil {
 		return nil, fmt.Errorf("rex: NewStore: nil KB")
 	}
-	build := func(g *kb.Graph) (any, error) {
+	s := &Store{opt: opt}
+	build := func(g *kb.Graph, prev *live.Snapshot, cs *live.ChangeSet) (any, error) {
 		snapKB := &KB{g: g}
-		ex, err := NewExplainer(snapKB, opt)
+		var prevPay *storePayload
+		if prev != nil {
+			prevPay = prev.Payload.(*storePayload)
+		}
+		// Evaluator memo carry is sound under the label rule alone:
+		// match counting reads exactly the edges whose labels the
+		// pattern mentions, and never entity types, so the per-lookup
+		// untouched-label test in measure covers every delta — including
+		// retypes (see internal/measure/carry.go).
+		var prevEval *measure.Evaluator
+		var touched map[kb.LabelID]struct{}
+		if prevPay != nil && cs != nil {
+			prevEval = prevPay.ex.eval
+			touched = cs.Labels
+		}
+		ex, err := newExplainer(snapKB, opt, prevEval, touched)
 		if err != nil {
 			return nil, err
 		}
-		return &storePayload{kb: snapKB, ex: ex}, nil
+		pay := &storePayload{kb: snapKB, ex: ex}
+		if prevPay != nil {
+			// Retire the predecessor: bank its promotion count for the
+			// running total and sever its own carry link, so at most two
+			// generations of memos stay reachable at once.
+			s.promosRetired.Add(prevPay.ex.eval.Promotions())
+			prevPay.ex.eval.DropCarry()
+			pay.carried, pay.dropped = carryResults(ex, prevPay.ex, g, cs, opt)
+			s.resultsCarried.Add(uint64(pay.carried))
+			s.resultsDropped.Add(uint64(pay.dropped))
+		}
+		return pay, nil
 	}
 	mgr, err := live.NewManager(k.g, build)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{mgr: mgr, opt: opt}, nil
+	s.mgr = mgr
+	return s, nil
+}
+
+// maxCarryBallNodes caps the affected-ball breadth-first search behind
+// result carry-over. A delta touching a hub can reach a large fraction
+// of the graph within the pattern radius; past this many nodes the ball
+// no longer proves anything cheaply, so carry-over degrades to the
+// sound default of dropping everything.
+const maxCarryBallNodes = 1 << 17
+
+// carryResults seeds the new snapshot's result cache with the previous
+// generation's entries that provably cannot observe the delta, and
+// reports how many were carried vs. dropped.
+//
+// Soundness: with M = MaxPatternSize, every instance of an explanation
+// for the pair (s, t) — including the free-end instances behind the
+// local-distribution measure — lies within M−1 hops of s or t, and the
+// prioritized enumeration additionally reads the degrees of nodes one
+// hop beyond the nodes it visits. So every graph read a query makes
+// stays within M hops of its endpoints, and a cached result can change
+// only if some changed edge or entity lies within that horizon —
+// equivalently, if an endpoint falls inside the radius-M ball grown
+// from the delta's touched nodes. The ball is grown over the new graph,
+// which also covers paths that existed only in the old one: any such
+// path crosses a removed edge, and both endpoints of every removed edge
+// seed the ball (live.ChangeSet.Nodes).
+//
+// Drop-when-in-doubt cases: no change set (whole-graph reload), a
+// retype (entity types steer decoration and sampling), a global
+// measure (its sampled start set can shift under any node addition),
+// a ball that overflows maxCarryBallNodes, and budget-truncated
+// results (their coverage depends on enumeration order, which degree
+// changes can reorder).
+func carryResults(next, prev *Explainer, g *kb.Graph, cs *live.ChangeSet, opt Options) (carried, dropped int) {
+	if prev.cache == nil || next.cache == nil {
+		return 0, 0
+	}
+	entries := prev.cache.entries()
+	if len(entries) == 0 {
+		return 0, 0
+	}
+	if cs == nil || cs.Retyped || needsGlobalSamples(next.m) {
+		return 0, len(entries)
+	}
+	radius := opt.normalized().MaxPatternSize
+	ball, ok := cs.AffectedBall(g, radius, maxCarryBallNodes)
+	if !ok {
+		return 0, len(entries)
+	}
+	for _, en := range entries {
+		if en.res.Truncated {
+			dropped++
+			continue
+		}
+		st := g.NodeByName(en.res.Start)
+		en2 := g.NodeByName(en.res.End)
+		_, sIn := ball[st]
+		_, tIn := ball[en2]
+		if sIn || tIn {
+			dropped++
+			continue
+		}
+		next.cache.put(en.key, en.res)
+		carried++
+	}
+	return carried, dropped
 }
 
 // OpenStore loads a knowledge base from a file (see LoadKB) and builds
@@ -138,7 +256,47 @@ func (s *Store) Apply(r io.Reader) (SwapInfo, error) {
 	info.EdgesAdded = st.EdgesAdded
 	info.EdgesRemoved = st.EdgesRemoved
 	info.TypesSet = st.TypesSet
+	info.Overlay = st.Overlay
+	info.Compacted = st.Compacted
+	info.OverlayDepth = st.OverlayDepth
+	if st.Changed() {
+		p := snap.Payload.(*storePayload)
+		info.ResultsCarried = p.carried
+		info.ResultsDropped = p.dropped
+	}
 	return info, nil
+}
+
+// LiveStats reports the write-path and carry-over counters of the
+// store, cumulative since construction (except OverlayDepth, which
+// describes the currently active snapshot).
+type LiveStats struct {
+	// OverlayDepth is the active snapshot's overlay depth: 0 for a
+	// plain graph, k after k stacked O(delta) applies since the last
+	// compaction or full build.
+	OverlayDepth int
+	// Compactions counts overlay chains folded into fresh CSR arrays.
+	Compactions uint64
+	// ResultsCarried and ResultsDropped count cached results carried
+	// into, or invalidated out of, new snapshots across all swaps.
+	ResultsCarried, ResultsDropped uint64
+	// MemoPromotions counts evaluator memos (match counts, count
+	// tables, prefix walks) promoted from a previous generation instead
+	// of recomputed.
+	MemoPromotions uint64
+}
+
+// LiveStats returns a snapshot of the store's write-path counters.
+func (s *Store) LiveStats() LiveStats {
+	cur := s.mgr.Current()
+	p := cur.Payload.(*storePayload)
+	return LiveStats{
+		OverlayDepth:   cur.Graph.Overlay().Depth,
+		Compactions:    s.mgr.Compactions(),
+		ResultsCarried: s.resultsCarried.Load(),
+		ResultsDropped: s.resultsDropped.Load(),
+		MemoPromotions: s.promosRetired.Load() + p.ex.eval.Promotions(),
+	}
 }
 
 // ReloadFrom re-reads a knowledge base from disk (see LoadKB) and
