@@ -28,6 +28,12 @@ type BatchOptions struct {
 	// results instead of errors when it expires (see Budget). The zero
 	// value inherits the explainer's Options.Budget.
 	Budget Budget
+	// Traced attaches a fresh per-pair trace context (see WithTrace) to
+	// every pair, so each BatchResult.Result carries its own
+	// Result.Trace. A trace on the batch context itself would aggregate
+	// all pairs' stages into one incoherent trace; per-pair is the only
+	// shape that makes sense for a fan-out.
+	Traced bool
 }
 
 // BatchResult is the outcome for one pair of a batch: either a result or
@@ -109,6 +115,9 @@ func (e *Explainer) BatchExplain(ctx context.Context, pairs []Pair, opts BatchOp
 				var cancel context.CancelFunc
 				if opts.PerPairTimeout > 0 {
 					pctx, cancel = context.WithTimeout(ctx, opts.PerPairTimeout)
+				}
+				if opts.Traced {
+					pctx = WithTrace(pctx)
 				}
 				t0 := time.Now()
 				res, err := eng.ExplainBudgeted(pctx, p.Start, p.End, bud)

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"rex/internal/measure"
 )
 
 // resultCache is a synchronised LRU cache of rendered explanation
@@ -185,4 +187,16 @@ func (e *Explainer) CacheStats() CacheStats {
 	st.Entries = e.cache.len()
 	st.Capacity = e.cache.capacity
 	return st
+}
+
+// EvaluatorStats reports the measure evaluator's memo occupancy and
+// effectiveness: pair-memo entries and table cells across shards,
+// prefix walk-cache occupancy, and hit/miss counters for both layers.
+// Counters are per-snapshot (they reset when a hot swap rebuilds the
+// evaluator); occupancy is current. Used by the /metrics gauges.
+type EvaluatorStats = measure.MemoStats
+
+// MemoStats returns a snapshot of the evaluator's memo statistics.
+func (e *Explainer) MemoStats() EvaluatorStats {
+	return e.eval.MemoStats()
 }

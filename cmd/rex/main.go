@@ -48,12 +48,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		decorate  = fs.Bool("decorate", false, "attach non-essential context facts to each explanation")
 		workers   = fs.Int("parallelism", 0, "enumeration worker pool size (0 = GOMAXPROCS)")
 		timeout   = fs.Duration("timeout", 0, "query deadline (0 = none)")
+		traceOn   = fs.Bool("trace", false, "print the per-stage query trace (included in -json output)")
+		version   = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, "rex", rex.Build())
+		return 0
 	}
 
 	if *start == "" || *end == "" {
@@ -99,6 +105,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *traceOn {
+		ctx = rex.WithTrace(ctx)
 	}
 	res, err := ex.ExplainContext(ctx, *start, *end)
 	if err != nil {
@@ -146,5 +155,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(res.Explanations) == 0 {
 		fmt.Fprintln(stdout, "no explanations found within the pattern size limit")
 	}
+	if *traceOn && res.Trace != nil {
+		printTrace(stdout, res.Trace)
+	}
 	return 0
+}
+
+// printTrace renders the per-stage query trace as a table.
+func printTrace(w io.Writer, tr *rex.QueryTrace) {
+	fmt.Fprintf(w, "query trace: %.3fms total\n", tr.TotalMS)
+	fmt.Fprintf(w, "  %-12s %12s %8s %10s\n", "stage", "ms", "calls", "items")
+	for _, st := range tr.Stages {
+		fmt.Fprintf(w, "  %-12s %12.3f %8d %10d\n", st.Stage, st.DurationMS, st.Calls, st.Items)
+	}
+	fmt.Fprintf(w, "  expansions=%d merges=%d memo=%d/%d walk-cache=%d/%d\n",
+		tr.Expansions, tr.Merges, tr.MemoHits, tr.MemoHits+tr.MemoMisses,
+		tr.WalkCacheHits, tr.WalkCacheHits+tr.WalkCacheMisses)
+	if tr.TruncatedBy != "" {
+		fmt.Fprintf(w, "  truncated by: %s\n", tr.TruncatedBy)
+	}
 }

@@ -47,10 +47,10 @@ func compareReports(w io.Writer, baselinePath string, baseline, current *benchRe
 				c.Name, "-", c.NsPerOp, "-", "-", c.AllocsPerOp, "-")
 			continue
 		}
-		fmt.Fprintf(w, "%-22s %14.1f %14.1f %7.1f%% %12d %12d %7s%%\n",
-			c.Name, b.NsPerOp, c.NsPerOp, pctChange(b.NsPerOp, c.NsPerOp),
+		fmt.Fprintf(w, "%-22s %14.1f %14.1f %8s %12d %12d %8s\n",
+			c.Name, b.NsPerOp, c.NsPerOp, pctCell(b.NsPerOp, c.NsPerOp),
 			b.AllocsPerOp, c.AllocsPerOp,
-			fmt.Sprintf("%.1f", pctChange(float64(b.AllocsPerOp), float64(c.AllocsPerOp))))
+			pctCell(float64(b.AllocsPerOp), float64(c.AllocsPerOp)))
 	}
 	for _, b := range baseline.Workloads {
 		if !seen[b.Name] {
@@ -60,14 +60,16 @@ func compareReports(w io.Writer, baselinePath string, baseline, current *benchRe
 	}
 }
 
-// pctChange reports the relative change from base to now in percent;
-// a zero base with a nonzero now reads as +100%.
-func pctChange(base, now float64) float64 {
+// pctCell renders the relative change from base to now. A zero
+// baseline admits no percentage — a workload that regressed from 0
+// allocs/op prints "n/a", not +Inf% (the raw columns still show the
+// absolute jump).
+func pctCell(base, now float64) string {
 	if base == 0 {
 		if now == 0 {
-			return 0
+			return "+0.0%"
 		}
-		return 100
+		return "n/a"
 	}
-	return (now - base) / base * 100
+	return fmt.Sprintf("%+.1f%%", (now-base)/base*100)
 }

@@ -40,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"rex"
 	"rex/internal/harness"
 )
 
@@ -107,12 +108,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ingOps    = fs.Int("ingest-ops", 100, "records per ingest delta")
 		ingPairs  = fs.Int("ingest-pairs", 24, "hot pairs for the ingest swap-to-warm phase")
 		mutexProf = fs.String("mutexprofile", "", "write a runtime mutex-contention profile of the whole run to this file")
+		traceOn   = fs.Bool("trace", false, "profile the per-stage pipeline breakdown (enumerate/match/measure/rank/merge) into the report")
+		traceRnd  = fs.Int("trace-rounds", 5, "query rounds per pair for the -trace profile")
+		version   = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, "rexbench", rex.Build())
+		return 0
 	}
 
 	gs := *samples
@@ -194,8 +202,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// The micro, macro and ingest suites are opt-in: they are the
 	// hot-path, traffic-shaped and write-path benchmark harnesses behind
 	// BENCH.json, not paper figures, so "all" (the paper reproduction)
-	// does not imply them.
-	if wants["micro"] || wants["macro"] || wants["ingest"] {
+	// does not imply them. -trace joins them because it feeds the same
+	// report document.
+	if wants["micro"] || wants["macro"] || wants["ingest"] || *traceOn {
 		report := newBenchReport()
 		if wants["micro"] {
 			if err := runMicro(&report, stdout); err != nil {
@@ -220,6 +229,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Workers: mWorkers, CPUs: mCPUs,
 			}
 			if err := runMacro(&report, stdout, opt); err != nil {
+				fmt.Fprintln(stderr, "rexbench:", err)
+				return 1
+			}
+		}
+		if *traceOn {
+			if err := runTraceProfile(&report, stdout, *traceRnd); err != nil {
 				fmt.Fprintln(stderr, "rexbench:", err)
 				return 1
 			}

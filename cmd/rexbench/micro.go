@@ -61,6 +61,9 @@ type benchReport struct {
 	// swap-to-warm, sustained applies/sec), one entry per preset the
 	// -exp ingest run covered; see ingest.go.
 	Ingest []*ingestReport `json:"ingest,omitempty"`
+	// Trace holds the per-stage pipeline breakdown when -trace ran; see
+	// trace.go.
+	Trace *traceReport `json:"trace,omitempty"`
 }
 
 // newBenchReport stamps the environment header.

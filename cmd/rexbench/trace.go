@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"rex"
+)
+
+// The trace profile answers "where does an explain go?" with the same
+// per-stage instrumentation the server exports: it runs a handful of
+// sample-KB queries under rex.WithTrace and aggregates the per-stage
+// wall time, call and item counts into BENCH.json, so a PR that shifts
+// cost between stages (say, enumeration into measuring) is visible even
+// when end-to-end ns/op barely moves.
+
+// traceStage is one pipeline stage of the aggregated profile.
+type traceStage struct {
+	Stage      string  `json:"stage"`
+	TotalMS    float64 `json:"total_ms"`
+	Calls      int64   `json:"calls"`
+	Items      int64   `json:"items"`
+	PctOfTotal float64 `json:"pct_of_total"`
+}
+
+// traceReport is the -trace section of BENCH.json.
+type traceReport struct {
+	Pairs      int          `json:"pairs"`
+	Rounds     int          `json:"rounds"`
+	Queries    int          `json:"queries"`
+	TotalMS    float64      `json:"total_ms"`
+	Stages     []traceStage `json:"stages"`
+	Expansions int64        `json:"expansions"`
+	Merges     int64        `json:"merges"`
+	MemoHits   int64        `json:"memo_hits"`
+	MemoMisses int64        `json:"memo_misses"`
+}
+
+// tracePairs are the profiled queries: the two sample-KB pairs the
+// micro suite already tracks, one distant and one adjacent.
+func tracePairs() []rex.Pair {
+	return []rex.Pair{
+		{Start: "kate_winslet", End: "leonardo_dicaprio"},
+		{Start: "brad_pitt", End: "angelina_jolie"},
+	}
+}
+
+// runTraceProfile measures the per-stage breakdown and prints a table.
+// The explainer runs uncached so every round exercises the whole
+// pipeline rather than the cache fast path.
+func runTraceProfile(report *benchReport, stdout io.Writer, rounds int) error {
+	ex, err := rex.NewExplainer(rex.SampleKB(), rex.Options{
+		Measure: "size+local-dist", TopK: 10, CacheSize: 0,
+	})
+	if err != nil {
+		return err
+	}
+	pairs := tracePairs()
+	tr := &traceReport{Pairs: len(pairs), Rounds: rounds}
+
+	type agg struct {
+		ms    float64
+		calls int64
+		items int64
+	}
+	stages := map[string]*agg{}
+	var order []string
+	for r := 0; r < rounds; r++ {
+		for _, p := range pairs {
+			// Each traced query needs its own context: a trace
+			// aggregates everything recorded under it.
+			ctx := rex.WithTrace(context.Background())
+			res, err := ex.ExplainBudgeted(ctx, p.Start, p.End, rex.Budget{})
+			if err != nil {
+				return fmt.Errorf("trace profile %s--%s: %w", p.Start, p.End, err)
+			}
+			rep := res.Trace
+			if rep == nil {
+				return fmt.Errorf("trace profile %s--%s: no trace attached", p.Start, p.End)
+			}
+			tr.Queries++
+			tr.TotalMS += rep.TotalMS
+			tr.Expansions += rep.Expansions
+			tr.Merges += rep.Merges
+			tr.MemoHits += rep.MemoHits
+			tr.MemoMisses += rep.MemoMisses
+			for _, st := range rep.Stages {
+				a, ok := stages[st.Stage]
+				if !ok {
+					a = &agg{}
+					stages[st.Stage] = a
+					order = append(order, st.Stage)
+				}
+				a.ms += st.DurationMS
+				a.calls += st.Calls
+				a.items += st.Items
+			}
+		}
+	}
+	for _, name := range order {
+		a := stages[name]
+		pct := 0.0
+		if tr.TotalMS > 0 {
+			pct = a.ms / tr.TotalMS * 100
+		}
+		tr.Stages = append(tr.Stages, traceStage{
+			Stage: name, TotalMS: a.ms, Calls: a.calls, Items: a.items, PctOfTotal: pct,
+		})
+	}
+	report.Trace = tr
+
+	fmt.Fprintf(stdout, "\ntrace profile: %d queries (%d pairs x %d rounds), %s total\n",
+		tr.Queries, tr.Pairs, tr.Rounds, time.Duration(tr.TotalMS*float64(time.Millisecond)).Round(time.Microsecond))
+	fmt.Fprintf(stdout, "%-12s %12s %8s %10s %10s\n", "stage", "total_ms", "pct", "calls", "items")
+	for _, st := range tr.Stages {
+		fmt.Fprintf(stdout, "%-12s %12.3f %7.1f%% %10d %10d\n",
+			st.Stage, st.TotalMS, st.PctOfTotal, st.Calls, st.Items)
+	}
+	fmt.Fprintf(stdout, "expansions=%d merges=%d memo_hits=%d memo_misses=%d\n",
+		tr.Expansions, tr.Merges, tr.MemoHits, tr.MemoMisses)
+	return nil
+}

@@ -9,7 +9,18 @@
 //	GET  /explain?start=a&end=b   one pair (also POST {"start","end"})
 //	POST /batch                   {"pairs":[{"start","end"},...]}
 //	GET  /stats                   uptime, KB version + size, cache and query counters
-//	GET  /healthz                 liveness probe with the active KB generation
+//	GET  /healthz                 liveness probe with the active KB generation and build info
+//	GET  /metrics                 Prometheus text exposition (latency histograms,
+//	                              per-stage query timing, cache/memo/overlay state)
+//
+// Adding trace=1 (GET) or "trace": true (POST body) to /explain — or
+// "trace": true to a /batch body — includes a per-stage trace block in
+// each result: wall time, expansions, merges and cache activity per
+// pipeline stage, plus which stage consumed the budget on truncation.
+//
+// Queries at or above -slow-threshold enter an in-memory forensics
+// ring served at GET /admin/slow (newest first), and optionally append
+// to a -slow-log JSONL file.
 //
 // Queries accept per-request work budgets — budget_ms (wall clock) and
 // budget_expansions (deterministic enumeration bound) as /explain query
@@ -56,6 +67,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -82,8 +94,16 @@ func main() {
 		maxBatch = flag.Int("max-batch", 1024, "largest accepted /batch pair count")
 		adminTok = flag.String("admin-token", "", "bearer token required by /admin/* (empty = open; only safe on a trusted listener)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (only safe on a trusted listener)")
+		slowThr  = flag.Duration("slow-threshold", defaultSlowThreshold, "queries at or above this duration enter the slow-query log at /admin/slow")
+		slowRing = flag.Int("slow-ring", defaultSlowRing, "slow-query entries retained in memory")
+		slowFile = flag.String("slow-log", "", "append slow-query JSON lines to this file (empty = in-memory ring only)")
+		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("rexserve", rex.Build())
+		return
+	}
 
 	opt := rex.Options{
 		MaxPatternSize:             *maxSize,
@@ -116,6 +136,16 @@ func main() {
 	srv := newServer(store, *kbPath, *timeout, *maxBatch)
 	srv.adminToken = *adminTok
 	srv.pprof = *pprofOn
+	var slowSink io.Writer
+	if *slowFile != "" {
+		f, err := os.OpenFile(*slowFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		slowSink = f
+	}
+	srv.setSlowLog(*slowThr, *slowRing, slowSink)
 	// Connection-level timeouts: the -timeout flag only bounds query
 	// execution, so slow-header, slow-body, slow-reading and idle
 	// connections need their own limits or they pin goroutines and

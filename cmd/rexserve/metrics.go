@@ -1,0 +1,259 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"rex"
+	"rex/internal/obs"
+)
+
+// serverMetrics owns the Prometheus registry for one server. Counters
+// fold from completed per-query traces — the per-snapshot CacheStats
+// counters reset on every hot swap, which a Prometheus counter must
+// never do, so the server accumulates its own monotonic totals and
+// exposes the snapshot-scoped values only as gauges sampled at scrape
+// time.
+type serverMetrics struct {
+	reg *serverRegistry
+
+	httpRequests  *obs.Family // counter{endpoint,code}
+	httpDuration  *obs.Family // histogram{endpoint}
+	stageDuration *obs.Family // histogram{stage}
+	queries       *obs.Family // counter{outcome}
+	truncated     *obs.Family // counter{by}
+	swapDuration  *obs.Family // histogram
+
+	cacheHits   *obs.Series
+	cacheMisses *obs.Series
+	dedup       *obs.Series
+
+	inflight atomic.Int64
+}
+
+// serverRegistry is the obs.Registry alias kept separate so handler
+// code reads s.metrics.reg without importing obs everywhere.
+type serverRegistry = obs.Registry
+
+// newServerMetrics registers every metric family. Gauge families
+// sample the store and slow log at scrape time, so a scrape is a few
+// atomic loads plus the brief shard locks of MemoStats.
+func newServerMetrics(s *server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{reg: reg}
+
+	b := obs.Build()
+	reg.Gauge("rex_build_info",
+		"Build identification; value is always 1.",
+		"go_version", "revision").With(b.GoVersion, b.Revision).Set(1)
+	reg.Gauge("rex_uptime_seconds",
+		"Seconds since the server started.").With().
+		SetFunc(func() float64 { return time.Since(s.started).Seconds() })
+
+	m.httpRequests = reg.Counter("rex_http_requests_total",
+		"HTTP requests by endpoint and status code.", "endpoint", "code")
+	m.httpDuration = reg.Histogram("rex_http_request_duration_seconds",
+		"HTTP request latency by endpoint.", obs.LatencyBuckets(), "endpoint")
+	reg.Gauge("rex_queries_inflight",
+		"Explain queries currently executing (including batch pairs).").With().
+		SetFunc(func() float64 { return float64(m.inflight.Load()) })
+
+	m.stageDuration = reg.Histogram("rex_query_stage_duration_seconds",
+		"Per-query pipeline stage wall time (match nests inside measure).",
+		obs.LatencyBuckets(), "stage")
+	for _, st := range obs.Stages() {
+		m.stageDuration.With(st.String())
+	}
+	m.queries = reg.Counter("rex_queries_total",
+		"Completed queries by outcome (ok, error, timeout).", "outcome")
+	m.truncated = reg.Counter("rex_query_truncated_total",
+		"Budget-truncated queries by attribution (stage:cause).", "by")
+
+	m.cacheHits = reg.Counter("rex_result_cache_hits_total",
+		"Queries served from the result cache.").With()
+	m.cacheMisses = reg.Counter("rex_result_cache_misses_total",
+		"Queries that missed the result cache.").With()
+	m.dedup = reg.Counter("rex_singleflight_dedup_total",
+		"Queries coalesced onto a concurrent identical computation.").With()
+
+	reg.Gauge("rex_result_cache_entries",
+		"Result-cache entries of the active snapshot.").With().
+		SetFunc(func() float64 { return float64(s.store.Current().Explainer.CacheStats().Entries) })
+	reg.Gauge("rex_result_cache_capacity",
+		"Configured result-cache capacity.").With().
+		SetFunc(func() float64 { return float64(s.store.Current().Explainer.CacheStats().Capacity) })
+
+	memo := reg.Gauge("rex_evaluator_memo_entries",
+		"Evaluator memo occupancy of the active snapshot by kind.", "kind")
+	memo.With("pairs").SetFunc(func() float64 {
+		return float64(s.store.Current().Explainer.MemoStats().PairMemos)
+	})
+	memo.With("table_cells").SetFunc(func() float64 {
+		return float64(s.store.Current().Explainer.MemoStats().TableCells)
+	})
+	memo.With("prefix_starts").SetFunc(func() float64 {
+		return float64(s.store.Current().Explainer.MemoStats().PrefixStarts)
+	})
+	memo.With("prefix_nodes").SetFunc(func() float64 {
+		return float64(s.store.Current().Explainer.MemoStats().PrefixNodes)
+	})
+	// Evaluator memo counters are per-snapshot and reset on hot swap;
+	// exposed as counters anyway because Prometheus rate() handles
+	// counter resets natively.
+	reg.Counter("rex_evaluator_memo_hits_total",
+		"Evaluator memo hits of the active snapshot (resets on swap).").With().
+		SetFunc(func() float64 { return float64(s.store.Current().Explainer.MemoStats().Hits) })
+	reg.Counter("rex_evaluator_memo_misses_total",
+		"Evaluator memo misses of the active snapshot (resets on swap).").With().
+		SetFunc(func() float64 { return float64(s.store.Current().Explainer.MemoStats().Misses) })
+
+	reg.Gauge("rex_overlay_depth",
+		"Overlay depth of the active snapshot (0 = fully compacted CSR).").With().
+		SetFunc(func() float64 { return float64(s.store.LiveStats().OverlayDepth) })
+	reg.Counter("rex_store_swaps_total",
+		"Published snapshot swaps since startup.").With().
+		SetFunc(func() float64 { return float64(s.store.Swaps()) })
+	reg.Counter("rex_store_compactions_total",
+		"Overlay chains folded into fresh CSR arrays.").With().
+		SetFunc(func() float64 { return float64(s.store.LiveStats().Compactions) })
+	reg.Counter("rex_deltas_applied_total",
+		"Successfully applied /admin/delta requests.").With().
+		SetFunc(func() float64 { return float64(s.deltas.Load()) })
+	reg.Counter("rex_reloads_total",
+		"Successful /admin/reload requests.").With().
+		SetFunc(func() float64 { return float64(s.reloads.Load()) })
+	m.swapDuration = reg.Histogram("rex_swap_duration_seconds",
+		"End-to-end snapshot swap latency (parse, build, publish).",
+		obs.LatencyBuckets())
+	m.swapDuration.With()
+
+	reg.Gauge("rex_kb_nodes", "Entities in the active snapshot.").With().
+		SetFunc(func() float64 { return float64(s.store.Current().KB.Stats().Nodes) })
+	reg.Gauge("rex_kb_edges", "Relationships in the active snapshot.").With().
+		SetFunc(func() float64 { return float64(s.store.Current().KB.Stats().Edges) })
+
+	reg.Counter("rex_slow_queries_total",
+		"Queries recorded by the slow-query log.").With().
+		SetFunc(func() float64 { return float64(s.slow.Total()) })
+
+	return m
+}
+
+// observeTrace folds one completed query's trace into the stage
+// histograms and cache/dedup/truncation counters.
+func (m *serverMetrics) observeTrace(rep *rex.QueryTrace) {
+	if rep == nil {
+		return
+	}
+	for _, st := range rep.Stages {
+		m.stageDuration.With(st.Stage).Observe(st.DurationMS / 1e3)
+	}
+	if rep.CacheHit {
+		m.cacheHits.Inc()
+	} else {
+		m.cacheMisses.Inc()
+	}
+	if rep.Deduped {
+		m.dedup.Inc()
+	}
+	if rep.TruncatedBy != "" {
+		m.truncated.With(rep.TruncatedBy).Inc()
+	}
+}
+
+// statusRecorder captures the status code a handler wrote so the
+// request counter can label it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint request counter,
+// latency histogram and in-flight gauge.
+func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inflight.Add(1)
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.metrics.inflight.Add(-1)
+		s.metrics.httpRequests.With(endpoint, strconv.Itoa(rec.status)).Inc()
+		s.metrics.httpDuration.With(endpoint).Observe(time.Since(t0).Seconds())
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w) //nolint:errcheck // streaming response
+}
+
+// slowResponse is the /admin/slow answer: the retained slow-query
+// entries, newest first.
+type slowResponse struct {
+	ThresholdMS float64         `json:"threshold_ms"`
+	Total       uint64          `json:"total"`
+	Entries     []obs.SlowEntry `json:"entries"`
+}
+
+// handleSlow serves the slow-query ring buffer. Behind the admin token
+// because entries expose query content (entity pairs).
+func (s *server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	if !s.authorizeAdmin(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, slowResponse{
+		ThresholdMS: float64(s.slow.Threshold()) / 1e6,
+		Total:       s.slow.Total(),
+		Entries:     s.slow.Entries(),
+	})
+}
+
+// isTimeout mirrors note's timeout classification for the outcome
+// label.
+func isTimeout(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// noteQuery feeds one completed query (an /explain request or one batch
+// pair) into the trace-fold metrics and the slow-query log.
+func (s *server) noteQuery(endpoint string, p rex.Pair, bud budgetRequest, res *rex.Result, err error, elapsed time.Duration, generation uint64) {
+	var rep *rex.QueryTrace
+	truncated := false
+	if res != nil {
+		rep = res.Trace
+		truncated = res.Truncated
+	}
+	s.metrics.observeTrace(rep)
+	switch {
+	case err == nil:
+		s.metrics.queries.With("ok").Inc()
+	case isTimeout(err):
+		s.metrics.queries.With("timeout").Inc()
+	default:
+		s.metrics.queries.With("error").Inc()
+	}
+	entry := obs.SlowEntry{
+		Endpoint:         endpoint,
+		Start:            p.Start,
+		End:              p.End,
+		BudgetMS:         bud.BudgetMS,
+		BudgetExpansions: bud.BudgetExpansions,
+		Generation:       generation,
+		Truncated:        truncated,
+		Trace:            rep,
+	}
+	if err != nil {
+		entry.Error = err.Error()
+	}
+	s.slow.Note(elapsed, entry)
+}

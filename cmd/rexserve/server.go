@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"net/url"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"rex"
+	"rex/internal/obs"
 )
 
 // server is the HTTP serving layer over one live rex.Store. All
@@ -37,6 +39,9 @@ type server struct {
 	timeouts atomic.Uint64 // queries aborted by deadline or cancellation
 	deltas   atomic.Uint64 // successfully applied /admin/delta requests
 	reloads  atomic.Uint64 // successful /admin/reload requests
+
+	slow    *obs.SlowLog   // slow-query forensics ring, served at /admin/slow
+	metrics *serverMetrics // Prometheus registry behind /metrics
 }
 
 // maxDeltaBytes bounds one streamed /admin/delta body. Deltas are
@@ -48,7 +53,27 @@ func newServer(store *rex.Store, kbPath string, timeout time.Duration, maxBatch 
 	if maxBatch <= 0 {
 		maxBatch = 1024
 	}
-	return &server{store: store, kbPath: kbPath, timeout: timeout, maxBatch: maxBatch, started: time.Now()}
+	s := &server{store: store, kbPath: kbPath, timeout: timeout, maxBatch: maxBatch, started: time.Now()}
+	s.slow = obs.NewSlowLog(defaultSlowThreshold, defaultSlowRing, nil)
+	s.metrics = newServerMetrics(s)
+	store.OnSwap(func(info rex.SwapInfo) {
+		s.metrics.swapDuration.With().Observe(info.Elapsed.Seconds())
+	})
+	return s
+}
+
+// Default slow-query log configuration; main overrides both via
+// -slow-threshold and -slow-log before serving starts.
+const (
+	defaultSlowThreshold = 500 * time.Millisecond
+	defaultSlowRing      = 128
+)
+
+// setSlowLog replaces the slow-query log. Call before the handler is
+// serving — the /metrics closure reads the current s.slow at scrape
+// time, so a replacement mid-traffic would race.
+func (s *server) setSlowLog(threshold time.Duration, size int, w io.Writer) {
+	s.slow = obs.NewSlowLog(threshold, size, w)
 }
 
 // authorizeAdmin gates the mutating admin endpoints: when the server
@@ -72,12 +97,14 @@ func (s *server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
 // handler builds the route table.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/explain", s.handleExplain)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/admin/delta", s.handleAdminDelta)
-	mux.HandleFunc("/admin/reload", s.handleAdminReload)
+	mux.HandleFunc("/explain", s.instrument("/explain", s.handleExplain))
+	mux.HandleFunc("/batch", s.instrument("/batch", s.handleBatch))
+	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/admin/delta", s.instrument("/admin/delta", s.handleAdminDelta))
+	mux.HandleFunc("/admin/reload", s.instrument("/admin/reload", s.handleAdminReload))
+	mux.HandleFunc("/admin/slow", s.instrument("/admin/slow", s.handleSlow))
 	if s.pprof {
 		// Runtime profiling for performance work, opt-in via -pprof.
 		// Registered explicitly rather than through the package's
@@ -171,6 +198,8 @@ type batchRequest struct {
 	Pairs            []rex.Pair `json:"pairs"`
 	BudgetMS         int64      `json:"budget_ms"`
 	BudgetExpansions int        `json:"budget_expansions"`
+	// Trace includes each pair's per-stage trace in its result.
+	Trace bool `json:"trace"`
 }
 
 // batchResponse is the /batch output: one entry per requested pair, in
@@ -294,11 +323,13 @@ func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var p rex.Pair
 	var bud budgetRequest
+	var wantTrace bool
 	switch r.Method {
 	case http.MethodGet:
 		q := r.URL.Query()
 		p.Start = q.Get("start")
 		p.End = q.Get("end")
+		wantTrace = q.Get("trace") == "1"
 		var err error
 		if bud, err = parseBudgetQuery(q); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
@@ -309,12 +340,13 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			rex.Pair
 			budgetRequest
+			Trace bool `json:"trace"`
 		}
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			writeJSON(w, decodeStatus(err), errorResponse{Error: "invalid JSON body: " + err.Error()})
 			return
 		}
-		p, bud = req.Pair, req.budgetRequest
+		p, bud, wantTrace = req.Pair, req.budgetRequest, req.Trace
 		if err := bud.validate(); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
@@ -329,6 +361,11 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	// Every query runs traced — the trace is O(stages) atomics per
+	// query and feeds the stage histograms and the slow-query log.
+	// The trace=1 flag only controls whether the report reaches the
+	// response.
+	ctx = rex.WithTrace(ctx)
 	snap := s.store.Current() // pin one KB version for the whole request
 	t0 := time.Now()
 	var res *rex.Result
@@ -339,9 +376,15 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		res, err = snap.Explainer.ExplainContext(ctx, p.Start, p.End)
 	}
 	s.note(err)
+	s.noteQuery("/explain", p, bud, res, err, time.Since(t0), snap.Generation)
 	if err != nil {
 		writeJSON(w, errStatus(err), errorResponse{Error: err.Error()})
 		return
+	}
+	if !wantTrace {
+		// tracedResult hands each caller a private shallow copy, so
+		// clearing the report cannot corrupt cached results.
+		res.Trace = nil
 	}
 	writeJSON(w, http.StatusOK, explainResponse{
 		Result:      res,
@@ -387,7 +430,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	snap := s.store.Current()
 	t0 := time.Now()
-	results := snap.Explainer.BatchExplain(ctx, req.Pairs, rex.BatchOptions{Budget: bud.budget()})
+	// Traced gives every pair its own trace (stage histograms, slow
+	// log); the request's trace flag decides whether reports reach the
+	// response.
+	results := snap.Explainer.BatchExplain(ctx, req.Pairs, rex.BatchOptions{Budget: bud.budget(), Traced: true})
 	resp := batchResponse{
 		Results:     make([]batchEntry, len(results)),
 		Generation:  snap.Generation,
@@ -395,9 +441,21 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, br := range results {
 		s.note(br.Err)
+		// Per-pair wall time comes from the trace; the request-level
+		// elapsed would blame every pair for the whole batch.
+		var pairElapsed time.Duration
+		if br.Result != nil && br.Result.Trace != nil {
+			pairElapsed = time.Duration(br.Result.Trace.TotalMS * float64(time.Millisecond))
+		}
+		s.noteQuery("/batch", br.Pair, bud, br.Result, br.Err, pairElapsed, snap.Generation)
 		entry := batchEntry{Start: br.Pair.Start, End: br.Pair.End, Result: br.Result}
 		if br.Result != nil {
 			entry.Truncated = br.Result.Truncated
+			if !req.Trace {
+				// Traced results are private shallow copies, so
+				// stripping the report cannot touch cached entries.
+				br.Result.Trace = nil
+			}
 		}
 		if br.Err != nil {
 			entry.Error = br.Err.Error()
@@ -531,18 +589,24 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthResponse is the /healthz liveness answer, carrying the active
-// KB version so probes can watch swaps land.
+// KB version so probes can watch swaps land, plus build identification
+// so a fleet rollout can confirm which binary answered.
 type healthResponse struct {
 	Status      string `json:"status"`
 	Generation  uint64 `json:"generation"`
 	Fingerprint string `json:"fingerprint"`
+	GoVersion   string `json:"go_version"`
+	Revision    string `json:"revision"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Current()
+	b := rex.Build()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:      "ok",
 		Generation:  snap.Generation,
 		Fingerprint: snap.Fingerprint,
+		GoVersion:   b.GoVersion,
+		Revision:    b.Revision,
 	})
 }

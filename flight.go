@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"rex/internal/obs"
 )
 
 // flightGroup deduplicates concurrent identical queries: when several
@@ -56,6 +58,7 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Result, er
 			c.waiters++
 			g.mu.Unlock()
 			g.deduped.Add(1)
+			obs.FromContext(ctx).MarkDeduped()
 			select {
 			case <-c.done:
 				if c.err != nil && (errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) {

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"rex/internal/kb"
+	"rex/internal/obs"
 	"rex/internal/pattern"
 )
 
@@ -258,6 +259,15 @@ func PathsBudgeted(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg C
 // paths runs the configured path enumerator on the pooled state and
 // groups the result into explanations.
 func (st *enumState) paths(ctx context.Context, g *kb.Graph, start, end kb.NodeID, cfg Config) ([]*pattern.Explanation, bool, error) {
+	// Single chokepoint for the enumerate stage: every entry point
+	// (Explanations, Paths, and their budgeted forms) funnels path
+	// enumeration through here, so one Begin/End pair covers them all.
+	tr := obs.FromContext(ctx)
+	if !st.fresh {
+		tr.MarkPoolReused()
+	}
+	st.fresh = false
+	t0 := tr.Begin()
 	maxLen := cfg.MaxPatternSize - 1
 	var (
 		keys      []pathKey
@@ -277,6 +287,7 @@ func (st *enumState) paths(ctx context.Context, g *kb.Graph, start, end kb.NodeI
 	}
 	out := st.groupPaths(g, keys)
 	st.out = keys[:0] // retain the (possibly regrown) buffer for reuse
+	tr.End(obs.StageEnumerate, t0, int64(len(out)))
 	return out, truncated, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rex/internal/kb"
+	"rex/internal/obs"
 	"rex/internal/pattern"
 )
 
@@ -340,6 +341,7 @@ func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start
 		workers = 1
 	}
 	hasDeadline := !bud.Deadline.IsZero()
+	tr := obs.FromContext(ctx)
 	expansions := 0
 	truncated := false
 	caps := [2]int{(maxLen + 1) / 2, maxLen / 2}
@@ -373,10 +375,12 @@ func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start
 		for st.pq.Len() > 0 && len(jobs) < workers {
 			if bud.MaxExpansions > 0 && expansions >= bud.MaxExpansions {
 				truncated = true
+				tr.Truncated(obs.StageEnumerate, obs.TruncExpansions)
 				break
 			}
 			if hasDeadline && time.Now().After(bud.Deadline) {
 				truncated = true
+				tr.Truncated(obs.StageEnumerate, obs.TruncDeadline)
 				break
 			}
 			if err := check.step(); err != nil {
@@ -464,6 +468,7 @@ func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start
 		}
 	}
 	st.jobs = jobs
+	tr.AddExpansions(int64(expansions))
 	return st.out, truncated, nil
 }
 

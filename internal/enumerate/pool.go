@@ -79,6 +79,11 @@ type enumState struct {
 	unionSeen map[pattern.Key]struct{}
 	newIndex  map[pattern.Key]int
 	merger    *pattern.Merger
+
+	// fresh is true until the state's first enumeration, distinguishing
+	// a newly allocated state from one recycled through the pool; the
+	// query trace reports the latter as pool reuse.
+	fresh bool
 }
 
 func newEnumState() *enumState {
@@ -89,6 +94,7 @@ func newEnumState() *enumState {
 		unionSeen: make(map[pattern.Key]struct{}),
 		newIndex:  make(map[pattern.Key]int),
 		merger:    pattern.NewMerger(),
+		fresh:     true,
 	}
 }
 

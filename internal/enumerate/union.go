@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"rex/internal/obs"
 	"rex/internal/pattern"
 )
 
@@ -35,6 +36,9 @@ func PathUnionBasic(qpath []*pattern.Explanation, maxVars int) []*pattern.Explan
 // explanations committed so far (each complete, with its instances) are
 // returned with truncated = true.
 func (st *enumState) pathUnionBasic(ctx context.Context, qpath []*pattern.Explanation, maxVars int, deadline time.Time) ([]*pattern.Explanation, bool, error) {
+	tr := obs.FromContext(ctx)
+	t0 := tr.Begin()
+	var merges int64
 	q := append([]*pattern.Explanation{}, qpath...)
 	seen := st.unionSeen
 	clear(seen)
@@ -62,14 +66,21 @@ func (st *enumState) pathUnionBasic(ctx context.Context, qpath []*pattern.Explan
 					return nil, false, err
 				}
 				if clock.hit() {
-					return append(q, qnew...), true, nil
+					q = append(q, qnew...)
+					tr.Truncated(obs.StageMerge, obs.TruncDeadline)
+					tr.AddMerges(merges)
+					tr.End(obs.StageMerge, t0, int64(len(q)))
+					return q, true, nil
 				}
+				merges++
 				st.merger.Merge(re1, re2, maxVars, decide, take)
 			}
 		}
 		q = append(q, qnew...)
 		expand = qnew
 	}
+	tr.AddMerges(merges)
+	tr.End(obs.StageMerge, t0, int64(len(q)))
 	return q, false, nil
 }
 
@@ -95,6 +106,9 @@ func PathUnionPrune(qpath []*pattern.Explanation, maxVars int) []*pattern.Explan
 // anytime deadline returns the explanations committed so far (each
 // complete) with truncated = true.
 func (st *enumState) pathUnionPrune(ctx context.Context, qpath []*pattern.Explanation, maxVars int, deadline time.Time) ([]*pattern.Explanation, bool, error) {
+	tr := obs.FromContext(ctx)
+	t0 := tr.Begin()
+	var merges int64
 	q := append([]*pattern.Explanation{}, qpath...)
 	seen := st.unionSeen
 	clear(seen)
@@ -180,8 +194,13 @@ func (st *enumState) pathUnionPrune(ctx context.Context, qpath []*pattern.Explan
 					return nil, false, err
 				}
 				if clock.hit() {
-					return append(q, qnew...), true, nil
+					q = append(q, qnew...)
+					tr.Truncated(obs.StageMerge, obs.TruncDeadline)
+					tr.AddMerges(merges)
+					tr.End(obs.StageMerge, t0, int64(len(q)))
+					return q, true, nil
 				}
+				merges++
 				curParent, curPath = i1, i2
 				st.merger.Merge(re1, qpath[i2], maxVars, decide, take)
 			}
@@ -192,6 +211,8 @@ func (st *enumState) pathUnionPrune(ctx context.Context, qpath []*pattern.Explan
 		q = append(q, qnew...)
 		expand, hExpand = qnew, hNew
 	}
+	tr.AddMerges(merges)
+	tr.End(obs.StageMerge, t0, int64(len(q)))
 	return q, false, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"rex/internal/kb"
+	"rex/internal/obs"
 	"rex/internal/pattern"
 )
 
@@ -64,22 +65,28 @@ func ForEach(g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID, f func(patte
 // context is done, returning ctx.Err(). A nil error means the enumeration
 // ran to completion (or the callback stopped it).
 func ForEachContext(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID, f func(pattern.Instance) bool) error {
+	tr := obs.FromContext(ctx)
+	t0 := tr.Begin()
 	m := acquireMatcher(g, p, start, end)
 	m.ctx = ctx
 	m.run(f)
 	err := m.err
 	releaseMatcher(m)
+	tr.End(obs.StageMatch, t0, 0)
 	return err
 }
 
 // CountContext is Count with cancellation; the count is partial when an
 // error is returned.
 func CountContext(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start, end kb.NodeID) (int, error) {
+	tr := obs.FromContext(ctx)
+	t0 := tr.Begin()
 	m := acquireMatcher(g, p, start, end)
 	m.ctx = ctx
 	m.run(m.countFn)
 	n, err := m.count, m.err
 	releaseMatcher(m)
+	tr.End(obs.StageMatch, t0, int64(n))
 	return n, err
 }
 
@@ -99,6 +106,8 @@ func CountByEndContext(ctx context.Context, g *kb.Graph, p *pattern.Pattern, sta
 // the map-returning wrappers had to allocate. The count is partial when
 // an error is returned. The start entity itself is excluded as an end.
 func CountByEndInto(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start kb.NodeID, dst map[kb.NodeID]int) error {
+	tr := obs.FromContext(ctx)
+	t0 := tr.Begin()
 	m := acquireMatcher(g, p, start, kb.InvalidNode)
 	m.ctx = ctx
 	m.endCounts = dst
@@ -106,6 +115,7 @@ func CountByEndInto(ctx context.Context, g *kb.Graph, p *pattern.Pattern, start 
 	err := m.err
 	m.endCounts = nil
 	releaseMatcher(m)
+	tr.End(obs.StageMatch, t0, int64(len(dst)))
 	return err
 }
 

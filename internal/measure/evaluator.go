@@ -43,8 +43,58 @@ import (
 
 	"rex/internal/kb"
 	"rex/internal/match"
+	"rex/internal/obs"
 	"rex/internal/pattern"
 )
+
+// MemoStats is a snapshot of the evaluator's memo occupancy and
+// effectiveness, sampled by the serving tier's /metrics gauges.
+// Counters reset with the evaluator on hot swap; occupancy is current.
+type MemoStats struct {
+	// PairMemos and TableCells are the result-memo occupancy summed
+	// across lock shards (bounded by maxPairMemos / maxTableCells).
+	PairMemos  int
+	TableCells int
+	// PrefixStarts and PrefixNodes are the walk-cache occupancy: live
+	// start buckets and total node IDs cached across them.
+	PrefixStarts int
+	PrefixNodes  int
+	// Hits and Misses count result-memo lookups (Count + CountByEnd);
+	// WalkHits and WalkMisses count prefix walk-cache lookups.
+	Hits, Misses         uint64
+	WalkHits, WalkMisses uint64
+	// Promotions counts memos promoted from the previous generation
+	// after a hot swap instead of recomputed.
+	Promotions uint64
+}
+
+// MemoStats gathers the snapshot, taking each shard lock briefly.
+func (ev *Evaluator) MemoStats() MemoStats {
+	st := MemoStats{
+		Hits:       ev.hits.Load(),
+		Misses:     ev.misses.Load(),
+		WalkHits:   ev.walkHits.Load(),
+		WalkMisses: ev.walkMisses.Load(),
+		Promotions: ev.promotions.Load(),
+	}
+	for i := range ev.shards {
+		sh := &ev.shards[i]
+		sh.mu.Lock()
+		st.PairMemos += len(sh.pairs)
+		st.TableCells += sh.tableCells
+		sh.mu.Unlock()
+	}
+	for i := range ev.prefixes.shards {
+		ps := &ev.prefixes.shards[i]
+		ps.mu.Lock()
+		for _, sp := range ps.starts {
+			st.PrefixStarts++
+			st.PrefixNodes += sp.size
+		}
+		ps.mu.Unlock()
+	}
+	return st
+}
 
 // Evaluator memoises match-count computations over one frozen graph. It
 // is safe for concurrent use; cached tables are shared and must be
@@ -60,6 +110,12 @@ type Evaluator struct {
 	// memos promoted through it.
 	carry      atomic.Pointer[carryLink]
 	promotions atomic.Uint64
+
+	// Memo effectiveness counters for MemoStats: result-memo lookups
+	// (Count and CountByEnd) and prefix walk-cache lookups. Reset with
+	// the evaluator on hot swap, like the memos themselves.
+	hits, misses         atomic.Uint64
+	walkHits, walkMisses atomic.Uint64
 }
 
 // evalShard holds one lock shard of the result memos. Shards are
@@ -152,8 +208,12 @@ func (ev *Evaluator) Count(ctx context.Context, p *pattern.Pattern, start, end k
 	n, ok := sh.pairs[key]
 	sh.mu.Unlock()
 	if ok {
+		ev.hits.Add(1)
+		obs.FromContext(ctx).MemoHit()
 		return n, nil
 	}
+	ev.misses.Add(1)
+	obs.FromContext(ctx).MemoMiss()
 	n, promoted := ev.carriedCount(p, key)
 	if !promoted {
 		var err error
@@ -186,8 +246,12 @@ func (ev *Evaluator) CountByEnd(ctx context.Context, p *pattern.Pattern, start k
 	t, ok := sh.tables[key]
 	sh.mu.Unlock()
 	if ok {
+		ev.hits.Add(1)
+		obs.FromContext(ctx).MemoHit()
 		return t, nil
 	}
+	ev.misses.Add(1)
+	obs.FromContext(ctx).MemoMiss()
 	counts, promoted := ev.carriedTable(p, key)
 	if !promoted {
 		var err error
@@ -412,8 +476,12 @@ func (ev *Evaluator) walksAt(ctx context.Context, ps *prefixShard, sp *startPref
 	}
 	key := seqKey(steps)
 	if w, ok := ps.get(sp, key); ok {
+		ev.walkHits.Add(1)
+		obs.FromContext(ctx).WalkHit()
 		return w, nil
 	}
+	ev.walkMisses.Add(1)
+	obs.FromContext(ctx).WalkMiss()
 	if w, ok := ev.carriedWalks(steps, start, key); ok {
 		ps.put(sp, key, w)
 		ev.promotions.Add(1)

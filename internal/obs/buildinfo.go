@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: the Go toolchain version and
+// the VCS revision stamped by `go build` (when built from a checkout).
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
+	Modified  bool   `json:"modified,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the binary's build identification, computed once.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: runtime.Version(), Revision: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			case "vcs.time":
+				buildInfo.BuildTime = s.Value
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders a one-line "goX.Y <sha12> [modified]" form for
+// -version flags.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	s := b.GoVersion + " " + rev
+	if b.Modified {
+		s += " (modified)"
+	}
+	return s
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType is the Prometheus metric type of a Family.
+type MetricType string
+
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Registry is a minimal, dependency-free Prometheus-compatible metric
+// registry: families of counter/gauge/histogram series rendered in the
+// text exposition format (version 0.0.4). It exists because the repo's
+// no-new-deps constraint rules out client_golang, and the serving tier
+// only needs Inc/Add/Observe plus scrape-time sampled gauges.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*Family
+	byN  map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byN: make(map[string]*Family)}
+}
+
+// Counter registers (or returns) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *Family {
+	return r.register(name, help, TypeCounter, nil, labels)
+}
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *Family {
+	return r.register(name, help, TypeGauge, nil, labels)
+}
+
+// Histogram registers (or returns) a histogram family with the given
+// upper bucket bounds (an +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Family {
+	return r.register(name, help, TypeHistogram, buckets, labels)
+}
+
+func (r *Registry) register(name, help string, typ MetricType, buckets []float64, labels []string) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byN[name]; ok {
+		return f
+	}
+	f := &Family{
+		name: name, help: help, typ: typ,
+		labels:  labels,
+		buckets: buckets,
+		series:  make(map[string]*Series),
+	}
+	r.fams = append(r.fams, f)
+	r.byN[name] = f
+	return f
+}
+
+// Family is one named metric with a fixed label schema.
+type Family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string
+	buckets []float64
+
+	mu     sync.RWMutex
+	series map[string]*Series
+	order  []*Series
+}
+
+// With returns the series for the given label values, creating it on
+// first use. The number of values must match the family's label names.
+func (f *Family) With(labelValues ...string) *Series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &Series{fam: f, labelVals: append([]string(nil), labelValues...)}
+	if f.typ == TypeHistogram {
+		s.counts = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	f.series[key] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// Series is one labeled time series. Counters and gauges store float64
+// bits atomically; histograms keep per-bucket counts plus sum/count.
+type Series struct {
+	fam       *Family
+	labelVals []string
+
+	bits atomic.Uint64  // counter/gauge value as float64 bits
+	fn   func() float64 // scrape-time sampled value; set before serving
+
+	counts []atomic.Uint64 // histogram: non-cumulative bucket counts
+	sumB   atomic.Uint64   // histogram: sum of observations, float64 bits
+	cnt    atomic.Uint64   // histogram: observation count
+}
+
+// Inc adds 1.
+func (s *Series) Inc() { s.Add(1) }
+
+// Add adds v (CAS loop over the float bits; safe from any goroutine).
+func (s *Series) Add(v float64) {
+	for {
+		old := s.bits.Load()
+		if s.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Set stores v.
+func (s *Series) Set(v float64) { s.bits.Store(math.Float64bits(v)) }
+
+// SetFunc makes the series sample fn at scrape time. Call during
+// registration, before the registry serves scrapes.
+func (s *Series) SetFunc(fn func() float64) { s.fn = fn }
+
+// Observe records one histogram observation.
+func (s *Series) Observe(v float64) {
+	i := 0
+	for ; i < len(s.fam.buckets); i++ {
+		if v <= s.fam.buckets[i] {
+			break
+		}
+	}
+	s.counts[i].Add(1)
+	s.cnt.Add(1)
+	for {
+		old := s.sumB.Load()
+		if s.sumB.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current counter/gauge value (sampling fn if set).
+func (s *Series) Value() float64 {
+	if s.fn != nil {
+		return s.fn()
+	}
+	return math.Float64frombits(s.bits.Load())
+}
+
+// Count returns the histogram observation count.
+func (s *Series) Count() uint64 { return s.cnt.Load() }
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// labelString renders {k="v",...} for the series, with extra appended
+// as a pre-rendered pair (used for histogram le bounds).
+func (s *Series) labelString(extra string) string {
+	if len(s.labelVals) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range s.fam.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(s.labelVals[i]))
+		b.WriteString(`"`)
+	}
+	if extra != "" {
+		if len(s.labelVals) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in registration order, series in
+// creation order, in the Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*Family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		f.mu.RLock()
+		series := append([]*Series(nil), f.order...)
+		f.mu.RUnlock()
+		for _, s := range series {
+			if err := s.write(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Series) write(w io.Writer) error {
+	f := s.fam
+	if f.typ != TypeHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labelString(""), formatFloat(s.Value()))
+		return err
+	}
+	var cum uint64
+	for i, ub := range f.buckets {
+		cum += s.counts[i].Load()
+		le := `le="` + formatFloat(ub) + `"`
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, s.labelString(le), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.counts[len(f.buckets)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, s.labelString(`le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labelString(""), formatFloat(math.Float64frombits(s.sumB.Load()))); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labelString(""), s.cnt.Load())
+	return err
+}
+
+// LatencyBuckets are the default request/stage duration bounds in
+// seconds, spanning cached sub-millisecond hits to multi-second
+// million-edge enumerations.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}

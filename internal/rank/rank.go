@@ -20,8 +20,34 @@ import (
 	"rex/internal/enumerate"
 	"rex/internal/kb"
 	"rex/internal/measure"
+	"rex/internal/obs"
 	"rex/internal/pattern"
 )
+
+// rankTimer snapshots the wall clock and the trace's inner-stage time
+// (enumerate + measure + merge) so rankDone can attribute a ranker's
+// exclusive time — sorting, pool bookkeeping, pruning decisions — to
+// the rank stage without double-counting the work it drives. On a nil
+// trace it never reads the clock.
+func rankTimer(tr *obs.Trace) (time.Time, int64) {
+	if tr == nil {
+		return time.Time{}, 0
+	}
+	return time.Now(), tr.InnerNs()
+}
+
+// rankDone records the rank stage as total elapsed minus the
+// inner-stage time accumulated since rankTimer.
+func rankDone(tr *obs.Trace, t0 time.Time, preInner int64, items int) {
+	if tr == nil {
+		return
+	}
+	excl := time.Since(t0) - time.Duration(tr.InnerNs()-preInner)
+	if excl < 0 {
+		excl = 0
+	}
+	tr.AddStage(obs.StageRank, excl, 1, int64(items))
+}
 
 // rankClock reports expiry of the anytime budget context (nil = never
 // expires); expiry is sticky so one observation truncates the rest of
@@ -118,6 +144,8 @@ func GeneralContext(cctx context.Context, ctx *measure.Context, es []*pattern.Ex
 // ranked and returned with truncated = true. A zero deadline never
 // truncates and is byte-identical to GeneralContext.
 func GeneralBudgeted(cctx context.Context, ctx *measure.Context, es []*pattern.Explanation, m measure.Measure, k int, deadline time.Time) ([]Ranked, bool, error) {
+	tr := obs.FromContext(cctx)
+	rt0, rinner := rankTimer(tr)
 	bm, clock, cancel := budgetedMeasureCtx(cctx, ctx, deadline)
 	defer cancel()
 	rs := make([]Ranked, 0, len(es))
@@ -126,10 +154,14 @@ func GeneralBudgeted(cctx context.Context, ctx *measure.Context, es []*pattern.E
 			return nil, false, err
 		}
 		if clock.hit() {
+			tr.Truncated(obs.StageMeasure, obs.TruncDeadline)
 			break
 		}
+		mt0 := tr.Begin()
 		s := m.Score(bm, ex)
+		tr.End(obs.StageMeasure, mt0, 1)
 		if clock.hit() {
+			tr.Truncated(obs.StageMeasure, obs.TruncDeadline)
 			break // the budget cut this evaluation short: discard it
 		}
 		rs = append(rs, Ranked{Ex: ex, Score: s})
@@ -144,6 +176,7 @@ func GeneralBudgeted(cctx context.Context, ctx *measure.Context, es []*pattern.E
 	if k > 0 && len(rs) > k {
 		rs = rs[:k]
 	}
+	rankDone(tr, rt0, rinner, len(rs))
 	return rs, clock.expired, nil
 }
 
@@ -177,6 +210,9 @@ func TopKAntiMonotoneBudgeted(cctx context.Context, g *kb.Graph, start, end kb.N
 	if k <= 0 {
 		k = 10
 	}
+	tr := obs.FromContext(cctx)
+	rt0, rinner := rankTimer(tr)
+	var mergeCount int64
 	bm, clock, cancel := budgetedMeasureCtx(cctx, ctx, cfg.Budget.Deadline)
 	defer cancel()
 	paths, truncated, err := enumerate.PathsBudgeted(cctx, g, start, end, cfg)
@@ -193,10 +229,14 @@ func TopKAntiMonotoneBudgeted(cctx context.Context, g *kb.Graph, start, end kb.N
 	expanded := make(map[pattern.Key]struct{})
 	for _, ex := range paths {
 		if clock.hit() {
+			tr.Truncated(obs.StageMeasure, obs.TruncDeadline)
 			break // remaining paths stay unscored; the first round exits
 		}
+		mt0 := tr.Begin()
 		s := m.Score(bm, ex)
+		tr.End(obs.StageMeasure, mt0, 1)
 		if clock.hit() {
+			tr.Truncated(obs.StageMeasure, obs.TruncDeadline)
 			break // the budget cut this evaluation short: discard it
 		}
 		pool = append(pool, Ranked{Ex: ex, Score: s})
@@ -229,6 +269,9 @@ func TopKAntiMonotoneBudgeted(cctx context.Context, g *kb.Graph, start, end kb.N
 		if clock.hit() {
 			out := make([]Ranked, len(top))
 			copy(out, top)
+			tr.Truncated(obs.StageRank, obs.TruncDeadline)
+			tr.AddMerges(mergeCount)
+			rankDone(tr, rt0, rinner, len(out))
 			return out, true, nil
 		}
 		// The current k-th best score bounds every further evaluation:
@@ -258,12 +301,16 @@ func TopKAntiMonotoneBudgeted(cctx context.Context, g *kb.Graph, start, end kb.N
 			}
 			out := make([]Ranked, len(top))
 			copy(out, top)
+			tr.AddMerges(mergeCount)
+			rankDone(tr, rt0, rinner, len(out))
 			return out, truncated, nil
 		}
 		take := func(key pattern.Key, re *pattern.Explanation) {
 			seen[key] = struct{}{}
+			mt0 := tr.Begin()
 			if threshold != nil {
 				s, ok := lim.ScoreWithLimit(bm, re, threshold)
+				tr.End(obs.StageMeasure, mt0, 1)
 				if !ok || clock.hit() {
 					return // provably below the k-th best, or budget-cut
 				}
@@ -271,6 +318,7 @@ func TopKAntiMonotoneBudgeted(cctx context.Context, g *kb.Graph, start, end kb.N
 				return
 			}
 			s := m.Score(bm, re)
+			tr.End(obs.StageMeasure, mt0, 1)
 			if clock.hit() {
 				return // the budget cut this evaluation short: discard it
 			}
@@ -287,6 +335,7 @@ func TopKAntiMonotoneBudgeted(cctx context.Context, g *kb.Graph, start, end kb.N
 				break
 			}
 			for _, re2 := range paths {
+				mergeCount++
 				merger.Merge(re1, re2, maxVars, decide, take)
 			}
 		}
@@ -318,6 +367,8 @@ func TopKDistributionalBudgeted(cctx context.Context, ctx *measure.Context, es [
 	if k <= 0 {
 		k = 10
 	}
+	tr := obs.FromContext(cctx)
+	rt0, rinner := rankTimer(tr)
 	bm, clock, cancel := budgetedMeasureCtx(cctx, ctx, deadline)
 	defer cancel()
 	var top []Ranked
@@ -326,14 +377,18 @@ func TopKDistributionalBudgeted(cctx context.Context, ctx *measure.Context, es [
 			return nil, false, err
 		}
 		if clock.hit() {
+			tr.Truncated(obs.StageMeasure, obs.TruncDeadline)
 			break
 		}
 		var threshold measure.Score
 		if len(top) >= k {
 			threshold = top[len(top)-1].Score
 		}
+		mt0 := tr.Begin()
 		s, ok := m.ScoreWithLimit(bm, ex, threshold)
+		tr.End(obs.StageMeasure, mt0, 1)
 		if clock.hit() {
+			tr.Truncated(obs.StageMeasure, obs.TruncDeadline)
 			break // the budget cut this evaluation short: discard it
 		}
 		if !ok {
@@ -352,5 +407,6 @@ func TopKDistributionalBudgeted(cctx context.Context, ctx *measure.Context, es [
 	if err := cctx.Err(); err != nil {
 		return nil, false, err
 	}
+	rankDone(tr, rt0, rinner, len(top))
 	return top, clock.expired, nil
 }

@@ -33,6 +33,7 @@ import (
 	"rex/internal/kbgen"
 	"rex/internal/match"
 	"rex/internal/measure"
+	"rex/internal/obs"
 	"rex/internal/pattern"
 	"rex/internal/rank"
 	"rex/internal/relstore"
@@ -430,6 +431,11 @@ type Result struct {
 	// candidate space was cut short. Always false for unbudgeted
 	// queries.
 	Truncated bool
+	// Trace is the per-stage execution trace when the query ran under a
+	// context from WithTrace, nil otherwise. Traced results are always
+	// private shallow copies, so the trace is per-caller even when the
+	// underlying result came from the cache or a coalesced computation.
+	Trace *QueryTrace `json:"trace,omitempty"`
 }
 
 // Explain enumerates and ranks relationship explanations between two
@@ -466,6 +472,8 @@ func (e *Explainer) ExplainBudgeted(ctx context.Context, start, end string, b Bu
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr := obs.FromContext(ctx)
+	t0 := tr.Begin()
 	g := e.kb.g
 	s := g.NodeByName(start)
 	if s == kb.InvalidNode {
@@ -481,10 +489,11 @@ func (e *Explainer) ExplainBudgeted(ctx context.Context, start, end string, b Bu
 	key := e.queryKey(start, end, b)
 	if e.cache != nil {
 		if res, ok := e.cache.get(key); ok {
-			return res, nil
+			tr.MarkCacheHit()
+			return tracedResult(res, tr, t0, b), nil
 		}
 	}
-	return e.flight.do(ctx, key, func() (*Result, error) {
+	res, err := e.flight.do(ctx, key, func() (*Result, error) {
 		if h := testHookComputeStart; h != nil {
 			h(key)
 		}
@@ -502,6 +511,7 @@ func (e *Explainer) ExplainBudgeted(ctx context.Context, start, end string, b Bu
 		}
 		return res, err
 	})
+	return tracedResult(res, tr, t0, b), err
 }
 
 // compute runs the full enumerate → measure → rank → render pipeline

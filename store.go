@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"rex/internal/kb"
 	"rex/internal/live"
@@ -33,6 +34,31 @@ type Store struct {
 	// as their generation is replaced, so LiveStats can report a running
 	// total without keeping retired evaluators alive.
 	promosRetired atomic.Uint64
+
+	// onSwap, when set via OnSwap, is invoked after every successful
+	// swap (Apply or ReloadFrom) with the completed SwapInfo.
+	onSwap atomic.Pointer[func(SwapInfo)]
+}
+
+// OnSwap registers fn to be called after every successful swap, with
+// the same SwapInfo the mutating call returns. One hook is kept (the
+// last registration wins); pass nil to clear it. The hook runs on the
+// mutating goroutine after the new generation is published, so it must
+// be fast and must not call back into the store's write path. The
+// serving tier uses it to feed swap-latency metrics.
+func (s *Store) OnSwap(fn func(SwapInfo)) {
+	if fn == nil {
+		s.onSwap.Store(nil)
+		return
+	}
+	s.onSwap.Store(&fn)
+}
+
+// notifySwap invokes the OnSwap hook, if any.
+func (s *Store) notifySwap(info SwapInfo) {
+	if fn := s.onSwap.Load(); fn != nil {
+		(*fn)(info)
+	}
 }
 
 // storePayload is the per-snapshot serving state the live manager
@@ -77,6 +103,10 @@ type SwapInfo struct {
 	// cached results that survived into, or were invalidated out of, the
 	// new snapshot's cache.
 	ResultsCarried, ResultsDropped int
+	// Elapsed is the wall time of the whole mutating call: parse (or
+	// load), graph build, payload build (cache carry, evaluator), and
+	// publication.
+	Elapsed time.Duration
 }
 
 // NewStore builds a live store serving k as generation 1. The options
@@ -242,6 +272,7 @@ func (s *Store) Swaps() uint64 { return s.mgr.Swaps() }
 // cache. In-flight readers keep their pinned snapshot; only requests
 // that call Current after Apply returns see the new version.
 func (s *Store) Apply(r io.Reader) (SwapInfo, error) {
+	t0 := time.Now()
 	d, err := live.ParseDelta(r)
 	if err != nil {
 		return SwapInfo{}, err
@@ -264,6 +295,8 @@ func (s *Store) Apply(r io.Reader) (SwapInfo, error) {
 		info.ResultsCarried = p.carried
 		info.ResultsDropped = p.dropped
 	}
+	info.Elapsed = time.Since(t0)
+	s.notifySwap(info)
 	return info, nil
 }
 
@@ -303,6 +336,7 @@ func (s *Store) LiveStats() LiveStats {
 // publishes it wholesale as the next generation — the recovery path
 // when the delta stream and the authoritative file have diverged.
 func (s *Store) ReloadFrom(path string) (SwapInfo, error) {
+	t0 := time.Now()
 	k, err := LoadKB(path)
 	if err != nil {
 		return SwapInfo{}, err
@@ -311,7 +345,10 @@ func (s *Store) ReloadFrom(path string) (SwapInfo, error) {
 	if err != nil {
 		return SwapInfo{}, err
 	}
-	return s.swapInfo(snap), nil
+	info := s.swapInfo(snap)
+	info.Elapsed = time.Since(t0)
+	s.notifySwap(info)
+	return info, nil
 }
 
 func (s *Store) swapInfo(sn *live.Snapshot) SwapInfo {

@@ -1,0 +1,50 @@
+package rex
+
+import (
+	"context"
+	"time"
+
+	"rex/internal/obs"
+)
+
+// QueryTrace is the per-query execution trace attached to Result when
+// the query ran under a context from WithTrace: per-stage wall time and
+// item counts (enumerate → match → measure → rank → merge, where match
+// time nests inside measure), cache/dedup/pool-reuse flags, evaluator
+// memo and walk-cache hit counters, and budget attribution naming the
+// stage that exhausted MaxExpansions or Timeout ("enumerate:expansions",
+// "rank:deadline", ...).
+type QueryTrace = obs.Report
+
+// BuildInfo identifies the running binary (Go version, VCS revision).
+type BuildInfo = obs.BuildInfo
+
+// Build returns the binary's build identification.
+func Build() BuildInfo { return obs.Build() }
+
+// WithTrace returns a context that carries a fresh query trace. A query
+// run under the returned context records per-stage timings and attaches
+// the rendered QueryTrace to Result.Trace. Tracing costs one small
+// allocation per query plus O(stages) atomic updates; without WithTrace
+// the instrumented hot path adds zero allocations and never reads the
+// clock. Each traced query needs its own WithTrace context: reusing one
+// across queries aggregates their stages into a single trace.
+func WithTrace(ctx context.Context) context.Context {
+	return obs.NewContext(ctx, obs.NewTrace())
+}
+
+// tracedResult attaches the rendered trace to a shallow copy of res, so
+// shared results (cache, single-flight) are never mutated. With a nil
+// trace it returns res unchanged.
+func tracedResult(res *Result, tr *obs.Trace, t0 time.Time, b Budget) *Result {
+	if tr == nil || res == nil {
+		return res
+	}
+	rep := tr.Report()
+	rep.TotalMS = float64(time.Since(t0)) / 1e6
+	rep.BudgetMS = int64(b.Timeout / time.Millisecond)
+	rep.BudgetExpansions = b.MaxExpansions
+	cp := *res
+	cp.Trace = rep
+	return &cp
+}
