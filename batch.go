@@ -2,6 +2,7 @@ package rex
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -120,7 +121,7 @@ func (e *Explainer) BatchExplain(ctx context.Context, pairs []Pair, opts BatchOp
 					pctx = WithTrace(pctx)
 				}
 				t0 := time.Now()
-				res, err := eng.ExplainBudgeted(pctx, p.Start, p.End, bud)
+				res, err := explainContained(eng, pctx, p, bud)
 				elapsed := time.Since(t0)
 				if cancel != nil {
 					cancel()
@@ -131,4 +132,19 @@ func (e *Explainer) BatchExplain(ctx context.Context, pairs []Pair, opts BatchOp
 	}
 	wg.Wait()
 	return out
+}
+
+// explainContained runs one pair's query with panic containment: a
+// panic in the engine — a bug tripped by this particular pair, not a
+// user error — becomes that pair's BatchResult.Err instead of
+// unwinding a worker goroutine and crashing the whole process. A
+// panicking worker would otherwise also strand BatchExplain's wg.Wait
+// forever, hanging every other pair of the batch.
+func explainContained(eng *Explainer, ctx context.Context, p Pair, bud Budget) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("rex: internal panic explaining (%s, %s): %v", p.Start, p.End, r)
+		}
+	}()
+	return eng.ExplainBudgeted(ctx, p.Start, p.End, bud)
 }

@@ -25,7 +25,10 @@
 // measures the write path: O(delta) overlay applies vs the Clone+Freeze
 // rebuild they replace, sustained applies/sec through a live store, and
 // swap-to-warm latency plus hit rate of the carried result cache
-// (-ingest-deltas, -ingest-ops, -ingest-pairs).
+// (-ingest-deltas, -ingest-ops, -ingest-pairs). The wal suite prices
+// durability: the same delta stream through a journaling store under
+// fsync=always, interval and off (-wal-deltas, -wal-ops), one
+// BENCH.json row per policy.
 package main
 
 import (
@@ -87,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, macro, ingest, all")
+		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, macro, ingest, wal, all")
 		benchOut  = fs.String("bench-out", "", "write benchmark results as JSON to this file (with -exp micro/macro)")
 		compare   = fs.String("compare", "", "baseline BENCH.json to print a per-workload delta table against (with -exp micro)")
 		scale     = fs.Float64("scale", 1, "synthetic KB scale factor")
@@ -107,6 +110,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ingDeltas = fs.Int("ingest-deltas", 32, "deltas applied in the ingest sustained phase")
 		ingOps    = fs.Int("ingest-ops", 100, "records per ingest delta")
 		ingPairs  = fs.Int("ingest-pairs", 24, "hot pairs for the ingest swap-to-warm phase")
+		walDeltas = fs.Int("wal-deltas", 64, "deltas applied per fsync policy in the wal suite")
+		walOps    = fs.Int("wal-ops", 100, "records per wal-suite delta")
 		mutexProf = fs.String("mutexprofile", "", "write a runtime mutex-contention profile of the whole run to this file")
 		traceOn   = fs.Bool("trace", false, "profile the per-stage pipeline breakdown (enumerate/match/measure/rank/merge) into the report")
 		traceRnd  = fs.Int("trace-rounds", 5, "query rounds per pair for the -trace profile")
@@ -204,7 +209,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// BENCH.json, not paper figures, so "all" (the paper reproduction)
 	// does not imply them. -trace joins them because it feeds the same
 	// report document.
-	if wants["micro"] || wants["macro"] || wants["ingest"] || *traceOn {
+	if wants["micro"] || wants["macro"] || wants["ingest"] || wants["wal"] || *traceOn {
 		report := newBenchReport()
 		if wants["micro"] {
 			if err := runMicro(&report, stdout); err != nil {
@@ -248,6 +253,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 					Deltas: *ingDeltas, Ops: *ingOps, Pairs: *ingPairs,
 				}
 				if err := runIngest(&report, stdout, opt); err != nil {
+					fmt.Fprintln(stderr, "rexbench:", err)
+					return 1
+				}
+			}
+		}
+		if wants["wal"] {
+			for _, p := range strings.Split(*preset, ",") {
+				opt := walOptions{
+					Preset: strings.TrimSpace(p), Seed: *seed,
+					Deltas: *walDeltas, Ops: *walOps,
+				}
+				if err := runWAL(&report, stdout, opt); err != nil {
 					fmt.Fprintln(stderr, "rexbench:", err)
 					return 1
 				}

@@ -61,6 +61,9 @@ type benchReport struct {
 	// swap-to-warm, sustained applies/sec), one entry per preset the
 	// -exp ingest run covered; see ingest.go.
 	Ingest []*ingestReport `json:"ingest,omitempty"`
+	// WAL holds the durability-cost numbers (applies/sec through a
+	// journaling store per fsync policy) when -exp wal ran; see wal.go.
+	WAL []*walReport `json:"wal,omitempty"`
 	// Trace holds the per-stage pipeline breakdown when -trace ran; see
 	// trace.go.
 	Trace *traceReport `json:"trace,omitempty"`

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"time"
+
+	"rex"
+	"rex/internal/kbgen"
+)
+
+// The wal experiment prices durability: the same localized delta
+// stream as the ingest suite, applied through a store journaling into
+// a write-ahead log under each fsync policy. The spread between
+// fsync=off and fsync=always is the raw cost of the disk barrier; the
+// interval row is the deployment default trade-off (bounded data loss
+// window, near-off throughput).
+
+// walOptions parameterises one wal run (all policies share them).
+type walOptions struct {
+	Preset string
+	Seed   int64
+	Deltas int // deltas applied per fsync policy
+	Ops    int // records per delta
+}
+
+// walReport is one fsync-policy row of the "wal" section of BENCH.json.
+type walReport struct {
+	Preset      string `json:"preset"`
+	Seed        int64  `json:"seed"`
+	Fsync       string `json:"fsync"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+	Deltas      int    `json:"deltas"`
+	OpsPerDelta int    `json:"ops_per_delta"`
+
+	ApplyP50Ms    float64 `json:"apply_p50_ms"`
+	ApplyP99Ms    float64 `json:"apply_p99_ms"`
+	AppliesPerSec float64 `json:"applies_per_sec"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+
+	Fsyncs        uint64 `json:"fsyncs"`
+	WALBytes      uint64 `json:"wal_appended_bytes"`
+	Checkpoints   uint64 `json:"checkpoints"`
+	CheckpointGen uint64 `json:"checkpoint_generation"`
+}
+
+// walPolicies are measured in this order so the table reads from the
+// strongest guarantee to the cheapest.
+var walPolicies = []string{"always", "interval", "off"}
+
+// runWAL executes the wal experiment into report.WAL, one row per
+// fsync policy.
+func runWAL(report *benchReport, stdout io.Writer, opt walOptions) error {
+	genOpt, err := kbgen.PresetOptions(opt.Preset, opt.Seed)
+	if err != nil {
+		return err
+	}
+	if opt.Deltas <= 0 {
+		opt.Deltas = 64
+	}
+	if opt.Ops <= 0 {
+		opt.Ops = 100
+	}
+	g := kbgen.Generate(genOpt)
+	st := g.Stats()
+	fmt.Fprintf(stdout, "wal: %s KB: %d entities, %d relationships; %d deltas x %d ops per policy\n",
+		opt.Preset, st.Nodes, st.Edges, opt.Deltas, opt.Ops)
+
+	for _, policy := range walPolicies {
+		r := &walReport{
+			Preset: opt.Preset, Seed: opt.Seed, Fsync: policy,
+			Nodes: st.Nodes, Edges: st.Edges,
+			Deltas: opt.Deltas, OpsPerDelta: opt.Ops,
+		}
+		// Every policy replays the identical delta stream: same seed,
+		// same anchors, same record bytes — only the flush policy moves.
+		rng := rand.New(rand.NewSource(opt.Seed + 3))
+		dir, err := os.MkdirTemp("", "rexbench-wal-*")
+		if err != nil {
+			return err
+		}
+		snap := filepath.Join(dir, "kb.bin")
+		if err := g.SaveBinary(snap); err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		store, err := rex.OpenStore(snap, rex.Options{
+			TopK: 10, MaxPatternSize: 3, CacheSize: 256,
+			Durability: rex.DurabilityOptions{
+				Dir:   filepath.Join(dir, "data"),
+				Fsync: policy,
+			},
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+
+		var lat []float64
+		t0 := time.Now()
+		for i := 0; i < opt.Deltas; i++ {
+			d := ingestDelta(g, rng, fmt.Sprintf("w%d", i), opt.Ops, i == 0)
+			ta := time.Now()
+			if _, err := store.Apply(strings.NewReader(d)); err != nil {
+				store.Close()
+				os.RemoveAll(dir)
+				return fmt.Errorf("wal: %s delta %d: %w", policy, i, err)
+			}
+			lat = append(lat, msSince(ta))
+		}
+		total := time.Since(t0).Seconds()
+		slices.Sort(lat)
+		r.ApplyP50Ms = percentile(lat, 50)
+		r.ApplyP99Ms = percentile(lat, 99)
+		r.AppliesPerSec = float64(opt.Deltas) / total
+		r.OpsPerSec = float64(opt.Deltas*opt.Ops) / total
+		ds := store.DurabilityStats()
+		r.Fsyncs = ds.Fsyncs
+		r.WALBytes = ds.AppendedBytes
+		r.Checkpoints = ds.Checkpoints
+		r.CheckpointGen = ds.CheckpointGen
+		if err := store.Close(); err != nil {
+			os.RemoveAll(dir)
+			return fmt.Errorf("wal: %s close: %w", policy, err)
+		}
+		os.RemoveAll(dir)
+
+		fmt.Fprintf(stdout, "wal: fsync=%-8s %8.1f applies/s (%.0f ops/s), apply p50 %.2fms, p99 %.2fms, %d fsyncs, %d checkpoints\n",
+			policy, r.AppliesPerSec, r.OpsPerSec, r.ApplyP50Ms, r.ApplyP99Ms, r.Fsyncs, r.Checkpoints)
+		report.WAL = append(report.WAL, r)
+	}
+	return nil
+}

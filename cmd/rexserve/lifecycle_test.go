@@ -1,0 +1,276 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rex"
+	"rex/internal/fail"
+)
+
+// durableServer builds a server over a crash-safe store journaling into
+// dir.
+func durableServer(t *testing.T, dir string) *server {
+	t.Helper()
+	k, err := rex.ReadKB(strings.NewReader(liveBaseTSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rex.NewStore(k, rex.Options{
+		Measure: "size", TopK: 100, MaxPatternSize: 3, CacheSize: 64,
+		Durability: rex.DurabilityOptions{Dir: dir, Fsync: "always", CheckpointEvery: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return newServer(store, "", time.Minute, 8)
+}
+
+func TestHealthzDrainFlip(t *testing.T) {
+	srv := liveServer(t, "")
+	h := srv.handler()
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy status = %d", rec.Code)
+	}
+	srv.startDraining()
+	rec = get(t, h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", rec.Code)
+	}
+	var resp healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "draining" {
+		t.Fatalf("draining body status = %q", resp.Status)
+	}
+	// Queries keep answering during the drain — only the probe flips.
+	if _, code := explain(t, h, "a", "b"); code != http.StatusOK {
+		t.Fatalf("query during drain = %d, want 200", code)
+	}
+}
+
+func TestAdmissionControlSheds(t *testing.T) {
+	srv := liveServer(t, "")
+	// One slot, shed immediately when full.
+	srv.setAdmission(1, 1, 0)
+	h := srv.handler()
+
+	// Park a request inside the single query slot via the engine's
+	// failpoint: the query blocks until released, holding its admission
+	// slot the whole time.
+	defer fail.Reset()
+	inside := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	fail.EnableFunc("explain.query", func() error {
+		once.Do(func() { close(inside); <-release })
+		return nil
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		get(t, h, "/explain?start=a&end=b")
+	}()
+	<-inside
+
+	rec := get(t, h, "/explain?start=a&end=b")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-limit status = %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Probe and scrape endpoints are never shed.
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz shed: %d", rec.Code)
+	}
+	if rec := get(t, h, "/metrics"); rec.Code != http.StatusOK {
+		t.Fatalf("metrics shed: %d", rec.Code)
+	}
+	if got := srv.queryLimit.shedCount(); got != 1 {
+		t.Fatalf("shed count = %d, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+	fail.Reset()
+
+	// With the slot free again, requests are admitted.
+	if rec := get(t, h, "/explain?start=a&end=b"); rec.Code != http.StatusOK {
+		t.Fatalf("post-release status = %d", rec.Code)
+	}
+	// The shed counter is exported.
+	if body := get(t, h, "/metrics").Body.String(); !strings.Contains(body, `rex_requests_shed_total{class="query"} 1`) {
+		t.Error("shed counter missing from /metrics")
+	}
+}
+
+// TestSustainedOverloadRecovers hammers a one-slot server with far
+// more concurrent requests than it admits: every request must answer
+// 200 or 429 (with Retry-After), no panics, and the in-flight count
+// must drain back to zero — the admission gate leaks no slots.
+func TestSustainedOverloadRecovers(t *testing.T) {
+	srv := liveServer(t, "")
+	srv.setAdmission(1, 1, 0)
+	h := srv.handler()
+
+	const clients = 32
+	var ok, shed atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/explain?start=a&end=b", nil))
+			switch rec.Code {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				if rec.Header().Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected status %d under overload", rec.Code)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ok.Load() == 0 {
+		t.Error("no request admitted under overload")
+	}
+	if ok.Load()+shed.Load() != clients {
+		t.Errorf("accounted %d+%d requests, want %d", ok.Load(), shed.Load(), clients)
+	}
+	if srv.panics.Load() != 0 {
+		t.Errorf("%d panics under overload", srv.panics.Load())
+	}
+	if got := srv.queryLimit.inflight(); got != 0 {
+		t.Errorf("in-flight = %d after the storm, want 0 (leaked admission slot)", got)
+	}
+	if got := srv.queryLimit.shedCount(); got != shed.Load() {
+		t.Errorf("shed counter = %d, clients saw %d", got, shed.Load())
+	}
+	// The server still answers normally afterwards.
+	if rec := get(t, h, "/explain?start=a&end=b"); rec.Code != http.StatusOK {
+		t.Fatalf("post-storm status = %d", rec.Code)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	defer fail.Reset()
+	srv := liveServer(t, "")
+	h := srv.handler()
+	fail.EnableFunc("explain.query", func() error { panic("injected handler bug") })
+	rec := get(t, h, "/explain?start=a&end=b")
+	fail.Reset()
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler status = %d, want 500", rec.Code)
+	}
+	if srv.panics.Load() != 1 {
+		t.Fatalf("panic counter = %d, want 1", srv.panics.Load())
+	}
+	// The server keeps serving afterwards.
+	if _, code := explain(t, h, "a", "b"); code != http.StatusOK {
+		t.Fatalf("post-panic query = %d, want 200", code)
+	}
+	if body := get(t, h, "/metrics").Body.String(); !strings.Contains(body, "rex_handler_panics_total 1") {
+		t.Error("panic counter missing from /metrics")
+	}
+}
+
+// errReader simulates a client disconnecting mid-stream: some valid
+// delta bytes, then a read error — what net/http's body reader returns
+// when the peer goes away.
+type errReader struct {
+	prefix io.Reader
+	err    error
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	n, err := r.prefix.Read(p)
+	if err == io.EOF {
+		return n, r.err
+	}
+	return n, err
+}
+
+func TestAdminDeltaClientDisconnectLeavesStoreIntact(t *testing.T) {
+	srv := durableServer(t, t.TempDir())
+	h := srv.handler()
+	gen := srv.store.Generation()
+	fp := srv.store.Current().Fingerprint
+
+	body := &errReader{
+		prefix: strings.NewReader("edge\tc\td\tknows\n"),
+		err:    errors.New("client disconnected"),
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/admin/delta", body))
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("disconnected delta status = %d, want 422", rec.Code)
+	}
+	if srv.store.Generation() != gen || srv.store.Current().Fingerprint != fp {
+		t.Fatal("aborted delta disturbed the active snapshot")
+	}
+	// Nothing was acknowledged, so nothing may have reached the WAL.
+	if ds := srv.store.DurabilityStats(); ds.Appends != 0 {
+		t.Fatalf("aborted delta reached the WAL: %+v", ds)
+	}
+	// The same delta, fully delivered, applies cleanly afterwards.
+	rec = postBody(t, h, "/admin/delta", "edge\tc\td\tknows\n")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retry status = %d: %s", rec.Code, rec.Body)
+	}
+	if ds := srv.store.DurabilityStats(); ds.Appends != 1 {
+		t.Fatalf("retried delta missing from the WAL: %+v", ds)
+	}
+}
+
+func TestOversizedBodies413(t *testing.T) {
+	srv := liveServer(t, "")
+	h := srv.handler()
+	// A syntactically valid JSON prefix, so the decoder keeps reading
+	// until MaxBytesReader cuts it off — the error must then map to 413,
+	// not be mistaken for malformed JSON (400).
+	big := `{"start":"` + strings.Repeat("a", 2<<20) + `"}`
+	for _, path := range []string{"/explain", "/batch"} {
+		rec := postBody(t, h, path, big)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body status = %d, want 413", path, rec.Code)
+		}
+	}
+}
+
+func TestDurabilityMetricsExported(t *testing.T) {
+	srv := durableServer(t, t.TempDir())
+	h := srv.handler()
+	if rec := postBody(t, h, "/admin/delta", "edge\tc\td\tknows\n"); rec.Code != http.StatusOK {
+		t.Fatalf("delta status = %d: %s", rec.Code, rec.Body)
+	}
+	body := get(t, h, "/metrics").Body.String()
+	for _, line := range []string{
+		"rex_durability_enabled 1",
+		"rex_wal_appends_total 1",
+		"rex_wal_fsyncs_total 1",
+		"rex_checkpoint_generation 1",
+		"rex_draining 0",
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+}

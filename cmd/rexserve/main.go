@@ -62,16 +62,36 @@
 // Every request runs under the -timeout deadline: queries that exceed it
 // are aborted mid-enumeration and answered with 504. Results are cached
 // in a per-snapshot LRU keyed by (pair, options) sized by -cache.
+//
+// With -data-dir the live store is crash-safe: every accepted delta is
+// appended to a write-ahead log (flushed per -fsync) before the swap
+// publishes, the graph is checkpointed periodically, and a restart over
+// the same directory recovers the last acknowledged state — including
+// after a crash mid-append. The recovered journal wins over -kb.
+//
+// Overload control: /explain+/batch and /admin mutations each run
+// behind a bounded in-flight admission limit (-max-inflight,
+// -max-inflight-admin). Requests over the limit queue up to
+// -admission-wait, then are shed with 429 and a Retry-After header.
+// Probe and scrape endpoints are never shed.
+//
+// On SIGTERM or SIGINT the server drains gracefully: /healthz flips to
+// 503 immediately, in-flight requests finish (bounded by
+// -shutdown-timeout), the journal is flushed and closed, and the
+// process exits 0.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rex"
@@ -97,7 +117,19 @@ func main() {
 		slowThr  = flag.Duration("slow-threshold", defaultSlowThreshold, "queries at or above this duration enter the slow-query log at /admin/slow")
 		slowRing = flag.Int("slow-ring", defaultSlowRing, "slow-query entries retained in memory")
 		slowFile = flag.String("slow-log", "", "append slow-query JSON lines to this file (empty = in-memory ring only)")
-		version  = flag.Bool("version", false, "print build information and exit")
+
+		dataDir  = flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty = in-memory only. A directory holding an earlier journal is recovered on boot and wins over -kb")
+		fsyncPol = flag.String("fsync", "always", "WAL flush policy: always, interval or off")
+		fsyncInt = flag.Duration("fsync-interval", 100*time.Millisecond, "largest unsynced window under -fsync interval")
+		ckptEach = flag.Int("checkpoint-every", 64, "checkpoint after this many WAL appends (negative = size-driven only)")
+		ckptSize = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint once the WAL exceeds this size (negative = count-driven only)")
+
+		maxInfl  = flag.Int("max-inflight", 0, "largest admitted concurrent /explain+/batch requests (0 = 4×GOMAXPROCS, min 8; negative = unlimited)")
+		maxAdmin = flag.Int("max-inflight-admin", 2, "largest admitted concurrent /admin mutations (negative = unlimited)")
+		admWait  = flag.Duration("admission-wait", defaultAdmissionWait, "how long an over-limit request queues before it is shed with 429")
+		drainTO  = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests after SIGTERM/SIGINT before the listener is closed hard")
+
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -113,6 +145,13 @@ func main() {
 		Parallelism:                *workers,
 		CacheSize:                  *cacheSz,
 		Budget:                     rex.Budget{Timeout: *budgetT, MaxExpansions: *budgetX},
+		Durability: rex.DurabilityOptions{
+			Dir:             *dataDir,
+			Fsync:           *fsyncPol,
+			FsyncInterval:   *fsyncInt,
+			CheckpointEvery: *ckptEach,
+			CheckpointBytes: *ckptSize,
+		},
 	}
 	var (
 		store *rex.Store
@@ -133,9 +172,18 @@ func main() {
 	st := snap.KB.Stats()
 	log.Printf("rexserve: %d entities, %d relationships, %d labels; generation %d fingerprint %s; measure=%s timeout=%v cache=%d",
 		st.Nodes, st.Edges, st.Labels, snap.Generation, snap.Fingerprint, *measureN, *timeout, *cacheSz)
+	if ds := store.DurabilityStats(); ds.Enabled {
+		log.Printf("rexserve: durable in %s (fsync=%s): checkpoint generation %d, %d WAL records replayed, torn tail: %v",
+			*dataDir, *fsyncPol, ds.CheckpointGen, ds.Replayed, ds.TornTail)
+	}
 	srv := newServer(store, *kbPath, *timeout, *maxBatch)
 	srv.adminToken = *adminTok
 	srv.pprof = *pprofOn
+	q, a := *maxInfl, *maxAdmin
+	if q == 0 {
+		q, _ = admissionDefaults()
+	}
+	srv.setAdmission(q, a, *admWait)
 	var slowSink io.Writer
 	if *slowFile != "" {
 		f, err := os.OpenFile(*slowFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -164,8 +212,40 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	log.Printf("rexserve: listening on %s", *addr)
-	if err := hs.ListenAndServe(); err != nil {
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	// Graceful shutdown: on SIGTERM/SIGINT flip /healthz to 503 first
+	// (so load balancers drain this instance), then let in-flight
+	// requests finish under http.Server.Shutdown, close the durability
+	// journal, and exit 0. A second signal — or the -shutdown-timeout
+	// deadline — closes the listener hard.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
 		fatal(err)
+	case sig := <-sigc:
+		log.Printf("rexserve: %v received; draining (healthz now 503)", sig)
+		srv.startDraining()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		done := make(chan error, 1)
+		go func() { done <- hs.Shutdown(ctx) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				log.Printf("rexserve: drain deadline exceeded, closing: %v", err)
+				hs.Close() //nolint:errcheck // exiting anyway
+			}
+		case sig := <-sigc:
+			log.Printf("rexserve: second %v, closing immediately", sig)
+			hs.Close() //nolint:errcheck
+		}
+		cancel()
+		if err := store.Close(); err != nil {
+			fatal(fmt.Errorf("closing store: %w", err))
+		}
+		log.Printf("rexserve: shutdown complete")
 	}
 }
 

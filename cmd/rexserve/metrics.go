@@ -140,6 +140,68 @@ func newServerMetrics(s *server) *serverMetrics {
 		"Queries recorded by the slow-query log.").With().
 		SetFunc(func() float64 { return float64(s.slow.Total()) })
 
+	// Overload and lifecycle: shed counts per admission class, panics
+	// contained by the recovery middleware, and the drain flag probes
+	// can alert on.
+	shed := reg.Counter("rex_requests_shed_total",
+		"Requests shed by admission control (429) by endpoint class.", "class")
+	shed.With("query").SetFunc(func() float64 { return float64(s.queryLimit.shedCount()) })
+	shed.With("admin").SetFunc(func() float64 { return float64(s.adminLimit.shedCount()) })
+	reg.Counter("rex_handler_panics_total",
+		"Handler panics contained by the recovery middleware.").With().
+		SetFunc(func() float64 { return float64(s.panics.Load()) })
+	reg.Gauge("rex_draining",
+		"1 while the server is draining ahead of shutdown, else 0.").With().
+		SetFunc(func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	// Durability: WAL and checkpoint state of the store's journal. All
+	// zero when the server runs without -data-dir.
+	reg.Gauge("rex_durability_enabled",
+		"1 when the store runs with a crash-safety journal (-data-dir).").With().
+		SetFunc(func() float64 {
+			if s.store.DurabilityStats().Enabled {
+				return 1
+			}
+			return 0
+		})
+	reg.Counter("rex_wal_appends_total",
+		"Delta batches appended to the write-ahead log.").With().
+		SetFunc(func() float64 { return float64(s.store.DurabilityStats().Appends) })
+	reg.Counter("rex_wal_appended_bytes_total",
+		"Bytes appended to the write-ahead log (framing included).").With().
+		SetFunc(func() float64 { return float64(s.store.DurabilityStats().AppendedBytes) })
+	reg.Counter("rex_wal_fsyncs_total",
+		"WAL fsync calls.").With().
+		SetFunc(func() float64 { return float64(s.store.DurabilityStats().Fsyncs) })
+	reg.Gauge("rex_wal_size_bytes",
+		"Current write-ahead log size.").With().
+		SetFunc(func() float64 { return float64(s.store.DurabilityStats().WALSize) })
+	reg.Counter("rex_checkpoints_total",
+		"Checkpoints completed since the journal was opened.").With().
+		SetFunc(func() float64 { return float64(s.store.DurabilityStats().Checkpoints) })
+	reg.Counter("rex_checkpoint_failures_total",
+		"Checkpoints that failed after their delta was already durable.").With().
+		SetFunc(func() float64 { return float64(s.store.DurabilityStats().CheckpointFailures) })
+	reg.Gauge("rex_checkpoint_generation",
+		"Generation of the newest on-disk checkpoint (0 = none).").With().
+		SetFunc(func() float64 { return float64(s.store.DurabilityStats().CheckpointGen) })
+	reg.Gauge("rex_wal_replayed_records",
+		"WAL records replayed at the last boot.").With().
+		SetFunc(func() float64 { return float64(s.store.DurabilityStats().Replayed) })
+	reg.Gauge("rex_wal_torn_tail",
+		"1 when the last recovery dropped a torn or corrupt WAL tail.").With().
+		SetFunc(func() float64 {
+			if s.store.DurabilityStats().TornTail {
+				return 1
+			}
+			return 0
+		})
+
 	return m
 }
 

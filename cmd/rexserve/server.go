@@ -39,6 +39,16 @@ type server struct {
 	timeouts atomic.Uint64 // queries aborted by deadline or cancellation
 	deltas   atomic.Uint64 // successfully applied /admin/delta requests
 	reloads  atomic.Uint64 // successful /admin/reload requests
+	panics   atomic.Uint64 // handler panics contained by the recovery middleware
+
+	// draining flips /healthz to 503 ahead of a graceful shutdown so
+	// load balancers stop routing before the listener closes.
+	draining atomic.Bool
+
+	// Admission control: per-class in-flight bounds (see lifecycle.go).
+	// Configured by setAdmission before serving starts; nil = unlimited.
+	queryLimit *classLimiter
+	adminLimit *classLimiter
 
 	slow    *obs.SlowLog   // slow-query forensics ring, served at /admin/slow
 	metrics *serverMetrics // Prometheus registry behind /metrics
@@ -55,6 +65,8 @@ func newServer(store *rex.Store, kbPath string, timeout time.Duration, maxBatch 
 	}
 	s := &server{store: store, kbPath: kbPath, timeout: timeout, maxBatch: maxBatch, started: time.Now()}
 	s.slow = obs.NewSlowLog(defaultSlowThreshold, defaultSlowRing, nil)
+	q, a := admissionDefaults()
+	s.setAdmission(q, a, defaultAdmissionWait)
 	s.metrics = newServerMetrics(s)
 	store.OnSwap(func(info rex.SwapInfo) {
 		s.metrics.swapDuration.With().Observe(info.Elapsed.Seconds())
@@ -94,16 +106,20 @@ func (s *server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
-// handler builds the route table.
+// handler builds the route table. Query and admin endpoints run behind
+// their class's admission limiter (shed with 429 + Retry-After when
+// over the in-flight bound); the cheap introspection endpoints are
+// never shed — an overloaded server must still answer its probes and
+// scrapes. The whole mux sits behind the panic-recovery middleware.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/explain", s.instrument("/explain", s.handleExplain))
-	mux.HandleFunc("/batch", s.instrument("/batch", s.handleBatch))
+	mux.HandleFunc("/explain", s.instrument("/explain", s.admit(s.queryLimit, s.handleExplain)))
+	mux.HandleFunc("/batch", s.instrument("/batch", s.admit(s.queryLimit, s.handleBatch)))
 	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/admin/delta", s.instrument("/admin/delta", s.handleAdminDelta))
-	mux.HandleFunc("/admin/reload", s.instrument("/admin/reload", s.handleAdminReload))
+	mux.HandleFunc("/admin/delta", s.instrument("/admin/delta", s.admit(s.adminLimit, s.handleAdminDelta)))
+	mux.HandleFunc("/admin/reload", s.instrument("/admin/reload", s.admit(s.adminLimit, s.handleAdminReload)))
 	mux.HandleFunc("/admin/slow", s.instrument("/admin/slow", s.handleSlow))
 	if s.pprof {
 		// Runtime profiling for performance work, opt-in via -pprof.
@@ -117,7 +133,7 @@ func (s *server) handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return s.recoverPanics(mux)
 }
 
 // explainResponse wraps one query result for the wire. Generation and
@@ -602,11 +618,20 @@ type healthResponse struct {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Current()
 	b := rex.Build()
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:      "ok",
 		Generation:  snap.Generation,
 		Fingerprint: snap.Fingerprint,
 		GoVersion:   b.GoVersion,
 		Revision:    b.Revision,
-	})
+	}
+	// During a graceful shutdown the probe flips to 503 before the
+	// listener closes, so load balancers drain this instance while its
+	// in-flight (and still-routed) requests finish normally.
+	if s.draining.Load() {
+		resp.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -3,10 +3,12 @@ package enumerate
 import (
 	"container/heap"
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"rex/internal/fail"
 	"rex/internal/kb"
 	"rex/internal/obs"
 	"rex/internal/pattern"
@@ -413,15 +415,37 @@ func (st *enumState) pathEnumPrioritized(ctx context.Context, g *kb.Graph, start
 		// fan-out only pays off once there is real expansion work to
 		// split.
 		if len(jobs) > 1 && pendingTotal >= 16 {
+			// Worker panics are contained and surfaced as this query's
+			// error (first one wins): a bug tripped by one pathological
+			// pair must fail that query, not take down the process every
+			// other request lives in.
 			var wg sync.WaitGroup
+			var panicMu sync.Mutex
+			var panicErr error
 			for i := range jobs {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicErr == nil {
+								panicErr = fmt.Errorf("enumerate: panic in extension worker: %v", r)
+							}
+							panicMu.Unlock()
+						}
+					}()
+					// Failpoint for the containment tests: armed with a
+					// panicking function it simulates a worker bug.
+					_ = fail.Hit("enumerate.extend")
 					results[i] = extendJobPaths(g, &jobs[i], caps, targets, results[i][:0], bud.Deadline)
 				}(i)
 			}
 			wg.Wait()
+			if panicErr != nil {
+				st.jobs = jobs
+				return nil, false, panicErr
+			}
 		} else {
 			for i := range jobs {
 				results[i] = extendJobPaths(g, &jobs[i], caps, targets, results[i][:0], bud.Deadline)

@@ -1,0 +1,125 @@
+// Package fail is a tiny failpoint registry for fault-injection tests.
+//
+// Production code marks crash-relevant points on the durability and
+// swap paths with fail.Hit("name"); the call is a single atomic load
+// when no failpoint is armed, so the hooks can stay compiled into the
+// binary. Tests arm a point with Enable (inject an error once or every
+// time) or EnableFunc (arbitrary behaviour, e.g. "write half the
+// record, then fail" for torn-write simulation) and tear everything
+// down with Reset.
+//
+// The registry is process-global and safe for concurrent use; a point's
+// hook runs on the goroutine that hits it.
+package fail
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the error returned by failpoints armed with Enable;
+// tests match it with errors.Is to tell injected faults from real ones.
+var ErrInjected = errors.New("fail: injected fault")
+
+// armed counts enabled failpoints. Hit returns immediately while it is
+// zero, so the production fast path is one atomic load.
+var armed atomic.Int64
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+// point is one armed failpoint.
+type point struct {
+	fn    func() error
+	times int64 // remaining triggers; negative = unlimited
+	hits  uint64
+}
+
+// Enable arms name to return an error wrapping ErrInjected (and naming
+// the point) on every Hit until Disable or Reset.
+func Enable(name string) {
+	EnableTimes(name, -1)
+}
+
+// EnableTimes arms name to fail the next n Hits, then fall back to
+// passing. n < 0 means every Hit.
+func EnableTimes(name string, n int64) {
+	err := fmt.Errorf("%w at %s", ErrInjected, name)
+	enable(name, n, func() error { return err })
+}
+
+// EnableFunc arms name with an arbitrary hook: Hit returns whatever fn
+// returns. Use it for partial-write simulation, panics, or delays.
+func EnableFunc(name string, fn func() error) {
+	enable(name, -1, fn)
+}
+
+func enable(name string, times int64, fn func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = &point{fn: fn, times: times}
+}
+
+// Disable disarms one failpoint; unknown names are no-ops.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint. Tests defer it so an armed point can
+// never leak into the next test.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(int64(-len(points)))
+	points = map[string]*point{}
+}
+
+// Hits reports how many times the named point has fired since it was
+// armed (0 for unarmed points).
+func Hits(name string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits
+	}
+	return 0
+}
+
+// Hit triggers the named failpoint: nil when the point is unarmed (the
+// common case, a single atomic load), otherwise whatever the armed hook
+// returns. A point armed with EnableTimes stops failing after its
+// budget is spent but keeps counting hits.
+func Hit(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	if p.times == 0 {
+		mu.Unlock()
+		return nil
+	}
+	if p.times > 0 {
+		p.times--
+	}
+	fn := p.fn
+	mu.Unlock()
+	return fn()
+}

@@ -1,0 +1,84 @@
+package fail
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestUnarmedIsNil(t *testing.T) {
+	defer Reset()
+	if err := Hit("nothing.here"); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Reset()
+	Enable("p")
+	if err := Hit("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed Hit = %v, want ErrInjected", err)
+	}
+	if err := Hit("other"); err != nil {
+		t.Fatalf("unrelated point failed: %v", err)
+	}
+	Disable("p")
+	if err := Hit("p"); err != nil {
+		t.Fatalf("disabled Hit = %v", err)
+	}
+}
+
+func TestEnableTimes(t *testing.T) {
+	defer Reset()
+	EnableTimes("p", 2)
+	for i := 0; i < 2; i++ {
+		if err := Hit("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("hit after budget = %v, want nil", err)
+	}
+	if got := Hits("p"); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+}
+
+func TestEnableFunc(t *testing.T) {
+	defer Reset()
+	custom := errors.New("custom")
+	n := 0
+	EnableFunc("p", func() error {
+		n++
+		if n == 1 {
+			return nil
+		}
+		return custom
+	})
+	if err := Hit("p"); err != nil {
+		t.Fatalf("first hit = %v", err)
+	}
+	if err := Hit("p"); !errors.Is(err, custom) {
+		t.Fatalf("second hit = %v, want custom", err)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	defer Reset()
+	Enable("p")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				Hit("p")
+				Hit("q")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Hits("p"); got != 800 {
+		t.Fatalf("Hits = %d, want 800", got)
+	}
+}

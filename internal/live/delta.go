@@ -146,6 +146,44 @@ func ParseDelta(r io.Reader) (*Delta, error) {
 	return d, nil
 }
 
+// AppendWire appends the delta's canonical wire encoding to b: one
+// record line per op, in order, in the same TSV record syntax ParseDelta
+// reads. Comments and blank lines of the original input are not
+// preserved — the encoding is the parsed mutation log, nothing else —
+// so ParseDelta(AppendWire(d)) reproduces d exactly. This is the WAL
+// payload format: what is replayed after a crash is byte-for-byte what
+// the wire parser accepted before it.
+func (d *Delta) AppendWire(b []byte) []byte {
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case OpAddNode, OpSetType:
+			b = append(b, op.Kind.String()...)
+			b = append(b, '\t')
+			b = append(b, op.Name...)
+			b = append(b, '\t')
+			b = append(b, op.Type...)
+		case OpAddLabel:
+			b = append(b, "label\t"...)
+			b = append(b, op.Name...)
+			if op.Directed {
+				b = append(b, "\tD"...)
+			} else {
+				b = append(b, "\tU"...)
+			}
+		case OpAddEdge, OpDelEdge:
+			b = append(b, op.Kind.String()...)
+			b = append(b, '\t')
+			b = append(b, op.From...)
+			b = append(b, '\t')
+			b = append(b, op.To...)
+			b = append(b, '\t')
+			b = append(b, op.Label...)
+		}
+		b = append(b, '\n')
+	}
+	return b
+}
+
 // ApplyStats counts the effective mutations of one delta application.
 // No-op records (re-adding an existing node, label or edge, deleting an
 // absent edge, setting a type to its current value) parse and apply

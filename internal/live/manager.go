@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rex/internal/fail"
 	"rex/internal/kb"
 )
 
@@ -85,8 +86,20 @@ const (
 // NewManager freezes g, builds its payload and installs it as
 // generation 1.
 func NewManager(g *kb.Graph, build BuildFunc) (*Manager, error) {
+	return NewManagerAt(g, build, 1)
+}
+
+// NewManagerAt is NewManager with an explicit initial generation, the
+// recovery entry point: a store rebuilt from a checkpoint plus a WAL
+// tail resumes the generation sequence it crashed at, so generation
+// numbers stay comparable across restarts (and across the crash-free
+// run the recovery tests diff against).
+func NewManagerAt(g *kb.Graph, build BuildFunc, gen uint64) (*Manager, error) {
 	if g == nil {
 		return nil, fmt.Errorf("live: NewManager: nil graph")
+	}
+	if gen == 0 {
+		return nil, fmt.Errorf("live: NewManagerAt: generation must be positive")
 	}
 	if build == nil {
 		build = func(*kb.Graph, *Snapshot, *ChangeSet) (any, error) { return nil, nil }
@@ -102,7 +115,7 @@ func NewManager(g *kb.Graph, build BuildFunc) (*Manager, error) {
 		CompactRatio: DefaultCompactRatio,
 	}
 	m.cur.Store(&Snapshot{
-		Generation:  1,
+		Generation:  gen,
 		Fingerprint: g.Fingerprint(),
 		Graph:       g,
 		Payload:     payload,
@@ -141,6 +154,21 @@ func (m *Manager) Compactions() uint64 { return m.compactions.Load() }
 // stays in place. This makes at-least-once delta delivery idempotent
 // instead of a cache flush.
 func (m *Manager) ApplyDelta(d *Delta) (*Snapshot, ApplyStats, error) {
+	return m.ApplyDeltaCommit(d, nil)
+}
+
+// CommitFunc is the durability hook of a swap: called with the fully
+// built next generation (graph and number) after the payload is
+// constructed and immediately before the atomic publish. A write-ahead
+// log appends and flushes the delta here, so by the time any reader can
+// observe the new generation its delta is already durable. An error
+// aborts the swap — nothing is published, the active snapshot is
+// unchanged, and the caller must not acknowledge the delta.
+type CommitFunc func(gen uint64, g *kb.Graph) error
+
+// ApplyDeltaCommit is ApplyDelta with a durability hook. A nil commit
+// degrades to the plain in-memory swap.
+func (m *Manager) ApplyDeltaCommit(d *Delta, commit CommitFunc) (*Snapshot, ApplyStats, error) {
 	if d == nil || len(d.Ops) == 0 {
 		return nil, ApplyStats{}, fmt.Errorf("live: empty delta")
 	}
@@ -160,7 +188,7 @@ func (m *Manager) ApplyDelta(d *Delta) (*Snapshot, ApplyStats, error) {
 		st.OverlayDepth = 0
 		m.compactions.Add(1)
 	}
-	snap, err := m.publishLocked(g, cur, cs)
+	snap, err := m.publishLocked(g, cur, cs, commit)
 	if err != nil {
 		return nil, st, err
 	}
@@ -172,25 +200,45 @@ func (m *Manager) ApplyDelta(d *Delta) (*Snapshot, ApplyStats, error) {
 // no delta relating it to the current snapshot, so the payload is built
 // without a carry basis and starts cold.
 func (m *Manager) SwapGraph(g *kb.Graph) (*Snapshot, error) {
+	return m.SwapGraphCommit(g, nil)
+}
+
+// SwapGraphCommit is SwapGraph with a durability hook (see CommitFunc);
+// a durable store checkpoints the wholesale replacement there, since no
+// delta exists that a WAL could replay to reproduce it.
+func (m *Manager) SwapGraphCommit(g *kb.Graph, commit CommitFunc) (*Snapshot, error) {
 	if g == nil {
 		return nil, fmt.Errorf("live: SwapGraph: nil graph")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	g.Freeze()
-	return m.publishLocked(g, nil, nil)
+	return m.publishLocked(g, nil, nil, commit)
 }
 
-// publishLocked builds the payload for g and stores the next-generation
-// snapshot. prev and cs are forwarded to the BuildFunc as the carry
-// basis when the swap came from a delta. Callers hold m.mu.
-func (m *Manager) publishLocked(g *kb.Graph, prev *Snapshot, cs *ChangeSet) (*Snapshot, error) {
+// publishLocked builds the payload for g, runs the durability commit
+// hook, and stores the next-generation snapshot. prev and cs are
+// forwarded to the BuildFunc as the carry basis when the swap came from
+// a delta. Callers hold m.mu.
+func (m *Manager) publishLocked(g *kb.Graph, prev *Snapshot, cs *ChangeSet, commit CommitFunc) (*Snapshot, error) {
 	payload, err := m.build(g, prev, cs)
 	if err != nil {
 		return nil, fmt.Errorf("live: building snapshot payload: %w", err)
 	}
+	next := m.cur.Load().Generation + 1
+	if commit != nil {
+		if err := commit(next, g); err != nil {
+			return nil, err
+		}
+	}
+	if err := fail.Hit("live.publish"); err != nil {
+		// Fault-injection point for the crash window between a durable
+		// WAL append and the in-memory publish: the delta is on disk but
+		// was never acknowledged, so recovery may legitimately replay it.
+		return nil, err
+	}
 	snap := &Snapshot{
-		Generation:  m.cur.Load().Generation + 1,
+		Generation:  next,
 		Fingerprint: g.Fingerprint(),
 		Graph:       g,
 		Payload:     payload,

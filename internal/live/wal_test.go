@@ -1,0 +1,452 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rex/internal/fail"
+	"rex/internal/kb"
+)
+
+// walDelta builds the i-th test delta: a fresh node chained onto "a".
+func walDelta(i int) string {
+	return fmt.Sprintf("node\tw%d\tperson\nedge\ta\tw%d\tknows\n", i, i)
+}
+
+// openFresh seeds a journal directory with the base graph as
+// generation 1, ready for appends.
+func openFresh(t *testing.T, dir string, opt JournalOptions) (*Journal, *kb.Graph) {
+	t.Helper()
+	j, err := OpenJournal(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	if j.HasState() {
+		t.Fatal("fresh journal reports state")
+	}
+	g := baseGraph(t)
+	if err := j.Checkpoint(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	return j, g
+}
+
+// applyAndAppend replays src onto g and appends it to the journal as
+// the given generation, returning the new graph.
+func applyAndAppend(t *testing.T, j *Journal, g *kb.Graph, gen uint64, src string) *kb.Graph {
+	t.Helper()
+	d := parse(t, src)
+	next, _, _, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(gen, d.AppendWire(nil)); err != nil {
+		t.Fatal(err)
+	}
+	return next
+}
+
+func TestDeltaWireRoundTrip(t *testing.T) {
+	src := strings.Join([]string{
+		"# comment dropped",
+		"node\td\tfilm",
+		"label\tstarring\tD",
+		"label\tfriend\tU",
+		"edge\ta\td\tstarring",
+		"settype\ta\tdirector",
+		"deledge\ta\tb\tknows",
+	}, "\n")
+	d := parse(t, src)
+	wire := d.AppendWire(nil)
+	d2, err := ParseDelta(strings.NewReader(string(wire)))
+	if err != nil {
+		t.Fatalf("re-parse of wire encoding: %v", err)
+	}
+	if len(d2.Ops) != len(d.Ops) {
+		t.Fatalf("round trip: %d ops, want %d", len(d2.Ops), len(d.Ops))
+	}
+	for i := range d.Ops {
+		a, b := d.Ops[i], d2.Ops[i]
+		a.Line, b.Line = 0, 0 // line numbers shift once comments are dropped
+		if a != b {
+			t.Errorf("op %d: %+v != %+v", i, a, b)
+		}
+	}
+	// Encoding the re-parse must be byte-identical: the wire form is a
+	// fixed point.
+	if got := string(d2.AppendWire(nil)); got != string(wire) {
+		t.Errorf("wire encoding is not a fixed point:\n%q\n%q", got, wire)
+	}
+}
+
+func TestJournalRecoverFresh(t *testing.T) {
+	j, err := OpenJournal(t.TempDir(), JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	g, gen, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != nil || gen != 0 {
+		t.Fatalf("fresh recover = (%v, %d), want (nil, 0)", g, gen)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, g := openFresh(t, dir, JournalOptions{Fsync: FsyncNever})
+	for i := 0; i < 5; i++ {
+		g = applyAndAppend(t, j, g, uint64(i+2), walDelta(i))
+	}
+	want := g.Fingerprint()
+	j.Close()
+
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.HasState() {
+		t.Fatal("journal with checkpoint reports no state")
+	}
+	rg, gen, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 6 {
+		t.Fatalf("recovered generation = %d, want 6", gen)
+	}
+	if got := rg.Fingerprint(); got != want {
+		t.Fatalf("recovered fingerprint = %s, want %s", got, want)
+	}
+	st := j2.Stats()
+	if st.Replayed != 5 || st.TornTail {
+		t.Fatalf("stats = %+v, want 5 replayed and no torn tail", st)
+	}
+	// The recovered journal accepts further appends and recovers again.
+	rg = applyAndAppend(t, j2, rg, 7, walDelta(99))
+	want = rg.Fingerprint()
+	j2.Close()
+	j3, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	rg3, gen3, err := j3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen3 != 7 || rg3.Fingerprint() != want {
+		t.Fatalf("second recovery = (gen %d, %s), want (7, %s)", gen3, rg3.Fingerprint(), want)
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	for _, cut := range []int64{1, 8, walFrameHeader, walFrameHeader + 3} {
+		t.Run(fmt.Sprintf("keep%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			j, g := openFresh(t, dir, JournalOptions{Fsync: FsyncNever})
+			g = applyAndAppend(t, j, g, 2, walDelta(0))
+			want := g.Fingerprint()
+			prefix := j.Stats().WALSize
+			applyAndAppend(t, j, g, 3, walDelta(1))
+			j.Close()
+			// Tear the final record: keep only cut bytes of it.
+			if err := os.Truncate(filepath.Join(dir, walName), prefix+cut); err != nil {
+				t.Fatal(err)
+			}
+			j2, err := OpenJournal(dir, JournalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j2.Close()
+			rg, gen, err := j2.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen != 2 || rg.Fingerprint() != want {
+				t.Fatalf("recovered (gen %d, %s), want (2, %s)", gen, rg.Fingerprint(), want)
+			}
+			st := j2.Stats()
+			if !st.TornTail || st.Replayed != 1 {
+				t.Fatalf("stats = %+v, want torn tail with 1 replayed", st)
+			}
+			if st.WALSize != prefix {
+				t.Fatalf("WAL size after recovery = %d, want the %d-byte valid prefix", st.WALSize, prefix)
+			}
+			// Appends continue cleanly after the truncated tail.
+			rg = applyAndAppend(t, j2, rg, 3, walDelta(7))
+			want = rg.Fingerprint()
+			j2.Close()
+			j3, err := OpenJournal(dir, JournalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j3.Close()
+			rg3, gen3, err := j3.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen3 != 3 || rg3.Fingerprint() != want {
+				t.Fatalf("post-tear append lost: (gen %d, %s), want (3, %s)", gen3, rg3.Fingerprint(), want)
+			}
+		})
+	}
+}
+
+func TestJournalCorruptRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, g := openFresh(t, dir, JournalOptions{Fsync: FsyncNever})
+	g = applyAndAppend(t, j, g, 2, walDelta(0))
+	want := g.Fingerprint()
+	prefix := j.Stats().WALSize
+	applyAndAppend(t, j, g, 3, walDelta(1))
+	j.Close()
+	// Flip one payload byte of the second record.
+	path := filepath.Join(dir, walName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[prefix+walFrameHeader] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rg, gen, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || rg.Fingerprint() != want {
+		t.Fatalf("recovered (gen %d, %s), want (2, %s)", gen, rg.Fingerprint(), want)
+	}
+	if st := j2.Stats(); !st.TornTail {
+		t.Fatalf("stats = %+v, want torn tail", st)
+	}
+}
+
+func TestJournalCheckpointTruncatesAndGCs(t *testing.T) {
+	dir := t.TempDir()
+	j, g := openFresh(t, dir, JournalOptions{Fsync: FsyncNever})
+	for i := 0; i < 3; i++ {
+		g = applyAndAppend(t, j, g, uint64(i+2), walDelta(i))
+	}
+	if st := j.Stats(); st.WALSize == 0 {
+		t.Fatal("WAL empty before checkpoint")
+	}
+	if err := j.Checkpoint(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.WALSize != 0 || st.CheckpointGen != 4 {
+		t.Fatalf("after checkpoint: %+v, want empty WAL at generation 4", st)
+	}
+	if gens := j.checkpointGens(); len(gens) != 1 || gens[0] != 4 {
+		t.Fatalf("checkpoints on disk = %v, want [4]", gens)
+	}
+	want := g.Fingerprint()
+	j.Close()
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rg, gen, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 4 || rg.Fingerprint() != want {
+		t.Fatalf("recovered (gen %d, %s), want (4, %s)", gen, rg.Fingerprint(), want)
+	}
+	if st := j2.Stats(); st.Replayed != 0 {
+		t.Fatalf("replayed %d records after a clean checkpoint, want 0", st.Replayed)
+	}
+}
+
+func TestJournalInterruptedCheckpointGC(t *testing.T) {
+	defer fail.Reset()
+	dir := t.TempDir()
+	j, g := openFresh(t, dir, JournalOptions{Fsync: FsyncNever})
+	for i := 0; i < 3; i++ {
+		g = applyAndAppend(t, j, g, uint64(i+2), walDelta(i))
+	}
+	want := g.Fingerprint()
+	fail.Enable("checkpoint.gc")
+	if err := j.Checkpoint(g, 4); !errors.Is(err, fail.ErrInjected) {
+		t.Fatalf("checkpoint with gc failpoint = %v, want injected", err)
+	}
+	fail.Reset()
+	j.Close()
+	// Both checkpoints and the full WAL are on disk; recovery must pick
+	// the newer checkpoint and skip the stale records.
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if gens := j2.checkpointGens(); len(gens) != 2 {
+		t.Fatalf("checkpoints on disk = %v, want two (GC was interrupted)", gens)
+	}
+	rg, gen, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 4 || rg.Fingerprint() != want {
+		t.Fatalf("recovered (gen %d, %s), want (4, %s)", gen, rg.Fingerprint(), want)
+	}
+	if st := j2.Stats(); st.Replayed != 0 || st.TornTail {
+		t.Fatalf("stats = %+v, want 0 replayed (all records shadowed by the checkpoint)", st)
+	}
+}
+
+func TestJournalCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	j, g := openFresh(t, dir, JournalOptions{Fsync: FsyncNever})
+	g = applyAndAppend(t, j, g, 2, walDelta(0))
+	want := g.Fingerprint()
+	j.Close()
+	// A later checkpoint that got renamed but is unreadable garbage.
+	if err := os.WriteFile(filepath.Join(dir, ckptPrefix+"0000000000000005"+ckptSuffix),
+		[]byte(binaryPartialStub), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rg, gen, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || rg.Fingerprint() != want {
+		t.Fatalf("recovered (gen %d, %s), want fallback to (2, %s)", gen, rg.Fingerprint(), want)
+	}
+}
+
+func TestJournalTornAppendFailpoint(t *testing.T) {
+	defer fail.Reset()
+	dir := t.TempDir()
+	j, g := openFresh(t, dir, JournalOptions{Fsync: FsyncNever})
+	g = applyAndAppend(t, j, g, 2, walDelta(0))
+	want := g.Fingerprint()
+	fail.Enable("wal.append.torn")
+	d := parse(t, walDelta(1))
+	if err := j.Append(3, d.AppendWire(nil)); !errors.Is(err, fail.ErrInjected) {
+		t.Fatalf("torn append = %v, want injected", err)
+	}
+	fail.Reset()
+	// The journal refuses further writes (the crash already "happened").
+	if err := j.Append(3, d.AppendWire(nil)); err == nil {
+		t.Fatal("append after simulated crash succeeded, want refusal")
+	}
+	j.Close()
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rg, gen, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || rg.Fingerprint() != want {
+		t.Fatalf("recovered (gen %d, %s), want (2, %s)", gen, rg.Fingerprint(), want)
+	}
+	if st := j2.Stats(); !st.TornTail {
+		t.Fatalf("stats = %+v, want torn tail from the half-written frame", st)
+	}
+}
+
+func TestJournalAppendErrorRollsBack(t *testing.T) {
+	defer fail.Reset()
+	dir := t.TempDir()
+	j, g := openFresh(t, dir, JournalOptions{Fsync: FsyncNever})
+	g = applyAndAppend(t, j, g, 2, walDelta(0))
+	size := j.Stats().WALSize
+	// A sync-layer failure (e.g. ENOSPC at fsync) must leave the WAL
+	// appendable with the failed frame rolled back.
+	fail.Enable("wal.sync.error")
+	d := parse(t, walDelta(1))
+	if err := j.Append(3, d.AppendWire(nil)); !errors.Is(err, fail.ErrInjected) {
+		t.Fatalf("append with sync failure = %v, want injected", err)
+	}
+	fail.Reset()
+	if st := j.Stats(); st.WALSize != size {
+		t.Fatalf("WAL size after rollback = %d, want %d", st.WALSize, size)
+	}
+	// The journal keeps working: the same generation can be re-appended.
+	g = applyAndAppend(t, j, g, 3, walDelta(1))
+	want := g.Fingerprint()
+	j.Close()
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rg, gen, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 3 || rg.Fingerprint() != want || j2.Stats().TornTail {
+		t.Fatalf("recovered (gen %d, %s, torn %v), want (3, %s, false)", gen, rg.Fingerprint(), j2.Stats().TornTail, want)
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"interval", FsyncInterval, true},
+		{"off", FsyncNever, true},
+		{"never", FsyncNever, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParseFsyncPolicy(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Errorf("ParseFsyncPolicy(%q) = (%v, %v), want (%v, ok=%v)", c.in, got, err, c.want, c.ok)
+		}
+	}
+	// FsyncAlways syncs every append; FsyncNever none.
+	dir := t.TempDir()
+	j, g := openFresh(t, dir, JournalOptions{Fsync: FsyncAlways})
+	applyAndAppend(t, j, g, 2, walDelta(0))
+	if st := j.Stats(); st.Fsyncs == 0 {
+		t.Fatalf("FsyncAlways: %+v, want at least one fsync", st)
+	}
+	dir2 := t.TempDir()
+	j2, g2 := openFresh(t, dir2, JournalOptions{Fsync: FsyncNever})
+	applyAndAppend(t, j2, g2, 2, walDelta(0))
+	if st := j2.Stats(); st.Fsyncs != 0 {
+		t.Fatalf("FsyncNever: %+v, want zero fsyncs", st)
+	}
+	// FsyncInterval with a huge interval syncs the WAL lazily.
+	dir3 := t.TempDir()
+	j3, g3 := openFresh(t, dir3, JournalOptions{Fsync: FsyncInterval, FsyncInterval: time.Hour})
+	g3 = applyAndAppend(t, j3, g3, 2, walDelta(0))
+	applyAndAppend(t, j3, g3, 3, walDelta(1))
+	if st := j3.Stats(); st.Fsyncs != 0 {
+		t.Fatalf("FsyncInterval(1h): %+v, want fsyncs deferred", st)
+	}
+	if err := j3.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := j3.Stats(); st.Fsyncs != 1 {
+		t.Fatalf("explicit Sync: %+v, want exactly one fsync", st)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"rex/internal/decorate"
 	"rex/internal/enumerate"
+	"rex/internal/fail"
 	"rex/internal/kb"
 	"rex/internal/kbgen"
 	"rex/internal/match"
@@ -210,6 +211,39 @@ type Options struct {
 	// instead of running to exhaustion. The zero value never truncates.
 	// ExplainBudgeted and BatchOptions.Budget override it per request.
 	Budget Budget
+	// Durability, when its Dir is set, makes a Store built with these
+	// options crash-safe: accepted deltas are written to a write-ahead
+	// log before they are published, the graph is periodically
+	// checkpointed, and a store reopened over the same directory
+	// recovers the last acknowledged state. Ignored by plain Explainers.
+	Durability DurabilityOptions
+}
+
+// DurabilityOptions configures the crash-safety journal of a Store: a
+// directory holding a write-ahead log of accepted delta batches plus
+// periodic full checkpoints. The zero value disables durability.
+type DurabilityOptions struct {
+	// Dir is the journal directory (created if missing). Empty disables
+	// durability entirely. When the directory already holds a journal,
+	// the recovered state wins over the KB the store is constructed
+	// with: generation numbering resumes where the previous process
+	// stopped.
+	Dir string
+	// Fsync selects when the WAL is flushed to stable storage: "always"
+	// (the default — an acknowledged delta survives machine crashes),
+	// "interval" (flush at most once per FsyncInterval), or "off"
+	// (leave flushing to the OS page cache; a machine crash can lose
+	// recently acknowledged deltas, a process crash cannot).
+	Fsync string
+	// FsyncInterval bounds the unsynced window under Fsync "interval"
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery checkpoints after this many WAL appends (default
+	// 64; negative disables count-driven checkpoints).
+	CheckpointEvery int
+	// CheckpointBytes checkpoints once the WAL exceeds this size
+	// (default 64 MiB; negative disables).
+	CheckpointBytes int64
 }
 
 // Budget bounds the work of one query, turning the prioritized
@@ -472,6 +506,10 @@ func (e *Explainer) ExplainBudgeted(ctx context.Context, start, end string, b Bu
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Failpoint for the panic-containment tests: armed with a panicking
+	// function it simulates an engine bug inside the query path; unarmed
+	// it is a single atomic load.
+	_ = fail.Hit("explain.query")
 	tr := obs.FromContext(ctx)
 	t0 := tr.Begin()
 	g := e.kb.g

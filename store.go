@@ -27,6 +27,15 @@ type Store struct {
 	mgr *live.Manager
 	opt Options
 
+	// journal is the durability sidecar (WAL + checkpoints), nil unless
+	// Options.Durability.Dir was set. Appends and checkpoints run on the
+	// manager-serialised write path; ckptFailures counts checkpoints
+	// that failed after their delta was already durable in the WAL
+	// (non-fatal: the next swap retries, recovery replays the longer
+	// WAL tail).
+	journal      *live.Journal
+	ckptFailures atomic.Uint64
+
 	// Carry-over effectiveness counters, cumulative across swaps.
 	resultsCarried atomic.Uint64
 	resultsDropped atomic.Uint64
@@ -115,6 +124,13 @@ type SwapInfo struct {
 // here, so a store that constructs successfully can always swap. The
 // store takes ownership of k's graph: callers must not mutate k after
 // construction.
+//
+// With Options.Durability.Dir set the store is crash-safe: if the
+// directory already holds a journal, its recovered state (newest valid
+// checkpoint plus WAL tail) replaces k entirely and the generation
+// sequence resumes where the previous process stopped; a fresh
+// directory is seeded with a checkpoint of k so the WAL always has a
+// replay base. Call Close when done with a durable store.
 func NewStore(k *KB, opt Options) (*Store, error) {
 	if k == nil {
 		return nil, fmt.Errorf("rex: NewStore: nil KB")
@@ -154,12 +170,76 @@ func NewStore(k *KB, opt Options) (*Store, error) {
 		}
 		return pay, nil
 	}
-	mgr, err := live.NewManager(k.g, build)
+	g, gen := k.g, uint64(1)
+	var jn *live.Journal
+	if d := opt.Durability; d.Dir != "" {
+		jn2, rg, rgen, err := openJournal(d)
+		if err != nil {
+			return nil, err
+		}
+		jn = jn2
+		if rg != nil {
+			g, gen = rg, rgen
+		}
+	}
+	mgr, err := live.NewManagerAt(g, build, gen)
 	if err != nil {
+		if jn != nil {
+			jn.Close() //nolint:errcheck // construction failed anyway
+		}
 		return nil, err
 	}
 	s.mgr = mgr
+	s.journal = jn
+	if jn != nil && !jn.HasState() {
+		// Seed a fresh journal with the initial graph as its first
+		// checkpoint, so every future WAL record has a replay base even
+		// if the process dies before the first policy-driven checkpoint.
+		if err := jn.Checkpoint(mgr.Current().Graph, gen); err != nil {
+			jn.Close() //nolint:errcheck
+			return nil, fmt.Errorf("rex: seeding journal: %w", err)
+		}
+	}
 	return s, nil
+}
+
+// openJournal opens the durability journal and recovers its state, if
+// any. A nil recovered graph means the directory was fresh.
+func openJournal(d DurabilityOptions) (*live.Journal, *kb.Graph, uint64, error) {
+	pol := live.FsyncAlways
+	if d.Fsync != "" {
+		p, err := live.ParseFsyncPolicy(d.Fsync)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("rex: %w", err)
+		}
+		pol = p
+	}
+	jn, err := live.OpenJournal(d.Dir, live.JournalOptions{
+		Fsync:           pol,
+		FsyncInterval:   d.FsyncInterval,
+		CheckpointEvery: d.CheckpointEvery,
+		CheckpointBytes: d.CheckpointBytes,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	g, gen, err := jn.Recover()
+	if err != nil {
+		jn.Close() //nolint:errcheck
+		return nil, nil, 0, fmt.Errorf("rex: recovering journal: %w", err)
+	}
+	return jn, g, gen, nil
+}
+
+// Close flushes and closes the durability journal, if any. The store's
+// read path stays usable (it is purely in-memory), but further Apply or
+// ReloadFrom calls on a durable store will fail. Safe to call more than
+// once.
+func (s *Store) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.Close()
 }
 
 // maxCarryBallNodes caps the affected-ball breadth-first search behind
@@ -277,7 +357,25 @@ func (s *Store) Apply(r io.Reader) (SwapInfo, error) {
 	if err != nil {
 		return SwapInfo{}, err
 	}
-	snap, st, err := s.mgr.ApplyDelta(d)
+	var commit live.CommitFunc
+	if s.journal != nil {
+		commit = func(gen uint64, g *kb.Graph) error {
+			if err := s.journal.Append(gen, d.AppendWire(nil)); err != nil {
+				return err
+			}
+			if s.journal.ShouldCheckpoint() {
+				if err := s.journal.Checkpoint(g, gen); err != nil {
+					// The delta is already durable in the WAL, so a failed
+					// checkpoint must not abort the swap: count it, let the
+					// next swap retry, and let recovery replay the longer
+					// WAL tail in the meantime.
+					s.ckptFailures.Add(1)
+				}
+			}
+			return nil
+		}
+	}
+	snap, st, err := s.mgr.ApplyDeltaCommit(d, commit)
 	if err != nil {
 		return SwapInfo{}, err
 	}
@@ -332,6 +430,51 @@ func (s *Store) LiveStats() LiveStats {
 	}
 }
 
+// DurabilityStats reports the state of the store's crash-safety
+// journal. Enabled is false (and every other field zero) for a store
+// built without Options.Durability.Dir.
+type DurabilityStats struct {
+	// Enabled reports whether the store has a journal at all.
+	Enabled bool
+	// Appends and AppendedBytes count WAL records and bytes written
+	// since the journal was opened; Fsyncs the WAL flushes issued.
+	Appends, AppendedBytes, Fsyncs uint64
+	// Checkpoints counts checkpoints completed since open;
+	// CheckpointFailures those that failed after their delta was
+	// already durable (non-fatal, retried on a later swap).
+	Checkpoints, CheckpointFailures uint64
+	// Replayed is the number of WAL records replayed at boot; TornTail
+	// reports that recovery dropped a torn or corrupt final record (the
+	// crash window of an in-flight append).
+	Replayed int
+	TornTail bool
+	// WALSize is the WAL's current size in bytes; CheckpointGen the
+	// newest on-disk checkpoint's generation.
+	WALSize       int64
+	CheckpointGen uint64
+}
+
+// DurabilityStats snapshots the journal counters; safe to call from any
+// goroutine.
+func (s *Store) DurabilityStats() DurabilityStats {
+	if s.journal == nil {
+		return DurabilityStats{}
+	}
+	js := s.journal.Stats()
+	return DurabilityStats{
+		Enabled:            true,
+		Appends:            js.Appends,
+		AppendedBytes:      js.AppendedBytes,
+		Fsyncs:             js.Fsyncs,
+		Checkpoints:        js.Checkpoints,
+		CheckpointFailures: s.ckptFailures.Load(),
+		Replayed:           js.Replayed,
+		TornTail:           js.TornTail,
+		WALSize:            js.WALSize,
+		CheckpointGen:      js.CheckpointGen,
+	}
+}
+
 // ReloadFrom re-reads a knowledge base from disk (see LoadKB) and
 // publishes it wholesale as the next generation — the recovery path
 // when the delta stream and the authoritative file have diverged.
@@ -341,7 +484,18 @@ func (s *Store) ReloadFrom(path string) (SwapInfo, error) {
 	if err != nil {
 		return SwapInfo{}, err
 	}
-	snap, err := s.mgr.SwapGraph(k.g)
+	var commit live.CommitFunc
+	if s.journal != nil {
+		// A wholesale replacement has no delta a WAL replay could
+		// reproduce, so durability demands a checkpoint before the swap
+		// publishes — and unlike the Apply path, a failure here must
+		// abort the swap: acknowledging an unjournaled reload would lose
+		// it on the next crash.
+		commit = func(gen uint64, g *kb.Graph) error {
+			return s.journal.Checkpoint(g, gen)
+		}
+	}
+	snap, err := s.mgr.SwapGraphCommit(k.g, commit)
 	if err != nil {
 		return SwapInfo{}, err
 	}

@@ -120,6 +120,61 @@ func TestStoreApplyErrorsLeaveStoreUntouched(t *testing.T) {
 	}
 }
 
+// TestStoreErrorPathsPreserveState pins down the all-or-nothing
+// contract in full: a failed Apply or ReloadFrom leaves the generation,
+// the fingerprint, every LiveStats counter and the warm result cache
+// exactly as they were — the failed attempt is invisible to readers.
+func TestStoreErrorPathsPreserveState(t *testing.T) {
+	st := newTestStore(t, Options{Measure: "size", CacheSize: 16})
+	// One successful swap first, so the counters have non-trivial values
+	// a buggy error path could disturb.
+	if _, err := st.Apply(strings.NewReader("edge\tcarol\tdave\tknows\n")); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Current()
+	// Warm the cache on the active snapshot.
+	if _, err := snap.Explainer.Explain("carol", "dave"); err != nil {
+		t.Fatal(err)
+	}
+	before := st.LiveStats()
+	cacheBefore := snap.Explainer.CacheStats()
+	gen, fp := st.Generation(), snap.Fingerprint
+
+	if _, err := st.Apply(strings.NewReader("edge\tghost\tnobody\tknows\n")); err == nil {
+		t.Fatal("bad delta accepted")
+	}
+	if _, err := st.ReloadFrom(filepath.Join(t.TempDir(), "missing.tsv")); err == nil {
+		t.Fatal("reload from missing file succeeded")
+	}
+	// A file that exists but fails to parse exercises the later error
+	// branch of ReloadFrom.
+	bad := filepath.Join(t.TempDir(), "bad.tsv")
+	if err := os.WriteFile(bad, []byte("not\ta\tvalid\tkb\tline\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ReloadFrom(bad); err == nil {
+		t.Fatal("reload of malformed file succeeded")
+	}
+
+	if st.Generation() != gen || st.Current().Fingerprint != fp {
+		t.Fatalf("error paths moved the snapshot: (gen %d, %s), want (gen %d, %s)",
+			st.Generation(), st.Current().Fingerprint, gen, fp)
+	}
+	if after := st.LiveStats(); after != before {
+		t.Fatalf("error paths disturbed LiveStats: %+v, want %+v", after, before)
+	}
+	// The warm cache still serves: same snapshot, one more hit.
+	cur := st.Current()
+	if _, err := cur.Explainer.Explain("carol", "dave"); err != nil {
+		t.Fatal(err)
+	}
+	cacheAfter := cur.Explainer.CacheStats()
+	if cacheAfter.Hits != cacheBefore.Hits+1 || cacheAfter.Entries != cacheBefore.Entries {
+		t.Fatalf("cache disturbed by error paths: %+v -> %+v, want one more hit on the same entries",
+			cacheBefore, cacheAfter)
+	}
+}
+
 func TestStoreReloadFrom(t *testing.T) {
 	st := newTestStore(t, Options{Measure: "size"})
 
