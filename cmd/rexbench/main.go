@@ -90,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, macro, ingest, wal, all")
+		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, macro, ingest, wal, router, all")
 		benchOut  = fs.String("bench-out", "", "write benchmark results as JSON to this file (with -exp micro/macro)")
 		compare   = fs.String("compare", "", "baseline BENCH.json to print a per-workload delta table against (with -exp micro)")
 		scale     = fs.Float64("scale", 1, "synthetic KB scale factor")
@@ -112,6 +112,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ingPairs  = fs.Int("ingest-pairs", 24, "hot pairs for the ingest swap-to-warm phase")
 		walDeltas = fs.Int("wal-deltas", 64, "deltas applied per fsync policy in the wal suite")
 		walOps    = fs.Int("wal-ops", 100, "records per wal-suite delta")
+		rtPreset  = fs.String("router-preset", "small", "KB size preset for -exp router")
+		rtN       = fs.Int("router-replicas", 3, "fleet size ceiling for -exp router (QPS runs 1..N)")
+		rtWorkers = fs.Int("router-workers", 8, "concurrent clients in the router QPS phases")
+		rtSecs    = fs.Float64("router-seconds", 2, "duration of each router QPS phase")
+		rtBudget  = fs.Int64("router-budget-ms", 50, "query budget in the router hedging phase (budgeted queries are what hedge)")
+		rtStallMS = fs.Int("router-stall-ms", 40, "injected stall length for the router hedging phase")
+		rtStallPc = fs.Int("router-stall-pct", 3, "injected stall probability (percent) for the router hedging phase; keep below 5 so the p95-derived hedge delay stays under the stall")
+		rtTailN   = fs.Int("router-tail", 400, "sequential samples per hedging mode in the router tail phase")
+		rtInproc  = fs.Bool("router-inproc", false, "run router-experiment replicas in-process instead of as child processes")
+		rtKB      = fs.String("router-kb", "", "internal: binary KB snapshot for the router-replica child mode")
+		rtName    = fs.String("router-name", "", "internal: replica name for the router-replica child mode")
 		mutexProf = fs.String("mutexprofile", "", "write a runtime mutex-contention profile of the whole run to this file")
 		traceOn   = fs.Bool("trace", false, "profile the per-stage pipeline breakdown (enumerate/match/measure/rank/merge) into the report")
 		traceRnd  = fs.Int("trace-rounds", 5, "query rounds per pair for the -trace profile")
@@ -153,6 +164,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wants[strings.TrimSpace(e)] = true
 	}
 	want := func(name string) bool { return wants["all"] || wants[name] }
+
+	// The hidden child mode of the router experiment: this process IS a
+	// replica. Nothing else runs.
+	if wants["router-replica"] {
+		return runRouterReplica(stderr, *rtKB, *rtName, *rtStallMS, *rtStallPc)
+	}
 
 	needsEnv := want("fig7") || want("fig8") || want("fig9") || want("fig10") ||
 		want("fig11") || want("ablation")
@@ -209,7 +226,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// BENCH.json, not paper figures, so "all" (the paper reproduction)
 	// does not imply them. -trace joins them because it feeds the same
 	// report document.
-	if wants["micro"] || wants["macro"] || wants["ingest"] || wants["wal"] || *traceOn {
+	if wants["micro"] || wants["macro"] || wants["ingest"] || wants["wal"] || wants["router"] || *traceOn {
 		report := newBenchReport()
 		if wants["micro"] {
 			if err := runMicro(&report, stdout); err != nil {
@@ -256,6 +273,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintln(stderr, "rexbench:", err)
 					return 1
 				}
+			}
+		}
+		if wants["router"] {
+			opt := routerOptions{
+				Preset: *rtPreset, Seed: *seed, Replicas: *rtN, Workers: *rtWorkers,
+				Seconds: *rtSecs, BudgetMS: *rtBudget, StallMS: *rtStallMS,
+				StallPct: *rtStallPc, TailN: *rtTailN, InProcess: *rtInproc,
+			}
+			if err := runRouter(&report, stdout, opt); err != nil {
+				fmt.Fprintln(stderr, "rexbench:", err)
+				return 1
 			}
 		}
 		if wants["wal"] {

@@ -213,6 +213,56 @@ func TestRunIngestSmoke(t *testing.T) {
 	}
 }
 
+// TestRunRouterSmoke drives the replicated-tier experiment with
+// in-process replicas (no child re-exec, so it works under `go test`
+// where os.Executable is the test binary) and checks the report carries
+// a plausible router section.
+func TestRunRouterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("router smoke generates a KB and boots a fleet; skip under -short")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "router", "-router-inproc", "-router-replicas", "2",
+		"-router-seconds", "0.2", "-router-workers", "4", "-router-tail", "40",
+		"-bench-out", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"router:", "replica(s):", "tail under"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("router output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	r := report.Router
+	if r == nil {
+		t.Fatal("report has no router section")
+	}
+	if r.Preset != "small" || r.Replicas != 2 || len(r.QPS) != 2 {
+		t.Errorf("implausible router section: %+v", r)
+	}
+	for _, q := range r.QPS {
+		if q.QPS <= 0 || q.Errors != 0 {
+			t.Errorf("QPS point at %d replica(s) implausible: %+v", q.Replicas, q)
+		}
+	}
+	hp := r.Hedging
+	if hp == nil {
+		t.Fatal("router section has no hedging comparison")
+	}
+	if hp.Samples == 0 || hp.UnhedgedP99Ms <= 0 || hp.HedgedP99Ms <= 0 {
+		t.Errorf("implausible hedging point: %+v", hp)
+	}
+}
+
 // TestPercentileInterpolation pins the linear-interpolation percentile:
 // small sample sets must not collapse p99 onto max (the nearest-rank
 // bug the macro report shipped with), and exact ranks stay exact.

@@ -67,6 +67,9 @@ type benchReport struct {
 	// Trace holds the per-stage pipeline breakdown when -trace ran; see
 	// trace.go.
 	Trace *traceReport `json:"trace,omitempty"`
+	// Router holds the replicated-tier numbers (QPS vs replica count,
+	// hedged vs unhedged tail) when -exp router ran; see router.go.
+	Router *routerReport `json:"router,omitempty"`
 }
 
 // newBenchReport stamps the environment header.

@@ -1,0 +1,458 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"sync"
+	"time"
+
+	"rex"
+	"rex/internal/cluster"
+	"rex/internal/fail"
+	"rex/internal/kbgen"
+	"rex/internal/serve"
+)
+
+// The router experiment measures the replicated serving tier end to
+// end: a preset KB is generated once, N replica processes are spawned
+// from this same binary (each loading the shared binary snapshot and
+// serving real HTTP), and an in-process cluster.Router drives them.
+// Two question shapes go into BENCH.json:
+//
+//   - QPS vs replica count: the same worker pool hammers the router
+//     over fleets of 1, 2, ... N replicas, so the scaling of the
+//     consistent-hash scatter is a number, not a hope.
+//   - Hedged vs unhedged tail: a fleet with a probabilistic stall
+//     injected (a q% chance each request sleeps s ms — the "one slow
+//     replica" regime hedging exists for) is measured twice under
+//     budgeted queries, hedging off then on, reporting p50/p99 each.
+//
+// -router-inproc swaps the replica processes for in-process HTTP
+// servers — same wire traffic, one process — for sandboxed CI and the
+// command's own tests.
+
+// routerOptions parameterises the router experiment.
+type routerOptions struct {
+	Preset    string
+	Seed      int64
+	Replicas  int     // fleet size ceiling (QPS phases run 1..Replicas)
+	Workers   int     // concurrent load-generating clients
+	Seconds   float64 // duration of each QPS phase
+	BudgetMS  int64   // budget for the hedging phase's queries
+	StallMS   int     // injected stall length for the hedging phase
+	StallPct  int     // injected stall probability (percent)
+	TailN     int     // sequential samples per hedging mode
+	InProcess bool    // in-process replicas instead of child processes
+}
+
+// routerReport is the "router" section of BENCH.json.
+type routerReport struct {
+	Preset       string            `json:"preset"`
+	Seed         int64             `json:"seed"`
+	Replicas     int               `json:"replicas"`
+	Workers      int               `json:"workers"`
+	MultiProcess bool              `json:"multi_process"`
+	QPS          []routerQPSPoint  `json:"qps_by_replicas"`
+	Hedging      *routerHedgePoint `json:"hedging,omitempty"`
+}
+
+// routerQPSPoint is one sustained-throughput measurement at a fleet size.
+type routerQPSPoint struct {
+	Replicas int     `json:"replicas"`
+	Queries  int     `json:"queries"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	Errors   int     `json:"errors,omitempty"`
+}
+
+// routerHedgePoint is the hedged-vs-unhedged tail comparison over a
+// fleet with an injected probabilistic stall.
+type routerHedgePoint struct {
+	Replicas      int     `json:"replicas"`
+	StallMS       int     `json:"stall_ms"`
+	StallPercent  int     `json:"stall_percent"`
+	BudgetMS      int64   `json:"budget_ms"`
+	Samples       int     `json:"samples"`
+	UnhedgedP50Ms float64 `json:"unhedged_p50_ms"`
+	UnhedgedP99Ms float64 `json:"unhedged_p99_ms"`
+	HedgedP50Ms   float64 `json:"hedged_p50_ms"`
+	HedgedP99Ms   float64 `json:"hedged_p99_ms"`
+}
+
+// benchReplica is one running replica, however it was started.
+type benchReplica struct {
+	addr string
+	stop func()
+}
+
+func runRouter(report *benchReport, stdout io.Writer, opt routerOptions) error {
+	if opt.Replicas <= 0 {
+		opt.Replicas = 3
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 8
+	}
+	if opt.Seconds <= 0 {
+		opt.Seconds = 2
+	}
+	if opt.BudgetMS <= 0 {
+		opt.BudgetMS = 50
+	}
+	if opt.StallMS <= 0 {
+		opt.StallMS = 40
+	}
+	if opt.StallPct <= 0 {
+		// Below 5%: the hedge delay is p95-derived, so a stall rate at or
+		// above 5% pushes the observed p95 up to the stall itself and the
+		// hedge fires too late to show its effect.
+		opt.StallPct = 3
+	}
+	if opt.TailN <= 0 {
+		opt.TailN = 400
+	}
+
+	genOpt, err := kbgen.PresetOptions(opt.Preset, opt.Seed)
+	if err != nil {
+		return err
+	}
+	g := kbgen.Generate(genOpt)
+	st := g.Stats()
+	dir, err := os.MkdirTemp("", "rexbench-router-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "kb.bin")
+	if err := g.SaveBinary(snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "router: %s KB: %d entities, %d relationships; snapshot at %s\n",
+		opt.Preset, st.Nodes, st.Edges, snap)
+
+	var queries []url.Values
+	for _, p := range kbgen.SamplePairs(g, kbgen.PairOptions{PerBucket: 5, Seed: opt.Seed + 1}) {
+		v := url.Values{}
+		v.Set("start", g.NodeName(p.Start))
+		v.Set("end", g.NodeName(p.End))
+		queries = append(queries, v)
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("router: no pairs sampled")
+	}
+
+	r := &routerReport{
+		Preset: opt.Preset, Seed: opt.Seed, Replicas: opt.Replicas,
+		Workers: opt.Workers, MultiProcess: !opt.InProcess,
+	}
+
+	// Phase 1: QPS vs replica count. One fleet of N clean replicas;
+	// each point routes over a prefix of it.
+	fleet, err := startFleet(opt, snap, opt.Replicas, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer stopFleet(fleet)
+	for n := 1; n <= opt.Replicas; n++ {
+		pt, err := measureQPS(fleet[:n], queries, opt)
+		if err != nil {
+			return err
+		}
+		r.QPS = append(r.QPS, pt)
+		fmt.Fprintf(stdout, "router: %d replica(s): %.0f qps (p50 %.2fms, p99 %.2fms, %d queries, %d errors)\n",
+			n, pt.QPS, pt.P50Ms, pt.P99Ms, pt.Queries, pt.Errors)
+	}
+
+	// Phase 2: hedged vs unhedged tail over a stall-injected fleet of
+	// two — the smallest fleet where a hedge has somewhere to go.
+	if opt.Replicas >= 2 {
+		stallFleet, err := startFleet(opt, snap, 2, opt.StallMS, opt.StallPct)
+		if err != nil {
+			return err
+		}
+		defer stopFleet(stallFleet)
+		hp := &routerHedgePoint{
+			Replicas: 2, StallMS: opt.StallMS, StallPercent: opt.StallPct,
+			BudgetMS: opt.BudgetMS, Samples: opt.TailN,
+		}
+		hp.UnhedgedP50Ms, hp.UnhedgedP99Ms, err = measureTail(stallFleet, queries, opt, true)
+		if err != nil {
+			return err
+		}
+		hp.HedgedP50Ms, hp.HedgedP99Ms, err = measureTail(stallFleet, queries, opt, false)
+		if err != nil {
+			return err
+		}
+		r.Hedging = hp
+		fmt.Fprintf(stdout, "router: tail under %d%% x %dms stalls: unhedged p99 %.2fms, hedged p99 %.2fms\n",
+			opt.StallPct, opt.StallMS, hp.UnhedgedP99Ms, hp.HedgedP99Ms)
+	}
+
+	report.Router = r
+	return nil
+}
+
+// startFleet boots n replicas over the shared snapshot — child
+// processes of this binary, or in-process HTTP servers with
+// -router-inproc — with an optional probabilistic stall armed.
+func startFleet(opt routerOptions, snap string, n, stallMS, stallPct int) ([]benchReplica, error) {
+	fleet := make([]benchReplica, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("bench-r%d", i)
+		var (
+			rep benchReplica
+			err error
+		)
+		if opt.InProcess {
+			rep, err = startInprocReplica(snap, name, stallMS, stallPct)
+		} else {
+			rep, err = startChildReplica(snap, name, stallMS, stallPct)
+		}
+		if err != nil {
+			stopFleet(fleet)
+			return nil, err
+		}
+		fleet = append(fleet, rep)
+	}
+	return fleet, nil
+}
+
+func stopFleet(fleet []benchReplica) {
+	for _, r := range fleet {
+		r.stop()
+	}
+}
+
+// startChildReplica re-execs this binary in the hidden router-replica
+// mode and waits for its LISTENING line.
+func startChildReplica(snap, name string, stallMS, stallPct int) (benchReplica, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return benchReplica{}, err
+	}
+	cmd := exec.Command(exe, "-exp", "router-replica",
+		"-router-kb", snap, "-router-name", name,
+		"-router-stall-ms", strconv.Itoa(stallMS),
+		"-router-stall-pct", strconv.Itoa(stallPct))
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return benchReplica{}, err
+	}
+	if err := cmd.Start(); err != nil {
+		return benchReplica{}, err
+	}
+	stop := func() {
+		cmd.Process.Kill() //nolint:errcheck // already exiting
+		cmd.Wait()         //nolint:errcheck
+	}
+	sc := bufio.NewScanner(out)
+	deadline := time.AfterFunc(30*time.Second, stop)
+	for sc.Scan() {
+		var addr string
+		if _, err := fmt.Sscanf(sc.Text(), "LISTENING %s", &addr); err == nil {
+			deadline.Stop()
+			// Keep draining the pipe so the child never blocks on writes.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return benchReplica{addr: "http://" + addr, stop: stop}, nil
+		}
+	}
+	deadline.Stop()
+	stop()
+	return benchReplica{}, fmt.Errorf("replica %s exited before listening", name)
+}
+
+// startInprocReplica is the same replica as a goroutine: identical
+// serve stack and wire format, no process isolation.
+func startInprocReplica(snap, name string, stallMS, stallPct int) (benchReplica, error) {
+	store, err := replicaStore(snap)
+	if err != nil {
+		return benchReplica{}, err
+	}
+	armStall(stallMS, stallPct)
+	srv := serve.New(store, serve.Config{Timeout: 30 * time.Second, MaxBatch: 1024, Name: name})
+	hs := httptest.NewServer(srv.Handler())
+	return benchReplica{addr: hs.URL, stop: func() {
+		hs.Close()
+		store.Close() //nolint:errcheck
+		fail.Reset()
+	}}, nil
+}
+
+func replicaStore(snap string) (*rex.Store, error) {
+	k, err := rex.LoadKB(snap)
+	if err != nil {
+		return nil, err
+	}
+	return rex.NewStore(k, rex.Options{
+		Measure: "size", TopK: 10, MaxPatternSize: 3, CacheSize: 4096,
+	})
+}
+
+// armStall injects the "one slow response in q%" regime through the
+// serve.respond failpoint seam: the hook sleeps and then passes, so
+// stalled requests still succeed — exactly the tail hedging targets.
+func armStall(stallMS, stallPct int) {
+	if stallMS <= 0 || stallPct <= 0 {
+		return
+	}
+	d := time.Duration(stallMS) * time.Millisecond
+	fail.EnableFunc("serve.respond", func() error {
+		if rand.IntN(100) < stallPct {
+			time.Sleep(d)
+		}
+		return nil
+	})
+}
+
+// runRouterReplica is the hidden child mode: load the snapshot, serve
+// on an ephemeral port, print the address, run until killed.
+func runRouterReplica(stderr io.Writer, kbPath, name string, stallMS, stallPct int) int {
+	store, err := replicaStore(kbPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "rexbench router-replica:", err)
+		return 1
+	}
+	armStall(stallMS, stallPct)
+	srv := serve.New(store, serve.Config{Timeout: 30 * time.Second, MaxBatch: 1024, Name: name})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(stderr, "rexbench router-replica:", err)
+		return 1
+	}
+	fmt.Printf("LISTENING %s\n", ln.Addr())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(stderr, "rexbench router-replica:", err)
+		return 1
+	}
+	return 0
+}
+
+// benchRouter builds the in-process router over a fleet.
+func benchRouter(fleet []benchReplica, disableHedging bool) (*cluster.Router, error) {
+	rcs := make([]cluster.ReplicaConfig, len(fleet))
+	for i, r := range fleet {
+		rcs[i] = cluster.ReplicaConfig{Name: fmt.Sprintf("bench-r%d", i), URL: r.addr}
+	}
+	rt, err := cluster.New(cluster.Config{
+		Replicas:       rcs,
+		HealthInterval: 100 * time.Millisecond,
+		DisableHedging: disableHedging,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.Start()
+	return rt, nil
+}
+
+// measureQPS hammers the router with opt.Workers concurrent clients
+// for opt.Seconds and reports throughput plus latency percentiles.
+func measureQPS(fleet []benchReplica, queries []url.Values, opt routerOptions) (routerQPSPoint, error) {
+	rt, err := benchRouter(fleet, false)
+	if err != nil {
+		return routerQPSPoint{}, err
+	}
+	defer rt.Close()
+	h := rt.Handler()
+
+	// Warmup: touch every pair once so replica caches and the router's
+	// latency ring are primed before the clock starts.
+	for _, q := range queries {
+		routerBenchGet(h, "/explain?"+q.Encode())
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		allLat   []float64
+		total    int
+		errs     int
+		deadline = time.Now().Add(time.Duration(opt.Seconds * float64(time.Second)))
+	)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]float64, 0, 4096)
+			n, bad := 0, 0
+			for i := w; time.Now().Before(deadline); i++ {
+				q := queries[i%len(queries)]
+				t0 := time.Now()
+				code := routerBenchGet(h, "/explain?"+q.Encode())
+				if code == http.StatusOK {
+					lat = append(lat, msSince(t0))
+				} else {
+					bad++
+				}
+				n++
+			}
+			mu.Lock()
+			allLat = append(allLat, lat...)
+			total += n
+			errs += bad
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	slices.Sort(allLat)
+	pt := routerQPSPoint{
+		Replicas: len(fleet), Queries: total, Seconds: opt.Seconds,
+		QPS:   float64(total) / opt.Seconds,
+		P50Ms: percentile(allLat, 50), P99Ms: percentile(allLat, 99),
+		Errors: errs,
+	}
+	return pt, nil
+}
+
+// measureTail issues opt.TailN sequential budgeted queries and reports
+// p50/p99 — the single-client view of the tail, where a hedge either
+// saves the caller from a stalled replica or nothing does.
+func measureTail(fleet []benchReplica, queries []url.Values, opt routerOptions, disableHedging bool) (p50, p99 float64, err error) {
+	rt, err := benchRouter(fleet, disableHedging)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer rt.Close()
+	h := rt.Handler()
+
+	budget := "&budget_ms=" + strconv.FormatInt(opt.BudgetMS, 10)
+	for i := 0; i < 2*len(queries) && i < 64; i++ { // warm caches and the p95 ring
+		routerBenchGet(h, "/explain?"+queries[i%len(queries)].Encode()+budget)
+	}
+	lat := make([]float64, 0, opt.TailN)
+	for i := 0; i < opt.TailN; i++ {
+		q := queries[i%len(queries)]
+		t0 := time.Now()
+		if code := routerBenchGet(h, "/explain?"+q.Encode()+budget); code == http.StatusOK {
+			lat = append(lat, msSince(t0))
+		}
+	}
+	if len(lat) == 0 {
+		return 0, 0, fmt.Errorf("router: no successful tail samples")
+	}
+	slices.Sort(lat)
+	return percentile(lat, 50), percentile(lat, 99), nil
+}
+
+func routerBenchGet(h http.Handler, path string) int {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec.Code
+}

@@ -95,6 +95,7 @@ import (
 	"time"
 
 	"rex"
+	"rex/internal/serve"
 )
 
 func main() {
@@ -114,8 +115,8 @@ func main() {
 		maxBatch = flag.Int("max-batch", 1024, "largest accepted /batch pair count")
 		adminTok = flag.String("admin-token", "", "bearer token required by /admin/* (empty = open; only safe on a trusted listener)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (only safe on a trusted listener)")
-		slowThr  = flag.Duration("slow-threshold", defaultSlowThreshold, "queries at or above this duration enter the slow-query log at /admin/slow")
-		slowRing = flag.Int("slow-ring", defaultSlowRing, "slow-query entries retained in memory")
+		slowThr  = flag.Duration("slow-threshold", serve.DefaultSlowThreshold, "queries at or above this duration enter the slow-query log at /admin/slow")
+		slowRing = flag.Int("slow-ring", serve.DefaultSlowRing, "slow-query entries retained in memory")
 		slowFile = flag.String("slow-log", "", "append slow-query JSON lines to this file (empty = in-memory ring only)")
 
 		dataDir  = flag.String("data-dir", "", "durability directory (WAL + checkpoints); empty = in-memory only. A directory holding an earlier journal is recovered on boot and wins over -kb")
@@ -126,7 +127,7 @@ func main() {
 
 		maxInfl  = flag.Int("max-inflight", 0, "largest admitted concurrent /explain+/batch requests (0 = 4×GOMAXPROCS, min 8; negative = unlimited)")
 		maxAdmin = flag.Int("max-inflight-admin", 2, "largest admitted concurrent /admin mutations (negative = unlimited)")
-		admWait  = flag.Duration("admission-wait", defaultAdmissionWait, "how long an over-limit request queues before it is shed with 429")
+		admWait  = flag.Duration("admission-wait", serve.DefaultAdmissionWait, "how long an over-limit request queues before it is shed with 429")
 		drainTO  = flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests after SIGTERM/SIGINT before the listener is closed hard")
 
 		version = flag.Bool("version", false, "print build information and exit")
@@ -176,14 +177,18 @@ func main() {
 		log.Printf("rexserve: durable in %s (fsync=%s): checkpoint generation %d, %d WAL records replayed, torn tail: %v",
 			*dataDir, *fsyncPol, ds.CheckpointGen, ds.Replayed, ds.TornTail)
 	}
-	srv := newServer(store, *kbPath, *timeout, *maxBatch)
-	srv.adminToken = *adminTok
-	srv.pprof = *pprofOn
+	srv := serve.New(store, serve.Config{
+		KBPath:     *kbPath,
+		AdminToken: *adminTok,
+		Timeout:    *timeout,
+		MaxBatch:   *maxBatch,
+		Pprof:      *pprofOn,
+	})
 	q, a := *maxInfl, *maxAdmin
 	if q == 0 {
-		q, _ = admissionDefaults()
+		q, _ = serve.AdmissionDefaults()
 	}
-	srv.setAdmission(q, a, *admWait)
+	srv.SetAdmission(q, a, *admWait)
 	var slowSink io.Writer
 	if *slowFile != "" {
 		f, err := os.OpenFile(*slowFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -193,7 +198,7 @@ func main() {
 		defer f.Close()
 		slowSink = f
 	}
-	srv.setSlowLog(*slowThr, *slowRing, slowSink)
+	srv.SetSlowLog(*slowThr, *slowRing, slowSink)
 	// Connection-level timeouts: the -timeout flag only bounds query
 	// execution, so slow-header, slow-body, slow-reading and idle
 	// connections need their own limits or they pin goroutines and
@@ -205,7 +210,7 @@ func main() {
 	// while ReadHeaderTimeout keeps slow-loris protection tight.
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
@@ -227,7 +232,7 @@ func main() {
 		fatal(err)
 	case sig := <-sigc:
 		log.Printf("rexserve: %v received; draining (healthz now 503)", sig)
-		srv.startDraining()
+		srv.StartDraining()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		done := make(chan error, 1)
 		go func() { done <- hs.Shutdown(ctx) }()

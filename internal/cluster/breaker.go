@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int32
+
+const (
+	breakerClosed   breakerState = iota // normal: requests flow
+	breakerOpen                         // tripped: requests refused until the backoff expires
+	breakerHalfOpen                     // probing: one request through; success closes, failure re-opens
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breakerConfig tunes one replica's breaker.
+type breakerConfig struct {
+	// threshold is the consecutive-failure count that trips the
+	// breaker open.
+	threshold int
+	// baseBackoff is the first open interval; each re-open doubles it
+	// up to maxBackoff (exponential backoff), and the interval actually
+	// waited is jittered uniformly over [1/2, 1]× so a fleet of routers
+	// does not re-probe a recovering replica in lockstep.
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+}
+
+func (c breakerConfig) withDefaults() breakerConfig {
+	if c.threshold <= 0 {
+		c.threshold = 3
+	}
+	if c.baseBackoff <= 0 {
+		c.baseBackoff = 200 * time.Millisecond
+	}
+	if c.maxBackoff <= 0 {
+		c.maxBackoff = 10 * time.Second
+	}
+	return c
+}
+
+// breaker is one replica's circuit breaker. Failures are connect errors
+// and 5xx responses — never 429: a shed is the replica protecting
+// itself while healthy, and counting it as failure would convert an
+// overload into an outage by tripping every breaker at peak load.
+type breaker struct {
+	cfg breakerConfig
+
+	mu        sync.Mutex
+	state     breakerState
+	failures  int           // consecutive failures while closed
+	backoff   time.Duration // next open interval (doubles per re-open)
+	openUntil time.Time     // when the open state expires into half-open
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	c := cfg.withDefaults()
+	return &breaker{cfg: c, backoff: c.baseBackoff}
+}
+
+// allow reports whether a request may be sent. An expired open breaker
+// transitions to half-open and admits exactly one probe; concurrent
+// callers during the probe are refused, so a broken replica sees one
+// request per backoff interval, not a thundering herd.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Now().Before(b.openUntil) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	default: // half-open: the single probe is already in flight
+		return false
+	}
+}
+
+// success records a completed request: the replica answered (any
+// non-5xx status), so the breaker closes and the backoff resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.backoff = b.cfg.baseBackoff
+}
+
+// failure records a connect error or 5xx. Threshold consecutive
+// failures trip the breaker open; a failed half-open probe re-opens it
+// with a doubled (capped, jittered) backoff.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.open()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.threshold {
+			b.open()
+		}
+	}
+}
+
+// open trips the breaker using the current backoff, then doubles it for
+// the next trip. Callers hold b.mu.
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.failures = 0
+	// Uniform jitter over [backoff/2, backoff]: decorrelated probes
+	// without ever probing sooner than half the intended interval.
+	d := b.backoff/2 + rand.N(b.backoff/2+1)
+	b.openUntil = time.Now().Add(d)
+	b.backoff = min(b.backoff*2, b.cfg.maxBackoff)
+}
+
+// current returns the state for metrics, resolving an expired open
+// interval to what allow would see.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && !time.Now().Before(b.openUntil) {
+		return breakerHalfOpen
+	}
+	return b.state
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b := newBreaker(breakerConfig{threshold: 3, baseBackoff: 20 * time.Millisecond, maxBackoff: 100 * time.Millisecond})
+	for i := 0; i < 2; i++ {
+		b.failure()
+		if !b.allow() {
+			t.Fatalf("breaker open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	if st := b.current(); st != breakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(breakerConfig{threshold: 1, baseBackoff: 5 * time.Millisecond, maxBackoff: 10 * time.Millisecond})
+	b.failure()
+	time.Sleep(12 * time.Millisecond) // past the jittered open interval
+	if !b.allow() {
+		t.Fatal("expired breaker refused the half-open probe")
+	}
+	if b.allow() {
+		t.Fatal("half-open admitted a second concurrent probe")
+	}
+	b.success()
+	if !b.allow() {
+		t.Fatal("breaker not closed after a successful probe")
+	}
+}
+
+func TestBreakerReopenDoublesBackoff(t *testing.T) {
+	b := newBreaker(breakerConfig{threshold: 1, baseBackoff: 10 * time.Millisecond, maxBackoff: 40 * time.Millisecond})
+	b.failure() // open @ 10ms, next 20ms
+	if got := b.backoff; got != 20*time.Millisecond {
+		t.Fatalf("backoff after first trip = %v, want 20ms", got)
+	}
+	time.Sleep(12 * time.Millisecond)
+	if !b.allow() { // half-open
+		t.Fatal("no probe admitted")
+	}
+	b.failure() // probe failed: re-open @ 20ms, next 40ms
+	if got := b.backoff; got != 40*time.Millisecond {
+		t.Fatalf("backoff after re-open = %v, want 40ms", got)
+	}
+	b.failure()
+	b.failure() // capped
+	if got := b.backoff; got != 40*time.Millisecond {
+		t.Fatalf("backoff exceeded cap: %v", got)
+	}
+}
+
+func TestBreakerSuccessResets(t *testing.T) {
+	b := newBreaker(breakerConfig{threshold: 3, baseBackoff: 10 * time.Millisecond, maxBackoff: 40 * time.Millisecond})
+	b.failure()
+	b.failure()
+	b.success() // consecutive-failure count resets
+	b.failure()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("breaker tripped on non-consecutive failures")
+	}
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rex/internal/fail"
+)
+
+// The chaos soak: three replicas serve continuous explain, batch and
+// delta traffic while every failpoint seam is armed in turn against
+// every replica — hard 500s, stalls, corrupt 200s, failing health
+// checks, overlapping faults on two replicas at once — and finally one
+// replica is killed outright. The contract under test is the tentpole
+// claim: while at least one healthy replica remains, clients see zero
+// failures and per-client generations never move backwards.
+//
+// Run with -race; the test is skipped under -short so plain unit runs
+// stay fast (CI runs it explicitly).
+
+// chaosClient accumulates one traffic goroutine's observations.
+type chaosClient struct {
+	name     string
+	ops      int
+	failures []string
+	lastGen  uint64
+}
+
+func (c *chaosClient) observe(code int, wantCode int, gen uint64, detail string) {
+	c.ops++
+	if code != wantCode {
+		if len(c.failures) < 10 {
+			c.failures = append(c.failures, fmt.Sprintf("%s op %d: status %d (want %d): %s", c.name, c.ops, code, wantCode, detail))
+		}
+		return
+	}
+	if gen < c.lastGen {
+		c.failures = append(c.failures, fmt.Sprintf("%s op %d: generation moved backwards %d -> %d", c.name, c.ops, c.lastGen, gen))
+		return
+	}
+	c.lastGen = gen
+}
+
+func TestRouterChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	rt, reps := bootCluster(t, 3, nil)
+	h := rt.Handler()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var deltaSeq atomic.Int64
+	clients := make([]*chaosClient, 0, 6)
+	var mu sync.Mutex // guards clients slice during setup only
+
+	spawn := func(name string, pace time.Duration, op func(c *chaosClient)) {
+		c := &chaosClient{name: name}
+		mu.Lock()
+		clients = append(clients, c)
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op(c)
+				time.Sleep(pace)
+			}
+		}()
+	}
+
+	pairs := [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"a", "d"}, {"b", "d"}, {"d", "c"}}
+
+	// Three explain clients: one plain, two budgeted (so hedging runs
+	// throughout the soak). Each cycles through different keys, so the
+	// traffic spreads over every replica's arcs.
+	for i := 0; i < 3; i++ {
+		i := i
+		budget := ""
+		if i > 0 {
+			budget = fmt.Sprintf("&budget_ms=%d", 100+50*i)
+		}
+		spawn(fmt.Sprintf("explain-%d", i), 2*time.Millisecond, func(c *chaosClient) {
+			p := pairs[c.ops%len(pairs)]
+			rec := routerDo(h, http.MethodGet, "/explain?start="+p[0]+"&end="+p[1]+budget, "")
+			gen := uint64(0)
+			if rec.Code == http.StatusOK {
+				var env struct {
+					Generation uint64 `json:"generation"`
+				}
+				json.Unmarshal(rec.Body.Bytes(), &env) //nolint:errcheck
+				gen = env.Generation
+			}
+			c.observe(rec.Code, http.StatusOK, gen, rec.Body.String())
+		})
+	}
+
+	// One batch client: scattered sub-batches must gather into a single
+	// generation every time, no matter what the fleet is doing.
+	spawn("batch", 5*time.Millisecond, func(c *chaosClient) {
+		body := `{"pairs":[{"start":"a","end":"b"},{"start":"b","end":"c"},{"start":"c","end":"d"},{"start":"a","end":"d"}]}`
+		rec := routerDo(h, http.MethodPost, "/batch", body)
+		gen := uint64(0)
+		detail := rec.Body.String()
+		if rec.Code == http.StatusOK {
+			var resp struct {
+				Results    []json.RawMessage `json:"results"`
+				Generation uint64            `json:"generation"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || len(resp.Results) != 4 {
+				c.ops++
+				c.failures = append(c.failures, fmt.Sprintf("batch op %d: malformed gather: %v", c.ops, detail))
+				return
+			}
+			gen = resp.Generation
+		}
+		c.observe(rec.Code, http.StatusOK, gen, detail)
+	})
+
+	// One delta writer: the tier's generation must march strictly
+	// forward through every fault. Strictness comes free because each
+	// broadcast applies exactly one delta.
+	spawn("delta", 25*time.Millisecond, func(c *chaosClient) {
+		n := deltaSeq.Add(1)
+		rec := routerDo(h, http.MethodPost, "/admin/delta", uniqueDelta(int(n)))
+		gen := uint64(0)
+		if rec.Code == http.StatusOK {
+			var env struct {
+				Generation uint64 `json:"generation"`
+			}
+			json.Unmarshal(rec.Body.Bytes(), &env) //nolint:errcheck
+			gen = env.Generation
+			if gen <= c.lastGen {
+				c.failures = append(c.failures, fmt.Sprintf("delta op %d: generation did not advance: %d -> %d", c.ops, c.lastGen, gen))
+			}
+		}
+		c.observe(rec.Code, http.StatusOK, gen, rec.Body.String())
+	})
+
+	// The fault schedule: every seam against every replica, one at a
+	// time, then two replicas faulted at once, then a kill.
+	armDuration := 70 * time.Millisecond
+	recovery := 40 * time.Millisecond
+	for _, rep := range reps {
+		for _, seam := range []struct {
+			name string
+			arm  func()
+			off  func()
+		}{
+			{"respond-error", func() { fail.Enable("serve.respond@" + rep.name) }, func() { fail.Disable("serve.respond@" + rep.name) }},
+			{"respond-stall", func() { fail.EnableStall("serve.respond@"+rep.name, 60*time.Millisecond) }, func() { fail.Disable("serve.respond@" + rep.name) }},
+			{"corrupt-body", func() { fail.Enable("test.corrupt@" + rep.name) }, func() { fail.Disable("test.corrupt@" + rep.name) }},
+			{"healthz-error", func() { fail.Enable("serve.healthz@" + rep.name) }, func() { fail.Disable("serve.healthz@" + rep.name) }},
+		} {
+			seam.arm()
+			time.Sleep(armDuration)
+			seam.off()
+			time.Sleep(recovery)
+		}
+	}
+
+	// Overlapping faults on two of three replicas: the single healthy
+	// survivor must carry the whole tier.
+	fail.EnableStall("serve.respond@"+reps[0].name, 60*time.Millisecond)
+	fail.Enable("serve.respond@" + reps[1].name)
+	time.Sleep(armDuration)
+	fail.Disable("serve.respond@" + reps[0].name)
+	fail.Disable("serve.respond@" + reps[1].name)
+	time.Sleep(recovery)
+
+	// SIGKILL-equivalent: connections die mid-flight, the port goes
+	// dark, nobody says goodbye.
+	reps[2].hs.CloseClientConnections()
+	reps[2].hs.Close()
+	time.Sleep(250 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+
+	for _, c := range clients {
+		for _, f := range c.failures {
+			t.Error(f)
+		}
+		if c.ops < 10 {
+			t.Errorf("%s made only %d requests; the soak barely exercised it", c.name, c.ops)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The tier settled: the two survivors are routable and hold the same
+	// final generation, and the floor matches what clients saw.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		hz := routerDo(h, http.MethodGet, "/healthz", "")
+		var health routerHealth
+		if err := json.Unmarshal(hz.Body.Bytes(), &health); err != nil {
+			t.Fatal(err)
+		}
+		if hz.Code == http.StatusOK && health.RoutableCount == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tier never settled at 2 routable replicas: %s", hz.Body.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s0, s1 := reps[0].store.Current(), reps[1].store.Current()
+	if s0.Generation != s1.Generation || s0.Fingerprint != s1.Fingerprint {
+		t.Fatalf("survivors diverged: %s at gen %d (%s) vs %s at gen %d (%s)",
+			reps[0].name, s0.Generation, s0.Fingerprint, reps[1].name, s1.Generation, s1.Fingerprint)
+	}
+	if floor := rt.GenFloor(); floor > s0.Generation {
+		t.Fatalf("generation floor %d above the survivors' %d", floor, s0.Generation)
+	}
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Delta broadcast. The router is the single writer of the tier: one
+// /admin/delta fans out to every replica, serialised by deltaMu so two
+// concurrent deltas cannot apply in different orders on different
+// replicas (the stores are deterministic, so same order = same state =
+// same fingerprint fleet-wide).
+//
+// Ack discipline: the broadcast succeeds once every replica that was
+// healthy going in has applied. A replica that dies mid-broadcast is
+// marked down and does not block the ack — it is no longer
+// "currently healthy", will be deprioritized as stale, and needs an
+// operator-driven catch-up (reload or WAL recovery) before rejoining;
+// the response names it so the operator knows. A replica that is up but
+// *rejects* the delta (422) fails the whole broadcast: that is a bad
+// delta, not a bad replica.
+
+// maxDeltaBody mirrors the replica-side bound.
+const maxDeltaBody = 256 << 20
+
+// deltaReplicaResult is one replica's row in the broadcast response.
+type deltaReplicaResult struct {
+	Name       string `json:"name"`
+	Generation uint64 `json:"generation,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// deltaResponse is the broadcast answer: the tier's new generation plus
+// per-replica outcomes.
+type deltaResponse struct {
+	Generation uint64               `json:"generation"`
+	Applied    int                  `json:"applied"`
+	Replicas   []deltaReplicaResult `json:"replicas"`
+}
+
+func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxDeltaBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading body: " + err.Error()})
+		return
+	}
+
+	rt.deltaMu.Lock()
+	defer rt.deltaMu.Unlock()
+
+	// Snapshot who counts toward the ack barrier before fanning out.
+	healthyBefore := map[string]bool{}
+	for _, rp := range rt.replicas {
+		if rp.healthy.Load() && !rp.draining.Load() {
+			healthyBefore[rp.name] = true
+		}
+	}
+
+	results := make([]deltaOutcome, len(rt.replicas))
+	var wg sync.WaitGroup
+	for i, rp := range rt.replicas {
+		wg.Add(1)
+		go func(i int, rp *replica) {
+			defer wg.Done()
+			results[i] = rt.applyDeltaTo(r.Context(), rp, body, r.Header.Get("Authorization"))
+		}(i, rp)
+	}
+	wg.Wait()
+
+	resp := deltaResponse{}
+	var rejected *deltaOutcome
+	failedHealthy := false
+	for i := range results {
+		o := &results[i]
+		row := deltaReplicaResult{Name: o.rp.name, Generation: o.gen}
+		switch {
+		case o.err == nil && o.status == http.StatusOK:
+			resp.Applied++
+			o.rp.liftGen(o.gen)
+			if o.gen > resp.Generation {
+				resp.Generation = o.gen
+			}
+		case o.status >= 400 && o.status < 500 && o.status != http.StatusTooManyRequests:
+			// The replica is up and says the delta itself is bad.
+			rejected = o
+			row.Error = fmt.Sprintf("status %d: %s", o.status, firstLine(o.body))
+		default:
+			row.Error = errString(o.err, o.status)
+			if healthyBefore[o.rp.name] {
+				failedHealthy = true
+			}
+		}
+		resp.Replicas = append(resp.Replicas, row)
+	}
+
+	switch {
+	case rejected != nil:
+		rt.m.deltaBroadcasts.With("rejected").Inc()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(rejected.status)
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	case resp.Applied == 0:
+		rt.m.deltaBroadcasts.With("failed").Inc()
+		writeJSON(w, http.StatusBadGateway, resp)
+	case failedHealthy:
+		// Some replica that looked healthy failed mid-broadcast. If it
+		// is *still* reachable the tier has silently diverged — refuse
+		// the ack so the operator notices. If it died (connect errors
+		// marked it down), the ack barrier legitimately shrank.
+		stillUp := false
+		for i := range results {
+			o := &results[i]
+			if o.err != nil || o.status != http.StatusOK {
+				if healthyBefore[o.rp.name] && o.rp.healthy.Load() {
+					stillUp = true
+				}
+			}
+		}
+		if stillUp {
+			rt.m.deltaBroadcasts.With("partial").Inc()
+			writeJSON(w, http.StatusBadGateway, resp)
+			return
+		}
+		rt.m.deltaBroadcasts.With("ok").Inc()
+		rt.genFloor.lift(resp.Generation)
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		rt.m.deltaBroadcasts.With("ok").Inc()
+		// The new generation is client-visible from this response on;
+		// lifting the floor here (not just at the next query) closes the
+		// window where a stale replica could answer below it.
+		rt.genFloor.lift(resp.Generation)
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// deltaOutcome is one replica's raw broadcast result.
+type deltaOutcome struct {
+	rp     *replica
+	gen    uint64
+	status int
+	err    error
+	body   []byte
+}
+
+// applyDeltaTo posts one delta body to one replica.
+func (rt *Router) applyDeltaTo(ctx context.Context, rp *replica, body []byte, auth string) (o deltaOutcome) {
+	o.rp = rp
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rp.baseURL+"/admin/delta", bytes.NewReader(body))
+	if err != nil {
+		o.err = err
+		return o
+	}
+	if auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rp.breaker.failure()
+		if ctx.Err() == nil {
+			rp.healthy.Store(false)
+		}
+		o.err = err
+		return o
+	}
+	defer resp.Body.Close()
+	o.status = resp.StatusCode
+	o.body, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode == http.StatusOK {
+		var swap struct {
+			Generation uint64 `json:"generation"`
+		}
+		if json.Unmarshal(o.body, &swap) == nil {
+			o.gen = swap.Generation
+		}
+		rp.breaker.success()
+	} else if resp.StatusCode >= 500 {
+		rp.breaker.failure()
+	}
+	return o
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}
+
+func errString(err error, status int) string {
+	if err != nil {
+		return err.Error()
+	}
+	return fmt.Sprintf("status %d", status)
+}

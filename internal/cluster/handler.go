@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The router's HTTP surface mirrors the replica's where it proxies
+// (/explain, /batch, /admin/delta) and adds its own introspection
+// (/healthz over the whole tier, /metrics for the routing families).
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // response already committed
+}
+
+// Handler builds the router's route table.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/explain", rt.instrument("/explain", rt.handleExplain))
+	mux.HandleFunc("/batch", rt.instrument("/batch", rt.handleBatch))
+	mux.HandleFunc("/admin/delta", rt.instrument("/admin/delta", rt.handleDelta))
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	return mux
+}
+
+// requestID adopts the inbound X-Request-Id or mints one; the same ID
+// is stamped on every replica attempt of the request — a hedged
+// duplicate is the same logical query and must be attributable as such.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= 64 {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// instrument wraps a handler with the per-endpoint request counter and
+// latency histogram.
+func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		rt.m.requests.With(endpoint, strconv.Itoa(rec.status)).Inc()
+		rt.m.duration.With(endpoint).Observe(time.Since(t0).Seconds())
+	}
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// forward writes a replica's buffered answer to the client.
+func forward(w http.ResponseWriter, reqID string, res *proxyResult) {
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	if res.retryAfter != "" {
+		w.Header().Set("Retry-After", res.retryAfter)
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	w.Header().Set("X-Rex-Replica", res.replica.name)
+	w.WriteHeader(res.status)
+	w.Write(res.body) //nolint:errcheck // response already committed
+}
+
+func (rt *Router) handleExplain(w http.ResponseWriter, r *http.Request) {
+	reqID := requestID(r)
+	w.Header().Set("X-Request-Id", reqID)
+	var body []byte
+	if r.Method == http.MethodPost {
+		var err error
+		if body, err = io.ReadAll(io.LimitReader(r.Body, 1<<20)); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading body: " + err.Error()})
+			return
+		}
+	}
+	pq, err := parseExplain(r, body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	key := queryKey(pq.start, pq.end, pq.budgetMS, pq.budgetExp)
+	t0 := time.Now()
+	res, err := rt.routeQuery(r.Context(), rt.candidates(key), r.Method, "/explain", r.URL.RawQuery, body, reqID, pq.budgeted())
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no replica answered: " + err.Error()})
+		return
+	}
+	if res.status == http.StatusOK {
+		rt.lat.note(time.Since(t0))
+		rt.genFloor.lift(res.generation)
+	}
+	forward(w, reqID, res)
+}
+
+// routerHealth is the router's /healthz body: tier-level status plus
+// every replica's row, so one probe shows the whole topology.
+type routerHealth struct {
+	Status          string          `json:"status"`
+	RoutableCount   int             `json:"routable_count"`
+	GenerationFloor uint64          `json:"generation_floor"`
+	Replicas        []replicaStatus `json:"replicas"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := routerHealth{Status: "ok", GenerationFloor: rt.genFloor.load()}
+	for _, rp := range rt.replicas {
+		st := rp.status()
+		if st.Healthy && !st.Draining {
+			h.RoutableCount++
+		}
+		h.Replicas = append(h.Replicas, st)
+	}
+	status := http.StatusOK
+	if h.RoutableCount == 0 {
+		h.Status = "unavailable"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.m.reg.WritePrometheus(w) //nolint:errcheck // streaming response
+}

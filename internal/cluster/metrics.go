@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"rex/internal/obs"
+)
+
+// routerMetrics is the router's Prometheus registry: the routing
+// families (requests, retries, failovers, hedges, generation rejects,
+// batch repins, delta broadcasts) plus per-replica health, generation
+// and breaker-state gauges sampled at scrape time.
+type routerMetrics struct {
+	reg *obs.Registry
+
+	requests *obs.Family // counter{endpoint,code}
+	duration *obs.Family // histogram{endpoint}
+
+	retries      *obs.Series // extra failover-chain passes
+	failovers    *obs.Series // attempts sent anywhere but the first choice
+	hedgesFired  *obs.Series // duplicate attempts launched
+	hedges       *obs.Family // counter{outcome}: won|lost
+	staleRejects *obs.Series // 200s discarded for being below the generation floor
+	batchRepins  *obs.Series // gathers re-sent whole for mixing generations
+
+	deltaBroadcasts *obs.Family // counter{outcome}: ok|partial|rejected|failed
+}
+
+func newRouterMetrics(rt *Router) *routerMetrics {
+	reg := obs.NewRegistry()
+	m := &routerMetrics{reg: reg}
+
+	b := obs.Build()
+	reg.Gauge("rex_router_build_info",
+		"Build identification; value is always 1.",
+		"go_version", "revision").With(b.GoVersion, b.Revision).Set(1)
+
+	m.requests = reg.Counter("rex_router_requests_total",
+		"Routed requests by endpoint and status code.", "endpoint", "code")
+	m.duration = reg.Histogram("rex_router_request_duration_seconds",
+		"End-to-end routed request latency by endpoint (includes retries and hedges).",
+		obs.LatencyBuckets(), "endpoint")
+
+	m.retries = reg.Counter("rex_router_retries_total",
+		"Extra passes over a request's failover chain after the first failed.").With()
+	m.failovers = reg.Counter("rex_router_failovers_total",
+		"Attempts sent to a replica other than the request's first choice.").With()
+	m.hedgesFired = reg.Counter("rex_router_hedges_fired_total",
+		"Duplicate attempts launched after the hedge delay expired.").With()
+	m.hedges = reg.Counter("rex_router_hedges_total",
+		"Hedged requests by outcome: won (duplicate answered first) or lost.", "outcome")
+	m.hedges.With("won")
+	m.hedges.With("lost")
+	m.staleRejects = reg.Counter("rex_router_generation_rejects_total",
+		"Replica 200s discarded because their generation was below the floor.").With()
+	m.batchRepins = reg.Counter("rex_router_batch_repins_total",
+		"Scattered batches re-sent to one replica after the gather mixed generations.").With()
+
+	m.deltaBroadcasts = reg.Counter("rex_router_delta_broadcasts_total",
+		"Delta broadcasts by outcome (ok, partial, rejected, failed).", "outcome")
+
+	reg.Gauge("rex_router_generation_floor",
+		"Largest KB generation ever served to a client; responses below it are re-routed.").With().
+		SetFunc(func() float64 { return float64(rt.genFloor.load()) })
+	reg.Gauge("rex_router_replicas",
+		"Configured replica count.").With().Set(float64(len(rt.replicas)))
+
+	healthy := reg.Gauge("rex_router_replica_healthy",
+		"1 while the replica passes health checks, else 0.", "replica")
+	draining := reg.Gauge("rex_router_replica_draining",
+		"1 while the replica reports draining, else 0.", "replica")
+	gen := reg.Gauge("rex_router_replica_generation",
+		"Largest KB generation the router knows this replica holds.", "replica")
+	brk := reg.Gauge("rex_router_breaker_state",
+		"Replica circuit breaker state: 0 closed, 1 half-open, 2 open.", "replica")
+	for _, rp := range rt.replicas {
+		rp := rp
+		healthy.With(rp.name).SetFunc(func() float64 { return boolGauge(rp.healthy.Load()) })
+		draining.With(rp.name).SetFunc(func() float64 { return boolGauge(rp.draining.Load()) })
+		gen.With(rp.name).SetFunc(func() float64 { return float64(rp.knownGen.Load()) })
+		brk.With(rp.name).SetFunc(func() float64 {
+			switch rp.breaker.current() {
+			case breakerOpen:
+				return 2
+			case breakerHalfOpen:
+				return 1
+			}
+			return 0
+		})
+	}
+	return m
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReplicaConfig names one replica and where to reach it.
+type ReplicaConfig struct {
+	Name string // stable identity for logs, metrics and failpoints
+	URL  string // base URL, e.g. http://127.0.0.1:8081
+}
+
+// replica is the router's view of one rexserve instance: address,
+// breaker, and the soft health state the checker maintains. knownGen is
+// a lower bound on the replica's generation — updated by health probes,
+// delta acks and observed query responses — used to deprioritize
+// replicas that missed a delta, so one client never sees generations
+// move backwards across failovers.
+type replica struct {
+	name    string
+	baseURL string
+	breaker *breaker
+
+	healthy  atomic.Bool
+	draining atomic.Bool
+	knownGen atomic.Uint64
+	checks   atomic.Uint64 // completed health probes, for tests/metrics
+}
+
+// liftGen raises knownGen to at least g (CAS max).
+func (rp *replica) liftGen(g uint64) {
+	for {
+		cur := rp.knownGen.Load()
+		if g <= cur || rp.knownGen.CompareAndSwap(cur, g) {
+			return
+		}
+	}
+}
+
+// routable reports whether queries may be sent here: the checker saw it
+// healthy (a draining replica still finishes in-flight work but takes
+// no new routing — that is the drain contract) and its breaker admits.
+func (rp *replica) routable() bool {
+	return rp.healthy.Load() && !rp.draining.Load() && rp.breaker.allow()
+}
+
+// healthBody is the subset of the rexserve /healthz JSON the router
+// consumes.
+type healthBody struct {
+	Status      string `json:"status"`
+	Draining    bool   `json:"draining"`
+	Generation  uint64 `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// checkHealth probes the replica once and folds the result into its
+// soft state. A 200 marks it healthy; a 503 with draining=true marks it
+// draining (reachable, bleeding traffic, not routable); anything else —
+// connect error, 5xx, garbage body — marks it unhealthy. The generation
+// is adopted from any parseable body, draining included: a draining
+// replica's version info is still truthful.
+func (rp *replica) checkHealth(ctx context.Context, client *http.Client) {
+	defer rp.checks.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rp.baseURL+"/healthz", nil)
+	if err != nil {
+		rp.healthy.Store(false)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		rp.healthy.Store(false)
+		return
+	}
+	defer resp.Body.Close()
+	var hb healthBody
+	bodyErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hb)
+	if bodyErr == nil && hb.Generation > 0 {
+		rp.liftGen(hb.Generation)
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK && bodyErr == nil:
+		rp.healthy.Store(true)
+		rp.draining.Store(false)
+	case resp.StatusCode == http.StatusServiceUnavailable && bodyErr == nil && hb.Draining:
+		// Honoring the drain: the replica is alive and finishing its
+		// in-flight work, but asked the tier to stop routing here.
+		rp.healthy.Store(true)
+		rp.draining.Store(true)
+	default:
+		rp.healthy.Store(false)
+	}
+}
+
+// healthChecker polls every replica on a fixed interval from one
+// goroutine per replica (a stalled probe against one replica must not
+// delay the others' checks).
+type healthChecker struct {
+	interval time.Duration
+	client   *http.Client
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newHealthChecker(interval time.Duration, client *http.Client) *healthChecker {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &healthChecker{interval: interval, client: client, stop: make(chan struct{})}
+}
+
+func (hc *healthChecker) start(replicas []*replica) {
+	for _, rp := range replicas {
+		hc.wg.Add(1)
+		go func(rp *replica) {
+			defer hc.wg.Done()
+			t := time.NewTicker(hc.interval)
+			defer t.Stop()
+			for {
+				ctx, cancel := context.WithTimeout(context.Background(), hc.interval)
+				rp.checkHealth(ctx, hc.client)
+				cancel()
+				select {
+				case <-hc.stop:
+					return
+				case <-t.C:
+				}
+			}
+		}(rp)
+	}
+}
+
+func (hc *healthChecker) close() {
+	close(hc.stop)
+	hc.wg.Wait()
+}
+
+// replicaStatus is one replica's row in the router's /healthz answer.
+type replicaStatus struct {
+	Name       string `json:"name"`
+	URL        string `json:"url"`
+	Healthy    bool   `json:"healthy"`
+	Draining   bool   `json:"draining,omitempty"`
+	Generation uint64 `json:"generation"`
+	Breaker    string `json:"breaker"`
+}
+
+func (rp *replica) status() replicaStatus {
+	return replicaStatus{
+		Name:       rp.name,
+		URL:        rp.baseURL,
+		Healthy:    rp.healthy.Load(),
+		Draining:   rp.draining.Load(),
+		Generation: rp.knownGen.Load(),
+		Breaker:    rp.breaker.current().String(),
+	}
+}
+
+func (rp *replica) String() string {
+	return fmt.Sprintf("%s(%s)", rp.name, rp.baseURL)
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderDeterministicAndComplete(t *testing.T) {
+	r := newRing(5, 0)
+	for i := 0; i < 100; i++ {
+		key := queryKey(fmt.Sprintf("s%d", i), "e", 0, 0)
+		a, b := r.order(key), r.order(key)
+		if len(a) != 5 {
+			t.Fatalf("order(%q) returned %d replicas, want 5", key, len(a))
+		}
+		seen := map[int]bool{}
+		for j, v := range a {
+			if v != b[j] {
+				t.Fatalf("order(%q) not deterministic: %v vs %v", key, a, b)
+			}
+			if seen[v] {
+				t.Fatalf("order(%q) repeats replica %d: %v", key, v, a)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRingDistributionRoughlyUniform(t *testing.T) {
+	const replicas, keys = 3, 30000
+	r := newRing(replicas, 0)
+	counts := make([]int, replicas)
+	for i := 0; i < keys; i++ {
+		counts[r.order(fmt.Sprintf("pair-%d", i))[0]]++
+	}
+	// With 64 vnodes each owner should be within ~2x of fair share;
+	// a badly broken hash would send nearly everything to one replica.
+	fair := keys / replicas
+	for i, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("replica %d owns %d of %d keys (fair %d): distribution skewed %v", i, c, keys, fair, counts)
+		}
+	}
+}
+
+func TestRingBudgetPartOfKey(t *testing.T) {
+	// Different budgets may route differently (they are distinct cache
+	// keys replica-side), and identical budgets must route identically.
+	if queryKey("a", "b", 50, 0) == queryKey("a", "b", 100, 0) {
+		t.Error("budget not part of the routing key")
+	}
+	if queryKey("a", "b", 50, 0) != queryKey("a", "b", 50, 0) {
+		t.Error("identical queries produced different keys")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrInjected is the error returned by failpoints armed with Enable;
@@ -56,6 +57,16 @@ func EnableTimes(name string, n int64) {
 // returns. Use it for partial-write simulation, panics, or delays.
 func EnableFunc(name string, fn func() error) {
 	enable(name, -1, fn)
+}
+
+// EnableStall arms name to block every Hit for d and then pass. This is
+// the "replica is up but lagging" fault: unlike Enable, the hit
+// eventually succeeds, so a stalled point exercises timeout, hedging
+// and breaker paths rather than error handling. The sleep runs on the
+// hitting goroutine, outside the registry lock, so other failpoints
+// stay responsive while one seam is stalled.
+func EnableStall(name string, d time.Duration) {
+	enable(name, -1, func() error { time.Sleep(d); return nil })
 }
 
 func enable(name string, times int64, fn func() error) {

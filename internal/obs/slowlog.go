@@ -11,6 +11,7 @@ import (
 // "what was this query and where did its time go" after the fact.
 type SlowEntry struct {
 	Time             string  `json:"time"`
+	RequestID        string  `json:"request_id,omitempty"`
 	Endpoint         string  `json:"endpoint"`
 	Start            string  `json:"start"`
 	End              string  `json:"end"`

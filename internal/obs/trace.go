@@ -268,6 +268,10 @@ type StageReport struct {
 // Result and embedded in slow-log entries. TruncatedBy is
 // "<stage>:<cause>" (e.g. "enumerate:expansions") or empty.
 type Report struct {
+	// RequestID ties this trace to the HTTP request (and, behind a
+	// router, the hedged attempt) that ran the query. Stamped by the
+	// serving layer, not the engine.
+	RequestID        string        `json:"request_id,omitempty"`
 	TotalMS          float64       `json:"total_ms"`
 	BudgetMS         int64         `json:"budget_ms,omitempty"`
 	BudgetExpansions int           `json:"budget_expansions,omitempty"`

@@ -1,0 +1,38 @@
+package serve
+
+import "rex/internal/fail"
+
+// Failpoint seams of the serving layer. The fail registry is
+// process-global, but the router's chaos tests boot several replicas in
+// one process and must fault exactly one of them — so every seam fires
+// twice: once under the unscoped "serve.<point>" name (single-replica
+// tests, child processes) and once under "serve.<point>@<name>" when
+// the Server was configured with an instance Name. Arming either name
+// trips the seam; arming the scoped name faults only that replica.
+//
+// Seams (each a fail.Hit on the handler path, one atomic load when
+// nothing is armed):
+//
+//	serve.respond   before computing a /explain or /batch answer; an
+//	                injected error becomes a 500, an injected stall
+//	                (fail.EnableStall) delays the response — the lever
+//	                for "replica is up but broken/lagging"
+//	serve.healthz   before answering /healthz; an error becomes a 500,
+//	                so health checkers see a flapping replica while the
+//	                query path still works
+const (
+	FailRespond = "respond"
+	FailHealthz = "healthz"
+)
+
+// failpoint fires the unscoped and (when named) instance-scoped seam,
+// returning the first injected error.
+func (s *Server) failpoint(point string) error {
+	if err := fail.Hit("serve." + point); err != nil {
+		return err
+	}
+	if s.name != "" {
+		return fail.Hit("serve." + point + "@" + s.name)
+	}
+	return nil
+}

@@ -1,11 +1,13 @@
-package main
+package serve
 
 import (
 	"context"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -72,12 +74,12 @@ func (l *classLimiter) shedCount() uint64 {
 	return l.shed.Load()
 }
 
-// admissionDefaults sizes the limiters when main does not override
+// AdmissionDefaults sizes the limiters when main does not override
 // them. Queries are CPU-bound, so admitting far more than the core
 // count only grows tail latency; admin mutations serialise on the
 // store's writer lock anyway, so two slots (one active, one queued)
 // lose nothing.
-func admissionDefaults() (queries, admin int) {
+func AdmissionDefaults() (queries, admin int) {
 	q := 4 * runtime.GOMAXPROCS(0)
 	if q < 8 {
 		q = 8
@@ -85,15 +87,15 @@ func admissionDefaults() (queries, admin int) {
 	return q, 2
 }
 
-// defaultAdmissionWait bounds how long an over-limit request queues
+// DefaultAdmissionWait bounds how long an over-limit request queues
 // before shedding. Long enough to absorb a burst of fast queries,
 // short enough that a shed client learns quickly.
-const defaultAdmissionWait = 250 * time.Millisecond
+const DefaultAdmissionWait = 250 * time.Millisecond
 
-// setAdmission configures the per-class limiters. Call before the
+// SetAdmission configures the per-class limiters. Call before the
 // handler starts serving. max <= 0 disables the class's limit; wait <=
 // 0 sheds immediately when the class is full.
-func (s *server) setAdmission(maxQueries, maxAdmin int, wait time.Duration) {
+func (s *Server) SetAdmission(maxQueries, maxAdmin int, wait time.Duration) {
 	s.queryLimit = newClassLimiter(maxQueries, wait)
 	s.adminLimit = newClassLimiter(maxAdmin, wait)
 }
@@ -102,13 +104,13 @@ func (s *server) setAdmission(maxQueries, maxAdmin int, wait time.Duration) {
 // in-flight bound and past the wait bound, the request is shed with
 // 429 and a Retry-After hint instead of joining an unbounded goroutine
 // pile.
-func (s *server) admit(l *classLimiter, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) admit(l *classLimiter, h http.HandlerFunc) http.HandlerFunc {
 	if l == nil {
 		return h
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !l.acquire(r.Context()) {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfter())
 			writeJSON(w, http.StatusTooManyRequests,
 				errorResponse{Error: "server overloaded, retry later"})
 			return
@@ -116,6 +118,15 @@ func (s *server) admit(l *classLimiter, h http.HandlerFunc) http.HandlerFunc {
 		defer l.release()
 		h(w, r)
 	}
+}
+
+// retryAfter is the 429 Retry-After hint with bounded server-side
+// jitter. A fixed constant synchronises every shed client into one
+// retry stampede that re-sheds itself indefinitely; spreading the hint
+// uniformly over [1, 3] seconds decorrelates them. Whole seconds only —
+// the header's delta-seconds form doesn't allow fractions.
+func retryAfter() string {
+	return strconv.Itoa(1 + rand.IntN(3)) // 1, 2 or 3
 }
 
 // recoverPanics is the outermost middleware: a panicking handler is
@@ -126,7 +137,7 @@ func (s *server) admit(l *classLimiter, h http.HandlerFunc) http.HandlerFunc {
 // client gets a well-formed JSON error when the header is still
 // unsent. http.ErrAbortHandler passes through — it is the sanctioned
 // way to abort a response, not a bug.
-func (s *server) recoverPanics(h http.Handler) http.Handler {
+func (s *Server) recoverPanics(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -143,8 +154,8 @@ func (s *server) recoverPanics(h http.Handler) http.Handler {
 	})
 }
 
-// startDraining flips the server into drain mode: /healthz answers 503
+// StartDraining flips the server into drain mode: /healthz answers 503
 // so load balancers and probes stop routing here, while in-flight and
 // already-routed requests still complete normally. Call it before
 // http.Server.Shutdown.
-func (s *server) startDraining() { s.draining.Store(true) }
+func (s *Server) StartDraining() { s.draining.Store(true) }

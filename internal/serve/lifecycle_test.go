@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -18,7 +18,7 @@ import (
 
 // durableServer builds a server over a crash-safe store journaling into
 // dir.
-func durableServer(t *testing.T, dir string) *server {
+func durableServer(t *testing.T, dir string) *Server {
 	t.Helper()
 	k, err := rex.ReadKB(strings.NewReader(liveBaseTSV))
 	if err != nil {
@@ -32,17 +32,17 @@ func durableServer(t *testing.T, dir string) *server {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	return newServer(store, "", time.Minute, 8)
+	return New(store, Config{Timeout: time.Minute, MaxBatch: 8})
 }
 
 func TestHealthzDrainFlip(t *testing.T) {
 	srv := liveServer(t, "")
-	h := srv.handler()
+	h := srv.Handler()
 	rec := get(t, h, "/healthz")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("healthy status = %d", rec.Code)
 	}
-	srv.startDraining()
+	srv.StartDraining()
 	rec = get(t, h, "/healthz")
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("draining status = %d, want 503", rec.Code)
@@ -63,8 +63,8 @@ func TestHealthzDrainFlip(t *testing.T) {
 func TestAdmissionControlSheds(t *testing.T) {
 	srv := liveServer(t, "")
 	// One slot, shed immediately when full.
-	srv.setAdmission(1, 1, 0)
-	h := srv.handler()
+	srv.SetAdmission(1, 1, 0)
+	h := srv.Handler()
 
 	// Park a request inside the single query slot via the engine's
 	// failpoint: the query blocks until released, holding its admission
@@ -122,8 +122,8 @@ func TestAdmissionControlSheds(t *testing.T) {
 // must drain back to zero — the admission gate leaks no slots.
 func TestSustainedOverloadRecovers(t *testing.T) {
 	srv := liveServer(t, "")
-	srv.setAdmission(1, 1, 0)
-	h := srv.handler()
+	srv.SetAdmission(1, 1, 0)
+	h := srv.Handler()
 
 	const clients = 32
 	var ok, shed atomic.Uint64
@@ -173,7 +173,7 @@ func TestSustainedOverloadRecovers(t *testing.T) {
 func TestPanicRecoveryMiddleware(t *testing.T) {
 	defer fail.Reset()
 	srv := liveServer(t, "")
-	h := srv.handler()
+	h := srv.Handler()
 	fail.EnableFunc("explain.query", func() error { panic("injected handler bug") })
 	rec := get(t, h, "/explain?start=a&end=b")
 	fail.Reset()
@@ -210,7 +210,7 @@ func (r *errReader) Read(p []byte) (int, error) {
 
 func TestAdminDeltaClientDisconnectLeavesStoreIntact(t *testing.T) {
 	srv := durableServer(t, t.TempDir())
-	h := srv.handler()
+	h := srv.Handler()
 	gen := srv.store.Generation()
 	fp := srv.store.Current().Fingerprint
 
@@ -242,7 +242,7 @@ func TestAdminDeltaClientDisconnectLeavesStoreIntact(t *testing.T) {
 
 func TestOversizedBodies413(t *testing.T) {
 	srv := liveServer(t, "")
-	h := srv.handler()
+	h := srv.Handler()
 	// A syntactically valid JSON prefix, so the decoder keeps reading
 	// until MaxBytesReader cuts it off — the error must then map to 413,
 	// not be mistaken for malformed JSON (400).
@@ -257,7 +257,7 @@ func TestOversizedBodies413(t *testing.T) {
 
 func TestDurabilityMetricsExported(t *testing.T) {
 	srv := durableServer(t, t.TempDir())
-	h := srv.handler()
+	h := srv.Handler()
 	if rec := postBody(t, h, "/admin/delta", "edge\tc\td\tknows\n"); rec.Code != http.StatusOK {
 		t.Fatalf("delta status = %d: %s", rec.Code, rec.Body)
 	}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -30,7 +30,7 @@ label	knows	U
 edge	a	b	knows
 `
 
-func liveServer(t *testing.T, kbPath string) *server {
+func liveServer(t *testing.T, kbPath string) *Server {
 	t.Helper()
 	k, err := rex.ReadKB(strings.NewReader(liveBaseTSV))
 	if err != nil {
@@ -42,7 +42,7 @@ func liveServer(t *testing.T, kbPath string) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(store, kbPath, time.Minute, 8)
+	return New(store, Config{KBPath: kbPath, Timeout: time.Minute, MaxBatch: 8})
 }
 
 func postBody(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
@@ -79,7 +79,7 @@ func stats(t *testing.T, h http.Handler) statsResponse {
 
 func TestAdminDeltaEndpoint(t *testing.T) {
 	s := liveServer(t, "")
-	h := s.handler()
+	h := s.Handler()
 
 	// Method and error handling.
 	if rec := get(t, h, "/admin/delta"); rec.Code != http.StatusMethodNotAllowed {
@@ -160,8 +160,8 @@ func TestStatsLiveSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(store, "", time.Minute, 8)
-	h := s.handler()
+	s := New(store, Config{Timeout: time.Minute, MaxBatch: 8})
+	h := s.Handler()
 
 	if st := stats(t, h); st.Live.OverlayDepth != 0 || st.Live.Compactions != 0 ||
 		st.Live.ResultsCarried != 0 || st.Live.ResultsDropped != 0 || st.Live.MemoPromotions != 0 {
@@ -207,7 +207,7 @@ func TestStatsLiveSection(t *testing.T) {
 func TestAdminTokenGate(t *testing.T) {
 	s := liveServer(t, "")
 	s.adminToken = "sekrit"
-	h := s.handler()
+	h := s.Handler()
 	delta := "edge\tc\td\tknows\n"
 
 	if rec := postBody(t, h, "/admin/delta", delta); rec.Code != http.StatusUnauthorized {
@@ -244,7 +244,7 @@ func TestAdminTokenGate(t *testing.T) {
 // without swapping, so at-least-once delivery keeps the warm cache.
 func TestAdminDeltaNoop(t *testing.T) {
 	s := liveServer(t, "")
-	h := s.handler()
+	h := s.Handler()
 	if rec := postBody(t, h, "/admin/delta", "edge\tc\td\tknows\n"); rec.Code != http.StatusOK {
 		t.Fatalf("first delta: %s", rec.Body)
 	}
@@ -272,7 +272,7 @@ func TestAdminDeltaNoop(t *testing.T) {
 func TestAdminReloadEndpoint(t *testing.T) {
 	// Without -kb, reload is refused.
 	s := liveServer(t, "")
-	if rec := postBody(t, s.handler(), "/admin/reload", ""); rec.Code != http.StatusConflict {
+	if rec := postBody(t, s.Handler(), "/admin/reload", ""); rec.Code != http.StatusConflict {
 		t.Errorf("reload without -kb: status = %d", rec.Code)
 	}
 
@@ -282,7 +282,7 @@ func TestAdminReloadEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	s = liveServer(t, path)
-	h := s.handler()
+	h := s.Handler()
 	fp1 := stats(t, h).Version.Fingerprint
 	if rec := postBody(t, h, "/admin/delta", "edge\tc\td\tknows\n"); rec.Code != http.StatusOK {
 		t.Fatalf("delta failed: %s", rec.Body)
@@ -342,7 +342,7 @@ func TestDeltaIngestionSoak(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newServer(store, path, time.Minute, 8).handler()
+	h := New(store, Config{KBPath: path, Timeout: time.Minute, MaxBatch: 8}).Handler()
 
 	sampled := kbgen.SamplePairs(g, kbgen.PairOptions{PerBucket: 2, Seed: 43})
 	if len(sampled) == 0 {
@@ -453,7 +453,7 @@ func TestDeltaIngestionSoak(t *testing.T) {
 // disagrees with its reported generation mixed snapshots.
 func TestLiveSwapUnderTraffic(t *testing.T) {
 	s := liveServer(t, "")
-	h := s.handler()
+	h := s.Handler()
 	const (
 		numDeltas  = 8
 		numReaders = 4

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -42,7 +42,7 @@ type serverRegistry = obs.Registry
 // newServerMetrics registers every metric family. Gauge families
 // sample the store and slow log at scrape time, so a scrape is a few
 // atomic loads plus the brief shard locks of MemoStats.
-func newServerMetrics(s *server) *serverMetrics {
+func newServerMetrics(s *Server) *serverMetrics {
 	reg := obs.NewRegistry()
 	m := &serverMetrics{reg: reg}
 
@@ -241,7 +241,7 @@ func (w *statusRecorder) WriteHeader(code int) {
 
 // instrument wraps a handler with the per-endpoint request counter,
 // latency histogram and in-flight gauge.
-func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.inflight.Add(1)
 		t0 := time.Now()
@@ -254,7 +254,7 @@ func (s *server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 }
 
 // handleMetrics serves the Prometheus text exposition.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.reg.WritePrometheus(w) //nolint:errcheck // streaming response
 }
@@ -269,7 +269,7 @@ type slowResponse struct {
 
 // handleSlow serves the slow-query ring buffer. Behind the admin token
 // because entries expose query content (entity pairs).
-func (s *server) handleSlow(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 	if !s.authorizeAdmin(w, r) {
 		return
 	}
@@ -288,7 +288,7 @@ func isTimeout(err error) bool {
 
 // noteQuery feeds one completed query (an /explain request or one batch
 // pair) into the trace-fold metrics and the slow-query log.
-func (s *server) noteQuery(endpoint string, p rex.Pair, bud budgetRequest, res *rex.Result, err error, elapsed time.Duration, generation uint64) {
+func (s *Server) noteQuery(endpoint, reqID string, p rex.Pair, bud budgetRequest, res *rex.Result, err error, elapsed time.Duration, generation uint64) {
 	var rep *rex.QueryTrace
 	truncated := false
 	if res != nil {
@@ -305,6 +305,7 @@ func (s *server) noteQuery(endpoint string, p rex.Pair, bud budgetRequest, res *
 		s.metrics.queries.With("error").Inc()
 	}
 	entry := obs.SlowEntry{
+		RequestID:        reqID,
 		Endpoint:         endpoint,
 		Start:            p.Start,
 		End:              p.End,

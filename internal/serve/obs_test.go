@@ -1,4 +1,4 @@
-package main
+package serve
 
 // Tests for the observability layer: the /metrics exposition, the
 // trace=1 response block, the slow-query forensics ring at /admin/slow,
@@ -51,7 +51,7 @@ func metricFamilies(body string) map[string]string {
 
 func TestMetricsEndpoint(t *testing.T) {
 	s := testServer(t, time.Minute)
-	h := s.handler()
+	h := s.Handler()
 
 	// Traffic first, so the trace-fold counters have something to show.
 	if rec := get(t, h, "/explain?start=brad_pitt&end=angelina_jolie"); rec.Code != http.StatusOK {
@@ -120,7 +120,7 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestExplainTraceBlock(t *testing.T) {
-	h := testServer(t, time.Minute).handler()
+	h := testServer(t, time.Minute).Handler()
 
 	rec := get(t, h, "/explain?start=brad_pitt&end=angelina_jolie")
 	var resp explainResponse
@@ -171,7 +171,7 @@ func TestExplainTraceBlock(t *testing.T) {
 // may expire mid-batch still yields a well-formed entry per pair with
 // the truncated flag mirroring the result.
 func TestBatchBudgetTruncation(t *testing.T) {
-	h := testServer(t, time.Minute).handler()
+	h := testServer(t, time.Minute).Handler()
 	pairsJSON := `[{"start":"brad_pitt","end":"angelina_jolie"},` +
 		`{"start":"kate_winslet","end":"leonardo_dicaprio"},` +
 		`{"start":"tom_cruise","end":"nicole_kidman"}]`
@@ -242,8 +242,8 @@ func TestBatchBudgetTruncation(t *testing.T) {
 func TestSlowQueryLog(t *testing.T) {
 	s := testServer(t, time.Minute)
 	s.adminToken = "hush"
-	s.setSlowLog(0, 16, nil) // threshold 0: record every query
-	h := s.handler()
+	s.SetSlowLog(0, 16, nil) // threshold 0: record every query
+	h := s.Handler()
 
 	if rec := get(t, h, "/admin/slow"); rec.Code != http.StatusUnauthorized {
 		t.Fatalf("unauthenticated /admin/slow status = %d", rec.Code)
@@ -290,7 +290,7 @@ func TestSlowQueryLog(t *testing.T) {
 }
 
 func TestHealthzBuildInfo(t *testing.T) {
-	h := testServer(t, time.Minute).handler()
+	h := testServer(t, time.Minute).Handler()
 	rec := get(t, h, "/healthz")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz status = %d", rec.Code)
@@ -327,9 +327,9 @@ func TestMetricsScrapeUnderIngestion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(store, path, time.Minute, 8)
-	s.setSlowLog(0, 64, nil) // record everything: exercises ring writes under load
-	h := s.handler()
+	s := New(store, Config{KBPath: path, Timeout: time.Minute, MaxBatch: 8})
+	s.SetSlowLog(0, 64, nil) // record everything: exercises ring writes under load
+	h := s.Handler()
 
 	sampled := kbgen.SamplePairs(g, kbgen.PairOptions{PerBucket: 2, Seed: 43})
 	if len(sampled) == 0 {

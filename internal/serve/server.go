@@ -1,4 +1,10 @@
-package main
+// Package serve is the HTTP serving layer of one REX replica: the
+// query, admin, observability and lifecycle endpoints that cmd/rexserve
+// exposes. It is a library so the replicated serving tier — the
+// rexrouter front tier, the internal/cluster chaos tests and the
+// rexbench router suite — can boot real replicas (in-process or as
+// child processes) instead of re-implementing the wire contract.
+package serve
 
 import (
 	"context"
@@ -19,19 +25,20 @@ import (
 	"rex/internal/obs"
 )
 
-// server is the HTTP serving layer over one live rex.Store. All
+// Server is the HTTP serving layer over one live rex.Store. All
 // handlers are safe for concurrent use: every query handler pins the
 // active snapshot once (a lock-free atomic load) and serves the whole
 // request from that pinned (KB, Explainer, cache) version, so a delta
 // swap mid-request can never mix generations. The admin endpoints
 // mutate only through the store, which serialises writers internally.
-type server struct {
+type Server struct {
 	store      *rex.Store
 	kbPath     string        // source file for /admin/reload; "" when serving a built-in KB
 	adminToken string        // bearer token required by /admin/*; "" leaves them open
 	timeout    time.Duration // per-request deadline
 	maxBatch   int           // largest accepted /batch pair count
 	pprof      bool          // expose /debug/pprof/* (off by default)
+	name       string        // instance name scoping this replica's failpoints
 	started    time.Time
 
 	explains atomic.Uint64 // completed /explain queries (incl. batch pairs)
@@ -46,7 +53,7 @@ type server struct {
 	draining atomic.Bool
 
 	// Admission control: per-class in-flight bounds (see lifecycle.go).
-	// Configured by setAdmission before serving starts; nil = unlimited.
+	// Configured by SetAdmission before serving starts; nil = unlimited.
 	queryLimit *classLimiter
 	adminLimit *classLimiter
 
@@ -59,14 +66,43 @@ type server struct {
 // mutations; raise it here if an extraction pipeline batches bigger.
 const maxDeltaBytes = 256 << 20
 
-func newServer(store *rex.Store, kbPath string, timeout time.Duration, maxBatch int) *server {
+// Config parameterises one Server. The zero value serves a built-in KB
+// with the default batch limit, no admin token, no pprof and no
+// per-request deadline.
+type Config struct {
+	// KBPath is the source file for /admin/reload; "" disables reload.
+	KBPath string
+	// AdminToken gates /admin/* behind a bearer token; "" leaves them
+	// open (only safe on a trusted listener).
+	AdminToken string
+	// Timeout is the per-request query deadline (0 = none).
+	Timeout time.Duration
+	// MaxBatch bounds one /batch pair count (<= 0 = 1024).
+	MaxBatch int
+	// Pprof exposes /debug/pprof/* when set.
+	Pprof bool
+	// Name scopes this replica's failpoint seams ("serve.<point>@<name>")
+	// so multi-replica chaos tests can fault one instance at a time.
+	// Empty uses the unscoped "serve.<point>" names.
+	Name string
+}
+
+// New builds a Server over one live store. Admission control and the
+// slow-query log start at their defaults; override with SetAdmission
+// and SetSlowLog before the handler starts serving.
+func New(store *rex.Store, cfg Config) *Server {
+	maxBatch := cfg.MaxBatch
 	if maxBatch <= 0 {
 		maxBatch = 1024
 	}
-	s := &server{store: store, kbPath: kbPath, timeout: timeout, maxBatch: maxBatch, started: time.Now()}
-	s.slow = obs.NewSlowLog(defaultSlowThreshold, defaultSlowRing, nil)
-	q, a := admissionDefaults()
-	s.setAdmission(q, a, defaultAdmissionWait)
+	s := &Server{
+		store: store, kbPath: cfg.KBPath, adminToken: cfg.AdminToken,
+		timeout: cfg.Timeout, maxBatch: maxBatch, pprof: cfg.Pprof,
+		name: cfg.Name, started: time.Now(),
+	}
+	s.slow = obs.NewSlowLog(DefaultSlowThreshold, DefaultSlowRing, nil)
+	q, a := AdmissionDefaults()
+	s.SetAdmission(q, a, DefaultAdmissionWait)
 	s.metrics = newServerMetrics(s)
 	store.OnSwap(func(info rex.SwapInfo) {
 		s.metrics.swapDuration.With().Observe(info.Elapsed.Seconds())
@@ -77,14 +113,14 @@ func newServer(store *rex.Store, kbPath string, timeout time.Duration, maxBatch 
 // Default slow-query log configuration; main overrides both via
 // -slow-threshold and -slow-log before serving starts.
 const (
-	defaultSlowThreshold = 500 * time.Millisecond
-	defaultSlowRing      = 128
+	DefaultSlowThreshold = 500 * time.Millisecond
+	DefaultSlowRing      = 128
 )
 
-// setSlowLog replaces the slow-query log. Call before the handler is
+// SetSlowLog replaces the slow-query log. Call before the handler is
 // serving — the /metrics closure reads the current s.slow at scrape
 // time, so a replacement mid-traffic would race.
-func (s *server) setSlowLog(threshold time.Duration, size int, w io.Writer) {
+func (s *Server) SetSlowLog(threshold time.Duration, size int, w io.Writer) {
 	s.slow = obs.NewSlowLog(threshold, size, w)
 }
 
@@ -94,7 +130,7 @@ func (s *server) setSlowLog(threshold time.Duration, size int, w io.Writer) {
 // byte by byte. With no token configured the endpoints are open —
 // suitable only when the listener itself is trusted (loopback, private
 // network); the flag docs say so.
-func (s *server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
+func (s *Server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
 	if s.adminToken == "" {
 		return true
 	}
@@ -111,7 +147,7 @@ func (s *server) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
 // over the in-flight bound); the cheap introspection endpoints are
 // never shed — an overloaded server must still answer its probes and
 // scrapes. The whole mux sits behind the panic-recovery middleware.
-func (s *server) handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/explain", s.instrument("/explain", s.admit(s.queryLimit, s.handleExplain)))
 	mux.HandleFunc("/batch", s.instrument("/batch", s.admit(s.queryLimit, s.handleBatch)))
@@ -133,7 +169,7 @@ func (s *server) handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s.recoverPanics(mux)
+	return s.recoverPanics(s.withRequestID(mux))
 }
 
 // explainResponse wraps one query result for the wire. Generation and
@@ -313,7 +349,7 @@ func errStatus(err error) int {
 }
 
 // note updates the per-query counters.
-func (s *server) note(err error) {
+func (s *Server) note(err error) {
 	s.explains.Add(1)
 	if err == nil {
 		return
@@ -325,7 +361,7 @@ func (s *server) note(err error) {
 }
 
 // requestCtx derives the per-request deadline context.
-func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.timeout <= 0 {
 		return r.Context(), func() {}
 	}
@@ -336,7 +372,7 @@ func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 // POST with a JSON {"start","end"} body. Both forms accept the
 // per-request budget knobs budget_ms and budget_expansions; requests
 // without them run under the server's default budget flags.
-func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var p rex.Pair
 	var bud budgetRequest
 	var wantTrace bool
@@ -375,6 +411,14 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "start and end are required"})
 		return
 	}
+	// Chaos seam: an injected error is a broken replica (500), an
+	// injected stall is a lagging one — both before any engine work, so
+	// faults never corrupt state.
+	if err := s.failpoint(FailRespond); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	reqID := RequestIDFrom(r.Context())
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	// Every query runs traced — the trace is O(stages) atomics per
@@ -392,7 +436,10 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		res, err = snap.Explainer.ExplainContext(ctx, p.Start, p.End)
 	}
 	s.note(err)
-	s.noteQuery("/explain", p, bud, res, err, time.Since(t0), snap.Generation)
+	if res != nil && res.Trace != nil {
+		res.Trace.RequestID = reqID // the trace is a private per-query report
+	}
+	s.noteQuery("/explain", reqID, p, bud, res, err, time.Since(t0), snap.Generation)
 	if err != nil {
 		writeJSON(w, errStatus(err), errorResponse{Error: err.Error()})
 		return
@@ -414,7 +461,7 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // handleBatch answers POST /batch with {"pairs":[{"start","end"},...]},
 // fanning the pairs out over the explainer's worker pool with per-pair
 // error isolation. All pairs run on the same pinned snapshot.
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
 		return
@@ -442,6 +489,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
+	if err := s.failpoint(FailRespond); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	reqID := RequestIDFrom(r.Context())
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	snap := s.store.Current()
@@ -461,9 +513,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// elapsed would blame every pair for the whole batch.
 		var pairElapsed time.Duration
 		if br.Result != nil && br.Result.Trace != nil {
+			br.Result.Trace.RequestID = reqID
 			pairElapsed = time.Duration(br.Result.Trace.TotalMS * float64(time.Millisecond))
 		}
-		s.noteQuery("/batch", br.Pair, bud, br.Result, br.Err, pairElapsed, snap.Generation)
+		s.noteQuery("/batch", reqID, br.Pair, bud, br.Result, br.Err, pairElapsed, snap.Generation)
 		entry := batchEntry{Start: br.Pair.Start, End: br.Pair.End, Result: br.Result}
 		if br.Result != nil {
 			entry.Truncated = br.Result.Truncated
@@ -488,12 +541,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // new generation and the response describes it; a delta of pure no-ops
 // publishes nothing and reports the unchanged generation. On any error
 // the active snapshot is unchanged (422 for parse/apply failures).
-func (s *server) handleAdminDelta(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAdminDelta(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
 		return
 	}
-	if !s.authorizeAdmin(w, r) {
+	if !s.refuseDuringDrain(w) || !s.authorizeAdmin(w, r) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, maxDeltaBytes)
@@ -515,12 +568,12 @@ func (s *server) handleAdminDelta(w http.ResponseWriter, r *http.Request) {
 // base from the file the server was started with and swap it in
 // wholesale — the recovery path when the delta stream and the
 // authoritative file have diverged.
-func (s *server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "use POST"})
 		return
 	}
-	if !s.authorizeAdmin(w, r) {
+	if !s.refuseDuringDrain(w) || !s.authorizeAdmin(w, r) {
 		return
 	}
 	if s.kbPath == "" {
@@ -535,6 +588,22 @@ func (s *server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reloads.Add(1)
 	writeJSON(w, http.StatusOK, swapResponseOf(info))
+}
+
+// refuseDuringDrain sheds a mutating admin request while the server is
+// draining. In-flight queries finishing is the drain contract; a new
+// mutation, by contrast, would race Store.Close — the shutdown sequence
+// closes the journal as soon as http.Server.Shutdown returns, and an
+// Apply/ReloadFrom admitted after the drain flag flips could still be
+// writing the WAL at that point. 503 tells the router/operator to send
+// the mutation to a replica that is staying up.
+func (s *Server) refuseDuringDrain(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return true
+	}
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorResponse{Error: "server is draining; mutations refused"})
+	return false
 }
 
 // statsResponse is the /stats snapshot.
@@ -582,7 +651,7 @@ func liveStatsOf(ls rex.LiveStats) liveStats {
 	}
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Current()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -605,17 +674,25 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthResponse is the /healthz liveness answer, carrying the active
-// KB version so probes can watch swaps land, plus build identification
-// so a fleet rollout can confirm which binary answered.
+// KB version so probes and the router's generation-aware pinning can
+// watch swaps land, the explicit draining flag, plus build
+// identification so a fleet rollout can confirm which binary answered.
 type healthResponse struct {
 	Status      string `json:"status"`
+	Draining    bool   `json:"draining"`
 	Generation  uint64 `json:"generation"`
 	Fingerprint string `json:"fingerprint"`
 	GoVersion   string `json:"go_version"`
 	Revision    string `json:"revision"`
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Chaos seam: a flapping health endpoint while the query path still
+	// works — the health checker's view and the client's view diverge.
+	if err := s.failpoint(FailHealthz); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
 	snap := s.store.Current()
 	b := rex.Build()
 	resp := healthResponse{
@@ -630,6 +707,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// in-flight (and still-routed) requests finish normally.
 	if s.draining.Load() {
 		resp.Status = "draining"
+		resp.Draining = true
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}

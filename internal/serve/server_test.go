@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -11,13 +11,13 @@ import (
 	"rex"
 )
 
-func testServer(t *testing.T, timeout time.Duration) *server {
+func testServer(t *testing.T, timeout time.Duration) *Server {
 	t.Helper()
 	store, err := rex.NewStore(rex.SampleKB(), rex.Options{Measure: "size", TopK: 5, CacheSize: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(store, "", timeout, 8)
+	return New(store, Config{Timeout: timeout, MaxBatch: 8})
 }
 
 func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
@@ -37,7 +37,7 @@ func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRec
 }
 
 func TestExplainEndpoint(t *testing.T) {
-	h := testServer(t, time.Minute).handler()
+	h := testServer(t, time.Minute).Handler()
 	rec := get(t, h, "/explain?start=brad_pitt&end=angelina_jolie")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
@@ -61,7 +61,7 @@ func TestExplainEndpoint(t *testing.T) {
 }
 
 func TestExplainEndpointErrors(t *testing.T) {
-	h := testServer(t, time.Minute).handler()
+	h := testServer(t, time.Minute).Handler()
 	if rec := get(t, h, "/explain?start=brad_pitt"); rec.Code != http.StatusBadRequest {
 		t.Errorf("missing end: status = %d", rec.Code)
 	}
@@ -74,7 +74,7 @@ func TestExplainEndpointErrors(t *testing.T) {
 }
 
 func TestExplainTimeout(t *testing.T) {
-	h := testServer(t, time.Nanosecond).handler()
+	h := testServer(t, time.Nanosecond).Handler()
 	rec := get(t, h, "/explain?start=brad_pitt&end=angelina_jolie")
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504; body %s", rec.Code, rec.Body)
@@ -83,7 +83,7 @@ func TestExplainTimeout(t *testing.T) {
 
 func TestBatchEndpoint(t *testing.T) {
 	s := testServer(t, time.Minute)
-	h := s.handler()
+	h := s.Handler()
 	body := `{"pairs":[
 		{"start":"brad_pitt","end":"angelina_jolie"},
 		{"start":"ghost","end":"brad_pitt"},
@@ -111,7 +111,7 @@ func TestBatchEndpoint(t *testing.T) {
 }
 
 func TestBatchEndpointLimits(t *testing.T) {
-	h := testServer(t, time.Minute).handler() // maxBatch = 8
+	h := testServer(t, time.Minute).Handler() // maxBatch = 8
 	if rec := post(t, h, "/batch", `{"pairs":[]}`); rec.Code != http.StatusBadRequest {
 		t.Errorf("empty batch: status = %d", rec.Code)
 	}
@@ -130,7 +130,7 @@ func TestBatchEndpointLimits(t *testing.T) {
 
 func TestStatsAndHealthz(t *testing.T) {
 	s := testServer(t, time.Minute)
-	h := s.handler()
+	h := s.Handler()
 	rec := get(t, h, "/healthz")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz status = %d", rec.Code)
@@ -173,12 +173,12 @@ func TestStatsAndHealthz(t *testing.T) {
 // when -pprof is set: off by default (404), fully served when enabled.
 func TestPprofEndpointsGated(t *testing.T) {
 	srv := testServer(t, time.Second)
-	if rec := get(t, srv.handler(), "/debug/pprof/heap"); rec.Code != http.StatusNotFound {
+	if rec := get(t, srv.Handler(), "/debug/pprof/heap"); rec.Code != http.StatusNotFound {
 		t.Errorf("pprof disabled: GET /debug/pprof/heap = %d, want 404", rec.Code)
 	}
 
 	srv.pprof = true
-	h := srv.handler()
+	h := srv.Handler()
 	if rec := get(t, h, "/debug/pprof/"); rec.Code != http.StatusOK {
 		t.Errorf("pprof index = %d, want 200", rec.Code)
 	}
@@ -197,7 +197,7 @@ func TestPprofEndpointsGated(t *testing.T) {
 // must answer 200 with truncated=true (never a 504), an invalid knob is
 // a 400, and unbudgeted requests stay exhaustive.
 func TestExplainBudgetKnobs(t *testing.T) {
-	h := testServer(t, time.Minute).handler()
+	h := testServer(t, time.Minute).Handler()
 
 	rec := get(t, h, "/explain?start=brad_pitt&end=angelina_jolie&budget_expansions=1")
 	if rec.Code != http.StatusOK {
@@ -258,7 +258,7 @@ func TestExplainBudgetKnobs(t *testing.T) {
 // TestBudgetKnobsRejectNegative: a negative budget would silently mean
 // "unbudgeted"; the API must reject it instead.
 func TestBudgetKnobsRejectNegative(t *testing.T) {
-	h := testServer(t, time.Minute).handler()
+	h := testServer(t, time.Minute).Handler()
 	if rec := get(t, h, "/explain?start=a&end=b&budget_ms=-50"); rec.Code != http.StatusBadRequest {
 		t.Errorf("negative budget_ms GET: status = %d, want 400", rec.Code)
 	}
