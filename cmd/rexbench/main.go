@@ -90,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, macro, ingest, wal, router, all")
+		exp       = fs.String("exp", "all", "experiment: fig7, fig8, fig9, fig10, fig11, table1, pathshare, learned, ablation, micro, macro, ingest, wal, router, sync, all")
 		benchOut  = fs.String("bench-out", "", "write benchmark results as JSON to this file (with -exp micro/macro)")
 		compare   = fs.String("compare", "", "baseline BENCH.json to print a per-workload delta table against (with -exp micro)")
 		scale     = fs.Float64("scale", 1, "synthetic KB scale factor")
@@ -112,6 +112,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ingPairs  = fs.Int("ingest-pairs", 24, "hot pairs for the ingest swap-to-warm phase")
 		walDeltas = fs.Int("wal-deltas", 64, "deltas applied per fsync policy in the wal suite")
 		walOps    = fs.Int("wal-ops", 100, "records per wal-suite delta")
+		syDepths  = fs.String("sync-depths", "4,16,64", "comma-separated lag depths (deltas behind) for the sync suite")
+		syOps     = fs.Int("sync-ops", 100, "records per sync-suite delta")
+		syPreset  = fs.String("sync-preset", "small", "KB size preset for -exp sync")
 		rtPreset  = fs.String("router-preset", "small", "KB size preset for -exp router")
 		rtN       = fs.Int("router-replicas", 3, "fleet size ceiling for -exp router (QPS runs 1..N)")
 		rtWorkers = fs.Int("router-workers", 8, "concurrent clients in the router QPS phases")
@@ -226,7 +229,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// BENCH.json, not paper figures, so "all" (the paper reproduction)
 	// does not imply them. -trace joins them because it feeds the same
 	// report document.
-	if wants["micro"] || wants["macro"] || wants["ingest"] || wants["wal"] || wants["router"] || *traceOn {
+	if wants["micro"] || wants["macro"] || wants["ingest"] || wants["wal"] || wants["router"] || wants["sync"] || *traceOn {
 		report := newBenchReport()
 		if wants["micro"] {
 			if err := runMicro(&report, stdout); err != nil {
@@ -282,6 +285,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 				StallPct: *rtStallPc, TailN: *rtTailN, InProcess: *rtInproc,
 			}
 			if err := runRouter(&report, stdout, opt); err != nil {
+				fmt.Fprintln(stderr, "rexbench:", err)
+				return 1
+			}
+		}
+		if wants["sync"] {
+			depths, err := parseIntList(*syDepths)
+			if err != nil {
+				fmt.Fprintln(stderr, "rexbench: -sync-depths:", err)
+				return 2
+			}
+			opt := syncOptions{Preset: *syPreset, Seed: *seed, Depths: depths, Ops: *syOps}
+			if err := runSync(&report, stdout, opt); err != nil {
 				fmt.Fprintln(stderr, "rexbench:", err)
 				return 1
 			}

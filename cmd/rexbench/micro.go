@@ -70,6 +70,10 @@ type benchReport struct {
 	// Router holds the replicated-tier numbers (QPS vs replica count,
 	// hedged vs unhedged tail) when -exp router ran; see router.go.
 	Router *routerReport `json:"router,omitempty"`
+	// Sync holds the replica catch-up numbers (wall time vs lag depth,
+	// WAL-tail replay vs full-snapshot transfer) when -exp sync ran; see
+	// sync.go.
+	Sync []*syncReport `json:"sync,omitempty"`
 }
 
 // newBenchReport stamps the environment header.

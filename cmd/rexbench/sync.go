@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rex"
+	"rex/internal/kb"
+	"rex/internal/kbgen"
+	"rex/internal/serve"
+	rexsync "rex/internal/sync"
+)
+
+// The sync experiment prices replica catch-up: how long a cold peer
+// takes to reach the fleet tip as a function of how far behind it is,
+// through each of the two transfer paths. The wal rows replay the
+// CRC-framed tail (the source keeps every record), so cost scales with
+// lag depth; the snapshot rows force the full-checkpoint path (the
+// source checkpoints every delta, so any lag is below the GC horizon)
+// and cost scales with KB size instead. The crossover between the two
+// columns is the number the router's sync kick is betting on.
+
+// syncOptions parameterises one sync run (both modes share them).
+type syncOptions struct {
+	Preset string
+	Seed   int64
+	Depths []int // lag depths (deltas behind) to measure
+	Ops    int   // records per delta
+}
+
+// syncReport is one (mode, lag depth) row of the "sync" section of
+// BENCH.json.
+type syncReport struct {
+	Preset      string `json:"preset"`
+	Seed        int64  `json:"seed"`
+	Mode        string `json:"mode"` // "wal" or "snapshot"
+	LagDepth    int    `json:"lag_depth"`
+	OpsPerDelta int    `json:"ops_per_delta"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+
+	CatchupMs     float64 `json:"catchup_ms"`
+	WALRecords    int     `json:"wal_records"`
+	WALBytes      int64   `json:"wal_bytes"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+}
+
+// syncModes are measured in this order so the table reads tail-replay
+// first, then the full-transfer fallback it degrades to.
+var syncModes = []string{"wal", "snapshot"}
+
+// runSync executes the sync experiment into report.Sync: for every lag
+// depth, boot a source replica that is depth deltas ahead, then time a
+// cold peer's Engine.Sync against it through each transfer path.
+func runSync(report *benchReport, stdout io.Writer, opt syncOptions) error {
+	genOpt, err := kbgen.PresetOptions(opt.Preset, opt.Seed)
+	if err != nil {
+		return err
+	}
+	if len(opt.Depths) == 0 {
+		opt.Depths = []int{4, 16, 64}
+	}
+	if opt.Ops <= 0 {
+		opt.Ops = 100
+	}
+	g := kbgen.Generate(genOpt)
+	st := g.Stats()
+	fmt.Fprintf(stdout, "sync: %s KB: %d entities, %d relationships; lag depths %v x %d ops\n",
+		opt.Preset, st.Nodes, st.Edges, opt.Depths, opt.Ops)
+
+	for _, mode := range syncModes {
+		for _, depth := range opt.Depths {
+			r, err := runSyncOne(g, mode, depth, opt)
+			if err != nil {
+				return fmt.Errorf("sync: %s depth %d: %w", mode, depth, err)
+			}
+			r.Preset, r.Seed = opt.Preset, opt.Seed
+			r.Nodes, r.Edges = st.Nodes, st.Edges
+			fmt.Fprintf(stdout,
+				"sync: mode=%-8s lag=%-3d catch-up %8.1fms  (%d wal records, %s wal, %s snapshot)\n",
+				mode, depth, r.CatchupMs, r.WALRecords,
+				fmtBytes(r.WALBytes), fmtBytes(r.SnapshotBytes))
+			report.Sync = append(report.Sync, r)
+		}
+	}
+	return nil
+}
+
+// runSyncOne measures a single catch-up: a source store depth deltas
+// ahead of the shared base snapshot, served over HTTP, and a cold
+// target whose engine must converge on it. In wal mode the source
+// retains its whole journal; in snapshot mode it checkpoints every
+// delta, so the target's from=<base> request lands below the horizon
+// and the engine is forced through the full-checkpoint path.
+func runSyncOne(g *kb.Graph, mode string, depth int, opt syncOptions) (*syncReport, error) {
+	dir, err := os.MkdirTemp("", "rexbench-sync-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "kb.bin")
+	if err := g.SaveBinary(snap); err != nil {
+		return nil, err
+	}
+
+	ckptEvery := 1 << 20 // wal mode: never checkpoint, keep the whole tail
+	if mode == "snapshot" {
+		ckptEvery = 1 // every delta: the horizon chases the tip
+	}
+	src, err := rex.OpenStore(snap, rex.Options{
+		TopK: 10, MaxPatternSize: 3, CacheSize: 256,
+		Durability: rex.DurabilityOptions{
+			Dir: filepath.Join(dir, "src"), Fsync: "off", CheckpointEvery: ckptEvery,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+
+	// Advance the source: the identical delta stream the ingest and wal
+	// suites use, so the three sections price the same write shape.
+	rng := rand.New(rand.NewSource(opt.Seed + 5))
+	for i := 0; i < depth; i++ {
+		d := ingestDelta(g, rng, fmt.Sprintf("s%d", i), opt.Ops, i == 0)
+		if _, err := src.Apply(strings.NewReader(d)); err != nil {
+			return nil, fmt.Errorf("advance source: %w", err)
+		}
+	}
+	srv := serve.New(src, serve.Config{Timeout: 30 * time.Second})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	tgt, err := rex.OpenStore(snap, rex.Options{
+		TopK: 10, MaxPatternSize: 3, CacheSize: 256,
+		Durability: rex.DurabilityOptions{
+			Dir: filepath.Join(dir, "tgt"), Fsync: "off", CheckpointEvery: 1 << 20,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tgt.Close()
+	engine, err := rexsync.New(tgt, rexsync.Config{
+		Peers: []string{hs.URL}, SpoolDir: dir, AttemptTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t0 := time.Now()
+	rep, err := engine.Sync(context.Background(), "")
+	if err != nil {
+		return nil, err
+	}
+	wall := msSince(t0)
+
+	sc, tc := src.Current(), tgt.Current()
+	if sc.Generation != tc.Generation || sc.Fingerprint != tc.Fingerprint {
+		return nil, fmt.Errorf("target did not converge: %d/%s vs source %d/%s",
+			tc.Generation, tc.Fingerprint, sc.Generation, sc.Fingerprint)
+	}
+	if mode == "snapshot" && !rep.FullSnapshot {
+		return nil, fmt.Errorf("expected the full-snapshot path, engine used the WAL tail")
+	}
+
+	r := &syncReport{
+		Mode: mode, LagDepth: depth, OpsPerDelta: opt.Ops,
+		CatchupMs:     wall,
+		WALRecords:    rep.WALRecords,
+		WALBytes:      rep.WALBytes,
+		SnapshotBytes: rep.SnapshotBytes,
+	}
+	if rep.WALRecords > 0 && wall > 0 {
+		r.RecordsPerSec = float64(rep.WALRecords) / (wall / 1000)
+	}
+	return r, nil
+}
+
+// fmtBytes renders a byte count compactly for the progress line.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

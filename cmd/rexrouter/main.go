@@ -41,6 +41,15 @@
 // generation any client has seen — is discarded and re-routed, so no
 // client ever observes the knowledge base moving backwards across
 // failovers, hedges or delta broadcasts.
+//
+// Replicas the router catches below the floor — rejected answers,
+// failed broadcasts, or a health probe after a cold restart — are
+// marked lagging: excluded from routing and delta fan-out (applying a
+// broadcast onto stale state would fork their history) and kicked to
+// catch up via POST /admin/sync against the freshest peer, at most one
+// kick per -sync-kick-interval per replica. The next probe that shows
+// a lagging replica back at the floor re-admits it; no operator action
+// is involved at any point.
 package main
 
 import (
@@ -74,6 +83,7 @@ func main() {
 		brkBase  = flag.Duration("breaker-base", 200*time.Millisecond, "first breaker-open interval (doubles per reopen, jittered)")
 		brkMax   = flag.Duration("breaker-max", 10*time.Second, "breaker-open interval cap")
 		vnodes   = flag.Int("vnodes", 0, "hash-ring points per replica (0 = default 64)")
+		kickIv   = flag.Duration("sync-kick-interval", 5*time.Second, "minimum spacing between catch-up kicks per lagging replica")
 		version  = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -107,6 +117,7 @@ func main() {
 		BreakerBase:      *brkBase,
 		BreakerMax:       *brkMax,
 		VNodes:           *vnodes,
+		SyncKickInterval: *kickIv,
 	})
 	if err != nil {
 		fatal(err)

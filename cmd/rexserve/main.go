@@ -35,6 +35,19 @@
 //	POST /admin/delta             stream TSV mutation records; on success the
 //	                              server atomically swaps to the new KB version
 //	POST /admin/reload            re-read the -kb file from disk and swap it in
+//	GET  /admin/snapshot          stream the newest binary checkpoint (ETag =
+//	                              fingerprint; supports If-None-Match and Range)
+//	GET  /admin/wal?from=G        stream the CRC-framed WAL tail above G
+//	                              (410 Gone below the checkpoint horizon)
+//	POST /admin/sync?peer=U       kick the sync engine (requires -peers)
+//
+// With -peers set, the replica self-heals: a background anti-entropy
+// loop probes the peers every -sync-interval and, when behind, fetches
+// the WAL tail (or a full snapshot when below the peer's checkpoint
+// horizon) and catches up through the normal apply path — durable,
+// fingerprint-verified, resumable. While catching up the replica keeps
+// answering from its current (stale but honest) snapshot unless
+// -sync-refuse-stale makes it answer 503 instead.
 //
 // With -admin-token set, both require "Authorization: Bearer <token>";
 // without it they are open, which is only appropriate when the listener
@@ -96,6 +109,7 @@ import (
 
 	"rex"
 	"rex/internal/serve"
+	rexsync "rex/internal/sync"
 )
 
 func main() {
@@ -124,6 +138,11 @@ func main() {
 		fsyncInt = flag.Duration("fsync-interval", 100*time.Millisecond, "largest unsynced window under -fsync interval")
 		ckptEach = flag.Int("checkpoint-every", 64, "checkpoint after this many WAL appends (negative = size-driven only)")
 		ckptSize = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint once the WAL exceeds this size (negative = count-driven only)")
+
+		peers   = flag.String("peers", "", "comma-separated base URLs of peer replicas for self-healing catch-up (e.g. http://127.0.0.1:8081,http://127.0.0.1:8082); empty = no sync engine")
+		syncInt = flag.Duration("sync-interval", 2*time.Second, "anti-entropy probe period of the background sync loop")
+		syncRef = flag.Bool("sync-refuse-stale", false, "answer queries 503 while a catch-up sync is running instead of serving stale-but-honest results")
+		name    = flag.String("name", "", "instance name for logs and failpoint scoping (optional)")
 
 		maxInfl  = flag.Int("max-inflight", 0, "largest admitted concurrent /explain+/batch requests (0 = 4×GOMAXPROCS, min 8; negative = unlimited)")
 		maxAdmin = flag.Int("max-inflight-admin", 2, "largest admitted concurrent /admin mutations (negative = unlimited)")
@@ -183,7 +202,34 @@ func main() {
 		Timeout:    *timeout,
 		MaxBatch:   *maxBatch,
 		Pprof:      *pprofOn,
+		Name:       *name,
 	})
+	var engine *rexsync.Engine
+	if *peers != "" {
+		peerURLs, err := rexsync.ValidatePeers(*peers)
+		if err != nil {
+			fatal(err)
+		}
+		spool := os.TempDir()
+		if *dataDir != "" {
+			// Spool partial snapshots next to the journal: same filesystem,
+			// survives restarts, cleaned up by the engine on completion.
+			spool = *dataDir
+		}
+		engine, err = rexsync.New(store, rexsync.Config{
+			Peers:      peerURLs,
+			AdminToken: *adminTok,
+			Interval:   *syncInt,
+			SpoolDir:   spool,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv.SetSync(engine, *syncRef)
+		engine.Start()
+		log.Printf("rexserve: sync engine watching %d peer(s) every %v", len(peerURLs), *syncInt)
+	}
 	q, a := *maxInfl, *maxAdmin
 	if q == 0 {
 		q, _ = serve.AdmissionDefaults()
@@ -233,6 +279,9 @@ func main() {
 	case sig := <-sigc:
 		log.Printf("rexserve: %v received; draining (healthz now 503)", sig)
 		srv.StartDraining()
+		if engine != nil {
+			engine.Stop()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		done := make(chan error, 1)
 		go func() { done <- hs.Shutdown(ctx) }()

@@ -19,11 +19,18 @@ import (
 // Ack discipline: the broadcast succeeds once every replica that was
 // healthy going in has applied. A replica that dies mid-broadcast is
 // marked down and does not block the ack — it is no longer
-// "currently healthy", will be deprioritized as stale, and needs an
-// operator-driven catch-up (reload or WAL recovery) before rejoining;
-// the response names it so the operator knows. A replica that is up but
-// *rejects* the delta (422) fails the whole broadcast: that is a bad
-// delta, not a bad replica.
+// "currently healthy"; the router marks it lagging, kicks its sync
+// engine, and re-admits it once it catches back up to the floor. The
+// response row names it and reports its last known generation so the
+// caller can see the lag depth. A replica that is up but *rejects* the
+// delta (422) fails the whole broadcast: that is a bad delta, not a
+// bad replica.
+//
+// Fan-out excludes replicas already known to be below the floor:
+// applying a new delta onto stale state would fork history — same
+// generation numbers, different contents — which no later sync could
+// reconcile. The skipped replica's WAL-tail transfer carries the delta
+// to it instead, in the same order everyone else applied it.
 
 // maxDeltaBody mirrors the replica-side bound.
 const maxDeltaBody = 256 << 20
@@ -54,20 +61,37 @@ func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		rt.adminAuth.Store(&auth)
+	}
+
 	rt.deltaMu.Lock()
 	defer rt.deltaMu.Unlock()
 
+	// Partition the fleet: replicas below the floor are excluded from
+	// fan-out (divergence guard — see the package comment) and reported
+	// as lagging; everyone else gets the delta.
+	floor := rt.genFloor.load()
+	var targets, skipped []*replica
+	for _, rp := range rt.replicas {
+		if rp.knownGen.Load() < floor {
+			skipped = append(skipped, rp)
+		} else {
+			targets = append(targets, rp)
+		}
+	}
+
 	// Snapshot who counts toward the ack barrier before fanning out.
 	healthyBefore := map[string]bool{}
-	for _, rp := range rt.replicas {
+	for _, rp := range targets {
 		if rp.healthy.Load() && !rp.draining.Load() {
 			healthyBefore[rp.name] = true
 		}
 	}
 
-	results := make([]deltaOutcome, len(rt.replicas))
+	results := make([]deltaOutcome, len(targets))
 	var wg sync.WaitGroup
-	for i, rp := range rt.replicas {
+	for i, rp := range targets {
 		wg.Add(1)
 		go func(i int, rp *replica) {
 			defer wg.Done()
@@ -94,12 +118,25 @@ func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
 			rejected = o
 			row.Error = fmt.Sprintf("status %d: %s", o.status, firstLine(o.body))
 		default:
+			// The replica missed the delta: report its last known
+			// generation (the caller sees the lag depth, not a zero) and
+			// start catch-up now rather than at the next stale answer.
+			row.Generation = o.rp.knownGen.Load()
 			row.Error = errString(o.err, o.status)
+			rt.noteLagging(o.rp)
 			if healthyBefore[o.rp.name] {
 				failedHealthy = true
 			}
 		}
 		resp.Replicas = append(resp.Replicas, row)
+	}
+	for _, rp := range skipped {
+		rt.noteLagging(rp)
+		resp.Replicas = append(resp.Replicas, deltaReplicaResult{
+			Name:       rp.name,
+			Generation: rp.knownGen.Load(),
+			Error:      fmt.Sprintf("lagging below floor %d; excluded from broadcast, sync kicked", floor),
+		})
 	}
 
 	switch {

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Lagging management: the router's half of self-healing catch-up. A
+// replica is *lagging* when the router knows its generation is below
+// the floor — it rejected a query for answering too old, or it missed
+// a delta broadcast. Lagging replicas are excluded from failover
+// chains and from delta fan-out (applying a broadcast onto stale state
+// would fork history at the same generation numbers), and the router
+// kicks their sync engine (POST /admin/sync?peer=...) pointing at the
+// freshest routable peer. Re-admission is automatic: the moment a
+// health probe, ack or response shows the replica back at the floor,
+// candidates() clears the flag and the ring order applies again.
+
+// defaultSyncKickInterval rate-limits kicks per replica; the engine
+// also self-serialises, so this only bounds wasted HTTP chatter.
+const defaultSyncKickInterval = 5 * time.Second
+
+// noteLagging marks rp lagging and (rate-limited) kicks its sync
+// engine. Callers hold no locks; everything here is atomics plus a
+// fire-and-forget goroutine.
+func (rt *Router) noteLagging(rp *replica) {
+	if !rp.lagging.Swap(true) {
+		rt.m.laggingMarks.Inc()
+	}
+	rt.kickSync(rp)
+}
+
+// kickSync asks rp's sync engine to catch up from the freshest routable
+// peer. At most one kick per SyncKickInterval per replica; the POST is
+// asynchronous and best-effort — a dead replica just drops it, and the
+// next lagging observation retries.
+func (rt *Router) kickSync(rp *replica) {
+	interval := rt.cfg.SyncKickInterval
+	if interval <= 0 {
+		interval = defaultSyncKickInterval
+	}
+	now := time.Now().UnixNano()
+	last := rp.lastKick.Load()
+	if now-last < int64(interval) || !rp.lastKick.CompareAndSwap(last, now) {
+		return
+	}
+	peer := rt.freshestPeer(rp)
+	var auth string
+	if a := rt.adminAuth.Load(); a != nil {
+		auth = *a
+	}
+	rt.m.syncKicks.Inc()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		u := rp.baseURL + "/admin/sync"
+		if peer != "" {
+			u += "?peer=" + url.QueryEscape(peer)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+		if err != nil {
+			return
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			return
+		}
+		resp.Body.Close()
+	}()
+}
+
+// freshestPeer returns the base URL of the best catch-up source for rp:
+// the routable replica (other than rp itself) with the largest known
+// generation. Empty when no peer qualifies — the kicked engine then
+// probes its own configured peer list.
+func (rt *Router) freshestPeer(rp *replica) string {
+	var best *replica
+	for _, cand := range rt.replicas {
+		if cand == rp || !cand.routable() {
+			continue
+		}
+		if best == nil || cand.knownGen.Load() > best.knownGen.Load() {
+			best = cand
+		}
+	}
+	if best == nil {
+		return ""
+	}
+	return best.baseURL
+}
+
+// reconcileLagging clears the lagging latch of every replica whose
+// probed generation is back at the floor. candidates() performs the
+// same re-admission on the query path; this pass (ticked alongside the
+// health checker) covers an idle tier, so a caught-up replica never
+// waits for the next query to rejoin.
+func (rt *Router) reconcileLagging() {
+	floor := rt.genFloor.load()
+	for _, rp := range rt.replicas {
+		if rp.lagging.Load() && rp.knownGen.Load() >= floor {
+			rp.lagging.Store(false)
+		}
+	}
+}

@@ -20,6 +20,8 @@ type routerMetrics struct {
 	hedges       *obs.Family // counter{outcome}: won|lost
 	staleRejects *obs.Series // 200s discarded for being below the generation floor
 	batchRepins  *obs.Series // gathers re-sent whole for mixing generations
+	laggingMarks *obs.Series // replicas newly marked lagging (below the floor)
+	syncKicks    *obs.Series // catch-up kicks (POST /admin/sync) fired
 
 	deltaBroadcasts *obs.Family // counter{outcome}: ok|partial|rejected|failed
 }
@@ -53,6 +55,10 @@ func newRouterMetrics(rt *Router) *routerMetrics {
 		"Replica 200s discarded because their generation was below the floor.").With()
 	m.batchRepins = reg.Counter("rex_router_batch_repins_total",
 		"Scattered batches re-sent to one replica after the gather mixed generations.").With()
+	m.laggingMarks = reg.Counter("rex_router_lagging_marks_total",
+		"Replicas newly marked lagging (caught below the generation floor).").With()
+	m.syncKicks = reg.Counter("rex_router_sync_kicks_total",
+		"Catch-up kicks (POST /admin/sync) fired at lagging replicas.").With()
 
 	m.deltaBroadcasts = reg.Counter("rex_router_delta_broadcasts_total",
 		"Delta broadcasts by outcome (ok, partial, rejected, failed).", "outcome")
@@ -67,6 +73,8 @@ func newRouterMetrics(rt *Router) *routerMetrics {
 		"1 while the replica passes health checks, else 0.", "replica")
 	draining := reg.Gauge("rex_router_replica_draining",
 		"1 while the replica reports draining, else 0.", "replica")
+	lagging := reg.Gauge("rex_router_replica_lagging",
+		"1 while the replica is marked lagging behind the generation floor, else 0.", "replica")
 	gen := reg.Gauge("rex_router_replica_generation",
 		"Largest KB generation the router knows this replica holds.", "replica")
 	brk := reg.Gauge("rex_router_breaker_state",
@@ -75,6 +83,7 @@ func newRouterMetrics(rt *Router) *routerMetrics {
 		rp := rp
 		healthy.With(rp.name).SetFunc(func() float64 { return boolGauge(rp.healthy.Load()) })
 		draining.With(rp.name).SetFunc(func() float64 { return boolGauge(rp.draining.Load()) })
+		lagging.With(rp.name).SetFunc(func() float64 { return boolGauge(rp.lagging.Load()) })
 		gen.With(rp.name).SetFunc(func() float64 { return float64(rp.knownGen.Load()) })
 		brk.With(rp.name).SetFunc(func() float64 {
 			switch rp.breaker.current() {

@@ -19,10 +19,11 @@ type ReplicaConfig struct {
 
 // replica is the router's view of one rexserve instance: address,
 // breaker, and the soft health state the checker maintains. knownGen is
-// a lower bound on the replica's generation — updated by health probes,
-// delta acks and observed query responses — used to deprioritize
-// replicas that missed a delta, so one client never sees generations
-// move backwards across failovers.
+// the router's best estimate of the replica's generation — lifted by
+// delta acks and observed query responses, overwritten (downward
+// included) by health probes so a cold-restarted replica is caught —
+// used to deprioritize replicas that missed a delta, so one client
+// never sees generations move backwards across failovers.
 type replica struct {
 	name    string
 	baseURL string
@@ -32,9 +33,16 @@ type replica struct {
 	draining atomic.Bool
 	knownGen atomic.Uint64
 	checks   atomic.Uint64 // completed health probes, for tests/metrics
+
+	// lagging marks a replica the router has caught below the
+	// generation floor: excluded from chains and delta fan-out until a
+	// probe or ack shows it caught up (candidates clears the flag).
+	lagging  atomic.Bool
+	lastKick atomic.Int64 // unixnano of the last sync kick (rate limit)
 }
 
-// liftGen raises knownGen to at least g (CAS max).
+// liftGen raises knownGen to at least g (CAS max) — for delta acks and
+// query responses, which prove the replica holds at least g.
 func (rp *replica) liftGen(g uint64) {
 	for {
 		cur := rp.knownGen.Load()
@@ -42,6 +50,19 @@ func (rp *replica) liftGen(g uint64) {
 			return
 		}
 	}
+}
+
+// adoptGen overwrites knownGen with a health probe's observation —
+// downward included. A replica restarted over an empty data dir comes
+// back at generation 1; treating knownGen as a pure maximum would keep
+// routing deltas to it and fork its history at already-published
+// generation numbers. Probes run on one goroutine per replica, so the
+// only race is against a concurrent ack's liftGen; losing that race
+// under-estimates the generation, which is the safe direction (the
+// replica is briefly treated as lagging and the next probe corrects
+// it).
+func (rp *replica) adoptGen(g uint64) {
+	rp.knownGen.Store(g)
 }
 
 // routable reports whether queries may be sent here: the checker saw it
@@ -82,7 +103,7 @@ func (rp *replica) checkHealth(ctx context.Context, client *http.Client) {
 	var hb healthBody
 	bodyErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hb)
 	if bodyErr == nil && hb.Generation > 0 {
-		rp.liftGen(hb.Generation)
+		rp.adoptGen(hb.Generation)
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK && bodyErr == nil:
@@ -147,6 +168,7 @@ type replicaStatus struct {
 	URL        string `json:"url"`
 	Healthy    bool   `json:"healthy"`
 	Draining   bool   `json:"draining,omitempty"`
+	Lagging    bool   `json:"lagging,omitempty"`
 	Generation uint64 `json:"generation"`
 	Breaker    string `json:"breaker"`
 }
@@ -157,6 +179,7 @@ func (rp *replica) status() replicaStatus {
 		URL:        rp.baseURL,
 		Healthy:    rp.healthy.Load(),
 		Draining:   rp.draining.Load(),
+		Lagging:    rp.lagging.Load(),
 		Generation: rp.knownGen.Load(),
 		Breaker:    rp.breaker.current().String(),
 	}

@@ -50,6 +50,10 @@ type Config struct {
 
 	// VNodes per replica on the hash ring (default 64).
 	VNodes int
+
+	// SyncKickInterval rate-limits per-replica catch-up kicks
+	// (POST /admin/sync) fired at lagging replicas (default 5s).
+	SyncKickInterval time.Duration
 }
 
 // Router routes (pair, budget) queries across the replica set. All
@@ -72,6 +76,10 @@ type Router struct {
 	// deltaMu serialises delta broadcasts: the stores are deterministic,
 	// so identical apply order keeps every replica's fingerprint equal.
 	deltaMu sync.Mutex
+
+	// adminAuth is the last Authorization header seen on /admin/delta,
+	// replayed on sync kicks so token-protected replicas accept them.
+	adminAuth atomic.Pointer[string]
 
 	lat latencyRing
 }
@@ -156,6 +164,18 @@ func (rt *Router) Start() {
 	}
 	wg.Wait()
 	rt.checker.start(rt.replicas)
+	go func() {
+		t := time.NewTicker(rt.checker.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.checker.stop:
+				return
+			case <-t.C:
+				rt.reconcileLagging()
+			}
+		}
+	}()
 }
 
 // Close stops the health checker.
@@ -168,21 +188,34 @@ func (rt *Router) GenFloor() uint64 { return rt.genFloor.load() }
 // with replicas known to be at or above the generation floor ahead of
 // stale ones. Stale replicas stay in the chain as a last resort — their
 // health view may simply lag — but every response is still checked
-// against the floor before it reaches a client.
+// against the floor before it reaches a client. Replicas *marked*
+// lagging (caught below the floor, sync kicked) are excluded outright
+// until their probed generation reaches the floor again — that is the
+// re-admission gate — unless excluding them would empty the chain,
+// where availability wins over freshness.
 func (rt *Router) candidates(key string) []*replica {
 	order := rt.ring.order(key)
 	floor := rt.genFloor.load()
 	out := make([]*replica, 0, len(order))
-	var stale []*replica
+	var stale, lagging []*replica
 	for _, i := range order {
 		rp := rt.replicas[i]
 		if rp.knownGen.Load() >= floor {
+			// Automatic re-admission: a lagging replica whose probed
+			// generation caught back up rejoins at its ring position.
+			rp.lagging.Store(false)
 			out = append(out, rp)
+		} else if rp.lagging.Load() {
+			lagging = append(lagging, rp)
 		} else {
 			stale = append(stale, rp)
 		}
 	}
-	return append(out, stale...)
+	out = append(out, stale...)
+	if len(out) == 0 {
+		return lagging
+	}
+	return out
 }
 
 // proxyResult is one replica's buffered answer, ready to forward.
@@ -274,8 +307,9 @@ func (rt *Router) attempt(ctx context.Context, rp *replica, method, path, rawQue
 		if floor := rt.genFloor.load(); env.Generation < floor {
 			// The replica answered from a snapshot older than one a
 			// client has already seen; serving it would move the KB
-			// backwards. Route on.
+			// backwards. Route on, and tell the straggler to catch up.
 			rt.m.staleRejects.Inc()
+			rt.noteLagging(rp)
 			return nil, false, fmt.Errorf("%s: generation %d below floor %d", rp.name, env.Generation, floor)
 		}
 	}

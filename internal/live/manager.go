@@ -216,16 +216,41 @@ func (m *Manager) SwapGraphCommit(g *kb.Graph, commit CommitFunc) (*Snapshot, er
 	return m.publishLocked(g, nil, nil, commit)
 }
 
+// SwapGraphAt publishes an independently built graph at an explicit
+// generation — the anti-entropy entry point: a lagging replica installs
+// a peer's checkpoint of generation gen, jumping its own sequence
+// forward to match the fleet's numbering instead of incrementing by
+// one. gen must be strictly above the current generation (generations
+// never move backwards, and an equal generation with different content
+// would fork the fleet's history). Like SwapGraph, the payload is built
+// without a carry basis and starts cold.
+func (m *Manager) SwapGraphAt(g *kb.Graph, gen uint64, commit CommitFunc) (*Snapshot, error) {
+	if g == nil {
+		return nil, fmt.Errorf("live: SwapGraphAt: nil graph")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur := m.cur.Load().Generation; gen <= cur {
+		return nil, fmt.Errorf("live: SwapGraphAt: generation %d is not above current %d", gen, cur)
+	}
+	g.Freeze()
+	return m.publishAtLocked(g, gen, nil, nil, commit)
+}
+
 // publishLocked builds the payload for g, runs the durability commit
 // hook, and stores the next-generation snapshot. prev and cs are
 // forwarded to the BuildFunc as the carry basis when the swap came from
 // a delta. Callers hold m.mu.
 func (m *Manager) publishLocked(g *kb.Graph, prev *Snapshot, cs *ChangeSet, commit CommitFunc) (*Snapshot, error) {
+	return m.publishAtLocked(g, m.cur.Load().Generation+1, prev, cs, commit)
+}
+
+// publishAtLocked is publishLocked at an explicit target generation.
+func (m *Manager) publishAtLocked(g *kb.Graph, next uint64, prev *Snapshot, cs *ChangeSet, commit CommitFunc) (*Snapshot, error) {
 	payload, err := m.build(g, prev, cs)
 	if err != nil {
 		return nil, fmt.Errorf("live: building snapshot payload: %w", err)
 	}
-	next := m.cur.Load().Generation + 1
 	if commit != nil {
 		if err := commit(next, g); err != nil {
 			return nil, err

@@ -158,6 +158,7 @@ type Journal struct {
 	tornTail  bool
 	walSizeA  atomic.Int64
 	ckptGen   atomic.Uint64
+	ckptFP    atomic.Pointer[string] // fingerprint of the newest checkpoint
 	closeOnce sync.Once
 }
 
@@ -265,6 +266,8 @@ func (j *Journal) Recover() (*kb.Graph, uint64, error) {
 			continue
 		}
 		g, gen = loaded, gens[i]
+		fp := loaded.Fingerprint()
+		j.ckptFP.Store(&fp)
 		break
 	}
 	j.ckptGen.Store(gen)
@@ -523,6 +526,8 @@ func (j *Journal) Checkpoint(g *kb.Graph, gen uint64) error {
 	}
 	syncDir(j.dir)
 	j.ckptGen.Store(gen)
+	fp := g.Fingerprint()
+	j.ckptFP.Store(&fp)
 	j.ckpts.Add(1)
 	if err := fail.Hit("checkpoint.gc"); err != nil {
 		return err // simulated crash: new checkpoint durable, GC pending

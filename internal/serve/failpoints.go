@@ -20,9 +20,21 @@ import "rex/internal/fail"
 //	serve.healthz   before answering /healthz; an error becomes a 500,
 //	                so health checkers see a flapping replica while the
 //	                query path still works
+//	serve.snapshot  before serving /admin/snapshot (500 — "checkpoint
+//	                unreadable")
+//	serve.snapshot.cut  cut the snapshot body halfway through — the
+//	                    mid-transfer disconnect the client must resume
+//	                    from with a range request
+//	serve.wal       before serving /admin/wal (500)
+//	serve.wal.cut   tear the WAL stream inside its final record — the
+//	                client keeps the whole records and re-requests
 const (
-	FailRespond = "respond"
-	FailHealthz = "healthz"
+	FailRespond      = "respond"
+	FailHealthz      = "healthz"
+	FailSnapshot     = "snapshot"
+	FailSnapshotCut  = "snapshot.cut"
+	FailWALStream    = "wal"
+	FailWALStreamCut = "wal.cut"
 )
 
 // failpoint fires the unscoped and (when named) instance-scoped seam,

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"errors"
+	"net"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -202,6 +204,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 			return 0
 		})
 
+	// Anti-entropy: replica catch-up counters (zero until SetSync
+	// installs an engine).
+	registerSyncMetrics(reg, s)
+
 	return m
 }
 
@@ -237,6 +243,15 @@ type statusRecorder struct {
 func (w *statusRecorder) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Hijack forwards to the underlying writer so the transfer-cut
+// failpoint seams can kill a connection mid-body.
+func (w *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if hj, ok := w.ResponseWriter.(http.Hijacker); ok {
+		return hj.Hijack()
+	}
+	return nil, nil, http.ErrNotSupported
 }
 
 // instrument wraps a handler with the per-endpoint request counter,

@@ -23,6 +23,7 @@ import (
 
 	"rex"
 	"rex/internal/obs"
+	rexsync "rex/internal/sync"
 )
 
 // Server is the HTTP serving layer over one live rex.Store. All
@@ -59,6 +60,11 @@ type Server struct {
 
 	slow    *obs.SlowLog   // slow-query forensics ring, served at /admin/slow
 	metrics *serverMetrics // Prometheus registry behind /metrics
+
+	// sync is the optional anti-entropy wiring (see sync.go): the
+	// engine behind POST /admin/sync plus the refuse-stale policy.
+	sync             syncState
+	syncKickFailures atomic.Uint64 // admin-triggered syncs that failed
 }
 
 // maxDeltaBytes bounds one streamed /admin/delta body. Deltas are
@@ -157,6 +163,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/admin/delta", s.instrument("/admin/delta", s.admit(s.adminLimit, s.handleAdminDelta)))
 	mux.HandleFunc("/admin/reload", s.instrument("/admin/reload", s.admit(s.adminLimit, s.handleAdminReload)))
 	mux.HandleFunc("/admin/slow", s.instrument("/admin/slow", s.handleSlow))
+	// Anti-entropy: peers stream the checkpoint and WAL tail from here
+	// (available during drain — a mid-transfer peer finishes) and the
+	// router kicks lagging replicas via /admin/sync. Not behind the
+	// admin admission limiter: a catch-up transfer can be long-lived and
+	// must not starve delta acks (or vice versa).
+	mux.HandleFunc("/admin/snapshot", s.instrument("/admin/snapshot", s.handleSnapshot))
+	mux.HandleFunc("/admin/wal", s.instrument("/admin/wal", s.handleWALStream))
+	mux.HandleFunc("/admin/sync", s.instrument("/admin/sync", s.handleSyncTrigger))
 	if s.pprof {
 		// Runtime profiling for performance work, opt-in via -pprof.
 		// Registered explicitly rather than through the package's
@@ -411,6 +425,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "start and end are required"})
 		return
 	}
+	if !s.refuseWhileSyncing(w) {
+		return
+	}
 	// Chaos seam: an injected error is a broken replica (500), an
 	// injected stall is a lagging one — both before any engine work, so
 	// faults never corrupt state.
@@ -487,6 +504,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	bud := budgetRequest{BudgetMS: req.BudgetMS, BudgetExpansions: req.BudgetExpansions}
 	if err := bud.validate(); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if !s.refuseWhileSyncing(w) {
 		return
 	}
 	if err := s.failpoint(FailRespond); err != nil {
@@ -614,6 +634,9 @@ type statsResponse struct {
 	Cache         rex.CacheStats `json:"cache"`
 	Queries       queryStats     `json:"queries"`
 	Live          liveStats      `json:"live"`
+	// Sync is the replica catch-up section, present when the server was
+	// started with peers (-peers).
+	Sync *rexsync.Stats `json:"sync,omitempty"`
 }
 
 // versionInfo identifies the active KB snapshot and the swap history.
@@ -670,6 +693,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Timeouts: s.timeouts.Load(),
 		},
 		Live: liveStatsOf(s.store.LiveStats()),
+		Sync: syncStatsOf(s.syncEngine()),
 	})
 }
 
@@ -682,8 +706,11 @@ type healthResponse struct {
 	Draining    bool   `json:"draining"`
 	Generation  uint64 `json:"generation"`
 	Fingerprint string `json:"fingerprint"`
-	GoVersion   string `json:"go_version"`
-	Revision    string `json:"revision"`
+	// Syncing reports a replica catch-up in progress: the generation and
+	// fingerprint above are honest but possibly behind the fleet.
+	Syncing   bool   `json:"syncing,omitempty"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -701,6 +728,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Fingerprint: snap.Fingerprint,
 		GoVersion:   b.GoVersion,
 		Revision:    b.Revision,
+	}
+	if e := s.syncEngine(); e != nil && e.Syncing() {
+		resp.Syncing = true
 	}
 	// During a graceful shutdown the probe flips to 503 before the
 	// listener closes, so load balancers drain this instance while its

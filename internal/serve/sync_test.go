@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rex"
+	"rex/internal/live"
+	rexsync "rex/internal/sync"
+)
+
+// durableServer boots a durable store (temp dir) behind a Server;
+// ckptEvery 1 keeps the WAL empty (snapshot-only catch-up), a large
+// value keeps every delta in the tail.
+func durableSyncServer(t *testing.T, ckptEvery int) (*Server, *rex.Store) {
+	t.Helper()
+	k, err := rex.ReadKB(strings.NewReader("node\ta\tperson\nnode\tb\tperson\nlabel\tknows\tU\nedge\ta\tb\tknows\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rex.NewStore(k, rex.Options{
+		Measure: "size", TopK: 4, MaxPatternSize: 3,
+		Durability: rex.DurabilityOptions{Dir: t.TempDir(), Fsync: "off", CheckpointEvery: ckptEvery},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return New(store, Config{Timeout: 5 * time.Second}), store
+}
+
+func applyOne(t *testing.T, store *rex.Store, n string) {
+	t.Helper()
+	if _, err := store.Apply(strings.NewReader("node\t" + n + "\tperson\nedge\ta\t" + n + "\tknows\n")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotEndpointConditionalAndRange(t *testing.T) {
+	srv, store := durableSyncServer(t, 1)
+	applyOne(t, store, "x")
+	h := srv.Handler()
+
+	rec := get(t, h, "/admin/snapshot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot = %d: %s", rec.Code, rec.Body)
+	}
+	etag := rec.Header().Get("ETag")
+	wantFP := `"` + store.Current().Fingerprint + `"`
+	if etag != wantFP {
+		t.Fatalf("ETag = %s, want %s", etag, wantFP)
+	}
+	if rec.Header().Get("X-Rex-Generation") != "2" {
+		t.Fatalf("X-Rex-Generation = %s, want 2", rec.Header().Get("X-Rex-Generation"))
+	}
+	full := rec.Body.Bytes()
+
+	// A peer already holding this content revalidates for free.
+	req := httptest.NewRequest(http.MethodGet, "/admin/snapshot", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusNotModified {
+		t.Fatalf("If-None-Match = %d, want 304", rec2.Code)
+	}
+
+	// An interrupted transfer resumes by byte range.
+	req = httptest.NewRequest(http.MethodGet, "/admin/snapshot", nil)
+	req.Header.Set("Range", "bytes=10-")
+	req.Header.Set("If-Range", etag)
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, req)
+	if rec3.Code != http.StatusPartialContent {
+		t.Fatalf("Range = %d, want 206", rec3.Code)
+	}
+	if !bytes.Equal(rec3.Body.Bytes(), full[10:]) {
+		t.Fatal("range body is not the tail of the full body")
+	}
+}
+
+// A non-durable store has no checkpoint file; the snapshot is encoded
+// from the live graph so in-memory deployments can still seed peers.
+func TestSnapshotEndpointNonDurable(t *testing.T) {
+	srv := testServer(t, 5*time.Second)
+	rec := get(t, srv.Handler(), "/admin/snapshot")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot = %d: %s", rec.Code, rec.Body)
+	}
+	if rec.Body.Len() == 0 || rec.Header().Get("X-Rex-Generation") != "1" {
+		t.Fatalf("empty or unversioned snapshot: generation %q, %d bytes",
+			rec.Header().Get("X-Rex-Generation"), rec.Body.Len())
+	}
+}
+
+func TestWALStreamEndpoint(t *testing.T) {
+	srv, store := durableSyncServer(t, 1000)
+	applyOne(t, store, "x")
+	applyOne(t, store, "y")
+	h := srv.Handler()
+
+	rec := get(t, h, "/admin/wal?from=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("wal = %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Rex-Wal-Records"); got != "2" {
+		t.Fatalf("X-Rex-Wal-Records = %s, want 2", got)
+	}
+	sc := live.NewFrameScanner(bytes.NewReader(rec.Body.Bytes()))
+	var gens []uint64
+	for {
+		gen, _, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens = append(gens, gen)
+	}
+	if len(gens) != 2 || gens[0] != 2 || gens[1] != 3 {
+		t.Fatalf("tail generations = %v, want [2 3]", gens)
+	}
+
+	// Below the checkpoint horizon: 410 Gone points at the snapshot.
+	if rec := get(t, h, "/admin/wal?from=0"); rec.Code != http.StatusGone {
+		t.Fatalf("below horizon = %d, want 410", rec.Code)
+	}
+	// from is mandatory.
+	if rec := get(t, h, "/admin/wal"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing from = %d, want 400", rec.Code)
+	}
+}
+
+func TestSyncTriggerRequiresEngine(t *testing.T) {
+	srv := testServer(t, 5*time.Second)
+	h := srv.Handler()
+	if rec := post(t, h, "/admin/sync", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("sync without engine = %d, want 409", rec.Code)
+	}
+	if rec := get(t, h, "/admin/sync"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET sync = %d, want 405", rec.Code)
+	}
+}
+
+func TestStatsAndMetricsExposeSync(t *testing.T) {
+	srv := testServer(t, 5*time.Second)
+	e, err := rexsync.New(srv.store, rexsync.Config{Peers: []string{"http://127.0.0.1:9"}, SpoolDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetSync(e, false)
+	h := srv.Handler()
+	if rec := get(t, h, "/stats"); !strings.Contains(rec.Body.String(), `"sync"`) {
+		t.Fatalf("/stats lacks a sync section: %s", rec.Body)
+	}
+	if rec := get(t, h, "/metrics"); !strings.Contains(rec.Body.String(), "rex_sync_attempts_total") {
+		t.Fatal("/metrics lacks the rex_sync_* families")
+	}
+}
