@@ -26,6 +26,17 @@ import (
 // delta (422) fails the whole broadcast: that is a bad delta, not a
 // bad replica.
 //
+// A 200 ack only counts if its generation matches the fleet's. A
+// replica restarted over a wiped data dir, caught before the first
+// downward-adopting health probe, happily applies the broadcast onto
+// near-empty state and acks a tiny generation — a forked history that
+// generation numbers alone can never betray again. Such an ack is a
+// failure in disguise: the replica's true (low) generation is adopted,
+// it is quarantined as lagging, and its sync engine is kicked to
+// repair from a peer's snapshot. The broadcast itself still succeeds
+// when the rest of the fleet acked consistently — the delta IS durably
+// applied, and the fork is healing, not silent.
+//
 // Fan-out excludes replicas already known to be below the floor:
 // applying a new delta onto stale state would fork history — same
 // generation numbers, different contents — which no later sync could
@@ -59,10 +70,6 @@ func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "reading body: " + err.Error()})
 		return
-	}
-
-	if auth := r.Header.Get("Authorization"); auth != "" {
-		rt.adminAuth.Store(&auth)
 	}
 
 	rt.deltaMu.Lock()
@@ -100,6 +107,28 @@ func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 
+	// Establish the fleet's post-apply generation from the successful
+	// acks before counting any of them. Acks below the floor cannot
+	// vote — a wiped replica acking a tiny generation must not define
+	// "the fleet" and quarantine the healthy majority. Among voters,
+	// majority wins (ties to the higher generation); deterministic
+	// stores applying the same delta in the same order cannot honestly
+	// disagree, so any losing ack applied onto a forked history.
+	floorVotes := map[uint64]int{}
+	for i := range results {
+		o := &results[i]
+		if o.err == nil && o.status == http.StatusOK && o.gen >= floor {
+			floorVotes[o.gen]++
+		}
+	}
+	var fleetGen uint64
+	bestVotes := 0
+	for gen, n := range floorVotes {
+		if n > bestVotes || (n == bestVotes && gen > fleetGen) {
+			fleetGen, bestVotes = gen, n
+		}
+	}
+
 	resp := deltaResponse{}
 	var rejected *deltaOutcome
 	failedHealthy := false
@@ -107,12 +136,25 @@ func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
 		o := &results[i]
 		row := deltaReplicaResult{Name: o.rp.name, Generation: o.gen}
 		switch {
-		case o.err == nil && o.status == http.StatusOK:
+		case o.err == nil && o.status == http.StatusOK && o.gen == fleetGen:
 			resp.Applied++
 			o.rp.liftGen(o.gen)
 			if o.gen > resp.Generation {
 				resp.Generation = o.gen
 			}
+		case o.err == nil && o.status == http.StatusOK:
+			// A 200 at the wrong generation: the replica applied the
+			// delta onto a history that is not the fleet's. Counting it
+			// as applied would bless the fork; instead adopt its truthful
+			// (divergent) generation, quarantine it and kick a repair.
+			if fleetGen == 0 {
+				row.Error = fmt.Sprintf("diverged: acked generation %d below floor %d; quarantined for repair", o.gen, floor)
+			} else {
+				row.Error = fmt.Sprintf("diverged: acked generation %d, fleet applied at %d; quarantined for repair", o.gen, fleetGen)
+			}
+			o.rp.adoptGen(o.gen)
+			rt.m.divergedAcks.Inc()
+			rt.noteLagging(o.rp)
 		case o.status >= 400 && o.status < 500 && o.status != http.StatusTooManyRequests:
 			// The replica is up and says the delta itself is bad.
 			rejected = o
@@ -137,6 +179,14 @@ func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
 			Generation: rp.knownGen.Load(),
 			Error:      fmt.Sprintf("lagging below floor %d; excluded from broadcast, sync kicked", floor),
 		})
+	}
+
+	// Remember the caller's Authorization header for sync kicks — but
+	// only once a replica accepted a broadcast carrying it. Storing an
+	// unvalidated header would let a single request with a bad token
+	// poison every future kick until a good token happened to arrive.
+	if auth := r.Header.Get("Authorization"); auth != "" && resp.Applied > 0 {
+		rt.adminAuth.Store(&auth)
 	}
 
 	switch {

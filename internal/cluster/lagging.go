@@ -95,15 +95,41 @@ func (rt *Router) freshestPeer(rp *replica) string {
 }
 
 // reconcileLagging clears the lagging latch of every replica whose
-// probed generation is back at the floor. candidates() performs the
-// same re-admission on the query path; this pass (ticked alongside the
-// health checker) covers an idle tier, so a caught-up replica never
-// waits for the next query to rejoin.
+// probed generation is back at the floor and whose content does not
+// contradict the fleet's. candidates() performs the same re-admission
+// on the query path; this pass (ticked alongside the health checker)
+// covers an idle tier, so a caught-up replica never waits for the next
+// query to rejoin.
 func (rt *Router) reconcileLagging() {
 	floor := rt.genFloor.load()
 	for _, rp := range rt.replicas {
-		if rp.lagging.Load() && rp.knownGen.Load() >= floor {
+		if rp.lagging.Load() && rp.knownGen.Load() >= floor && !rt.forkSuspect(rp) {
 			rp.lagging.Store(false)
 		}
 	}
+}
+
+// forkSuspect reports whether rp's last probed fingerprint contradicts
+// a non-lagging replica's at the same generation. The same generation
+// number with different content is a forked history — re-admitting it
+// on the generation alone (the number is at the floor, after all)
+// would serve divergent answers to clients. No comparable evidence —
+// no probe yet, an empty fingerprint, or no trusted replica at the
+// same generation — clears the suspect: generation-based re-admission
+// then applies as before, and the replica's sync engine has already
+// been kicked to repair any fork the probes have not yet exposed.
+func (rt *Router) forkSuspect(rp *replica) bool {
+	pi := rp.probed.Load()
+	if pi == nil || pi.fp == "" {
+		return false
+	}
+	for _, other := range rt.replicas {
+		if other == rp || other.lagging.Load() {
+			continue
+		}
+		if oi := other.probed.Load(); oi != nil && oi.gen == pi.gen && oi.fp != "" && oi.fp != pi.fp {
+			return true
+		}
+	}
+	return false
 }

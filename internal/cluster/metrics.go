@@ -22,6 +22,7 @@ type routerMetrics struct {
 	batchRepins  *obs.Series // gathers re-sent whole for mixing generations
 	laggingMarks *obs.Series // replicas newly marked lagging (below the floor)
 	syncKicks    *obs.Series // catch-up kicks (POST /admin/sync) fired
+	divergedAcks *obs.Series // broadcast acks at a generation off the fleet's
 
 	deltaBroadcasts *obs.Family // counter{outcome}: ok|partial|rejected|failed
 }
@@ -59,6 +60,8 @@ func newRouterMetrics(rt *Router) *routerMetrics {
 		"Replicas newly marked lagging (caught below the generation floor).").With()
 	m.syncKicks = reg.Counter("rex_router_sync_kicks_total",
 		"Catch-up kicks (POST /admin/sync) fired at lagging replicas.").With()
+	m.divergedAcks = reg.Counter("rex_router_delta_diverged_acks_total",
+		"Delta acks discounted because the replica applied at a generation off the fleet's (forked history).").With()
 
 	m.deltaBroadcasts = reg.Counter("rex_router_delta_broadcasts_total",
 		"Delta broadcasts by outcome (ok, partial, rejected, failed).", "outcome")

@@ -39,6 +39,20 @@ type replica struct {
 	// probe or ack shows it caught up (candidates clears the flag).
 	lagging  atomic.Bool
 	lastKick atomic.Int64 // unixnano of the last sync kick (rate limit)
+
+	// probed is the last health probe's (generation, fingerprint) pair,
+	// stored as one pointer so a fingerprint is never compared against
+	// another probe's generation. Re-admission uses it to refuse a
+	// replica whose content at the fleet's generation provably differs
+	// from a trusted peer's — generation numbers alone cannot tell a
+	// healed replica from a forked one.
+	probed atomic.Pointer[probeInfo]
+}
+
+// probeInfo is one health probe's version observation.
+type probeInfo struct {
+	gen uint64
+	fp  string
 }
 
 // liftGen raises knownGen to at least g (CAS max) — for delta acks and
@@ -104,6 +118,7 @@ func (rp *replica) checkHealth(ctx context.Context, client *http.Client) {
 	bodyErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hb)
 	if bodyErr == nil && hb.Generation > 0 {
 		rp.adoptGen(hb.Generation)
+		rp.probed.Store(&probeInfo{gen: hb.Generation, fp: hb.Fingerprint})
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK && bodyErr == nil:

@@ -77,8 +77,10 @@ type Router struct {
 	// so identical apply order keeps every replica's fingerprint equal.
 	deltaMu sync.Mutex
 
-	// adminAuth is the last Authorization header seen on /admin/delta,
-	// replayed on sync kicks so token-protected replicas accept them.
+	// adminAuth is the last Authorization header a replica *accepted* on
+	// an /admin/delta broadcast, replayed on sync kicks so
+	// token-protected replicas accept them. Unvalidated headers are
+	// never stored — one bad token must not poison future kicks.
 	adminAuth atomic.Pointer[string]
 
 	lat latencyRing
@@ -190,7 +192,8 @@ func (rt *Router) GenFloor() uint64 { return rt.genFloor.load() }
 // health view may simply lag — but every response is still checked
 // against the floor before it reaches a client. Replicas *marked*
 // lagging (caught below the floor, sync kicked) are excluded outright
-// until their probed generation reaches the floor again — that is the
+// until their probed generation reaches the floor again without their
+// probed fingerprint contradicting the fleet's — that is the
 // re-admission gate — unless excluding them would empty the chain,
 // where availability wins over freshness.
 func (rt *Router) candidates(key string) []*replica {
@@ -200,9 +203,12 @@ func (rt *Router) candidates(key string) []*replica {
 	var stale, lagging []*replica
 	for _, i := range order {
 		rp := rt.replicas[i]
-		if rp.knownGen.Load() >= floor {
+		if rp.knownGen.Load() >= floor && (!rp.lagging.Load() || !rt.forkSuspect(rp)) {
 			// Automatic re-admission: a lagging replica whose probed
-			// generation caught back up rejoins at its ring position.
+			// generation caught back up rejoins at its ring position —
+			// unless its probed fingerprint contradicts a trusted
+			// replica's at the same generation (a fork wearing the
+			// fleet's generation number; see forkSuspect).
 			rp.lagging.Store(false)
 			out = append(out, rp)
 		} else if rp.lagging.Load() {

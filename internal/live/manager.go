@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,13 @@ import (
 	"rex/internal/fail"
 	"rex/internal/kb"
 )
+
+// ErrGenerationConflict reports that ApplyDeltaCommitAt found the
+// store at a different generation than the caller expected — a
+// concurrent writer published in between. Nothing was mutated; the
+// caller re-reads the current generation and decides whether its
+// record is already covered or genuinely conflicts.
+var ErrGenerationConflict = errors.New("live: generation conflict")
 
 // Snapshot is one immutable knowledge-base version: a frozen graph, the
 // serving payload built for it (e.g. an explainer plus its result
@@ -169,12 +177,38 @@ type CommitFunc func(gen uint64, g *kb.Graph) error
 // ApplyDeltaCommit is ApplyDelta with a durability hook. A nil commit
 // degrades to the plain in-memory swap.
 func (m *Manager) ApplyDeltaCommit(d *Delta, commit CommitFunc) (*Snapshot, ApplyStats, error) {
+	return m.applyDeltaCommit(d, 0, commit)
+}
+
+// ApplyDeltaCommitAt is ApplyDeltaCommit conditioned on the current
+// generation: the delta is applied only if it would publish exactly
+// generation next. The check runs under the writer mutex, so there is
+// no window between validating the generation and mutating — a
+// concurrent writer that got there first makes this call fail with
+// ErrGenerationConflict without touching the store. This is the
+// compare-and-swap the anti-entropy engine needs to replay a peer's
+// WAL record without ever double-applying it.
+func (m *Manager) ApplyDeltaCommitAt(d *Delta, next uint64, commit CommitFunc) (*Snapshot, ApplyStats, error) {
+	if next == 0 {
+		return nil, ApplyStats{}, fmt.Errorf("live: ApplyDeltaCommitAt: generation must be positive")
+	}
+	return m.applyDeltaCommit(d, next, commit)
+}
+
+// applyDeltaCommit applies d and publishes the result; a non-zero
+// expect demands the published generation be exactly expect, failing
+// with ErrGenerationConflict (no mutation) otherwise.
+func (m *Manager) applyDeltaCommit(d *Delta, expect uint64, commit CommitFunc) (*Snapshot, ApplyStats, error) {
 	if d == nil || len(d.Ops) == 0 {
 		return nil, ApplyStats{}, fmt.Errorf("live: empty delta")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	cur := m.cur.Load()
+	if expect != 0 && cur.Generation+1 != expect {
+		return nil, ApplyStats{}, fmt.Errorf("%w: expected to publish generation %d, store is at %d",
+			ErrGenerationConflict, expect, cur.Generation)
+	}
 	g, st, cs, err := d.Apply(cur.Graph)
 	if err != nil {
 		return nil, st, err
@@ -233,6 +267,30 @@ func (m *Manager) SwapGraphAt(g *kb.Graph, gen uint64, commit CommitFunc) (*Snap
 	if cur := m.cur.Load().Generation; gen <= cur {
 		return nil, fmt.Errorf("live: SwapGraphAt: generation %d is not above current %d", gen, cur)
 	}
+	g.Freeze()
+	return m.publishAtLocked(g, gen, nil, nil, commit)
+}
+
+// SwapGraphRepair publishes an independently built graph at an
+// explicit generation with the monotonicity requirement waived — the
+// divergence-repair entry point. A replica whose history forked (same
+// generation number, different content than the fleet) can only heal
+// by adopting the fleet's state wholesale, and the fleet's newest
+// checkpoint may sit at or below the forked local generation. The
+// local generation may therefore move backwards here; that is safe
+// only because the caller (the sync engine) is discarding local
+// history it has proven divergent, and the routing tier's generation
+// floor keeps the replica out of client-visible rotation until it has
+// re-converged at or above the fleet's floor.
+func (m *Manager) SwapGraphRepair(g *kb.Graph, gen uint64, commit CommitFunc) (*Snapshot, error) {
+	if g == nil {
+		return nil, fmt.Errorf("live: SwapGraphRepair: nil graph")
+	}
+	if gen == 0 {
+		return nil, fmt.Errorf("live: SwapGraphRepair: generation must be positive")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	g.Freeze()
 	return m.publishAtLocked(g, gen, nil, nil, commit)
 }

@@ -121,41 +121,85 @@ func (j *Journal) checkpointFP() string {
 // records were garbage-collected, so the caller needs the full
 // checkpoint first. A from at or past the newest record returns an
 // empty tail. The read snapshots the acknowledged WAL under the
-// journal lock, so it never observes a half-written frame.
+// journal lock, so it never observes a half-written frame. Prefer
+// TailReaderSince for serving tails over the network: it streams from
+// the file instead of materializing the whole tail here.
 func (j *Journal) TailSince(from uint64) (data []byte, records int, err error) {
+	rc, size, records, err := j.TailReaderSince(from)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer rc.Close() //nolint:errcheck // read-only descriptor
+	if size == 0 {
+		return nil, 0, nil
+	}
+	data = make([]byte, size)
+	if _, err := io.ReadFull(rc, data); err != nil {
+		return nil, 0, fmt.Errorf("live: wal tail read: %w", err)
+	}
+	return data, records, nil
+}
+
+// TailReaderSince is the streaming form of TailSince: it returns a
+// reader positioned at the first WAL record above from, plus the
+// tail's byte size and record count. Only frame headers are touched
+// here — payload bytes flow straight from the file to the caller, so
+// a large tail costs O(1) memory per concurrent transfer instead of a
+// full in-memory copy each. The returned reader owns its own
+// descriptor (Close releases it); the offsets are computed under the
+// journal lock against the acknowledged WAL size, so the section
+// never covers a half-written frame. A checkpoint truncating the WAL
+// mid-transfer surfaces to the receiver as a short read — a torn
+// frame, which the catch-up protocol already retries.
+func (j *Journal) TailReaderSince(from uint64) (r io.ReadCloser, size int64, records int, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.wal == nil {
-		return nil, 0, fmt.Errorf("live: tail of closed journal")
+		return nil, 0, 0, fmt.Errorf("live: tail of closed journal")
 	}
 	if from < j.ckptGen.Load() {
-		return nil, 0, ErrBelowHorizon
-	}
-	if j.walSize == 0 {
-		return nil, 0, nil
+		return nil, 0, 0, ErrBelowHorizon
 	}
 	// A separate descriptor leaves the append position of j.wal alone.
 	f, err := os.Open(j.walPath())
 	if err != nil {
-		return nil, 0, fmt.Errorf("live: open wal for tail: %w", err)
+		return nil, 0, 0, fmt.Errorf("live: open wal for tail: %w", err)
 	}
-	defer f.Close() //nolint:errcheck // read-only descriptor
-	sc := NewFrameScanner(io.LimitReader(f, j.walSize))
-	for {
-		gen, payload, err := sc.Next()
-		if err == io.EOF {
-			return data, records, nil
+	start := j.walSize // empty tail: a zero-length section at the end
+	var header [walFrameHeader]byte
+	for off := int64(0); off < j.walSize; {
+		if _, err := f.ReadAt(header[:], off); err != nil {
+			f.Close() //nolint:errcheck // already failing
+			return nil, 0, 0, fmt.Errorf("live: wal tail header at offset %d: %w", off, ErrTornFrame)
 		}
-		if err != nil {
+		gen := binary.BigEndian.Uint64(header[0:8])
+		n := int64(binary.BigEndian.Uint32(header[8:12]))
+		if n > maxWALRecord || off+walFrameHeader+n > j.walSize {
 			// The acknowledged prefix was validated at recovery and every
-			// append since was framed by this process; a torn frame inside
-			// it means on-disk corruption.
-			return nil, 0, fmt.Errorf("live: wal tail at record %d: %w", records, err)
+			// append since was framed by this process; an impossible
+			// length inside it means on-disk corruption.
+			f.Close() //nolint:errcheck // already failing
+			return nil, 0, 0, fmt.Errorf("live: wal tail at offset %d: %w", off, ErrTornFrame)
 		}
-		if gen <= from {
-			continue
+		if gen > from {
+			if records == 0 {
+				start = off
+			}
+			records++
 		}
-		data = EncodeFrame(data, gen, payload)
-		records++
+		off += walFrameHeader + n
 	}
+	return &walSection{
+		SectionReader: io.NewSectionReader(f, start, j.walSize-start),
+		f:             f,
+	}, j.walSize - start, records, nil
 }
+
+// walSection is a SectionReader over the WAL file that owns (and
+// closes) its descriptor.
+type walSection struct {
+	*io.SectionReader
+	f *os.File
+}
+
+func (s *walSection) Close() error { return s.f.Close() }

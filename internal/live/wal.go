@@ -532,11 +532,16 @@ func (j *Journal) Checkpoint(g *kb.Graph, gen uint64) error {
 	if err := fail.Hit("checkpoint.gc"); err != nil {
 		return err // simulated crash: new checkpoint durable, GC pending
 	}
-	// GC: the new checkpoint is durable, so older checkpoints and every
-	// WAL record (all at or below gen) are now redundant. A crash in
-	// here merely leaves extra files that the next recovery skips.
+	// GC: the new checkpoint is durable, so every other checkpoint and
+	// every WAL record are now redundant. Removing checkpoints *above*
+	// gen matters for divergence repair: a forked replica installing
+	// the fleet's (lower-numbered) checkpoint must not leave its forked
+	// higher checkpoint behind, or the next recovery would resurrect
+	// the fork. A crash in here merely leaves extra files — recovery
+	// would then pick the forked checkpoint, but the sync engine
+	// re-detects the fingerprint mismatch and repairs again.
 	for _, old := range j.checkpointGens() {
-		if old < gen {
+		if old != gen {
 			os.Remove(j.ckptPath(old)) //nolint:errcheck // stale files are re-GCed next time
 		}
 	}

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -162,7 +161,11 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	data, records, err := s.store.WALTail(from)
+	// The tail streams straight from the WAL file — the handler never
+	// holds a full copy, so N concurrently rejoining peers cost N open
+	// descriptors, not N tail-sized buffers (this endpoint deliberately
+	// sits outside the admission limiter).
+	tail, size, records, err := s.store.WALTailReader(from)
 	if errors.Is(err, rex.ErrBelowWALHorizon) {
 		writeJSON(w, http.StatusGone,
 			errorResponse{Error: fmt.Sprintf("generation %d is below the checkpoint horizon; fetch /admin/snapshot", from)})
@@ -172,7 +175,8 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	if s.failpoint(FailWALStreamCut) != nil && len(data) > walCutMargin {
+	defer tail.Close() //nolint:errcheck // read-only descriptor
+	if s.failpoint(FailWALStreamCut) != nil && size > walCutMargin {
 		// Chaos: tear the stream mid-record. The declared length is the
 		// full tail, so the client's frame scanner hits a torn frame and
 		// keeps only the records that arrived whole.
@@ -180,14 +184,15 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 			{"Content-Type", "application/octet-stream"},
 			{"X-Rex-Wal-From", strconv.FormatUint(from, 10)},
 			{"X-Rex-Wal-Records", strconv.Itoa(records)},
-		}, int64(len(data)), bytes.NewReader(data[:len(data)-walCutMargin]))
+		}, size, io.LimitReader(tail, size-walCutMargin))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Rex-Wal-From", strconv.FormatUint(from, 10))
 	w.Header().Set("X-Rex-Wal-Records", strconv.Itoa(records))
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)
-	w.Write(data) //nolint:errcheck // streaming response
+	io.Copy(w, tail) //nolint:errcheck // streaming response
 }
 
 // walCutMargin is how many trailing bytes the FailWALStreamCut seam

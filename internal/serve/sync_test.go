@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -124,6 +125,19 @@ func TestWALStreamEndpoint(t *testing.T) {
 	}
 	if len(gens) != 2 || gens[0] != 2 || gens[1] != 3 {
 		t.Fatalf("tail generations = %v, want [2 3]", gens)
+	}
+
+	// The declared length must match the streamed body (the handler
+	// streams from the WAL file; a wrong size would cut or pad frames).
+	if got := rec.Header().Get("Content-Length"); got != strconv.Itoa(rec.Body.Len()) {
+		t.Fatalf("Content-Length = %s, body is %d bytes", got, rec.Body.Len())
+	}
+
+	// An already-current peer gets an empty tail, not an error.
+	if rec := get(t, h, "/admin/wal?from=3"); rec.Code != http.StatusOK ||
+		rec.Header().Get("X-Rex-Wal-Records") != "0" || rec.Body.Len() != 0 {
+		t.Fatalf("current peer tail = %d, %s records, %d bytes; want empty 200",
+			rec.Code, rec.Header().Get("X-Rex-Wal-Records"), rec.Body.Len())
 	}
 
 	// Below the checkpoint horizon: 410 Gone points at the snapshot.

@@ -122,8 +122,11 @@ type Stats struct {
 	Snapshots     uint64 `json:"snapshots"`
 	SnapshotBytes uint64 `json:"snapshot_bytes"`
 	Resumes       uint64 `json:"resumes"`
-	// Mismatches counts fingerprint verification failures (against the
-	// peer after catch-up, or of a transferred snapshot).
+	// Mismatches counts fingerprint verification failures: a transferred
+	// snapshot that hashed wrong, a WAL record that did not reproduce
+	// the peer's generation step, or a same-generation fork against the
+	// peer — the last two each trigger a snapshot (re)install that
+	// discards the divergent local history.
 	Mismatches uint64 `json:"fingerprint_mismatches"`
 }
 
@@ -153,6 +156,7 @@ type Engine struct {
 	stopC   chan struct{}
 	doneC   chan struct{}
 	started atomic.Bool
+	stopped atomic.Bool // CAS gate so concurrent Stops close stopC once
 
 	attempts   atomic.Uint64
 	successes  atomic.Uint64
@@ -376,6 +380,10 @@ func (e *Engine) syncOnce(ctx context.Context, peerURL string, rep *Report) erro
 	}
 	rep.Peer = peer.url
 	forceSnapshot := false
+	// repair marks a proven fork (same generation, different content):
+	// the snapshot fetch then installs the peer's checkpoint even at or
+	// below the local generation, discarding the divergent history.
+	repair := false
 	// Bounded rounds: a fast writer can keep advancing the target, but
 	// each round makes generation progress, so a small bound only cuts
 	// off a peer that outruns us indefinitely (the next Sync continues).
@@ -384,22 +392,27 @@ func (e *Engine) syncOnce(ctx context.Context, peerURL string, rep *Report) erro
 		if local > peer.generation {
 			return nil // ahead of the chosen peer; nothing to pull
 		}
-		if local == peer.generation {
+		if local == peer.generation && !repair {
 			if fp := e.store.Current().Fingerprint; fp != peer.fingerprint {
 				// Same generation, different content: the histories forked.
-				// A snapshot at the same generation cannot be installed
-				// (generations never move backwards), so surface it — the
-				// next sync converges once the fleet advances past us.
+				// No WAL replay can reconcile that — the only way back is
+				// to discard the divergent local history and adopt the
+				// peer's checkpoint wholesale, even though its generation
+				// is at or below ours. The routing tier's floor keeps this
+				// replica out of rotation until it re-converges.
 				e.mismatches.Add(1)
-				return fmt.Errorf("sync: fingerprint mismatch with %s at generation %d: local %s, peer %s",
+				e.logf("sync: fingerprint mismatch with %s at generation %d (local %s, peer %s); repairing from snapshot",
 					peer.url, local, fp, peer.fingerprint)
+				repair = true
+			} else {
+				return nil
 			}
-			return nil
 		}
-		if forceSnapshot {
-			if err := e.fetchSnapshot(ctx, peer, rep); err != nil {
+		if repair || forceSnapshot {
+			if err := e.fetchSnapshot(ctx, peer, rep, repair); err != nil {
 				return err
 			}
+			repair = false
 			forceSnapshot = false
 		} else {
 			err := e.applyTail(ctx, peer, local, rep)
@@ -493,7 +506,18 @@ func (e *Engine) applyTail(ctx context.Context, peer peerState, from uint64, rep
 		if err := fail.Hit("sync.tail.apply"); err != nil {
 			return err
 		}
-		info, err := e.store.Apply(bytes.NewReader(payload))
+		// ApplyAt makes the apply conditional on the expected generation
+		// inside the store's writer lock: if a delta broadcast commits
+		// between the check above and the apply, the store refuses
+		// without mutating instead of double-applying the record.
+		info, err := e.store.ApplyAt(bytes.NewReader(payload), gen)
+		if errors.Is(err, rex.ErrGenerationConflict) {
+			if gen <= e.store.Generation() {
+				continue // the concurrent writer WAS this record's broadcast
+			}
+			return fmt.Errorf("sync: wal tail gap after concurrent apply: next record is %d, store is at %d",
+				gen, e.store.Generation())
+		}
 		if err != nil {
 			return fmt.Errorf("sync: applying wal record %d: %w", gen, err)
 		}
@@ -521,8 +545,10 @@ func (e *Engine) spoolPath(peer string) string {
 // fetchSnapshot downloads the peer's newest checkpoint — resuming a
 // partial spool file by byte range when the peer still serves the same
 // fingerprint — verifies it, and installs it at the peer's checkpoint
-// generation.
-func (e *Engine) fetchSnapshot(ctx context.Context, peer peerState, rep *Report) error {
+// generation. With repair set the install goes through the store's
+// divergence-repair path: the checkpoint is adopted even at or below
+// the local generation, discarding forked local history.
+func (e *Engine) fetchSnapshot(ctx context.Context, peer peerState, rep *Report, repair bool) error {
 	if err := fail.Hit("sync.snapshot.request"); err != nil {
 		return err
 	}
@@ -596,14 +622,21 @@ func (e *Engine) fetchSnapshot(ctx context.Context, peer peerState, rep *Report)
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("sync: spool seek: %w", err)
 	}
-	if gen <= e.store.Generation() {
+	if gen <= e.store.Generation() && !repair {
 		// The local store advanced past the peer's checkpoint while we
 		// downloaded (e.g. a broadcast landed); nothing to install, the
-		// tail path takes over from here.
+		// tail path takes over from here. A repair install skips this
+		// short-circuit on purpose: the local generation is forked, so
+		// "already past it" proves nothing — the checkpoint must be
+		// adopted to rebase onto the fleet's history.
 		e.discardSpool(f, spool)
 		return nil
 	}
-	if _, err := e.store.InstallSnapshot(f, gen, fp); err != nil {
+	install := e.store.InstallSnapshot
+	if repair {
+		install = e.store.RepairSnapshot
+	}
+	if _, err := install(f, gen, fp); err != nil {
 		if strings.Contains(err.Error(), "fingerprint") {
 			// Corrupt or mixed-source spool: drop it so the retry starts
 			// a clean transfer.
@@ -670,9 +703,10 @@ func (e *Engine) Stop() {
 	if !e.started.Load() {
 		return
 	}
-	select {
-	case <-e.stopC:
-	default:
+	// The CAS, not a select-with-default, makes concurrent Stops safe:
+	// two racing selects can both observe the channel open and both
+	// close it, panicking; exactly one CAS wins.
+	if e.stopped.CompareAndSwap(false, true) {
 		close(e.stopC)
 	}
 	<-e.doneC

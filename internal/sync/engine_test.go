@@ -272,28 +272,98 @@ func TestSyncHonorsAdminToken(t *testing.T) {
 	}
 }
 
-// Forked histories at the same generation cannot be healed by a
-// snapshot (generations never move backwards); the engine must surface
-// the mismatch instead of pretending to converge.
-func TestSyncReportsSameGenerationFingerprintMismatch(t *testing.T) {
-	peerStore := newStore(t, 0)
+// Forked histories at the same generation cannot be reconciled by any
+// WAL replay; the engine must detect the fingerprint mismatch and
+// repair by adopting the peer's snapshot wholesale — even though its
+// generation is not above the local one — instead of leaving the fork
+// in place to be served forever.
+func TestSyncRepairsSameGenerationFork(t *testing.T) {
+	for _, durable := range []bool{false, true} {
+		t.Run(fmt.Sprintf("durable=%v", durable), func(t *testing.T) {
+			ckptEvery := 0
+			if durable {
+				ckptEvery = 1000
+			}
+			peerStore := newStore(t, ckptEvery)
+			if _, err := peerStore.Apply(strings.NewReader("node\tx\tperson\nedge\ta\tx\tknows\n")); err != nil {
+				t.Fatal(err)
+			}
+			_, hs := bootPeer(t, peerStore, serve.Config{})
+			local := newStore(t, ckptEvery)
+			if _, err := local.Apply(strings.NewReader("node\ty\tperson\nedge\ta\ty\tknows\n")); err != nil {
+				t.Fatal(err)
+			}
+
+			e := newEngine(t, local, hs.URL)
+			rep, err := e.Sync(context.Background(), "")
+			if err != nil {
+				t.Fatalf("repair sync failed: %v", err)
+			}
+			if !rep.FullSnapshot {
+				t.Fatal("a same-generation fork must be repaired by a full snapshot")
+			}
+			if st := e.Stats(); st.Mismatches == 0 {
+				t.Fatal("mismatch not counted")
+			}
+			assertConverged(t, local, peerStore)
+		})
+	}
+}
+
+// The nastier fork shape from a cold restart: the forked replica's
+// generation lines up with the peer's WAL numbering, so the tail
+// replays "cleanly" onto the fork and only the final fingerprint check
+// can expose it. The repair then rebases onto the peer's checkpoint —
+// below the forked local generation — and replays the true history
+// forward.
+func TestSyncRepairsForkedWALHistory(t *testing.T) {
+	peerStore := newStore(t, 1000) // whole history stays in the WAL
 	if _, err := peerStore.Apply(strings.NewReader("node\tx\tperson\nedge\ta\tx\tknows\n")); err != nil {
 		t.Fatal(err)
 	}
+	advance(t, peerStore, 3) // peer at generation 5
 	_, hs := bootPeer(t, peerStore, serve.Config{})
-	local := newStore(t, 0)
+	local := newStore(t, 1000)
 	if _, err := local.Apply(strings.NewReader("node\ty\tperson\nedge\ta\ty\tknows\n")); err != nil {
-		t.Fatal(err)
+		t.Fatal(err) // forked at generation 2
 	}
 
 	e := newEngine(t, local, hs.URL)
-	_, err := e.Sync(context.Background(), "")
-	if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
-		t.Fatalf("err = %v, want a fingerprint mismatch", err)
+	rep, err := e.Sync(context.Background(), "")
+	if err != nil {
+		t.Fatalf("repair sync failed: %v", err)
+	}
+	if !rep.FullSnapshot {
+		t.Fatal("a forked WAL history must end in a snapshot repair")
 	}
 	if st := e.Stats(); st.Mismatches == 0 {
 		t.Fatal("mismatch not counted")
 	}
+	assertConverged(t, local, peerStore)
+	if got, want := local.Generation(), peerStore.Generation(); got != want {
+		t.Fatalf("local generation %d after repair, want %d", got, want)
+	}
+}
+
+// Stop is documented safe to call more than once — including
+// concurrently (two shutdown paths racing must not double-close the
+// stop channel and panic).
+func TestEngineStopConcurrent(t *testing.T) {
+	peerStore := newStore(t, 1000)
+	_, hs := bootPeer(t, peerStore, serve.Config{})
+	e := newEngine(t, newStore(t, 1000), hs.URL)
+	e.Start()
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			e.Stop()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	e.Stop() // and once more after it is fully stopped
 }
 
 // The background loop is the zero-operator-action path: Start, fall

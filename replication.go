@@ -90,7 +90,9 @@ func (s *Store) SyncCheckpoint() (*CheckpointHandle, error) {
 // ErrBelowWALHorizon means the records were garbage-collected by a
 // checkpoint and the peer needs SyncCheckpoint first. A store without a
 // journal has no tail to serve: it returns an empty tail when the peer
-// is current and ErrBelowWALHorizon otherwise.
+// is current and ErrBelowWALHorizon otherwise. Prefer WALTailReader for
+// serving a tail over the network — it streams instead of holding the
+// whole tail in memory.
 func (s *Store) WALTail(from uint64) (data []byte, records int, err error) {
 	if s.journal != nil {
 		return s.journal.TailSince(from)
@@ -99,6 +101,20 @@ func (s *Store) WALTail(from uint64) (data []byte, records int, err error) {
 		return nil, 0, nil
 	}
 	return nil, 0, ErrBelowWALHorizon
+}
+
+// WALTailReader is the streaming form of WALTail: it returns a reader
+// over the frames above generation from plus their total byte size and
+// record count, without materializing the tail. The caller must Close
+// the reader. Error semantics match WALTail.
+func (s *Store) WALTailReader(from uint64) (r io.ReadCloser, size int64, records int, err error) {
+	if s.journal != nil {
+		return s.journal.TailReaderSince(from)
+	}
+	if from >= s.mgr.Generation() {
+		return io.NopCloser(bytes.NewReader(nil)), 0, 0, nil
+	}
+	return nil, 0, 0, ErrBelowWALHorizon
 }
 
 // InstallSnapshot reads a binary snapshot (as served by SyncCheckpoint
@@ -112,6 +128,24 @@ func (s *Store) WALTail(from uint64) (data []byte, records int, err error) {
 // like ReloadFrom), so a crash right after the install recovers into
 // the installed state, not behind it.
 func (s *Store) InstallSnapshot(r io.Reader, gen uint64, wantFingerprint string) (SwapInfo, error) {
+	return s.installSnapshot(r, gen, wantFingerprint, false)
+}
+
+// RepairSnapshot is InstallSnapshot with the generation-monotonicity
+// requirement waived — the divergence-repair entry point. A store
+// whose history forked (same generation as the fleet, different
+// content) heals by adopting the fleet's checkpoint wholesale, which
+// may sit at or below the forked local generation; the local sequence
+// then moves backwards to the fleet's truthful position and the WAL
+// tail replays forward from there. On a durable store the repair is
+// checkpointed before publication, and that checkpoint garbage-
+// collects the forked WAL and any forked higher-numbered checkpoint,
+// so a later recovery cannot resurrect the divergent history.
+func (s *Store) RepairSnapshot(r io.Reader, gen uint64, wantFingerprint string) (SwapInfo, error) {
+	return s.installSnapshot(r, gen, wantFingerprint, true)
+}
+
+func (s *Store) installSnapshot(r io.Reader, gen uint64, wantFingerprint string, repair bool) (SwapInfo, error) {
 	t0 := time.Now()
 	g, err := kb.ReadBinary(r)
 	if err != nil {
@@ -127,7 +161,12 @@ func (s *Store) InstallSnapshot(r io.Reader, gen uint64, wantFingerprint string)
 			return s.journal.Checkpoint(cg, cgen)
 		}
 	}
-	snap, err := s.mgr.SwapGraphAt(g, gen, commit)
+	var snap *live.Snapshot
+	if repair {
+		snap, err = s.mgr.SwapGraphRepair(g, gen, commit)
+	} else {
+		snap, err = s.mgr.SwapGraphAt(g, gen, commit)
+	}
 	if err != nil {
 		return SwapInfo{}, err
 	}

@@ -352,6 +352,29 @@ func (s *Store) Swaps() uint64 { return s.mgr.Swaps() }
 // cache. In-flight readers keep their pinned snapshot; only requests
 // that call Current after Apply returns see the new version.
 func (s *Store) Apply(r io.Reader) (SwapInfo, error) {
+	return s.apply(r, 0)
+}
+
+// ErrGenerationConflict is the store-level alias of
+// live.ErrGenerationConflict (errors.Is works against either): an
+// ApplyAt found the store at a different generation than expected and
+// refused without mutating.
+var ErrGenerationConflict = live.ErrGenerationConflict
+
+// ApplyAt is Apply conditioned on the store's current generation: the
+// delta is applied only if it would publish exactly generation gen,
+// checked under the same lock that serialises writers — the
+// compare-and-swap a replica's sync engine needs to replay a peer's
+// WAL record without double-applying it when a delta broadcast lands
+// concurrently. When the store is at any generation other than gen-1,
+// nothing is mutated and the error wraps ErrGenerationConflict.
+func (s *Store) ApplyAt(r io.Reader, gen uint64) (SwapInfo, error) {
+	return s.apply(r, gen)
+}
+
+// apply parses and applies one delta; a non-zero expect demands the
+// published generation be exactly expect (see ApplyAt).
+func (s *Store) apply(r io.Reader, expect uint64) (SwapInfo, error) {
 	t0 := time.Now()
 	d, err := live.ParseDelta(r)
 	if err != nil {
@@ -375,7 +398,13 @@ func (s *Store) Apply(r io.Reader) (SwapInfo, error) {
 			return nil
 		}
 	}
-	snap, st, err := s.mgr.ApplyDeltaCommit(d, commit)
+	var snap *live.Snapshot
+	var st live.ApplyStats
+	if expect != 0 {
+		snap, st, err = s.mgr.ApplyDeltaCommitAt(d, expect, commit)
+	} else {
+		snap, st, err = s.mgr.ApplyDeltaCommit(d, commit)
+	}
 	if err != nil {
 		return SwapInfo{}, err
 	}

@@ -1,6 +1,7 @@
 package rex
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -231,5 +232,38 @@ func TestOpenStore(t *testing.T) {
 	k, _ := ReadKB(strings.NewReader(storeBaseTSV))
 	if _, err := NewStore(k, Options{Measure: "nope"}); err == nil {
 		t.Error("invalid options accepted")
+	}
+}
+
+// ApplyAt is the conditional (compare-and-swap) apply the sync engine
+// replays peer WAL records through: at the expected generation it
+// behaves like Apply, at any other it must refuse without mutating.
+func TestStoreApplyAtGenerationConflict(t *testing.T) {
+	st := newTestStore(t, Options{Measure: "size", CacheSize: 16})
+
+	info, err := st.ApplyAt(strings.NewReader("edge\tcarol\tdave\tknows\n"), 2)
+	if err != nil || info.Generation != 2 {
+		t.Fatalf("ApplyAt(2): gen=%d err=%v, want 2/nil", info.Generation, err)
+	}
+	fp := st.Current().Fingerprint
+
+	// Replaying the same record at the now-stale expectation must hit
+	// the conflict sentinel and leave the store untouched — this is the
+	// double-apply the unconditional path could not prevent.
+	if _, err := st.ApplyAt(strings.NewReader("edge\tcarol\tdave\tknows\n"), 2); !errors.Is(err, ErrGenerationConflict) {
+		t.Fatalf("ApplyAt at stale generation: err=%v, want ErrGenerationConflict", err)
+	}
+	if _, err := st.ApplyAt(strings.NewReader("edge\tbob\tcarol\tknows\n"), 4); !errors.Is(err, ErrGenerationConflict) {
+		t.Fatalf("ApplyAt past the next generation: err=%v, want ErrGenerationConflict", err)
+	}
+	if got := st.Current(); got.Generation != 2 || got.Fingerprint != fp {
+		t.Fatalf("store mutated by refused ApplyAt: gen=%d fp=%s", got.Generation, got.Fingerprint)
+	}
+
+	if _, err := st.ApplyAt(strings.NewReader("edge\tbob\tcarol\tknows\n"), 3); err != nil {
+		t.Fatalf("ApplyAt(3): %v", err)
+	}
+	if got := st.Generation(); got != 3 {
+		t.Fatalf("generation = %d, want 3", got)
 	}
 }
